@@ -1,0 +1,63 @@
+// Extension bench: Allen interval joins over generalized relations.
+// AllenJoin is cross product + constant many selections, so it inherits the
+// O(N^2) fixed-schema bound of Table 2's cross-product row.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "interval/allen.h"
+
+namespace {
+
+using itdb::AllenRelation;
+using itdb::GeneralizedRelation;
+
+GeneralizedRelation Intervals(std::uint32_t seed, int n, const char* s,
+                              const char* e) {
+  GeneralizedRelation base =
+      itdb::bench::MakeNormalizedRelation(seed, n, 2, 16, 0);
+  GeneralizedRelation out(itdb::Schema({s, e}, {}, {}));
+  for (itdb::GeneralizedTuple t : base.tuples()) {
+    // Make each tuple a genuine interval family: E = S + (1..4).
+    std::int64_t len = 1 + (t.lrp(0).offset() % 4);
+    std::vector<itdb::Lrp> lrps = {
+        t.lrp(0), itdb::Lrp::Make(t.lrp(0).offset() + len, 16)};
+    itdb::GeneralizedTuple iv(std::move(lrps));
+    iv.mutable_constraints().AddDifferenceEquality(0, 1, -len);
+    benchmark::DoNotOptimize(out.AddTuple(std::move(iv)));
+  }
+  return out;
+}
+
+void BM_AllenJoin_VsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = Intervals(1, n, "S", "E");
+  GeneralizedRelation b = Intervals(2, n, "BS", "BE");
+  itdb::AlgebraOptions options;
+  options.max_tuples = std::int64_t{1} << 26;
+  for (auto _ : state) {
+    auto j = itdb::AllenJoin(a, b, AllenRelation::kOverlaps, options);
+    benchmark::DoNotOptimize(j);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AllenJoin_VsN)->RangeMultiplier(2)->Range(16, 256)->Complexity(
+    benchmark::oNSquared);
+
+void BM_AllenJoin_AllRelations(benchmark::State& state) {
+  GeneralizedRelation a = Intervals(1, 32, "S", "E");
+  GeneralizedRelation b = Intervals(2, 32, "BS", "BE");
+  itdb::AlgebraOptions options;
+  options.max_tuples = std::int64_t{1} << 26;
+  for (auto _ : state) {
+    for (AllenRelation rel : itdb::kAllAllenRelations) {
+      auto j = itdb::AllenJoin(a, b, rel, options);
+      benchmark::DoNotOptimize(j);
+    }
+  }
+}
+BENCHMARK(BM_AllenJoin_AllRelations);
+
+}  // namespace
+
+BENCHMARK_MAIN();

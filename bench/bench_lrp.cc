@@ -1,0 +1,57 @@
+// Section 3.2.1: intersecting two lrps costs O(ln k) via the extended
+// Euclid algorithm -- logarithmic in the magnitude of the periods.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lrp.h"
+#include "util/numeric.h"
+
+namespace {
+
+using itdb::Lrp;
+
+void BM_LrpIntersect_VsPeriod(benchmark::State& state) {
+  // Consecutive Fibonacci-like periods are the worst case for Euclid.
+  const std::int64_t k = state.range(0);
+  Lrp a = Lrp::Make(1, k);
+  Lrp b = Lrp::Make(0, k + 1);  // gcd(k, k+1) = 1: maximal iteration count.
+  for (auto _ : state) {
+    auto r = Lrp::Intersect(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_LrpIntersect_VsPeriod)
+    ->RangeMultiplier(8)
+    ->Range(8, std::int64_t{1} << 30)
+    ->Complexity(benchmark::oLogN);
+
+void BM_LrpSubtract(benchmark::State& state) {
+  const std::int64_t ratio = state.range(0);
+  Lrp a = Lrp::Make(1, 4);
+  Lrp b = Lrp::Make(1, 4 * ratio);  // b inside a: ratio-1 residue classes.
+  for (auto _ : state) {
+    auto r = Lrp::Subtract(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(ratio);
+}
+BENCHMARK(BM_LrpSubtract)->RangeMultiplier(4)->Range(2, 512)->Complexity(
+    benchmark::oN);
+
+void BM_ExtGcd(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  for (auto _ : state) {
+    auto r = itdb::ExtGcd(k, k + 1);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_ExtGcd)
+    ->RangeMultiplier(64)
+    ->Range(8, std::int64_t{1} << 40)
+    ->Complexity(benchmark::oLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

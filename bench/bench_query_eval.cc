@@ -1,0 +1,82 @@
+// Theorem 4.1: with the query fixed, evaluating yes/no queries is PTIME in
+// the database size (data complexity).  The bench holds three queries of
+// increasing logical depth fixed and sweeps the number of tuples.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "query/eval.h"
+#include "storage/database.h"
+
+namespace {
+
+using itdb::Database;
+using itdb::GeneralizedRelation;
+using itdb::Schema;
+
+// N activity tuples with period 32, interval length 2, spread offsets.
+Database MakeDb(int n) {
+  GeneralizedRelation r(Schema({"S", "E"}, {"Who"}, {itdb::DataType::kString}));
+  for (int i = 0; i < n; ++i) {
+    std::int64_t offset = (i * 7) % 30;
+    itdb::GeneralizedTuple t(
+        {itdb::Lrp::Make(offset, 32), itdb::Lrp::Make(offset + 2, 32)},
+        {itdb::Value("w" + std::to_string(i % 4))});
+    t.mutable_constraints().AddDifferenceEquality(0, 1, -2);
+    benchmark::DoNotOptimize(r.AddTuple(std::move(t)));
+  }
+  Database db;
+  db.Put("Busy", std::move(r));
+  return db;
+}
+
+void RunQuery(benchmark::State& state, const std::string& text) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = MakeDb(n);
+  itdb::query::QueryOptions options;
+  options.algebra.max_tuples = std::int64_t{1} << 26;
+  options.algebra.max_complement_universe = std::int64_t{1} << 26;
+  for (auto _ : state) {
+    auto r = itdb::query::EvalBooleanQueryString(db, text, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+
+// Existential conjunctive query (join + projection).
+void BM_Query_ExistentialJoin(benchmark::State& state) {
+  RunQuery(state,
+           "EXISTS t . EXISTS s1 . EXISTS e1 . EXISTS s2 . EXISTS e2 . "
+           "EXISTS w1 . EXISTS w2 . "
+           "Busy(s1, e1, w1) AND Busy(s2, e2, w2) AND "
+           "s1 <= t AND t <= e1 AND s2 <= t AND t <= e2 AND NOT w1 = w2");
+}
+BENCHMARK(BM_Query_ExistentialJoin)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity();
+
+// One negation (complement over a one-column relation).
+void BM_Query_SingleNegation(benchmark::State& state) {
+  RunQuery(state,
+           "EXISTS t . 0 <= t AND t <= 1000000 AND "
+           "NOT (EXISTS s . EXISTS e . EXISTS w . "
+           "Busy(s, e, w) AND s <= t AND t <= e)");
+}
+BENCHMARK(BM_Query_SingleNegation)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity();
+
+// Universal quantification (two complements).
+void BM_Query_Universal(benchmark::State& state) {
+  RunQuery(state,
+           "FORALL t . EXISTS s . EXISTS e . EXISTS w . "
+           "Busy(s, e, w) AND s <= t AND t <= e");
+}
+BENCHMARK(BM_Query_Universal)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

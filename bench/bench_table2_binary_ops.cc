@@ -1,0 +1,130 @@
+// Table 2, rows "Cross-product", "Intersection", "Join": fixed-schema
+// O(N^2), general O(m^2 N^2).
+//
+// Also demonstrates the paper's density remark for intersection (Appendix
+// A.3): with uniformly distributed residues, only ~N^2/k^m tuple pairs have
+// a nonempty intersection, so larger periods make intersection cheaper at
+// equal N.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/algebra.h"
+
+namespace {
+
+using itdb::AlgebraOptions;
+using itdb::GeneralizedRelation;
+using itdb::bench::MakeNormalizedRelation;
+
+AlgebraOptions BigBudget() {
+  AlgebraOptions options;
+  options.max_tuples = std::int64_t{1} << 26;
+  return options;
+}
+
+void BM_Intersect_VsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = MakeNormalizedRelation(1, n, 2, 12);
+  GeneralizedRelation b = MakeNormalizedRelation(2, n, 2, 12);
+  AlgebraOptions options = BigBudget();
+  for (auto _ : state) {
+    auto r = itdb::Intersect(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Intersect_VsN)->RangeMultiplier(2)->Range(32, 1024)->Complexity(
+    benchmark::oNSquared);
+
+void BM_Intersect_DensityEffect(benchmark::State& state) {
+  // Same N, growing period k: the number of surviving tuples falls as
+  // N^2 / k^m (uniform residues).
+  const std::int64_t k = state.range(0);
+  GeneralizedRelation a = MakeNormalizedRelation(1, 256, 2, k);
+  GeneralizedRelation b = MakeNormalizedRelation(2, 256, 2, k);
+  AlgebraOptions options = BigBudget();
+  std::int64_t result_tuples = 0;
+  for (auto _ : state) {
+    auto r = itdb::Intersect(a, b, options);
+    if (r.ok()) result_tuples = r.value().size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["result_tuples"] =
+      benchmark::Counter(static_cast<double>(result_tuples));
+}
+BENCHMARK(BM_Intersect_DensityEffect)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(
+    32);
+
+void BM_CrossProduct_VsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a0 = MakeNormalizedRelation(1, n, 2, 12);
+  GeneralizedRelation b0 = MakeNormalizedRelation(2, n, 2, 12);
+  GeneralizedRelation a =
+      itdb::Rename(a0, {{"T1", "A1"}, {"T2", "A2"}}).value();
+  GeneralizedRelation b =
+      itdb::Rename(b0, {{"T1", "B1"}, {"T2", "B2"}}).value();
+  AlgebraOptions options = BigBudget();
+  for (auto _ : state) {
+    auto r = itdb::CrossProduct(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CrossProduct_VsN)->RangeMultiplier(2)->Range(32, 512)->Complexity(
+    benchmark::oNSquared);
+
+void BM_Join_VsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a0 = MakeNormalizedRelation(1, n, 2, 12);
+  GeneralizedRelation b0 = MakeNormalizedRelation(2, n, 2, 12);
+  // Share one attribute: natural join on "T".
+  GeneralizedRelation a = itdb::Rename(a0, {{"T1", "T"}, {"T2", "A"}}).value();
+  GeneralizedRelation b = itdb::Rename(b0, {{"T1", "T"}, {"T2", "B"}}).value();
+  AlgebraOptions options = BigBudget();
+  for (auto _ : state) {
+    auto r = itdb::Join(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Join_VsN)->RangeMultiplier(2)->Range(32, 1024)->Complexity(
+    benchmark::oNSquared);
+
+void BM_Intersect_IndexedVsN(benchmark::State& state) {
+  // Ablation: the Appendix A.3 hash join on free extensions (opt-in,
+  // use_intersection_index).  Same inputs as BM_Intersect_VsN; expect the
+  // N^2 pair scan to collapse toward the output size.
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = MakeNormalizedRelation(1, n, 2, 12);
+  GeneralizedRelation b = MakeNormalizedRelation(2, n, 2, 12);
+  AlgebraOptions options = BigBudget();
+  options.use_intersection_index = true;
+  for (auto _ : state) {
+    auto r = itdb::Intersect(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Intersect_IndexedVsN)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity();
+
+void BM_Intersect_VsArity(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  GeneralizedRelation a = MakeNormalizedRelation(1, 128, m, 12);
+  GeneralizedRelation b = MakeNormalizedRelation(2, 128, m, 12);
+  AlgebraOptions options = BigBudget();
+  for (auto _ : state) {
+    auto r = itdb::Intersect(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_Intersect_VsArity)->DenseRange(1, 8)->Complexity(
+    benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table 2, row "Emptiness of a relation" (Theorem 3.5): fixed-schema O(N),
+// general O(m^3 N).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/algebra.h"
+
+namespace {
+
+using itdb::GeneralizedRelation;
+using itdb::bench::MakeNormalizedRelation;
+
+// Build a relation whose tuples are all lattice-empty, so emptiness has to
+// scan every tuple (worst case for Theorem 3.5).
+GeneralizedRelation AllEmptyRelation(int n, int m) {
+  GeneralizedRelation base = MakeNormalizedRelation(1, n, m, 8);
+  GeneralizedRelation out(base.schema());
+  for (itdb::GeneralizedTuple t : base.tuples()) {
+    // Force an unsatisfiable residue equation: X0 = X1 + delta where delta
+    // is incompatible with the residues modulo 8.
+    if (m >= 2) {
+      std::int64_t delta =
+          t.lrp(0).offset() - t.lrp(1).offset() + 1;  // Off by one: no hit.
+      itdb::Dbm c(m);
+      c.AddDifferenceEquality(0, 1, delta);
+      t.set_constraints(std::move(c));
+    } else {
+      itdb::Dbm c(m);
+      c.AddUpperBound(0, 0);
+      c.AddLowerBound(0, 1);
+      t.set_constraints(std::move(c));
+    }
+    benchmark::DoNotOptimize(out.AddTuple(std::move(t)));
+  }
+  return out;
+}
+
+void BM_Emptiness_VsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation r = AllEmptyRelation(n, 2);
+  for (auto _ : state) {
+    auto e = itdb::IsEmpty(r);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Emptiness_VsN)->RangeMultiplier(2)->Range(64, 4096)->Complexity(
+    benchmark::oN);
+
+void BM_Emptiness_VsArity(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  GeneralizedRelation r = AllEmptyRelation(256, m);
+  for (auto _ : state) {
+    auto e = itdb::IsEmpty(r);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_Emptiness_VsArity)->DenseRange(2, 8)->Complexity(
+    benchmark::oNCubed);
+
+void BM_Emptiness_NonEmptyEarlyOut(benchmark::State& state) {
+  // A nonempty relation exits at the first feasible tuple, independent of N.
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation r = MakeNormalizedRelation(1, n, 2, 8,
+                                                 /*max_constraints=*/0);
+  for (auto _ : state) {
+    auto e = itdb::IsEmpty(r);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Emptiness_NonEmptyEarlyOut)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::o1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

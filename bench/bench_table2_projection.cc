@@ -1,0 +1,125 @@
+// Table 2, row "Projection": fixed-schema O(N), general O(m^2 N); and the
+// Appendix A.4 remark that a non-normalized database pays an extra k^m
+// normalization factor.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/algebra.h"
+
+namespace {
+
+using itdb::AlgebraOptions;
+using itdb::GeneralizedRelation;
+using itdb::bench::MakeMixedPeriodRelation;
+using itdb::bench::MakeNormalizedRelation;
+
+void BM_Projection_VsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation r = MakeNormalizedRelation(1, n, 2, 12);
+  for (auto _ : state) {
+    auto p = itdb::Project(r, {"T1"});
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Projection_VsN)->RangeMultiplier(2)->Range(64, 4096)->Complexity(
+    benchmark::oN);
+
+void BM_Projection_VsArity(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  GeneralizedRelation r = MakeNormalizedRelation(1, 256, m, 12);
+  for (auto _ : state) {
+    auto p = itdb::Project(r, {"T1"});
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_Projection_VsArity)->DenseRange(2, 8)->Complexity(
+    benchmark::oNSquared);
+
+void BM_Projection_Normalized(benchmark::State& state) {
+  // Baseline: the input is already normalized (all periods 12).
+  GeneralizedRelation r = MakeMixedPeriodRelation(7, 256, 2, {12});
+  for (auto _ : state) {
+    auto p = itdb::Project(r, {"T1"});
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Projection_Normalized);
+
+void BM_Projection_MixedPeriods(benchmark::State& state) {
+  // Same tuple count, but periods {3, 4} force a normalization to lcm 12
+  // with up to (12/3)*(12/4) = 12 split tuples each: the k^m multiplier.
+  GeneralizedRelation r = MakeMixedPeriodRelation(7, 256, 2, {3, 4});
+  for (auto _ : state) {
+    auto p = itdb::Project(r, {"T1"});
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Projection_MixedPeriods);
+
+void BM_Projection_CoprimePeriods(benchmark::State& state) {
+  // Coprime periods {5, 7, 9} push the lcm to 315: the unfavorable case the
+  // paper warns about in Section 3.8.
+  GeneralizedRelation r = MakeMixedPeriodRelation(7, 256, 2, {5, 7, 9});
+  for (auto _ : state) {
+    auto p = itdb::Project(r, {"T1"});
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Projection_CoprimePeriods);
+
+// ---- Ablation: partial normalization (Section 3.4, last paragraph). ----
+// Three columns; T3 is dropped and constraint-connected to nothing, while
+// T1/T2 have large coprime periods.  Partial normalization skips their
+// k^m split entirely.
+
+GeneralizedRelation DisconnectedDropRelation() {
+  // Periods {14, 6, 4}: full normalization to lcm 84 splits every tuple
+  // into 6*14*21 = 1764 pieces; the dropped T3 is constraint-connected to
+  // nothing, so partial normalization touches only its period-4 column.
+  GeneralizedRelation r(itdb::Schema({"T1", "T2", "T3"}, {}, {}));
+  for (int i = 0; i < 16; ++i) {
+    itdb::GeneralizedTuple t({itdb::Lrp::Make(i, 14), itdb::Lrp::Make(i, 6),
+                              itdb::Lrp::Make(i, 4)});
+    t.mutable_constraints().AddDifferenceUpperBound(0, 1, i % 7);
+    t.mutable_constraints().AddUpperBound(2, 100);
+    benchmark::DoNotOptimize(r.AddTuple(std::move(t)));
+  }
+  return r;
+}
+
+void RunProjectionAblation(benchmark::State& state, bool partial) {
+  GeneralizedRelation r = DisconnectedDropRelation();
+  itdb::AlgebraOptions options;
+  options.partial_normalization = partial;
+  options.normalize.max_split_product = std::int64_t{1} << 24;
+  options.max_tuples = std::int64_t{1} << 26;
+  std::int64_t out_tuples = 0;
+  for (auto _ : state) {
+    auto p = itdb::Project(r, {"T1", "T2"}, options);
+    if (!p.ok()) {
+      state.SkipWithError(p.status().ToString().c_str());
+      return;
+    }
+    out_tuples = p.value().size();
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["result_tuples"] =
+      benchmark::Counter(static_cast<double>(out_tuples));
+}
+
+void BM_Projection_PartialNormalization(benchmark::State& state) {
+  RunProjectionAblation(state, /*partial=*/true);
+}
+BENCHMARK(BM_Projection_PartialNormalization);
+
+void BM_Projection_FullNormalization(benchmark::State& state) {
+  RunProjectionAblation(state, /*partial=*/false);
+}
+BENCHMARK(BM_Projection_FullNormalization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table 2, row "Union": fixed-schema O(N), general O(m^2 N).
+//
+// The benchmark sweeps the tuple count N at fixed arity (expect linear
+// growth) and the arity m at fixed N (expect ~quadratic in m through the
+// constraint-matrix copying).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/algebra.h"
+
+namespace {
+
+using itdb::GeneralizedRelation;
+using itdb::bench::MakeNormalizedRelation;
+
+void BM_Union_VsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = MakeNormalizedRelation(1, n, 2, 12);
+  GeneralizedRelation b = MakeNormalizedRelation(2, n, 2, 12);
+  for (auto _ : state) {
+    auto r = itdb::Union(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Union_VsN)->RangeMultiplier(2)->Range(64, 8192)->Complexity(
+    benchmark::oN);
+
+void BM_Union_VsArity(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  GeneralizedRelation a = MakeNormalizedRelation(1, 512, m, 12);
+  GeneralizedRelation b = MakeNormalizedRelation(2, 512, m, 12);
+  for (auto _ : state) {
+    auto r = itdb::Union(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_Union_VsArity)->DenseRange(1, 8)->Complexity(
+    benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

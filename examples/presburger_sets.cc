@@ -1,0 +1,66 @@
+// Theorems 2.1 / 2.2: defining integer sets in Presburger arithmetic and
+// compiling them to generalized relations (unary: restricted constraints;
+// binary: general constraints).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "presburger/to_relation.h"
+
+namespace {
+
+template <typename T>
+T OrDie(itdb::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace itdb;
+  using namespace itdb::presburger;
+
+  // ---- Unary (Theorem 2.1): "v is even, positive, and not a multiple of 3"
+  FormulaPtr even = Formula::UnaryCong(1, 0, 2, 0);
+  FormulaPtr positive = Formula::UnaryCmp(1, 0, Cmp::kGt, 0);
+  FormulaPtr mult3 = Formula::UnaryCong(1, 0, 3, 0);
+  FormulaPtr unary =
+      Formula::And(Formula::And(even, positive), Formula::Not(mult3));
+  std::cout << "Formula: " << unary->ToString() << "\n";
+
+  GeneralizedRelation r = OrDie(UnaryToRelation(unary));
+  std::cout << "As a generalized relation (restricted constraints):\n"
+            << r.ToString();
+  std::cout << "First members:";
+  for (const ConcreteRow& row : r.Enumerate(0, 30)) {
+    std::cout << " " << row.temporal[0];
+  }
+  std::cout << "\n\n";
+
+  // ---- Binary (Theorem 2.2): "2*v0 = 3*v1 + 1, with v0 ===_4 v1"
+  FormulaPtr line = Formula::BinaryCmp(2, 0, Cmp::kEq, 3, 1, 1);
+  FormulaPtr cong = Formula::BinaryCong(1, 0, 4, 1, 1, 0);
+  FormulaPtr binary = Formula::And(line, cong);
+  std::cout << "Formula: " << binary->ToString() << "\n";
+
+  GeneralRelation g = OrDie(BinaryToGeneralRelation(binary));
+  std::cout << "As a general-constraint relation:\n" << g.ToString();
+  std::cout << "Members with |v| <= 40:";
+  for (const std::vector<std::int64_t>& p : g.Enumerate(-40, 40)) {
+    std::cout << " (" << p[0] << "," << p[1] << ")";
+  }
+  std::cout << "\n\n";
+
+  // ---- Negation round trip: the unary complement really is the complement.
+  GeneralizedRelation comp = OrDie(UnaryToRelation(Formula::Not(unary)));
+  std::cout << "Complement members in [0, 12]:";
+  for (const ConcreteRow& row : comp.Enumerate(0, 12)) {
+    std::cout << " " << row.temporal[0];
+  }
+  std::cout << "\n";
+  return 0;
+}

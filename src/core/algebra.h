@@ -1,0 +1,183 @@
+// Relational algebra on generalized relations (Section 3 of the paper).
+//
+// All operations are closed on generalized relations with restricted
+// constraints; the implementations follow the paper's constructions:
+//   * union:            tuple-set merge (3.1)
+//   * intersection:     pairwise lrp intersection + conjoined constraints (3.2)
+//   * subtraction:      t1 - t2 = (t1 - t2*) U (not(t2) ^ t1) (3.3, Fig. 1)
+//   * projection:       normalize, eliminate in n-space, rebuild (3.4)
+//   * selection:        constraint insertion (3.5)
+//   * cross product:    tuple concatenation (3.6)
+//   * join:             intersection on shared attributes (3.7)
+//   * complement:       residue-universe enumeration + incremental DNF of
+//                       negated constraints with reduction (A.6)
+//   * emptiness:        normal-form feasibility (Theorem 3.5).
+
+#ifndef ITDB_CORE_ALGEBRA_H_
+#define ITDB_CORE_ALGEBRA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/normalize.h"
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace itdb {
+
+/// Comparison operators for selection conditions.
+enum class CmpOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// A selection condition on temporal attributes:
+///   X(lhs) op X(rhs) + c        (rhs >= 0)
+///   X(lhs) op c                 (rhs == kZeroVar).
+/// kNe splits tuples in two (the paper's disjunction-splitting rule).
+struct TemporalCondition {
+  int lhs = 0;
+  int rhs = kZeroVar;
+  CmpOp op = CmpOp::kEq;
+  std::int64_t c = 0;
+};
+
+/// Budgets and switches for algebra operations.
+struct AlgebraOptions {
+  NormalizeOptions normalize;
+  /// Hard cap on the number of tuples any intermediate or final relation may
+  /// reach (subtraction chains and complements can explode; see Appendix A).
+  std::int64_t max_tuples = std::int64_t{1} << 22;
+  /// Cap on the k^m residue universe enumerated by Complement.
+  std::int64_t max_complement_universe = std::int64_t{1} << 20;
+  /// Run the redundancy-elimination pass (simplify.h) on results.  The paper
+  /// leaves redundancy elimination open (Section 3.1); this is our extension.
+  bool simplify = false;
+  /// Run residue coalescing (coalesce.h) on complement results, collapsing
+  /// the enumerated residue universe back into coarse lrps.
+  bool coalesce = false;
+  /// Intersection fast path exploiting Appendix A.3's observation that
+  /// only tuple pairs with equal free extensions intersect: when both
+  /// relations are normalized to one uniform period, hash-join on the
+  /// residue vectors instead of considering all N^2 pairs.  Off by default
+  /// so the Table 2 benchmarks measure the paper's algorithm.
+  bool use_intersection_index = false;
+  /// Partial normalization for projection (the optimization suggested at
+  /// the end of Section 3.4): only the columns constraint-connected to the
+  /// eliminated ones are normalized; unrelated columns pass through
+  /// untouched, avoiding their share of the k^m split.
+  bool partial_normalization = true;
+};
+
+/// r1 U r2.  Schemas must match.
+Result<GeneralizedRelation> Union(const GeneralizedRelation& a,
+                                  const GeneralizedRelation& b,
+                                  const AlgebraOptions& options = {});
+
+/// r1 ^ r2 (Section 3.2.2): pairwise tuple intersections.
+Result<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
+                                      const GeneralizedRelation& b,
+                                      const AlgebraOptions& options = {});
+
+/// r1 - r2 (Section 3.3).
+Result<GeneralizedRelation> Subtract(const GeneralizedRelation& a,
+                                     const GeneralizedRelation& b,
+                                     const AlgebraOptions& options = {});
+
+/// Complement of a purely temporal relation with respect to Z^m
+/// (Appendix A.6).  Fails with kInvalidArgument when r has data attributes
+/// (see ComplementWithDataDomains).
+Result<GeneralizedRelation> Complement(const GeneralizedRelation& r,
+                                       const AlgebraOptions& options = {});
+
+/// Complement of a relation with data attributes, relative to the universe
+/// Z^m x (domains[0] x ... x domains[l-1]).  `domains` supplies the finite
+/// active domain of every data column.
+Result<GeneralizedRelation> ComplementWithDataDomains(
+    const GeneralizedRelation& r, const std::vector<std::vector<Value>>& domains,
+    const AlgebraOptions& options = {});
+
+/// Projection onto the named attributes, in the given order (temporal
+/// attributes first in the output schema, per convention).  Dropped temporal
+/// columns are eliminated exactly via normalization (Section 3.4).
+Result<GeneralizedRelation> Project(const GeneralizedRelation& r,
+                                    const std::vector<std::string>& attrs,
+                                    const AlgebraOptions& options = {});
+
+/// Selection on temporal attributes (Section 3.5): adds the constraint to
+/// every tuple, splitting on kNe; prunes (real-relaxation) infeasible tuples.
+Result<GeneralizedRelation> SelectTemporal(const GeneralizedRelation& r,
+                                           const TemporalCondition& cond,
+                                           const AlgebraOptions& options = {});
+
+/// Selection on a data attribute compared with a constant.
+Result<GeneralizedRelation> SelectData(const GeneralizedRelation& r,
+                                       int data_col, CmpOp op,
+                                       const Value& value);
+
+/// Selection on equality of two data attributes.
+Result<GeneralizedRelation> SelectDataEqColumns(const GeneralizedRelation& r,
+                                                int left_col, int right_col);
+
+/// r1 x r2 (Section 3.6).  Attribute names must be disjoint.
+Result<GeneralizedRelation> CrossProduct(const GeneralizedRelation& a,
+                                         const GeneralizedRelation& b,
+                                         const AlgebraOptions& options = {});
+
+/// Natural join (Section 3.7): matches temporal attributes by name
+/// (lrp intersection + merged constraints) and data attributes by name
+/// (value equality).
+Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
+                                 const GeneralizedRelation& b,
+                                 const AlgebraOptions& options = {});
+
+/// Replaces temporal column `col` by its image under x -> x + delta (the
+/// iterated successor function of the query language, Section 4).  Lrps
+/// shift their offsets and constraints shift their bounds accordingly.
+Result<GeneralizedRelation> ShiftTemporalColumn(const GeneralizedRelation& r,
+                                                int col, std::int64_t delta);
+
+/// Renames attributes.  `renames` maps old attribute names (temporal or
+/// data) to new ones; resulting names must stay unique per kind.
+Result<GeneralizedRelation> Rename(
+    const GeneralizedRelation& r,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// Whether the tuple's extension is empty.  Exact over the lattice
+/// (normalizes and checks n-space feasibility).
+Result<bool> TupleIsEmpty(const GeneralizedTuple& t,
+                          const AlgebraOptions& options = {});
+
+/// Theorem 3.5: whether the relation represents no concrete row at all.
+Result<bool> IsEmpty(const GeneralizedRelation& r,
+                     const AlgebraOptions& options = {});
+
+/// A concrete temporal point of the tuple's extension, if any.  Computed by
+/// normalizing and then fixing the n-space variables one at a time inside
+/// their (closed) DBM bounds -- the constructive content of Theorem 3.5.
+Result<std::optional<std::vector<std::int64_t>>> FindTemporalWitness(
+    const GeneralizedTuple& t, const AlgebraOptions& options = {});
+
+/// A concrete row of the relation, if any.
+Result<std::optional<ConcreteRow>> FindWitness(
+    const GeneralizedRelation& r, const AlgebraOptions& options = {});
+
+/// Whether every concrete row of `a` is a row of `b` (decided symbolically:
+/// a - b empty, Theorem 3.5 on the Section 3.3 difference).
+Result<bool> Subset(const GeneralizedRelation& a, const GeneralizedRelation& b,
+                    const AlgebraOptions& options = {});
+
+/// Whether `a` and `b` represent exactly the same set of concrete rows.
+/// Different generalized representations of one set compare equal.
+Result<bool> Equivalent(const GeneralizedRelation& a,
+                        const GeneralizedRelation& b,
+                        const AlgebraOptions& options = {});
+
+}  // namespace itdb
+
+#endif  // ITDB_CORE_ALGEBRA_H_

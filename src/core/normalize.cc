@@ -1,0 +1,270 @@
+#include "core/normalize.h"
+
+#include <string>
+#include <utility>
+
+#include "util/numeric.h"
+
+namespace itdb {
+
+bool IsNormalForm(const GeneralizedTuple& t, std::int64_t* period) {
+  std::int64_t k = 0;
+  for (const Lrp& l : t.temporal()) {
+    if (l.period() == 0) continue;
+    if (k == 0) {
+      k = l.period();
+    } else if (k != l.period()) {
+      return false;
+    }
+  }
+  if (period != nullptr) *period = k == 0 ? 1 : k;
+  return true;
+}
+
+Result<std::int64_t> CommonPeriod(const GeneralizedTuple& t) {
+  std::int64_t k = 1;
+  for (const Lrp& l : t.temporal()) {
+    if (l.period() == 0) continue;
+    ITDB_ASSIGN_OR_RETURN(k, Lcm(k, l.period()));
+  }
+  return k;
+}
+
+Result<std::int64_t> CommonPeriod(const GeneralizedRelation& r) {
+  std::int64_t k = 1;
+  for (const GeneralizedTuple& t : r.tuples()) {
+    ITDB_ASSIGN_OR_RETURN(std::int64_t kt, CommonPeriod(t));
+    ITDB_ASSIGN_OR_RETURN(k, Lcm(k, kt));
+  }
+  return k;
+}
+
+Result<std::vector<GeneralizedTuple>> NormalizeTuple(
+    const GeneralizedTuple& t, const NormalizeOptions& options) {
+  ITDB_ASSIGN_OR_RETURN(std::int64_t k, CommonPeriod(t));
+  return NormalizeTupleToPeriod(t, k, options);
+}
+
+Result<std::vector<GeneralizedTuple>> NormalizeTupleToPeriod(
+    const GeneralizedTuple& t, std::int64_t period,
+    const NormalizeOptions& options) {
+  if (period <= 0) {
+    return Status::InvalidArgument("normalization period must be positive");
+  }
+  int m = t.temporal_arity();
+  // Split every infinite column to the target period (Lemma 3.1); constant
+  // columns contribute the single choice {c}.
+  std::vector<std::vector<Lrp>> choices;
+  choices.reserve(static_cast<std::size_t>(m));
+  __int128 product = 1;
+  for (int i = 0; i < m; ++i) {
+    const Lrp& l = t.lrp(i);
+    if (l.period() == 0) {
+      choices.push_back({l});
+    } else {
+      ITDB_ASSIGN_OR_RETURN(std::vector<Lrp> split, l.SplitToPeriod(period));
+      product *= static_cast<__int128>(split.size());
+      choices.push_back(std::move(split));
+    }
+    if (product > static_cast<__int128>(options.max_split_product)) {
+      return Status::ResourceExhausted(
+          "normalization to period " + std::to_string(period) +
+          " would produce more than " +
+          std::to_string(options.max_split_product) + " tuples");
+    }
+  }
+  // Cross product of the splits (step 2 of Theorem 3.2); constraints are
+  // carried over unchanged in X-space -- the floor-alignment of steps 3..5
+  // happens in NSpaceTuple::Build, which we also use to prune infeasible
+  // combinations (step 4).
+  std::vector<GeneralizedTuple> out;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(m), 0);
+  while (true) {
+    std::vector<Lrp> lrps;
+    lrps.reserve(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      lrps.push_back(choices[static_cast<std::size_t>(i)]
+                            [idx[static_cast<std::size_t>(i)]]);
+    }
+    GeneralizedTuple candidate(std::move(lrps), t.data());
+    candidate.set_constraints(t.constraints());
+    ITDB_ASSIGN_OR_RETURN(NSpaceTuple ns, NSpaceTuple::Build(candidate));
+    if (ns.feasible()) out.push_back(std::move(candidate));
+    int d = m - 1;
+    while (d >= 0) {
+      std::size_t ud = static_cast<std::size_t>(d);
+      if (++idx[ud] < choices[ud].size()) break;
+      idx[ud] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return out;
+}
+
+Result<NSpaceTuple> NSpaceTuple::Build(const GeneralizedTuple& t) {
+  std::int64_t period = 1;
+  if (!IsNormalForm(t, &period)) {
+    return Status::InvalidArgument(
+        "NSpaceTuple requires a normal-form tuple; got " + t.ToString());
+  }
+  NSpaceTuple out;
+  out.period_ = period;
+  int m = t.temporal_arity();
+  out.offsets_.resize(static_cast<std::size_t>(m));
+  out.var_of_column_.assign(static_cast<std::size_t>(m), -1);
+  out.dropped_.assign(static_cast<std::size_t>(m), false);
+  int num_vars = 0;
+  for (int i = 0; i < m; ++i) {
+    const Lrp& l = t.lrp(i);
+    out.offsets_[static_cast<std::size_t>(i)] = l.offset();
+    if (l.period() != 0) out.var_of_column_[static_cast<std::size_t>(i)] = num_vars++;
+  }
+  Dbm dbm(num_vars);
+  const std::int64_t k = period;
+  // Close the X-space system first: a contradiction over the reals (or the
+  // degenerate zero-variable contradiction flag) already proves emptiness.
+  Dbm x_closed = t.constraints();
+  ITDB_RETURN_IF_ERROR(x_closed.Close());
+  if (!x_closed.feasible()) {
+    out.feasible_ = false;
+    out.dbm_ = std::move(dbm);
+    return out;
+  }
+  // Translate every atomic X-space constraint.  Writing X_i = c_i + k*n_i
+  // (or the constant c_i), the atomic  X_p - X_q <= a  becomes a difference/
+  // unary/ground constraint on the n's with bound floor((a - c_p + c_q)/k):
+  // exact over the integers because n_p, n_q are integers.
+  for (const AtomicConstraint& c : x_closed.ToAtomics()) {
+    std::int64_t rhs = c.bound;
+    int vp = -1;
+    int vq = -1;
+    if (c.lhs != kZeroVar) {
+      ITDB_ASSIGN_OR_RETURN(
+          rhs, CheckedSub(rhs, out.offsets_[static_cast<std::size_t>(c.lhs)]));
+      vp = out.var_of_column_[static_cast<std::size_t>(c.lhs)];
+    }
+    if (c.rhs != kZeroVar) {
+      ITDB_ASSIGN_OR_RETURN(
+          rhs, CheckedAdd(rhs, out.offsets_[static_cast<std::size_t>(c.rhs)]));
+      vq = out.var_of_column_[static_cast<std::size_t>(c.rhs)];
+    }
+    if (vp >= 0 && vq >= 0) {
+      if (vp == vq) {
+        // Same lrp variable on both sides: k*n - k*n <= rhs.
+        if (rhs < 0) out.feasible_ = false;
+        continue;
+      }
+      dbm.AddDifferenceUpperBound(vp, vq, FloorDiv(rhs, k));
+    } else if (vp >= 0) {
+      dbm.AddUpperBound(vp, FloorDiv(rhs, k));
+    } else if (vq >= 0) {
+      // -k * n_q <= rhs.
+      dbm.AddAtomic(AtomicConstraint{kZeroVar, vq, FloorDiv(rhs, k)});
+    } else {
+      // Ground: 0 <= rhs.
+      if (rhs < 0) out.feasible_ = false;
+    }
+  }
+  ITDB_RETURN_IF_ERROR(dbm.Close());
+  if (!dbm.feasible()) out.feasible_ = false;
+  out.dbm_ = std::move(dbm);
+  return out;
+}
+
+Status NSpaceTuple::EliminateColumn(int col) {
+  if (col < 0 || col >= num_columns() ||
+      dropped_[static_cast<std::size_t>(col)]) {
+    return Status::InvalidArgument("EliminateColumn: bad column " +
+                                   std::to_string(col));
+  }
+  if (!feasible_) {
+    return Status::InvalidArgument(
+        "EliminateColumn on an infeasible tuple");
+  }
+  int var = var_of_column_[static_cast<std::size_t>(col)];
+  dropped_[static_cast<std::size_t>(col)] = true;
+  if (var < 0) return Status::Ok();  // Constant column: nothing to project.
+  dbm_ = dbm_.EliminateVariable(var);
+  var_of_column_[static_cast<std::size_t>(col)] = -1;
+  for (int& v : var_of_column_) {
+    if (v > var) --v;
+  }
+  return Status::Ok();
+}
+
+Result<GeneralizedTuple> NSpaceTuple::Rebuild(const std::vector<int>& columns,
+                                              std::vector<Value> data) const {
+  if (!feasible_) {
+    return Status::InvalidArgument("Rebuild on an infeasible tuple");
+  }
+  const std::int64_t k = period_;
+  std::vector<Lrp> lrps;
+  lrps.reserve(columns.size());
+  // new_var_pos[v]: position in `columns` of the column owning n-var v.
+  std::vector<int> column_of_var(static_cast<std::size_t>(dbm_.num_vars()), -1);
+  for (std::size_t pos = 0; pos < columns.size(); ++pos) {
+    int col = columns[pos];
+    if (col < 0 || col >= num_columns() ||
+        dropped_[static_cast<std::size_t>(col)]) {
+      return Status::InvalidArgument("Rebuild: bad or dropped column " +
+                                     std::to_string(col));
+    }
+    std::int64_t c = offsets_[static_cast<std::size_t>(col)];
+    int var = var_of_column_[static_cast<std::size_t>(col)];
+    if (var < 0) {
+      lrps.push_back(Lrp::Singleton(c));
+    } else {
+      lrps.push_back(Lrp::Make(c, k));
+      column_of_var[static_cast<std::size_t>(var)] = static_cast<int>(pos);
+    }
+  }
+  GeneralizedTuple out(std::move(lrps), std::move(data));
+  // Translate the (minimal) n-space constraints back to X-space:
+  //   n_p - n_q <= b   ->   X_p - X_q <= k*b + c_p - c_q
+  //   n_p <= b         ->   X_p <= k*b + c_p
+  //   -n_q <= b        ->   X_q >= c_q - k*b.
+  Dbm x_constraints(static_cast<int>(columns.size()));
+  for (const AtomicConstraint& a : dbm_.MinimalAtomics()) {
+    // Skip constraints mentioning n-vars whose column is not kept: callers
+    // must have eliminated those columns first.
+    int pos_l = a.lhs == kZeroVar
+                    ? kZeroVar
+                    : column_of_var[static_cast<std::size_t>(a.lhs)];
+    int pos_r = a.rhs == kZeroVar
+                    ? kZeroVar
+                    : column_of_var[static_cast<std::size_t>(a.rhs)];
+    if ((a.lhs != kZeroVar && pos_l < 0) || (a.rhs != kZeroVar && pos_r < 0)) {
+      return Status::InvalidArgument(
+          "Rebuild: constraints mention a column not in the keep list; "
+          "eliminate it first");
+    }
+    ITDB_ASSIGN_OR_RETURN(std::int64_t bound, CheckedMul(k, a.bound));
+    if (pos_l != kZeroVar) {
+      ITDB_ASSIGN_OR_RETURN(
+          bound,
+          CheckedAdd(bound, offsets_[static_cast<std::size_t>(
+                                columns[static_cast<std::size_t>(pos_l)])]));
+    }
+    if (pos_r != kZeroVar) {
+      ITDB_ASSIGN_OR_RETURN(
+          bound,
+          CheckedSub(bound, offsets_[static_cast<std::size_t>(
+                                columns[static_cast<std::size_t>(pos_r)])]));
+    }
+    x_constraints.AddAtomic(AtomicConstraint{pos_l, pos_r, bound});
+  }
+  out.set_constraints(std::move(x_constraints));
+  return out;
+}
+
+Result<GeneralizedTuple> NSpaceTuple::RebuildAll(
+    std::vector<Value> data) const {
+  std::vector<int> columns;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (!dropped_[static_cast<std::size_t>(i)]) columns.push_back(i);
+  }
+  return Rebuild(columns, std::move(data));
+}
+
+}  // namespace itdb

@@ -1,0 +1,64 @@
+#include "core/relation.h"
+
+#include <algorithm>
+
+namespace itdb {
+
+std::string ConcreteRow::ToString() const {
+  std::string out = "(";
+  bool first = true;
+  for (std::int64_t t : temporal) {
+    if (!first) out += ", ";
+    out += std::to_string(t);
+    first = false;
+  }
+  for (const Value& v : data) {
+    if (!first) out += ", ";
+    out += v.ToString();
+    first = false;
+  }
+  out += ")";
+  return out;
+}
+
+Status GeneralizedRelation::AddTuple(GeneralizedTuple t) {
+  if (t.temporal_arity() != schema_.temporal_arity() ||
+      t.data_arity() != schema_.data_arity()) {
+    return Status::InvalidArgument(
+        "tuple arity (" + std::to_string(t.temporal_arity()) + " temporal, " +
+        std::to_string(t.data_arity()) + " data) does not match schema " +
+        schema_.ToString());
+  }
+  tuples_.push_back(std::move(t));
+  return Status::Ok();
+}
+
+bool GeneralizedRelation::Contains(const ConcreteRow& row) const {
+  for (const GeneralizedTuple& t : tuples_) {
+    if (t.data() == row.data && t.ContainsTemporal(row.temporal)) return true;
+  }
+  return false;
+}
+
+std::vector<ConcreteRow> GeneralizedRelation::Enumerate(std::int64_t lo,
+                                                        std::int64_t hi) const {
+  std::vector<ConcreteRow> out;
+  for (const GeneralizedTuple& t : tuples_) {
+    for (std::vector<std::int64_t>& point : t.EnumerateTemporal(lo, hi)) {
+      out.push_back(ConcreteRow{std::move(point), t.data()});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string GeneralizedRelation::ToString() const {
+  std::string out = schema_.ToString() + "\n";
+  for (const GeneralizedTuple& t : tuples_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace itdb

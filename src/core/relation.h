@@ -1,0 +1,63 @@
+// Generalized relations (Definition 2.3): finite sets of generalized tuples
+// sharing one schema.
+
+#ifndef ITDB_CORE_RELATION_H_
+#define ITDB_CORE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "util/status.h"
+
+namespace itdb {
+
+/// A concrete (fully instantiated) row: one integer per temporal attribute
+/// and one value per data attribute.  Used by the ground-truth enumeration
+/// APIs and by the finite baseline.
+struct ConcreteRow {
+  std::vector<std::int64_t> temporal;
+  std::vector<Value> data;
+
+  friend bool operator==(const ConcreteRow& a, const ConcreteRow& b) = default;
+  friend auto operator<=>(const ConcreteRow& a,
+                          const ConcreteRow& b) = default;
+
+  std::string ToString() const;
+};
+
+/// A generalized relation: a schema plus a finite set of generalized tuples.
+/// The represented (possibly infinite) set of concrete rows is the union of
+/// the tuples' extensions.
+class GeneralizedRelation {
+ public:
+  GeneralizedRelation() = default;
+  explicit GeneralizedRelation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<GeneralizedTuple>& tuples() const { return tuples_; }
+  int size() const { return static_cast<int>(tuples_.size()); }
+
+  /// Appends a tuple; fails when its arities do not match the schema.
+  Status AddTuple(GeneralizedTuple t);
+
+  /// Concrete membership test (exact; no normalization needed).
+  bool Contains(const ConcreteRow& row) const;
+
+  /// All concrete rows whose temporal coordinates lie in [lo, hi], sorted
+  /// and deduplicated.  Ground truth for property tests.
+  std::vector<ConcreteRow> Enumerate(std::int64_t lo, std::int64_t hi) const;
+
+  /// One tuple per line, in the paper's table notation.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<GeneralizedTuple> tuples_;
+};
+
+}  // namespace itdb
+
+#endif  // ITDB_CORE_RELATION_H_

@@ -1,0 +1,46 @@
+#include "core/schema.h"
+
+namespace itdb {
+
+Schema Schema::Temporal(int temporal_arity) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(temporal_arity));
+  for (int i = 1; i <= temporal_arity; ++i) {
+    names.push_back("T" + std::to_string(i));
+  }
+  return Schema(std::move(names), {}, {});
+}
+
+std::optional<int> Schema::FindTemporal(const std::string& name) const {
+  for (std::size_t i = 0; i < temporal_names_.size(); ++i) {
+    if (temporal_names_[i] == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<int> Schema::FindData(const std::string& name) const {
+  for (std::size_t i = 0; i < data_names_.size(); ++i) {
+    if (data_names_[i] == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  bool first = true;
+  for (const std::string& n : temporal_names_) {
+    if (!first) out += ", ";
+    out += n + ": time";
+    first = false;
+  }
+  for (std::size_t i = 0; i < data_names_.size(); ++i) {
+    if (!first) out += ", ";
+    out += data_names_[i];
+    out += data_types_[i] == DataType::kInt ? ": int" : ": string";
+    first = false;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace itdb

@@ -1,0 +1,70 @@
+// Relation schemas: named temporal and data attributes.
+//
+// A generalized relation of temporal arity k and data arity l (Definition
+// 2.2/2.3) has k temporal attributes -- integer-valued, possibly with
+// infinite extensions -- and l data attributes holding concrete values.
+
+#ifndef ITDB_CORE_SCHEMA_H_
+#define ITDB_CORE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace itdb {
+
+/// Type of a data attribute.
+enum class DataType {
+  kInt,
+  kString,
+};
+
+/// Schema of a generalized relation.  Temporal attributes come first in all
+/// positional APIs, followed by data attributes.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Unnamed schema with `temporal_arity` temporal attributes named
+  /// "T1".."Tk" and no data attributes.
+  static Schema Temporal(int temporal_arity);
+
+  Schema(std::vector<std::string> temporal_names,
+         std::vector<std::string> data_names, std::vector<DataType> data_types)
+      : temporal_names_(std::move(temporal_names)),
+        data_names_(std::move(data_names)),
+        data_types_(std::move(data_types)) {}
+
+  int temporal_arity() const {
+    return static_cast<int>(temporal_names_.size());
+  }
+  int data_arity() const { return static_cast<int>(data_names_.size()); }
+
+  const std::vector<std::string>& temporal_names() const {
+    return temporal_names_;
+  }
+  const std::vector<std::string>& data_names() const { return data_names_; }
+  const std::vector<DataType>& data_types() const { return data_types_; }
+
+  const std::string& temporal_name(int i) const { return temporal_names_[i]; }
+  const std::string& data_name(int i) const { return data_names_[i]; }
+  DataType data_type(int i) const { return data_types_[i]; }
+
+  /// Index of the temporal attribute with this name, if any.
+  std::optional<int> FindTemporal(const std::string& name) const;
+  /// Index of the data attribute with this name, if any.
+  std::optional<int> FindData(const std::string& name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> temporal_names_;
+  std::vector<std::string> data_names_;
+  std::vector<DataType> data_types_;
+};
+
+}  // namespace itdb
+
+#endif  // ITDB_CORE_SCHEMA_H_

@@ -1,0 +1,37 @@
+// Redundancy elimination for generalized relations.
+//
+// The paper notes (Section 3.1) that "in practice, one would also attempt to
+// eliminate the redundancies that might appear between the tuples of the
+// merged relation.  We do not consider this problem."  This module is that
+// missing pass: it drops tuples with empty extensions and tuples subsumed by
+// other tuples.  It is exercised by the ablation benchmark
+// bench/bench_ablation_simplify.
+
+#ifndef ITDB_CORE_SIMPLIFY_H_
+#define ITDB_CORE_SIMPLIFY_H_
+
+#include "core/normalize.h"
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace itdb {
+
+struct SimplifyOptions {
+  NormalizeOptions normalize;
+};
+
+/// Sufficient (sound, not complete) subsumption test: returns true only when
+/// every concrete row of `small` is provably a row of `big` -- data values
+/// equal, every lrp of `small` included in the corresponding lrp of `big`,
+/// and small's (closed) constraints implying big's.
+Result<bool> TupleSubsumes(const GeneralizedTuple& big,
+                           const GeneralizedTuple& small);
+
+/// Removes tuples whose extension is empty (exact, via normal form) and
+/// tuples subsumed by another remaining tuple.
+Result<GeneralizedRelation> Simplify(const GeneralizedRelation& r,
+                                     const SimplifyOptions& options = {});
+
+}  // namespace itdb
+
+#endif  // ITDB_CORE_SIMPLIFY_H_

@@ -1,0 +1,107 @@
+#include "core/tuple.h"
+
+#include <ostream>
+
+namespace itdb {
+
+bool GeneralizedTuple::ContainsTemporal(
+    const std::vector<std::int64_t>& x) const {
+  if (static_cast<int>(x.size()) != temporal_arity()) return false;
+  for (int i = 0; i < temporal_arity(); ++i) {
+    if (!temporal_[static_cast<std::size_t>(i)].Contains(
+            x[static_cast<std::size_t>(i)])) {
+      return false;
+    }
+  }
+  return constraints_.IsSatisfiedBy(x);
+}
+
+std::vector<std::vector<std::int64_t>> GeneralizedTuple::EnumerateTemporal(
+    std::int64_t lo, std::int64_t hi) const {
+  std::vector<std::vector<std::int64_t>> out;
+  int m = temporal_arity();
+  if (m == 0) {
+    // A zero-arity tuple denotes the empty point () unless its constraints
+    // are contradictory.
+    if (constraints_.IsSatisfiedBy({})) out.push_back({});
+    return out;
+  }
+  std::vector<std::vector<std::int64_t>> columns;
+  columns.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    columns.push_back(
+        temporal_[static_cast<std::size_t>(i)].ElementsInRange(lo, hi));
+    if (columns.back().empty()) return out;
+  }
+  std::vector<std::int64_t> point(static_cast<std::size_t>(m));
+  std::vector<std::size_t> idx(static_cast<std::size_t>(m), 0);
+  while (true) {
+    for (int i = 0; i < m; ++i) {
+      point[static_cast<std::size_t>(i)] =
+          columns[static_cast<std::size_t>(i)][idx[static_cast<std::size_t>(i)]];
+    }
+    if (constraints_.IsSatisfiedBy(point)) out.push_back(point);
+    // Advance the mixed-radix counter.
+    int d = m - 1;
+    while (d >= 0) {
+      std::size_t ud = static_cast<std::size_t>(d);
+      if (++idx[ud] < columns[ud].size()) break;
+      idx[ud] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return out;
+}
+
+Result<std::optional<GeneralizedTuple>> GeneralizedTuple::Intersect(
+    const GeneralizedTuple& a, const GeneralizedTuple& b) {
+  using MaybeTuple = std::optional<GeneralizedTuple>;
+  if (a.temporal_arity() != b.temporal_arity() ||
+      a.data_arity() != b.data_arity()) {
+    return Status::InvalidArgument(
+        "tuple intersection requires identical arities");
+  }
+  if (a.data_ != b.data_) return MaybeTuple(std::nullopt);
+  std::vector<Lrp> lrps;
+  lrps.reserve(a.temporal_.size());
+  for (int i = 0; i < a.temporal_arity(); ++i) {
+    ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> inter,
+                          Lrp::Intersect(a.lrp(i), b.lrp(i)));
+    if (!inter.has_value()) return MaybeTuple(std::nullopt);
+    lrps.push_back(*inter);
+  }
+  GeneralizedTuple out(std::move(lrps), a.data_);
+  Dbm merged = Dbm::Conjoin(a.constraints_, b.constraints_);
+  ITDB_RETURN_IF_ERROR(merged.Close());
+  if (!merged.feasible()) return MaybeTuple(std::nullopt);
+  out.set_constraints(std::move(merged));
+  return MaybeTuple(std::move(out));
+}
+
+std::string GeneralizedTuple::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < temporal_arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += temporal_[static_cast<std::size_t>(i)].ToString();
+  }
+  out += "]";
+  Dbm closed = constraints_;
+  if (closed.Close().ok() && closed.feasible()) {
+    std::string c = closed.ToString();
+    if (c != "true") out += " " + c;
+  } else {
+    out += " false";
+  }
+  for (int i = 0; i < data_arity(); ++i) {
+    out += i == 0 ? " ; " : ", ";
+    out += data_[static_cast<std::size_t>(i)].ToString();
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const GeneralizedTuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace itdb

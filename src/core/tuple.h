@@ -1,0 +1,91 @@
+// Generalized tuples (Definition 2.2).
+//
+// A generalized tuple of temporal arity k and data arity l assigns an lrp to
+// each of the k temporal attributes and a concrete value to each of the l
+// data attributes, together with a conjunction of restricted constraints on
+// the temporal attributes.  It finitely represents the (potentially
+// infinite) set of ordinary tuples obtained by picking one point from each
+// lrp subject to the constraints.
+
+#ifndef ITDB_CORE_TUPLE_H_
+#define ITDB_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dbm.h"
+#include "core/lrp.h"
+#include "core/value.h"
+#include "util/status.h"
+
+namespace itdb {
+
+/// One generalized tuple: lrps + data values + restricted constraints.
+class GeneralizedTuple {
+ public:
+  /// A tuple with the given lrps and data values and no constraints.
+  GeneralizedTuple(std::vector<Lrp> temporal, std::vector<Value> data)
+      : temporal_(std::move(temporal)),
+        data_(std::move(data)),
+        constraints_(static_cast<int>(temporal_.size())) {}
+
+  /// Purely temporal tuple.
+  explicit GeneralizedTuple(std::vector<Lrp> temporal)
+      : GeneralizedTuple(std::move(temporal), {}) {}
+
+  int temporal_arity() const { return static_cast<int>(temporal_.size()); }
+  int data_arity() const { return static_cast<int>(data_.size()); }
+
+  const std::vector<Lrp>& temporal() const { return temporal_; }
+  const Lrp& lrp(int i) const { return temporal_[static_cast<std::size_t>(i)]; }
+  const std::vector<Value>& data() const { return data_; }
+  const Value& value(int i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  const Dbm& constraints() const { return constraints_; }
+  Dbm& mutable_constraints() { return constraints_; }
+  void set_constraints(Dbm dbm) { constraints_ = std::move(dbm); }
+
+  /// The free extension t* (Definition 3.1): this tuple with its constraints
+  /// dropped.
+  GeneralizedTuple FreeExtension() const {
+    return GeneralizedTuple(temporal_, data_);
+  }
+
+  /// True when the concrete temporal point x (size = temporal arity) lies on
+  /// every lrp and satisfies every constraint.  Exact -- no normalization
+  /// needed for membership of a concrete point.
+  bool ContainsTemporal(const std::vector<std::int64_t>& x) const;
+
+  /// Enumerates all concrete temporal points of this tuple whose coordinates
+  /// all lie in [lo, hi].  Ground-truth semantics for tests; exponential in
+  /// the arity, intended for small windows.
+  std::vector<std::vector<std::int64_t>> EnumerateTemporal(
+      std::int64_t lo, std::int64_t hi) const;
+
+  /// Tuple intersection (Section 3.2.2): componentwise lrp intersection plus
+  /// the union of both constraint sets.  Empty (nullopt) when any lrp pair is
+  /// disjoint, when the data values differ, or when the combined constraints
+  /// are infeasible over the lattice-free relaxation.  (Lattice-aware
+  /// emptiness is the job of IsEmpty in algebra.h.)
+  static Result<std::optional<GeneralizedTuple>> Intersect(
+      const GeneralizedTuple& a, const GeneralizedTuple& b);
+
+  /// "[l1, ..., lk] C1 && C2 ; d1, d2" in the paper's table notation.
+  std::string ToString() const;
+
+  friend bool operator==(const GeneralizedTuple& a,
+                         const GeneralizedTuple& b) = default;
+
+ private:
+  std::vector<Lrp> temporal_;
+  std::vector<Value> data_;
+  Dbm constraints_;
+};
+
+std::ostream& operator<<(std::ostream& os, const GeneralizedTuple& t);
+
+}  // namespace itdb
+
+#endif  // ITDB_CORE_TUPLE_H_

@@ -1,0 +1,45 @@
+// Nontemporal data values (the set D of Definition 2.2).
+//
+// Generalized tuples assign *concrete* values to data attributes (only the
+// temporal attributes are symbolic), so a simple variant suffices.
+
+#ifndef ITDB_CORE_VALUE_H_
+#define ITDB_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace itdb {
+
+/// A concrete nontemporal value: integer or string.
+class Value {
+ public:
+  Value() : rep_(std::int64_t{0}) {}
+  explicit Value(std::int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  bool IsInt() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool IsString() const { return std::holds_alternative<std::string>(rep_); }
+
+  /// Pre: IsInt().
+  std::int64_t AsInt() const { return std::get<std::int64_t>(rep_); }
+  /// Pre: IsString().
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  std::string ToString() const {
+    if (IsInt()) return std::to_string(AsInt());
+    return "\"" + AsString() + "\"";
+  }
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+  friend auto operator<=>(const Value& a, const Value& b) = default;
+
+ private:
+  std::variant<std::int64_t, std::string> rep_;
+};
+
+}  // namespace itdb
+
+#endif  // ITDB_CORE_VALUE_H_

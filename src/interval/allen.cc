@@ -1,0 +1,228 @@
+#include "interval/allen.h"
+
+#include <string>
+#include <utility>
+
+namespace itdb {
+
+std::string_view AllenRelationName(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kAfter:
+      return "after";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+    case AllenRelation::kEquals:
+      return "equals";
+  }
+  return "?";
+}
+
+AllenRelation AllenInverse(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kDuring:
+      return AllenRelation::kContains;
+    case AllenRelation::kContains:
+      return AllenRelation::kDuring;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+  }
+  return rel;
+}
+
+bool AllenHolds(AllenRelation rel, std::int64_t s1, std::int64_t e1,
+                std::int64_t s2, std::int64_t e2) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return e1 < s2;
+    case AllenRelation::kAfter:
+      return e2 < s1;
+    case AllenRelation::kMeets:
+      return e1 == s2;
+    case AllenRelation::kMetBy:
+      return e2 == s1;
+    case AllenRelation::kOverlaps:
+      return s1 < s2 && s2 < e1 && e1 < e2;
+    case AllenRelation::kOverlappedBy:
+      return s2 < s1 && s1 < e2 && e2 < e1;
+    case AllenRelation::kStarts:
+      return s1 == s2 && e1 < e2;
+    case AllenRelation::kStartedBy:
+      return s1 == s2 && e2 < e1;
+    case AllenRelation::kDuring:
+      return s2 < s1 && e1 < e2;
+    case AllenRelation::kContains:
+      return s1 < s2 && e2 < e1;
+    case AllenRelation::kFinishes:
+      return e1 == e2 && s2 < s1;
+    case AllenRelation::kFinishedBy:
+      return e1 == e2 && s1 < s2;
+    case AllenRelation::kEquals:
+      return s1 == s2 && e1 == e2;
+  }
+  return false;
+}
+
+std::vector<TemporalCondition> AllenConditions(AllenRelation rel, int s1,
+                                               int e1, int s2, int e2) {
+  auto lt = [](int a, int b) {
+    return TemporalCondition{a, b, CmpOp::kLt, 0};
+  };
+  auto eq = [](int a, int b) {
+    return TemporalCondition{a, b, CmpOp::kEq, 0};
+  };
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return {lt(e1, s2)};
+    case AllenRelation::kAfter:
+      return {lt(e2, s1)};
+    case AllenRelation::kMeets:
+      return {eq(e1, s2)};
+    case AllenRelation::kMetBy:
+      return {eq(e2, s1)};
+    case AllenRelation::kOverlaps:
+      return {lt(s1, s2), lt(s2, e1), lt(e1, e2)};
+    case AllenRelation::kOverlappedBy:
+      return {lt(s2, s1), lt(s1, e2), lt(e2, e1)};
+    case AllenRelation::kStarts:
+      return {eq(s1, s2), lt(e1, e2)};
+    case AllenRelation::kStartedBy:
+      return {eq(s1, s2), lt(e2, e1)};
+    case AllenRelation::kDuring:
+      return {lt(s2, s1), lt(e1, e2)};
+    case AllenRelation::kContains:
+      return {lt(s1, s2), lt(e2, e1)};
+    case AllenRelation::kFinishes:
+      return {eq(e1, e2), lt(s2, s1)};
+    case AllenRelation::kFinishedBy:
+      return {eq(e1, e2), lt(s1, s2)};
+    case AllenRelation::kEquals:
+      return {eq(s1, s2), eq(e1, e2)};
+  }
+  return {};
+}
+
+Result<GeneralizedRelation> RestrictToStrictIntervals(
+    const GeneralizedRelation& r, int start_col, int end_col,
+    const AlgebraOptions& options) {
+  return SelectTemporal(r, TemporalCondition{start_col, end_col, CmpOp::kLt, 0},
+                        options);
+}
+
+Result<std::vector<AllenRelation>> AllenCompose(
+    AllenRelation r1, AllenRelation r2, const AlgebraOptions& options) {
+  // Universe of interval triples (s1,e1,s2,e2,s3,e3), strict intervals.
+  GeneralizedRelation triples(
+      Schema({"S1", "E1", "S2", "E2", "S3", "E3"}, {}, {}));
+  ITDB_RETURN_IF_ERROR(triples.AddTuple(GeneralizedTuple(
+      std::vector<Lrp>(6, Lrp::Make(0, 1)))));
+  for (int i = 0; i < 3; ++i) {
+    ITDB_ASSIGN_OR_RETURN(
+        triples,
+        SelectTemporal(triples,
+                       TemporalCondition{2 * i, 2 * i + 1, CmpOp::kLt, 0},
+                       options));
+  }
+  for (const TemporalCondition& cond : AllenConditions(r1, 0, 1, 2, 3)) {
+    ITDB_ASSIGN_OR_RETURN(triples, SelectTemporal(triples, cond, options));
+  }
+  for (const TemporalCondition& cond : AllenConditions(r2, 2, 3, 4, 5)) {
+    ITDB_ASSIGN_OR_RETURN(triples, SelectTemporal(triples, cond, options));
+  }
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation pairs,
+                        Project(triples, {"S1", "E1", "S3", "E3"}, options));
+  std::vector<AllenRelation> out;
+  for (AllenRelation candidate : kAllAllenRelations) {
+    GeneralizedRelation restricted = pairs;
+    for (const TemporalCondition& cond :
+         AllenConditions(candidate, 0, 1, 2, 3)) {
+      ITDB_ASSIGN_OR_RETURN(restricted,
+                            SelectTemporal(restricted, cond, options));
+    }
+    ITDB_ASSIGN_OR_RETURN(bool empty, IsEmpty(restricted, options));
+    if (!empty) out.push_back(candidate);
+  }
+  return out;
+}
+
+Result<GeneralizedRelation> AllenJoin(const GeneralizedRelation& a,
+                                      const GeneralizedRelation& b,
+                                      AllenRelation rel,
+                                      const AlgebraOptions& options,
+                                      const std::string& b_suffix) {
+  if (a.schema().temporal_arity() < 2 || b.schema().temporal_arity() < 2) {
+    return Status::InvalidArgument(
+        "AllenJoin: both relations need temporal arity >= 2 (interval "
+        "endpoints)");
+  }
+  // Rename b's attributes that collide with a's.
+  std::vector<std::pair<std::string, std::string>> renames;
+  for (const std::string& n : b.schema().temporal_names()) {
+    if (a.schema().FindTemporal(n).has_value()) {
+      renames.emplace_back(n, n + b_suffix);
+    }
+  }
+  for (const std::string& n : b.schema().data_names()) {
+    if (a.schema().FindData(n).has_value()) {
+      renames.emplace_back(n, n + b_suffix);
+    }
+  }
+  GeneralizedRelation b_renamed = b;
+  if (!renames.empty()) {
+    ITDB_ASSIGN_OR_RETURN(b_renamed, Rename(b, renames));
+  }
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation a_strict,
+                        RestrictToStrictIntervals(a, 0, 1, options));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation b_strict,
+                        RestrictToStrictIntervals(b_renamed, 0, 1, options));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation crossed,
+                        CrossProduct(a_strict, b_strict, options));
+  const int ma = a.schema().temporal_arity();
+  GeneralizedRelation out = std::move(crossed);
+  for (const TemporalCondition& cond :
+       AllenConditions(rel, /*s1=*/0, /*e1=*/1, /*s2=*/ma, /*e2=*/ma + 1)) {
+    ITDB_ASSIGN_OR_RETURN(out, SelectTemporal(out, cond, options));
+  }
+  return out;
+}
+
+}  // namespace itdb

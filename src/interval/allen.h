@@ -1,0 +1,98 @@
+// Allen's thirteen interval relations over generalized relations.
+//
+// The paper motivates interval-based temporal reasoning (Section 1, Example
+// 2.4, citing [All83]) and represents an interval as a pair of temporal
+// attributes.  Every Allen relation between two intervals (s1,e1), (s2,e2)
+// is a conjunction of restricted atomic constraints over the four
+// endpoints, so Allen reasoning composes directly with the Section 3
+// algebra: this module provides the constraint encodings, ground
+// evaluation, and an AllenJoin over generalized interval relations whose
+// result is again a generalized relation -- Allen reasoning over
+// *infinitely many* intervals in closed form.
+
+#ifndef ITDB_INTERVAL_ALLEN_H_
+#define ITDB_INTERVAL_ALLEN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/algebra.h"
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace itdb {
+
+/// Allen's interval relations, strict-interval (s < e) semantics.
+enum class AllenRelation {
+  kBefore,        // e1 <  s2
+  kAfter,         // e2 <  s1
+  kMeets,         // e1 == s2
+  kMetBy,         // e2 == s1
+  kOverlaps,      // s1 < s2 < e1 < e2
+  kOverlappedBy,  // s2 < s1 < e2 < e1
+  kStarts,        // s1 == s2, e1 < e2
+  kStartedBy,     // s1 == s2, e2 < e1
+  kDuring,        // s2 < s1, e1 < e2
+  kContains,      // s1 < s2, e2 < e1
+  kFinishes,      // e1 == e2, s2 < s1
+  kFinishedBy,    // e1 == e2, s1 < s2
+  kEquals,        // s1 == s2, e1 == e2
+};
+
+/// All thirteen relations, for sweeps.
+inline constexpr AllenRelation kAllAllenRelations[] = {
+    AllenRelation::kBefore,       AllenRelation::kAfter,
+    AllenRelation::kMeets,        AllenRelation::kMetBy,
+    AllenRelation::kOverlaps,     AllenRelation::kOverlappedBy,
+    AllenRelation::kStarts,       AllenRelation::kStartedBy,
+    AllenRelation::kDuring,       AllenRelation::kContains,
+    AllenRelation::kFinishes,     AllenRelation::kFinishedBy,
+    AllenRelation::kEquals,
+};
+
+/// "before", "met-by", ... (stable names).
+std::string_view AllenRelationName(AllenRelation rel);
+
+/// The converse relation: r(a, b) holds iff Inverse(r)(b, a) holds.
+AllenRelation AllenInverse(AllenRelation rel);
+
+/// Ground truth on concrete strict intervals (pre: s1 < e1, s2 < e2).
+bool AllenHolds(AllenRelation rel, std::int64_t s1, std::int64_t e1,
+                std::int64_t s2, std::int64_t e2);
+
+/// The relation as a conjunction of selection conditions over temporal
+/// columns s1/e1/s2/e2 (column indices into some schema).
+std::vector<TemporalCondition> AllenConditions(AllenRelation rel, int s1,
+                                               int e1, int s2, int e2);
+
+/// Restricts `r` to tuples-parts whose interval is strict: start < end on
+/// the given columns.
+Result<GeneralizedRelation> RestrictToStrictIntervals(
+    const GeneralizedRelation& r, int start_col, int end_col,
+    const AlgebraOptions& options = {});
+
+/// Computes the Allen composition table entry for (r1, r2) *symbolically*:
+/// the set of relations r such that there exist strict intervals a, b, c
+/// with a r1 b, b r2 c and a r c.  Derived from the algebra itself -- a
+/// six-column universe constrained by r1 and r2, projected onto (a, c) and
+/// tested for intersection with each candidate relation -- rather than
+/// from a hard-coded table.
+Result<std::vector<AllenRelation>> AllenCompose(
+    AllenRelation r1, AllenRelation r2, const AlgebraOptions& options = {});
+
+/// Joins two interval relations under an Allen relation: the result pairs
+/// every interval of `a` (its first two temporal columns) with every
+/// interval of `b` (likewise) such that  a-interval  rel  b-interval, as a
+/// generalized relation over a's columns followed by b's (b's attribute
+/// names suffixed with `b_suffix` where they collide with a's).  Both
+/// inputs must have temporal arity >= 2; intervals are taken strict.
+Result<GeneralizedRelation> AllenJoin(const GeneralizedRelation& a,
+                                      const GeneralizedRelation& b,
+                                      AllenRelation rel,
+                                      const AlgebraOptions& options = {},
+                                      const std::string& b_suffix = "_r");
+
+}  // namespace itdb
+
+#endif  // ITDB_INTERVAL_ALLEN_H_

@@ -1,0 +1,273 @@
+#include "presburger/formula.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/numeric.h"
+
+namespace itdb {
+namespace presburger {
+
+// The factories construct nodes through a mutable alias before returning the
+// shared const pointer.
+struct FormulaBuilder : Formula {
+  using Formula::Formula;
+  Kind& kind() { return kind_; }
+  FormulaPtr& left() { return left_; }
+  FormulaPtr& right() { return right_; }
+  std::int64_t& k1() { return k1_; }
+  int& v1() { return v1_; }
+  std::int64_t& k2() { return k2_; }
+  int& v2() { return v2_; }
+  std::int64_t& c() { return c_; }
+  std::int64_t& mod() { return mod_; }
+  Cmp& cmp() { return cmp_; }
+};
+
+namespace {
+
+std::shared_ptr<FormulaBuilder> NewNode(Formula::Kind kind) {
+  auto node = std::make_shared<FormulaBuilder>();
+  node->kind() = kind;
+  return node;
+}
+
+}  // namespace
+
+FormulaPtr Formula::True() { return NewNode(Kind::kTrue); }
+
+FormulaPtr Formula::False() { return NewNode(Kind::kFalse); }
+
+FormulaPtr Formula::UnaryCmp(std::int64_t k1, int var, Cmp cmp,
+                             std::int64_t c) {
+  auto node = NewNode(Kind::kCmp);
+  node->k1() = k1;
+  node->v1() = var;
+  node->k2() = 0;
+  node->v2() = -1;
+  node->cmp() = cmp;
+  node->c() = c;
+  return node;
+}
+
+FormulaPtr Formula::UnaryCong(std::int64_t k1, int var, std::int64_t mod,
+                              std::int64_t c) {
+  assert(mod > 0);
+  auto node = NewNode(Kind::kCong);
+  node->k1() = k1;
+  node->v1() = var;
+  node->k2() = 0;
+  node->v2() = -1;
+  node->mod() = mod;
+  node->c() = c;
+  return node;
+}
+
+FormulaPtr Formula::BinaryCmp(std::int64_t k1, int v1, Cmp cmp, std::int64_t k2,
+                              int v2, std::int64_t c) {
+  assert(v1 != v2);
+  auto node = NewNode(Kind::kCmp);
+  node->k1() = k1;
+  node->v1() = v1;
+  node->k2() = k2;
+  node->v2() = v2;
+  node->cmp() = cmp;
+  node->c() = c;
+  return node;
+}
+
+FormulaPtr Formula::BinaryCong(std::int64_t k1, int v1, std::int64_t mod,
+                               std::int64_t k2, int v2, std::int64_t c) {
+  assert(mod > 0);
+  assert(v1 != v2);
+  auto node = NewNode(Kind::kCong);
+  node->k1() = k1;
+  node->v1() = v1;
+  node->k2() = k2;
+  node->v2() = v2;
+  node->mod() = mod;
+  node->c() = c;
+  return node;
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  auto node = NewNode(Kind::kAnd);
+  node->left() = std::move(a);
+  node->right() = std::move(b);
+  return node;
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  auto node = NewNode(Kind::kOr);
+  node->left() = std::move(a);
+  node->right() = std::move(b);
+  return node;
+}
+
+FormulaPtr Formula::Not(FormulaPtr a) {
+  auto node = NewNode(Kind::kNot);
+  node->left() = std::move(a);
+  return node;
+}
+
+bool Formula::Evaluate(const std::vector<std::int64_t>& assignment) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kCmp: {
+      __int128 lhs = static_cast<__int128>(k1_) *
+                     assignment[static_cast<std::size_t>(v1_)];
+      __int128 rhs = c_;
+      if (v2_ >= 0) {
+        rhs += static_cast<__int128>(k2_) *
+               assignment[static_cast<std::size_t>(v2_)];
+      }
+      switch (cmp_) {
+        case Cmp::kEq:
+          return lhs == rhs;
+        case Cmp::kLt:
+          return lhs < rhs;
+        case Cmp::kGt:
+          return lhs > rhs;
+      }
+      return false;
+    }
+    case Kind::kCong: {
+      __int128 lhs = static_cast<__int128>(k1_) *
+                     assignment[static_cast<std::size_t>(v1_)];
+      __int128 rhs = c_;
+      if (v2_ >= 0) {
+        rhs += static_cast<__int128>(k2_) *
+               assignment[static_cast<std::size_t>(v2_)];
+      }
+      __int128 diff = lhs - rhs;
+      __int128 m = mod_;
+      __int128 r = diff % m;
+      return r == 0;
+    }
+    case Kind::kAnd:
+      return left_->Evaluate(assignment) && right_->Evaluate(assignment);
+    case Kind::kOr:
+      return left_->Evaluate(assignment) || right_->Evaluate(assignment);
+    case Kind::kNot:
+      return !left_->Evaluate(assignment);
+  }
+  return false;
+}
+
+int Formula::MaxVar() const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return -1;
+    case Kind::kCmp:
+    case Kind::kCong:
+      return std::max(v1_, v2_);
+    case Kind::kAnd:
+    case Kind::kOr:
+      return std::max(left_->MaxVar(), right_->MaxVar());
+    case Kind::kNot:
+      return left_->MaxVar();
+  }
+  return -1;
+}
+
+FormulaPtr Formula::NegateAtom(const Formula& atom) {
+  if (atom.kind_ == Kind::kCmp) {
+    // not(=) -> (<) or (>);  not(<) -> (=) or (>);  not(>) -> (=) or (<).
+    auto make = [&atom](Cmp cmp) {
+      return atom.is_unary_atom()
+                 ? UnaryCmp(atom.k1_, atom.v1_, cmp, atom.c_)
+                 : BinaryCmp(atom.k1_, atom.v1_, cmp, atom.k2_, atom.v2_,
+                             atom.c_);
+    };
+    switch (atom.cmp_) {
+      case Cmp::kEq:
+        return Or(make(Cmp::kLt), make(Cmp::kGt));
+      case Cmp::kLt:
+        return Or(make(Cmp::kEq), make(Cmp::kGt));
+      case Cmp::kGt:
+        return Or(make(Cmp::kEq), make(Cmp::kLt));
+    }
+  }
+  assert(atom.kind_ == Kind::kCong);
+  // not(x ===_m c) == OR over r in 1..m-1 of (x ===_m c + r).
+  FormulaPtr out;
+  for (std::int64_t r = 1; r < atom.mod_; ++r) {
+    FormulaPtr alt =
+        atom.is_unary_atom()
+            ? UnaryCong(atom.k1_, atom.v1_, atom.mod_, atom.c_ + r)
+            : BinaryCong(atom.k1_, atom.v1_, atom.mod_, atom.k2_, atom.v2_,
+                         atom.c_ + r);
+    out = out == nullptr ? alt : Or(std::move(out), std::move(alt));
+  }
+  return out == nullptr ? False() : out;  // mod == 1: congruence is `true`.
+}
+
+FormulaPtr Formula::NnfImpl(const FormulaPtr& f, bool negate) {
+  switch (f->kind_) {
+    case Kind::kTrue:
+      return negate ? False() : f;
+    case Kind::kFalse:
+      return negate ? True() : f;
+    case Kind::kCmp:
+    case Kind::kCong:
+      return negate ? NegateAtom(*f) : f;
+    case Kind::kAnd: {
+      FormulaPtr l = NnfImpl(f->left_, negate);
+      FormulaPtr r = NnfImpl(f->right_, negate);
+      return negate ? Or(std::move(l), std::move(r))
+                    : And(std::move(l), std::move(r));
+    }
+    case Kind::kOr: {
+      FormulaPtr l = NnfImpl(f->left_, negate);
+      FormulaPtr r = NnfImpl(f->right_, negate);
+      return negate ? And(std::move(l), std::move(r))
+                    : Or(std::move(l), std::move(r));
+    }
+    case Kind::kNot:
+      return NnfImpl(f->left_, !negate);
+  }
+  return f;
+}
+
+FormulaPtr NegationNormalForm(const FormulaPtr& f) {
+  return Formula::NnfImpl(f, false);
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kCmp:
+    case Kind::kCong: {
+      std::string lhs = std::to_string(k1_) + "*v" + std::to_string(v1_);
+      std::string rhs;
+      if (v2_ >= 0) {
+        rhs = std::to_string(k2_) + "*v" + std::to_string(v2_);
+        if (c_ != 0) rhs += (c_ > 0 ? "+" : "") + std::to_string(c_);
+      } else {
+        rhs = std::to_string(c_);
+      }
+      if (kind_ == Kind::kCong) {
+        return lhs + " ===_" + std::to_string(mod_) + " " + rhs;
+      }
+      const char* op = cmp_ == Cmp::kEq ? " = " : (cmp_ == Cmp::kLt ? " < " : " > ");
+      return lhs + op + rhs;
+    }
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " && " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " || " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "!(" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace presburger
+}  // namespace itdb

@@ -1,0 +1,120 @@
+// Presburger arithmetic formulas (Section 2.2 of the paper).
+//
+// The paper characterizes the expressiveness of generalized relations
+// against Presburger arithmetic: boolean combinations of the basic formulas
+//
+//   unary  (Theorem 2.1):  k1*v  {=,<,>}  c        k1*v ===_{k2} c
+//   binary (Theorem 2.2):  k1*v1 {=,<,>}  k2*v2+c  k1*v1 ===_{k3} k2*v2+c
+//
+// This module provides the formula AST, a direct evaluator over integer
+// assignments (the ground truth for the translation tests), negation-normal
+// form, and printing.  The constructive translations of Theorems 2.1/2.2
+// live in to_relation.h.
+
+#ifndef ITDB_PRESBURGER_FORMULA_H_
+#define ITDB_PRESBURGER_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace itdb {
+namespace presburger {
+
+/// Comparison in a basic formula.
+enum class Cmp {
+  kEq,
+  kLt,
+  kGt,
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// An immutable Presburger formula tree.  Variables are identified by
+/// indices >= 0 (Theorem 2.1 uses variable 0; Theorem 2.2 variables 0, 1).
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kCmp,   // k1*v1 cmp k2*v2 + c   (unary when k2 == 0 / v2 unused)
+    kCong,  // k1*v1 ===_{mod} k2*v2 + c
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  // ---- Factories ----
+  static FormulaPtr True();
+  static FormulaPtr False();
+  /// k1 * v(var) cmp c.
+  static FormulaPtr UnaryCmp(std::int64_t k1, int var, Cmp cmp, std::int64_t c);
+  /// k1 * v(var) ===_{mod} c  (mod > 0).
+  static FormulaPtr UnaryCong(std::int64_t k1, int var, std::int64_t mod,
+                              std::int64_t c);
+  /// k1 * v(v1) cmp k2 * v(v2) + c.
+  static FormulaPtr BinaryCmp(std::int64_t k1, int v1, Cmp cmp, std::int64_t k2,
+                              int v2, std::int64_t c);
+  /// k1 * v(v1) ===_{mod} k2 * v(v2) + c  (mod > 0).
+  static FormulaPtr BinaryCong(std::int64_t k1, int v1, std::int64_t mod,
+                               std::int64_t k2, int v2, std::int64_t c);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Not(FormulaPtr a);
+
+  Kind kind() const { return kind_; }
+  const FormulaPtr& left() const { return left_; }
+  const FormulaPtr& right() const { return right_; }
+
+  // Atom accessors (valid for kCmp / kCong).
+  std::int64_t k1() const { return k1_; }
+  int v1() const { return v1_; }
+  std::int64_t k2() const { return k2_; }
+  int v2() const { return v2_; }          // -1 when unary
+  std::int64_t c() const { return c_; }
+  std::int64_t mod() const { return mod_; }  // kCong only
+  Cmp cmp() const { return cmp_; }           // kCmp only
+  bool is_unary_atom() const { return v2_ < 0; }
+
+  /// Ground-truth evaluation: assignment[i] is the value of variable i.
+  bool Evaluate(const std::vector<std::int64_t>& assignment) const;
+
+  /// Largest variable index mentioned, or -1 for closed formulas.
+  int MaxVar() const;
+
+  std::string ToString() const;
+
+ protected:
+  Formula() = default;
+
+ private:
+  friend FormulaPtr NegationNormalForm(const FormulaPtr& f);
+  friend struct FormulaBuilder;
+
+  Kind kind_ = Kind::kTrue;
+  FormulaPtr left_;
+  FormulaPtr right_;
+  std::int64_t k1_ = 0;
+  int v1_ = -1;
+  std::int64_t k2_ = 0;
+  int v2_ = -1;
+  std::int64_t c_ = 0;
+  std::int64_t mod_ = 0;
+  Cmp cmp_ = Cmp::kEq;
+
+  static FormulaPtr NnfImpl(const FormulaPtr& f, bool negate);
+  static FormulaPtr NegateAtom(const Formula& atom);
+};
+
+/// Negation-normal form: negations pushed to (and absorbed into) atoms.
+/// The result contains no kNot nodes; negated atoms are expanded into
+/// disjunctions of positive atoms (e.g. not(=) -> (<) or (>), and a negated
+/// congruence becomes the disjunction over the other residues modulo `mod`).
+FormulaPtr NegationNormalForm(const FormulaPtr& f);
+
+}  // namespace presburger
+}  // namespace itdb
+
+#endif  // ITDB_PRESBURGER_FORMULA_H_

@@ -1,0 +1,179 @@
+#include "presburger/general_relation.h"
+
+#include <algorithm>
+
+namespace itdb {
+namespace presburger {
+
+bool GeneralConstraint::SatisfiedBy(const std::vector<std::int64_t>& x) const {
+  __int128 lhs =
+      static_cast<__int128>(kl) * x[static_cast<std::size_t>(li)];
+  __int128 rhs = c;
+  if (ri >= 0) {
+    rhs += static_cast<__int128>(kr) * x[static_cast<std::size_t>(ri)];
+  }
+  return lhs <= rhs;
+}
+
+std::string GeneralConstraint::ToString() const {
+  std::string out =
+      std::to_string(kl) + "*X" + std::to_string(li) + " <= ";
+  if (ri >= 0) {
+    out += std::to_string(kr) + "*X" + std::to_string(ri);
+    if (c != 0) out += (c > 0 ? "+" : "") + std::to_string(c);
+  } else {
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+bool GeneralTuple::ContainsTemporal(const std::vector<std::int64_t>& x) const {
+  if (static_cast<int>(x.size()) != arity()) return false;
+  for (int i = 0; i < arity(); ++i) {
+    if (!lrp(i).Contains(x[static_cast<std::size_t>(i)])) return false;
+  }
+  for (const GeneralConstraint& c : constraints_) {
+    if (!c.SatisfiedBy(x)) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<std::int64_t>> GeneralTuple::EnumerateTemporal(
+    std::int64_t lo, std::int64_t hi) const {
+  std::vector<std::vector<std::int64_t>> out;
+  int m = arity();
+  std::vector<std::vector<std::int64_t>> columns;
+  for (int i = 0; i < m; ++i) {
+    columns.push_back(lrp(i).ElementsInRange(lo, hi));
+    if (columns.back().empty()) return out;
+  }
+  if (m == 0) {
+    out.push_back({});
+    return out;
+  }
+  std::vector<std::int64_t> point(static_cast<std::size_t>(m));
+  std::vector<std::size_t> idx(static_cast<std::size_t>(m), 0);
+  while (true) {
+    for (int i = 0; i < m; ++i) {
+      point[static_cast<std::size_t>(i)] =
+          columns[static_cast<std::size_t>(i)][idx[static_cast<std::size_t>(i)]];
+    }
+    bool ok = true;
+    for (const GeneralConstraint& c : constraints_) {
+      if (!c.SatisfiedBy(point)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(point);
+    int d = m - 1;
+    while (d >= 0) {
+      std::size_t ud = static_cast<std::size_t>(d);
+      if (++idx[ud] < columns[ud].size()) break;
+      idx[ud] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return out;
+}
+
+Result<std::optional<GeneralTuple>> GeneralTuple::Intersect(
+    const GeneralTuple& a, const GeneralTuple& b) {
+  using MaybeTuple = std::optional<GeneralTuple>;
+  if (a.arity() != b.arity()) {
+    return Status::InvalidArgument(
+        "general tuple intersection requires equal arities");
+  }
+  std::vector<Lrp> lrps;
+  lrps.reserve(a.temporal_.size());
+  for (int i = 0; i < a.arity(); ++i) {
+    ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> inter,
+                          Lrp::Intersect(a.lrp(i), b.lrp(i)));
+    if (!inter.has_value()) return MaybeTuple(std::nullopt);
+    lrps.push_back(*inter);
+  }
+  std::vector<GeneralConstraint> constraints = a.constraints_;
+  constraints.insert(constraints.end(), b.constraints_.begin(),
+                     b.constraints_.end());
+  return MaybeTuple(GeneralTuple(std::move(lrps), std::move(constraints)));
+}
+
+std::string GeneralTuple::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += lrp(i).ToString();
+  }
+  out += "]";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    out += i == 0 ? " " : " && ";
+    out += constraints_[i].ToString();
+  }
+  return out;
+}
+
+Status GeneralRelation::AddTuple(GeneralTuple t) {
+  if (t.arity() != arity_) {
+    return Status::InvalidArgument("general tuple arity mismatch");
+  }
+  tuples_.push_back(std::move(t));
+  return Status::Ok();
+}
+
+bool GeneralRelation::Contains(const std::vector<std::int64_t>& x) const {
+  for (const GeneralTuple& t : tuples_) {
+    if (t.ContainsTemporal(x)) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<std::int64_t>> GeneralRelation::Enumerate(
+    std::int64_t lo, std::int64_t hi) const {
+  std::vector<std::vector<std::int64_t>> out;
+  for (const GeneralTuple& t : tuples_) {
+    std::vector<std::vector<std::int64_t>> points = t.EnumerateTemporal(lo, hi);
+    out.insert(out.end(), points.begin(), points.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<GeneralRelation> GeneralRelation::Union(const GeneralRelation& a,
+                                               const GeneralRelation& b) {
+  if (a.arity_ != b.arity_) {
+    return Status::InvalidArgument("general relation arity mismatch");
+  }
+  GeneralRelation out(a.arity_);
+  out.tuples_ = a.tuples_;
+  out.tuples_.insert(out.tuples_.end(), b.tuples_.begin(), b.tuples_.end());
+  return out;
+}
+
+Result<GeneralRelation> GeneralRelation::Intersect(const GeneralRelation& a,
+                                                   const GeneralRelation& b) {
+  if (a.arity_ != b.arity_) {
+    return Status::InvalidArgument("general relation arity mismatch");
+  }
+  GeneralRelation out(a.arity_);
+  for (const GeneralTuple& ta : a.tuples_) {
+    for (const GeneralTuple& tb : b.tuples_) {
+      ITDB_ASSIGN_OR_RETURN(std::optional<GeneralTuple> t,
+                            GeneralTuple::Intersect(ta, tb));
+      if (t.has_value()) ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(*t)));
+    }
+  }
+  return out;
+}
+
+std::string GeneralRelation::ToString() const {
+  std::string out;
+  for (const GeneralTuple& t : tuples_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace presburger
+}  // namespace itdb

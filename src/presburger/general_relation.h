@@ -1,0 +1,111 @@
+// Generalized relations with *general* (non-unit-coefficient) constraints.
+//
+// Theorem 2.2 of the paper shows binary Presburger predicates are "lrp
+// definable" using general constraints -- arbitrary linear inequalities
+// between at most two temporal attributes (k1*Xi <= k2*Xj + c).  Such
+// constraints are strictly more expressive than the restricted ones the
+// relational algebra of Section 3 operates on (the paper restricts to the
+// latter precisely because projection needs them), so this representation
+// lives in the presburger module and supports only what the expressiveness
+// study needs: union, intersection, membership, and bounded enumeration.
+
+#ifndef ITDB_PRESBURGER_GENERAL_RELATION_H_
+#define ITDB_PRESBURGER_GENERAL_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lrp.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace presburger {
+
+/// A general linear constraint between at most two temporal attributes:
+///   kl * X(li)  <=  kr * X(ri) + c,
+/// with ri == -1 meaning there is no right-hand variable (kl*X(li) <= c).
+struct GeneralConstraint {
+  std::int64_t kl = 1;
+  int li = 0;
+  std::int64_t kr = 0;
+  int ri = -1;
+  std::int64_t c = 0;
+
+  bool SatisfiedBy(const std::vector<std::int64_t>& x) const;
+  std::string ToString() const;
+
+  friend bool operator==(const GeneralConstraint& a,
+                         const GeneralConstraint& b) = default;
+};
+
+/// A tuple of lrps constrained by general constraints.  Purely temporal
+/// (the paper's expressiveness study concerns temporal predicates only).
+class GeneralTuple {
+ public:
+  explicit GeneralTuple(std::vector<Lrp> temporal)
+      : temporal_(std::move(temporal)) {}
+  GeneralTuple(std::vector<Lrp> temporal,
+               std::vector<GeneralConstraint> constraints)
+      : temporal_(std::move(temporal)), constraints_(std::move(constraints)) {}
+
+  int arity() const { return static_cast<int>(temporal_.size()); }
+  const std::vector<Lrp>& temporal() const { return temporal_; }
+  const Lrp& lrp(int i) const { return temporal_[static_cast<std::size_t>(i)]; }
+  const std::vector<GeneralConstraint>& constraints() const {
+    return constraints_;
+  }
+  void AddConstraint(GeneralConstraint c) {
+    constraints_.push_back(std::move(c));
+  }
+
+  bool ContainsTemporal(const std::vector<std::int64_t>& x) const;
+  std::vector<std::vector<std::int64_t>> EnumerateTemporal(
+      std::int64_t lo, std::int64_t hi) const;
+
+  /// Componentwise lrp intersection + union of constraint sets (the same
+  /// construction as Section 3.2.2, which does not depend on constraints
+  /// being restricted).
+  static Result<std::optional<GeneralTuple>> Intersect(const GeneralTuple& a,
+                                                       const GeneralTuple& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Lrp> temporal_;
+  std::vector<GeneralConstraint> constraints_;
+};
+
+/// A finite set of general tuples of one arity.
+class GeneralRelation {
+ public:
+  explicit GeneralRelation(int arity) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  const std::vector<GeneralTuple>& tuples() const { return tuples_; }
+  int size() const { return static_cast<int>(tuples_.size()); }
+
+  Status AddTuple(GeneralTuple t);
+
+  bool Contains(const std::vector<std::int64_t>& x) const;
+  /// Sorted, deduplicated points with all coordinates in [lo, hi].
+  std::vector<std::vector<std::int64_t>> Enumerate(std::int64_t lo,
+                                                   std::int64_t hi) const;
+
+  static Result<GeneralRelation> Union(const GeneralRelation& a,
+                                       const GeneralRelation& b);
+  static Result<GeneralRelation> Intersect(const GeneralRelation& a,
+                                           const GeneralRelation& b);
+
+  std::string ToString() const;
+
+ private:
+  int arity_;
+  std::vector<GeneralTuple> tuples_;
+};
+
+}  // namespace presburger
+}  // namespace itdb
+
+#endif  // ITDB_PRESBURGER_GENERAL_RELATION_H_

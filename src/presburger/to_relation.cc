@@ -1,0 +1,285 @@
+#include "presburger/to_relation.h"
+
+#include <string>
+#include <utility>
+
+#include "util/numeric.h"
+
+namespace itdb {
+namespace presburger {
+
+namespace {
+
+// Residue unions in the binary congruence construction are capped: the
+// paper's proof materializes `mod` tuples.
+constexpr std::int64_t kMaxCongruenceResidues = 1 << 12;
+
+GeneralizedRelation EmptyUnary() {
+  return GeneralizedRelation(Schema::Temporal(1));
+}
+
+Result<GeneralizedRelation> UniverseUnary() {
+  GeneralizedRelation r(Schema::Temporal(1));
+  ITDB_RETURN_IF_ERROR(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 1)})));
+  return r;
+}
+
+/// Translates one unary basic formula (Theorem 2.1's case analysis).
+Result<GeneralizedRelation> UnaryAtomToRelation(const Formula& atom) {
+  const std::int64_t k1 = atom.k1();
+  const std::int64_t c = atom.c();
+  if (atom.kind() == Formula::Kind::kCong) {
+    ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> sol,
+                          SolveUnaryCongruence(k1, atom.mod(), c));
+    if (!sol.has_value()) return EmptyUnary();
+    GeneralizedRelation r(Schema::Temporal(1));
+    ITDB_RETURN_IF_ERROR(r.AddTuple(GeneralizedTuple({*sol})));
+    return r;
+  }
+  // Comparison atom.
+  if (k1 == 0) {
+    // Ground: 0 cmp c.
+    bool truth = atom.cmp() == Cmp::kEq   ? c == 0
+                 : atom.cmp() == Cmp::kLt ? 0 < c
+                                          : 0 > c;
+    return truth ? UniverseUnary() : Result<GeneralizedRelation>(EmptyUnary());
+  }
+  switch (atom.cmp()) {
+    case Cmp::kEq: {
+      // k1 * v = c: a single point when k1 | c.
+      if (c % k1 != 0) return EmptyUnary();
+      GeneralizedRelation r(Schema::Temporal(1));
+      ITDB_RETURN_IF_ERROR(
+          r.AddTuple(GeneralizedTuple({Lrp::Singleton(c / k1)})));
+      return r;
+    }
+    case Cmp::kLt: {
+      // k1 * v <= c - 1:  v <= floor((c-1)/k1) when k1 > 0, else
+      // v >= ceil((c-1)/k1).
+      GeneralizedRelation r(Schema::Temporal(1));
+      GeneralizedTuple t({Lrp::Make(0, 1)});
+      if (k1 > 0) {
+        t.mutable_constraints().AddUpperBound(0, FloorDiv(c - 1, k1));
+      } else {
+        t.mutable_constraints().AddLowerBound(0, CeilDiv(c - 1, k1));
+      }
+      ITDB_RETURN_IF_ERROR(r.AddTuple(std::move(t)));
+      return r;
+    }
+    case Cmp::kGt: {
+      // k1 * v >= c + 1.
+      GeneralizedRelation r(Schema::Temporal(1));
+      GeneralizedTuple t({Lrp::Make(0, 1)});
+      if (k1 > 0) {
+        t.mutable_constraints().AddLowerBound(0, CeilDiv(c + 1, k1));
+      } else {
+        t.mutable_constraints().AddUpperBound(0, FloorDiv(c + 1, k1));
+      }
+      ITDB_RETURN_IF_ERROR(r.AddTuple(std::move(t)));
+      return r;
+    }
+  }
+  return Status::InvalidArgument("unreachable comparison kind");
+}
+
+GeneralRelation EmptyBinary() { return GeneralRelation(2); }
+
+Result<GeneralRelation> UniverseBinary() {
+  GeneralRelation r(2);
+  ITDB_RETURN_IF_ERROR(
+      r.AddTuple(GeneralTuple({Lrp::Make(0, 1), Lrp::Make(0, 1)})));
+  return r;
+}
+
+/// Translates one (possibly unary) atom inside a binary formula into an
+/// arity-2 general relation.  Pre: the formula is in NNF (atoms positive).
+Result<GeneralRelation> BinaryAtomToRelation(const Formula& atom) {
+  if (atom.kind() == Formula::Kind::kCong) {
+    if (atom.is_unary_atom()) {
+      ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> sol,
+                            SolveUnaryCongruence(atom.k1(), atom.mod(),
+                                                 atom.c()));
+      if (!sol.has_value()) return EmptyBinary();
+      GeneralRelation r(2);
+      std::vector<Lrp> lrps = {Lrp::Make(0, 1), Lrp::Make(0, 1)};
+      lrps[static_cast<std::size_t>(atom.v1())] = *sol;
+      ITDB_RETURN_IF_ERROR(r.AddTuple(GeneralTuple(std::move(lrps))));
+      return r;
+    }
+    // k1*v1 ===_m k2*v2 + c: fix the residue r2 of v2 modulo m; then
+    // k1*v1 ===_m c + k2*r2, a unary congruence for v1.  The union over the
+    // m residues is the paper's finite construction.
+    const std::int64_t m = atom.mod();
+    if (m > kMaxCongruenceResidues) {
+      return Status::ResourceExhausted(
+          "binary congruence modulus " + std::to_string(m) +
+          " exceeds the residue budget");
+    }
+    GeneralRelation out(2);
+    for (std::int64_t r2 = 0; r2 < m; ++r2) {
+      ITDB_ASSIGN_OR_RETURN(std::int64_t k2r2, CheckedMul(atom.k2(), r2));
+      ITDB_ASSIGN_OR_RETURN(std::int64_t rhs, CheckedAdd(atom.c(), k2r2));
+      ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> sol,
+                            SolveUnaryCongruence(atom.k1(), m, rhs));
+      if (!sol.has_value()) continue;
+      std::vector<Lrp> lrps(2, Lrp::Make(0, 1));
+      lrps[static_cast<std::size_t>(atom.v1())] = *sol;
+      lrps[static_cast<std::size_t>(atom.v2())] = Lrp::Make(r2, m);
+      ITDB_RETURN_IF_ERROR(out.AddTuple(GeneralTuple(std::move(lrps))));
+    }
+    return out;
+  }
+  // Comparison: one free tuple with general constraint(s), exactly as in the
+  // paper's Theorem 2.2 item 1.
+  GeneralTuple t({Lrp::Make(0, 1), Lrp::Make(0, 1)});
+  const std::int64_t k1 = atom.k1();
+  const std::int64_t k2 = atom.is_unary_atom() ? 0 : atom.k2();
+  const int v1 = atom.v1();
+  const int v2 = atom.is_unary_atom() ? -1 : atom.v2();
+  const std::int64_t c = atom.c();
+  switch (atom.cmp()) {
+    case Cmp::kEq:
+      t.AddConstraint(GeneralConstraint{k1, v1, k2, v2, c});
+      // And the reverse direction: k2*v2 + c <= k1*v1, i.e.
+      // k2*v2 <= k1*v1 - c.
+      if (v2 >= 0) {
+        ITDB_ASSIGN_OR_RETURN(std::int64_t neg_c, CheckedSub(0, c));
+        t.AddConstraint(GeneralConstraint{k2, v2, k1, v1, neg_c});
+      } else {
+        // Unary equality k1*v1 = c: add c <= k1*v1 as -k1*v1 <= -c.
+        ITDB_ASSIGN_OR_RETURN(std::int64_t neg_k1, CheckedSub(0, k1));
+        ITDB_ASSIGN_OR_RETURN(std::int64_t neg_c, CheckedSub(0, c));
+        t.AddConstraint(GeneralConstraint{neg_k1, v1, 0, -1, neg_c});
+      }
+      break;
+    case Cmp::kLt: {
+      ITDB_ASSIGN_OR_RETURN(std::int64_t bound, CheckedSub(c, 1));
+      t.AddConstraint(GeneralConstraint{k1, v1, k2, v2, bound});
+      break;
+    }
+    case Cmp::kGt: {
+      // k1*v1 >= k2*v2 + c + 1  <=>  k2*v2 <= k1*v1 - c - 1.
+      ITDB_ASSIGN_OR_RETURN(std::int64_t neg, CheckedSub(0, c));
+      ITDB_ASSIGN_OR_RETURN(std::int64_t bound, CheckedSub(neg, 1));
+      if (v2 >= 0) {
+        t.AddConstraint(GeneralConstraint{k2, v2, k1, v1, bound});
+      } else {
+        ITDB_ASSIGN_OR_RETURN(std::int64_t neg_k1, CheckedSub(0, k1));
+        t.AddConstraint(GeneralConstraint{neg_k1, v1, 0, -1, bound});
+      }
+      break;
+    }
+  }
+  GeneralRelation r(2);
+  ITDB_RETURN_IF_ERROR(r.AddTuple(std::move(t)));
+  return r;
+}
+
+Result<GeneralRelation> BinaryNnfToRelation(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      return UniverseBinary();
+    case Formula::Kind::kFalse:
+      return EmptyBinary();
+    case Formula::Kind::kCmp:
+    case Formula::Kind::kCong:
+      return BinaryAtomToRelation(*f);
+    case Formula::Kind::kAnd: {
+      ITDB_ASSIGN_OR_RETURN(GeneralRelation l, BinaryNnfToRelation(f->left()));
+      ITDB_ASSIGN_OR_RETURN(GeneralRelation r, BinaryNnfToRelation(f->right()));
+      return GeneralRelation::Intersect(l, r);
+    }
+    case Formula::Kind::kOr: {
+      ITDB_ASSIGN_OR_RETURN(GeneralRelation l, BinaryNnfToRelation(f->left()));
+      ITDB_ASSIGN_OR_RETURN(GeneralRelation r, BinaryNnfToRelation(f->right()));
+      return GeneralRelation::Union(l, r);
+    }
+    case Formula::Kind::kNot:
+      return Status::InvalidArgument(
+          "BinaryNnfToRelation: formula not in negation normal form");
+  }
+  return Status::InvalidArgument("unreachable formula kind");
+}
+
+}  // namespace
+
+Result<std::optional<Lrp>> SolveUnaryCongruence(std::int64_t k1,
+                                                std::int64_t mod,
+                                                std::int64_t c) {
+  using MaybeLrp = std::optional<Lrp>;
+  if (mod == 0) {
+    // Exact equality k1 * v == c.
+    if (k1 == 0) {
+      if (c == 0) return MaybeLrp(Lrp::Make(0, 1));  // All of Z.
+      return MaybeLrp(std::nullopt);
+    }
+    if (c % k1 != 0) return MaybeLrp(std::nullopt);
+    return MaybeLrp(Lrp::Singleton(c / k1));
+  }
+  if (mod < 0) {
+    return Status::InvalidArgument("congruence modulus must be non-negative");
+  }
+  std::int64_t a = FloorMod(k1, mod);
+  std::int64_t rhs = FloorMod(c, mod);
+  if (a == 0) {
+    // 0 === rhs (mod m): all v or none.
+    if (rhs == 0) return MaybeLrp(Lrp::Make(0, 1));
+    return MaybeLrp(std::nullopt);
+  }
+  std::int64_t g = Gcd(a, mod);
+  if (rhs % g != 0) return MaybeLrp(std::nullopt);
+  std::int64_t m_red = mod / g;
+  if (m_red == 1) return MaybeLrp(Lrp::Make(0, 1));
+  ITDB_ASSIGN_OR_RETURN(std::int64_t inv, ModInverse(a / g, m_red));
+  ITDB_ASSIGN_OR_RETURN(std::int64_t prod,
+                        CheckedMul(FloorMod(rhs / g, m_red), inv));
+  return MaybeLrp(Lrp::Make(FloorMod(prod, m_red), m_red));
+}
+
+Result<GeneralizedRelation> UnaryToRelation(const FormulaPtr& f,
+                                            const AlgebraOptions& options) {
+  if (f->MaxVar() > 0) {
+    return Status::InvalidArgument(
+        "UnaryToRelation: formula mentions variables beyond v0");
+  }
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      return UniverseUnary();
+    case Formula::Kind::kFalse:
+      return EmptyUnary();
+    case Formula::Kind::kCmp:
+    case Formula::Kind::kCong:
+      return UnaryAtomToRelation(*f);
+    case Formula::Kind::kAnd: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation l,
+                            UnaryToRelation(f->left(), options));
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation r,
+                            UnaryToRelation(f->right(), options));
+      return Intersect(l, r, options);
+    }
+    case Formula::Kind::kOr: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation l,
+                            UnaryToRelation(f->left(), options));
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation r,
+                            UnaryToRelation(f->right(), options));
+      return Union(l, r, options);
+    }
+    case Formula::Kind::kNot: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation inner,
+                            UnaryToRelation(f->left(), options));
+      return Complement(inner, options);
+    }
+  }
+  return Status::InvalidArgument("unreachable formula kind");
+}
+
+Result<GeneralRelation> BinaryToGeneralRelation(const FormulaPtr& f) {
+  if (f->MaxVar() > 1) {
+    return Status::InvalidArgument(
+        "BinaryToGeneralRelation: formula mentions variables beyond v0, v1");
+  }
+  return BinaryNnfToRelation(NegationNormalForm(f));
+}
+
+}  // namespace presburger
+}  // namespace itdb

@@ -1,0 +1,52 @@
+// Constructive expressiveness translations (Theorems 2.1 and 2.2).
+//
+// Theorem 2.1: a unary predicate is *weak lrp definable* (restricted
+// constraints) iff Presburger definable.  UnaryToRelation implements the
+// "if" direction constructively: each basic formula maps to a one-column
+// generalized tuple, and boolean structure maps to the relational algebra
+// of Section 3 (union / intersection / complement).
+//
+// Theorem 2.2: a binary predicate is *lrp definable* (general constraints)
+// iff Presburger definable.  BinaryToGeneralRelation implements the "if"
+// direction: comparisons become single free tuples carrying one general
+// constraint; congruences become the finite residue-class union of the
+// paper's proof; negation is eliminated up front by negation normal form
+// (possible because the basic atoms are closed under negation).
+
+#ifndef ITDB_PRESBURGER_TO_RELATION_H_
+#define ITDB_PRESBURGER_TO_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/algebra.h"
+#include "core/relation.h"
+#include "presburger/formula.h"
+#include "presburger/general_relation.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace presburger {
+
+/// Solves  k1 * v ===_{mod} c  for v.  Returns the solution lrp, nullopt if
+/// there is none.  mod == 0 is interpreted as exact equality k1 * v == c.
+Result<std::optional<Lrp>> SolveUnaryCongruence(std::int64_t k1,
+                                                std::int64_t mod,
+                                                std::int64_t c);
+
+/// Theorem 2.1: translates a formula whose only free variable is v0 into an
+/// equivalent generalized relation of temporal arity 1 with restricted
+/// constraints.  Handles full boolean structure including negation (via the
+/// Section 3 complement).
+Result<GeneralizedRelation> UnaryToRelation(const FormulaPtr& f,
+                                            const AlgebraOptions& options = {});
+
+/// Theorem 2.2: translates a formula over free variables v0, v1 into an
+/// equivalent general-constraint relation of arity 2.  Negation is handled
+/// by negation normal form.
+Result<GeneralRelation> BinaryToGeneralRelation(const FormulaPtr& f);
+
+}  // namespace presburger
+}  // namespace itdb
+
+#endif  // ITDB_PRESBURGER_TO_RELATION_H_

@@ -1,0 +1,189 @@
+#include "query/ast.h"
+
+#include <algorithm>
+#include <set>
+
+namespace itdb {
+namespace query {
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      if (number == 0) return var;
+      if (number > 0) return var + " + " + std::to_string(number);
+      return var + " - " + std::to_string(-number);
+    case Kind::kInt:
+      return std::to_string(number);
+    case Kind::kString:
+      return "\"" + text + "\"";
+  }
+  return "?";
+}
+
+struct QueryBuilder : Query {
+  using Query::Query;
+  Kind& kind() { return kind_; }
+  std::string& relation() { return relation_; }
+  std::vector<Term>& args() { return args_; }
+  Term& lhs() { return lhs_; }
+  Term& rhs() { return rhs_; }
+  QueryCmp& cmp() { return cmp_; }
+  QueryPtr& left() { return left_; }
+  QueryPtr& right() { return right_; }
+};
+
+namespace {
+
+std::shared_ptr<QueryBuilder> NewNode(Query::Kind kind) {
+  auto node = std::make_shared<QueryBuilder>();
+  node->kind() = kind;
+  return node;
+}
+
+void CollectFree(const Query& q, std::set<std::string>& bound,
+                 std::set<std::string>& free) {
+  switch (q.kind()) {
+    case Query::Kind::kAtom:
+      for (const Term& t : q.args()) {
+        if (t.kind == Term::Kind::kVariable && !bound.contains(t.var)) {
+          free.insert(t.var);
+        }
+      }
+      break;
+    case Query::Kind::kCmp:
+      for (const Term* t : {&q.lhs(), &q.rhs()}) {
+        if (t->kind == Term::Kind::kVariable && !bound.contains(t->var)) {
+          free.insert(t->var);
+        }
+      }
+      break;
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr:
+      CollectFree(*q.left(), bound, free);
+      CollectFree(*q.right(), bound, free);
+      break;
+    case Query::Kind::kNot:
+      CollectFree(*q.left(), bound, free);
+      break;
+    case Query::Kind::kExists:
+    case Query::Kind::kForall: {
+      bool inserted = bound.insert(q.quantified_var()).second;
+      CollectFree(*q.left(), bound, free);
+      if (inserted) bound.erase(q.quantified_var());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+QueryPtr Query::Atom(std::string relation, std::vector<Term> args) {
+  auto node = NewNode(Kind::kAtom);
+  node->relation() = std::move(relation);
+  node->args() = std::move(args);
+  return node;
+}
+
+QueryPtr Query::Compare(Term lhs, QueryCmp op, Term rhs) {
+  auto node = NewNode(Kind::kCmp);
+  node->lhs() = std::move(lhs);
+  node->rhs() = std::move(rhs);
+  node->cmp() = op;
+  return node;
+}
+
+QueryPtr Query::And(QueryPtr a, QueryPtr b) {
+  auto node = NewNode(Kind::kAnd);
+  node->left() = std::move(a);
+  node->right() = std::move(b);
+  return node;
+}
+
+QueryPtr Query::Or(QueryPtr a, QueryPtr b) {
+  auto node = NewNode(Kind::kOr);
+  node->left() = std::move(a);
+  node->right() = std::move(b);
+  return node;
+}
+
+QueryPtr Query::Not(QueryPtr a) {
+  auto node = NewNode(Kind::kNot);
+  node->left() = std::move(a);
+  return node;
+}
+
+QueryPtr Query::Implies(QueryPtr a, QueryPtr b) {
+  return Or(Not(std::move(a)), std::move(b));
+}
+
+QueryPtr Query::Exists(std::string var, QueryPtr body) {
+  auto node = NewNode(Kind::kExists);
+  node->relation() = std::move(var);
+  node->left() = std::move(body);
+  return node;
+}
+
+QueryPtr Query::Forall(std::string var, QueryPtr body) {
+  auto node = NewNode(Kind::kForall);
+  node->relation() = std::move(var);
+  node->left() = std::move(body);
+  return node;
+}
+
+std::vector<std::string> Query::FreeVariables() const {
+  std::set<std::string> bound;
+  std::set<std::string> free;
+  CollectFree(*this, bound, free);
+  return std::vector<std::string>(free.begin(), free.end());
+}
+
+std::string Query::ToString() const {
+  switch (kind_) {
+    case Kind::kAtom: {
+      std::string out = relation_ + "(";
+      for (std::size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args_[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kCmp: {
+      const char* op = "=";
+      switch (cmp_) {
+        case QueryCmp::kEq:
+          op = "=";
+          break;
+        case QueryCmp::kNe:
+          op = "!=";
+          break;
+        case QueryCmp::kLe:
+          op = "<=";
+          break;
+        case QueryCmp::kLt:
+          op = "<";
+          break;
+        case QueryCmp::kGe:
+          op = ">=";
+          break;
+        case QueryCmp::kGt:
+          op = ">";
+          break;
+      }
+      return lhs_.ToString() + " " + op + " " + rhs_.ToString();
+    }
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "NOT (" + left_->ToString() + ")";
+    case Kind::kExists:
+      return "EXISTS " + relation_ + " . (" + left_->ToString() + ")";
+    case Kind::kForall:
+      return "FORALL " + relation_ + " . (" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace query
+}  // namespace itdb

@@ -1,0 +1,121 @@
+// Abstract syntax of the two-sorted first-order query language (Section 4).
+//
+// The language has a temporal sort (interpreted over Z, with the successor
+// function and the interpreted predicate <=) and a generic data sort.
+// Uninterpreted predicates are the named relations of a Database.  Full
+// boolean structure and quantification over both sorts are allowed;
+// evaluation compiles to the closed relational algebra of Section 3.
+
+#ifndef ITDB_QUERY_AST_H_
+#define ITDB_QUERY_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace itdb {
+namespace query {
+
+/// A term: a variable (with an optional successor offset, "t + 3"), an
+/// integer constant, or a string constant.
+struct Term {
+  enum class Kind { kVariable, kInt, kString };
+
+  Kind kind = Kind::kInt;
+  std::string var;          // kVariable: the variable name.
+  std::int64_t number = 0;  // kVariable: offset; kInt: the constant.
+  std::string text;         // kString: the constant.
+
+  static Term Variable(std::string name, std::int64_t offset = 0) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = std::move(name);
+    t.number = offset;
+    return t;
+  }
+  static Term Int(std::int64_t v) {
+    Term t;
+    t.kind = Kind::kInt;
+    t.number = v;
+    return t;
+  }
+  static Term String(std::string s) {
+    Term t;
+    t.kind = Kind::kString;
+    t.text = std::move(s);
+    return t;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) = default;
+};
+
+/// Comparison operators of the language.  <=, <, >=, > apply to the
+/// temporal sort; = and != apply to both sorts.
+enum class QueryCmp { kEq, kNe, kLe, kLt, kGe, kGt };
+
+class Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// An immutable query tree.
+class Query {
+ public:
+  enum class Kind {
+    kAtom,    // relation(args...)
+    kCmp,     // term op term
+    kAnd,
+    kOr,
+    kNot,
+    kExists,  // one quantified variable (sort inferred)
+    kForall,
+  };
+
+  static QueryPtr Atom(std::string relation, std::vector<Term> args);
+  static QueryPtr Compare(Term lhs, QueryCmp op, Term rhs);
+  static QueryPtr And(QueryPtr a, QueryPtr b);
+  static QueryPtr Or(QueryPtr a, QueryPtr b);
+  static QueryPtr Not(QueryPtr a);
+  /// a -> b, sugar for (NOT a) OR b.
+  static QueryPtr Implies(QueryPtr a, QueryPtr b);
+  static QueryPtr Exists(std::string var, QueryPtr body);
+  static QueryPtr Forall(std::string var, QueryPtr body);
+
+  Kind kind() const { return kind_; }
+  const std::string& relation() const { return relation_; }
+  const std::vector<Term>& args() const { return args_; }
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+  QueryCmp cmp() const { return cmp_; }
+  const QueryPtr& left() const { return left_; }
+  const QueryPtr& right() const { return right_; }
+  const std::string& quantified_var() const { return relation_; }
+
+  /// Free variables, sorted by name.
+  std::vector<std::string> FreeVariables() const;
+
+  std::string ToString() const;
+
+ protected:
+  Query() = default;
+
+ private:
+  friend struct QueryBuilder;
+
+  Kind kind_ = Kind::kAtom;
+  std::string relation_;      // kAtom: name; kExists/kForall: variable.
+  std::vector<Term> args_;    // kAtom.
+  Term lhs_;                  // kCmp.
+  Term rhs_;                  // kCmp.
+  QueryCmp cmp_ = QueryCmp::kEq;
+  QueryPtr left_;
+  QueryPtr right_;
+};
+
+}  // namespace query
+}  // namespace itdb
+
+#endif  // ITDB_QUERY_AST_H_

@@ -1,0 +1,554 @@
+#include "query/eval.h"
+
+#include "query/optimize.h"
+#include "query/parser.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/numeric.h"
+
+namespace itdb {
+namespace query {
+
+namespace {
+
+/// The active domain of the generic sort, split by type.
+struct ActiveDomain {
+  std::vector<Value> strings;
+  std::vector<Value> ints;
+
+  const std::vector<Value>& OfType(DataType type) const {
+    return type == DataType::kString ? strings : ints;
+  }
+};
+
+void CollectQueryConstants(const Query& q, std::set<Value>& strings,
+                           std::set<Value>& ints, const Database& db) {
+  switch (q.kind()) {
+    case Query::Kind::kAtom: {
+      Result<GeneralizedRelation> rel = db.Get(q.relation());
+      if (!rel.ok()) return;  // Reported later by sort inference.
+      const Schema& schema = rel.value().schema();
+      for (std::size_t i = 0; i < q.args().size(); ++i) {
+        const Term& t = q.args()[i];
+        bool data_pos = static_cast<int>(i) >= schema.temporal_arity();
+        if (t.kind == Term::Kind::kString) {
+          strings.insert(Value(t.text));
+        } else if (t.kind == Term::Kind::kInt && data_pos) {
+          ints.insert(Value(t.number));
+        }
+      }
+      break;
+    }
+    case Query::Kind::kCmp:
+      for (const Term* t : {&q.lhs(), &q.rhs()}) {
+        if (t->kind == Term::Kind::kString) strings.insert(Value(t->text));
+      }
+      break;
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr:
+      CollectQueryConstants(*q.left(), strings, ints, db);
+      CollectQueryConstants(*q.right(), strings, ints, db);
+      break;
+    case Query::Kind::kNot:
+    case Query::Kind::kExists:
+    case Query::Kind::kForall:
+      CollectQueryConstants(*q.left(), strings, ints, db);
+      break;
+  }
+}
+
+ActiveDomain ComputeActiveDomain(const Database& db, const Query& q) {
+  std::set<Value> strings;
+  std::set<Value> ints;
+  for (const std::string& name : db.Names()) {
+    Result<GeneralizedRelation> rel = db.Get(name);
+    if (!rel.ok()) continue;
+    for (const GeneralizedTuple& t : rel.value().tuples()) {
+      for (const Value& v : t.data()) {
+        (v.IsString() ? strings : ints).insert(v);
+      }
+    }
+  }
+  CollectQueryConstants(q, strings, ints, db);
+  ActiveDomain out;
+  out.strings.assign(strings.begin(), strings.end());
+  out.ints.assign(ints.begin(), ints.end());
+  return out;
+}
+
+struct Evaluator {
+  const Database& db;
+  const SortMap& sorts;
+  const ActiveDomain& adom;
+  const AlgebraOptions& algebra;
+
+  Result<GeneralizedRelation> Eval(const Query& q) const;
+
+ private:
+  Result<GeneralizedRelation> EvalAtom(const Query& q) const;
+  Result<GeneralizedRelation> EvalCmp(const Query& q) const;
+  Result<GeneralizedRelation> EvalNot(const GeneralizedRelation& rel) const;
+  Result<GeneralizedRelation> EvalOr(const Query& q) const;
+  Result<GeneralizedRelation> ExistsVar(GeneralizedRelation rel,
+                                        const std::string& var) const;
+
+  Sort SortOf(const std::string& var) const { return sorts.at(var); }
+  DataType TypeOf(const std::string& var) const {
+    return SortOf(var) == Sort::kDataInt ? DataType::kInt : DataType::kString;
+  }
+
+  /// Reorders (and renames nothing) so columns are sorted by name per kind.
+  Result<GeneralizedRelation> Canonical(const GeneralizedRelation& rel) const;
+  /// Extends `rel` with an unconstrained column for each missing variable
+  /// in `vars` (temporal: all of Z; data: the active domain of its type).
+  Result<GeneralizedRelation> ExtendTo(
+      const GeneralizedRelation& rel,
+      const std::vector<std::string>& vars) const;
+  /// The universe relation over exactly `vars`.
+  Result<GeneralizedRelation> Universe(
+      const std::vector<std::string>& vars) const;
+};
+
+Result<GeneralizedRelation> Evaluator::Canonical(
+    const GeneralizedRelation& rel) const {
+  std::vector<std::string> temporal = rel.schema().temporal_names();
+  std::vector<std::string> data = rel.schema().data_names();
+  std::sort(temporal.begin(), temporal.end());
+  std::sort(data.begin(), data.end());
+  bool sorted = temporal == rel.schema().temporal_names() &&
+                data == rel.schema().data_names();
+  if (sorted) return rel;
+  std::vector<std::string> attrs = std::move(temporal);
+  attrs.insert(attrs.end(), data.begin(), data.end());
+  return Project(rel, attrs, algebra);
+}
+
+Result<GeneralizedRelation> Evaluator::Universe(
+    const std::vector<std::string>& vars) const {
+  std::vector<std::string> temporal;
+  std::vector<std::string> data_names;
+  std::vector<DataType> data_types;
+  for (const std::string& v : vars) {
+    if (SortOf(v) == Sort::kTime) {
+      temporal.push_back(v);
+    } else {
+      data_names.push_back(v);
+      data_types.push_back(TypeOf(v));
+    }
+  }
+  std::sort(temporal.begin(), temporal.end());
+  std::sort(data_names.begin(), data_names.end());
+  // Re-derive types in sorted order.
+  for (std::size_t i = 0; i < data_names.size(); ++i) {
+    data_types[i] = TypeOf(data_names[i]);
+  }
+  GeneralizedRelation out(Schema(temporal, data_names, data_types));
+  // One tuple per combination of active-domain values for data columns,
+  // with every temporal column unconstrained.
+  std::vector<Lrp> lrps(temporal.size(), Lrp::Make(0, 1));
+  if (data_names.empty()) {
+    ITDB_RETURN_IF_ERROR(out.AddTuple(GeneralizedTuple(lrps)));
+    return out;
+  }
+  std::vector<std::size_t> idx(data_names.size(), 0);
+  std::vector<const std::vector<Value>*> domains;
+  domains.reserve(data_names.size());
+  for (std::size_t i = 0; i < data_names.size(); ++i) {
+    domains.push_back(&adom.OfType(data_types[i]));
+    if (domains.back()->empty()) return out;  // Empty domain: empty universe.
+  }
+  while (true) {
+    std::vector<Value> combo;
+    combo.reserve(data_names.size());
+    for (std::size_t i = 0; i < data_names.size(); ++i) {
+      combo.push_back((*domains[i])[idx[i]]);
+    }
+    ITDB_RETURN_IF_ERROR(out.AddTuple(GeneralizedTuple(lrps, std::move(combo))));
+    int d = static_cast<int>(data_names.size()) - 1;
+    while (d >= 0) {
+      std::size_t ud = static_cast<std::size_t>(d);
+      if (++idx[ud] < domains[ud]->size()) break;
+      idx[ud] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return out;
+}
+
+Result<GeneralizedRelation> Evaluator::ExtendTo(
+    const GeneralizedRelation& rel, const std::vector<std::string>& vars) const {
+  std::vector<std::string> missing;
+  for (const std::string& v : vars) {
+    if (!rel.schema().FindTemporal(v).has_value() &&
+        !rel.schema().FindData(v).has_value()) {
+      missing.push_back(v);
+    }
+  }
+  if (missing.empty()) return Canonical(rel);
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation extension, Universe(missing));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation crossed,
+                        CrossProduct(rel, extension, algebra));
+  return Canonical(crossed);
+}
+
+Result<GeneralizedRelation> Evaluator::EvalAtom(const Query& q) const {
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(q.relation()));
+  const Schema& schema = rel.schema();
+  const int m = schema.temporal_arity();
+  // Pass 1: constants and successor offsets.
+  for (std::size_t i = 0; i < q.args().size(); ++i) {
+    const Term& t = q.args()[i];
+    int pos = static_cast<int>(i);
+    if (pos < m) {
+      // Temporal position.
+      if (t.kind == Term::Kind::kInt) {
+        ITDB_ASSIGN_OR_RETURN(
+            rel, SelectTemporal(
+                     rel, TemporalCondition{pos, kZeroVar, CmpOp::kEq, t.number},
+                     algebra));
+      } else if (t.number != 0) {
+        // P(..., v + c, ...): the column equals v + c, so the variable's
+        // value is column - c.
+        ITDB_ASSIGN_OR_RETURN(std::int64_t delta, CheckedSub(0, t.number));
+        ITDB_ASSIGN_OR_RETURN(rel, ShiftTemporalColumn(rel, pos, delta));
+      }
+    } else {
+      // Data position.
+      if (t.kind == Term::Kind::kString) {
+        ITDB_ASSIGN_OR_RETURN(
+            rel, SelectData(rel, pos - m, CmpOp::kEq, Value(t.text)));
+      } else if (t.kind == Term::Kind::kInt) {
+        ITDB_ASSIGN_OR_RETURN(
+            rel, SelectData(rel, pos - m, CmpOp::kEq, Value(t.number)));
+      }
+    }
+  }
+  // Pass 2: repeated variables force equality selections; remember the
+  // first column of each variable.
+  std::map<std::string, int> first_position;
+  for (std::size_t i = 0; i < q.args().size(); ++i) {
+    const Term& t = q.args()[i];
+    if (t.kind != Term::Kind::kVariable) continue;
+    int pos = static_cast<int>(i);
+    auto [it, inserted] = first_position.emplace(t.var, pos);
+    if (inserted) continue;
+    int prev = it->second;
+    if (pos < m) {
+      ITDB_ASSIGN_OR_RETURN(
+          rel,
+          SelectTemporal(rel, TemporalCondition{prev, pos, CmpOp::kEq, 0},
+                         algebra));
+    } else {
+      ITDB_ASSIGN_OR_RETURN(rel,
+                            SelectDataEqColumns(rel, prev - m, pos - m));
+    }
+  }
+  // Pass 3: keep the first column of each variable, rename to the variable.
+  std::vector<std::string> keep;
+  std::vector<std::pair<std::string, std::string>> renames;
+  for (const auto& [var, pos] : first_position) {
+    const std::string& attr = pos < m ? schema.temporal_name(pos)
+                                      : schema.data_name(pos - m);
+    keep.push_back(attr);
+    renames.emplace_back(attr, var);
+  }
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation projected,
+                        Project(rel, keep, algebra));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation renamed,
+                        Rename(projected, renames));
+  return Canonical(renamed);
+}
+
+namespace {
+
+CmpOp ToCmpOp(QueryCmp cmp) {
+  switch (cmp) {
+    case QueryCmp::kEq:
+      return CmpOp::kEq;
+    case QueryCmp::kNe:
+      return CmpOp::kNe;
+    case QueryCmp::kLe:
+      return CmpOp::kLe;
+    case QueryCmp::kLt:
+      return CmpOp::kLt;
+    case QueryCmp::kGe:
+      return CmpOp::kGe;
+    case QueryCmp::kGt:
+      return CmpOp::kGt;
+  }
+  return CmpOp::kEq;
+}
+
+bool EvalGroundCmp(std::int64_t lhs, QueryCmp cmp, std::int64_t rhs) {
+  switch (cmp) {
+    case QueryCmp::kEq:
+      return lhs == rhs;
+    case QueryCmp::kNe:
+      return lhs != rhs;
+    case QueryCmp::kLe:
+      return lhs <= rhs;
+    case QueryCmp::kLt:
+      return lhs < rhs;
+    case QueryCmp::kGe:
+      return lhs >= rhs;
+    case QueryCmp::kGt:
+      return lhs > rhs;
+  }
+  return false;
+}
+
+GeneralizedRelation BooleanRelation(bool truth) {
+  GeneralizedRelation out((Schema()));
+  if (truth) {
+    Status s = out.AddTuple(GeneralizedTuple(std::vector<Lrp>{}));
+    (void)s;  // Cannot fail: arities match.
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<GeneralizedRelation> Evaluator::EvalCmp(const Query& q) const {
+  const Term& l = q.lhs();
+  const Term& r = q.rhs();
+  const bool l_var = l.kind == Term::Kind::kVariable;
+  const bool r_var = r.kind == Term::Kind::kVariable;
+  // Ground comparisons.
+  if (!l_var && !r_var) {
+    if (l.kind == Term::Kind::kString || r.kind == Term::Kind::kString) {
+      if (l.kind != r.kind) {
+        return Status::InvalidArgument(
+            "comparison between a string and an integer constant");
+      }
+      bool eq = l.text == r.text;
+      return BooleanRelation(q.cmp() == QueryCmp::kEq ? eq : !eq);
+    }
+    return BooleanRelation(EvalGroundCmp(l.number, q.cmp(), r.number));
+  }
+  // Identify the sort from either variable.
+  const std::string& probe = l_var ? l.var : r.var;
+  if (SortOf(probe) == Sort::kTime) {
+    if (l_var && r_var && l.var == r.var) {
+      // (v + c1) op (v + c2): ground.
+      bool truth = EvalGroundCmp(l.number, q.cmp(), r.number);
+      if (truth) return Universe({l.var});
+      GeneralizedRelation out(Schema({l.var}, {}, {}));
+      return out;
+    }
+    if (l_var && r_var) {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation universe,
+                            Universe({l.var, r.var}));
+      int lpos = *universe.schema().FindTemporal(l.var);
+      int rpos = *universe.schema().FindTemporal(r.var);
+      // (v_l + cl) op (v_r + cr)  <=>  v_l op v_r + (cr - cl).
+      ITDB_ASSIGN_OR_RETURN(std::int64_t delta,
+                            CheckedSub(r.number, l.number));
+      ITDB_ASSIGN_OR_RETURN(
+          GeneralizedRelation selected,
+          SelectTemporal(universe,
+                         TemporalCondition{lpos, rpos, ToCmpOp(q.cmp()), delta},
+                         algebra));
+      return Canonical(selected);
+    }
+    // Variable vs integer constant.
+    const Term& var_term = l_var ? l : r;
+    const Term& const_term = l_var ? r : l;
+    if (const_term.kind != Term::Kind::kInt) {
+      return Status::InvalidArgument(
+          "temporal variable compared with a string constant");
+    }
+    QueryCmp cmp = q.cmp();
+    if (!l_var) {
+      // const op var: flip.
+      switch (cmp) {
+        case QueryCmp::kLe:
+          cmp = QueryCmp::kGe;
+          break;
+        case QueryCmp::kLt:
+          cmp = QueryCmp::kGt;
+          break;
+        case QueryCmp::kGe:
+          cmp = QueryCmp::kLe;
+          break;
+        case QueryCmp::kGt:
+          cmp = QueryCmp::kLt;
+          break;
+        default:
+          break;
+      }
+    }
+    ITDB_ASSIGN_OR_RETURN(GeneralizedRelation universe, Universe({var_term.var}));
+    // (v + c) op K  <=>  v op K - c.
+    ITDB_ASSIGN_OR_RETURN(std::int64_t bound,
+                          CheckedSub(const_term.number, var_term.number));
+    return SelectTemporal(
+        universe, TemporalCondition{0, kZeroVar, ToCmpOp(cmp), bound}, algebra);
+  }
+  // Data sort: only = and != are defined.
+  if (q.cmp() != QueryCmp::kEq && q.cmp() != QueryCmp::kNe) {
+    return Status::InvalidArgument(
+        "order comparison on data-sorted variable \"" + probe + "\"");
+  }
+  const bool want_equal = q.cmp() == QueryCmp::kEq;
+  DataType type = TypeOf(probe);
+  if (l_var && r_var) {
+    GeneralizedRelation out(
+        Schema({}, {std::min(l.var, r.var), std::max(l.var, r.var)},
+               {type, type}));
+    if (l.var == r.var) {
+      return Status::InvalidArgument("variable compared with itself");
+    }
+    for (const Value& a : adom.OfType(type)) {
+      for (const Value& b : adom.OfType(type)) {
+        if ((a == b) == want_equal) {
+          ITDB_RETURN_IF_ERROR(
+              out.AddTuple(GeneralizedTuple(std::vector<Lrp>{}, {a, b})));
+        }
+      }
+    }
+    return out;
+  }
+  const Term& var_term = l_var ? l : r;
+  const Term& const_term = l_var ? r : l;
+  Value constant = const_term.kind == Term::Kind::kString
+                       ? Value(const_term.text)
+                       : Value(const_term.number);
+  GeneralizedRelation out(Schema({}, {var_term.var}, {type}));
+  if (want_equal) {
+    ITDB_RETURN_IF_ERROR(
+        out.AddTuple(GeneralizedTuple(std::vector<Lrp>{}, {constant})));
+    return out;
+  }
+  for (const Value& v : adom.OfType(type)) {
+    if (v != constant) {
+      ITDB_RETURN_IF_ERROR(
+          out.AddTuple(GeneralizedTuple(std::vector<Lrp>{}, {v})));
+    }
+  }
+  return out;
+}
+
+Result<GeneralizedRelation> Evaluator::EvalNot(
+    const GeneralizedRelation& rel) const {
+  std::vector<std::vector<Value>> domains;
+  domains.reserve(static_cast<std::size_t>(rel.schema().data_arity()));
+  for (int i = 0; i < rel.schema().data_arity(); ++i) {
+    domains.push_back(adom.OfType(rel.schema().data_type(i)));
+  }
+  return ComplementWithDataDomains(rel, domains, algebra);
+}
+
+Result<GeneralizedRelation> Evaluator::EvalOr(const Query& q) const {
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation l, Eval(*q.left()));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation r, Eval(*q.right()));
+  // Extend both sides to the union of their variables.
+  std::vector<std::string> vars;
+  for (const GeneralizedRelation* rel : {&l, &r}) {
+    for (const std::string& v : rel->schema().temporal_names()) {
+      vars.push_back(v);
+    }
+    for (const std::string& v : rel->schema().data_names()) vars.push_back(v);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation le, ExtendTo(l, vars));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation re, ExtendTo(r, vars));
+  return Union(le, re, algebra);
+}
+
+Result<GeneralizedRelation> Evaluator::ExistsVar(GeneralizedRelation rel,
+                                                 const std::string& var) const {
+  bool present = rel.schema().FindTemporal(var).has_value() ||
+                 rel.schema().FindData(var).has_value();
+  if (!present) return rel;  // Vacuous quantification over a nonempty sort.
+  std::vector<std::string> keep;
+  for (const std::string& v : rel.schema().temporal_names()) {
+    if (v != var) keep.push_back(v);
+  }
+  for (const std::string& v : rel.schema().data_names()) {
+    if (v != var) keep.push_back(v);
+  }
+  return Project(rel, keep, algebra);
+}
+
+Result<GeneralizedRelation> Evaluator::Eval(const Query& q) const {
+  switch (q.kind()) {
+    case Query::Kind::kAtom:
+      return EvalAtom(q);
+    case Query::Kind::kCmp:
+      return EvalCmp(q);
+    case Query::Kind::kAnd: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation l, Eval(*q.left()));
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation r, Eval(*q.right()));
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation joined, Join(l, r, algebra));
+      return Canonical(joined);
+    }
+    case Query::Kind::kOr:
+      return EvalOr(q);
+    case Query::Kind::kNot: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation inner, Eval(*q.left()));
+      return EvalNot(inner);
+    }
+    case Query::Kind::kExists: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation inner, Eval(*q.left()));
+      return ExistsVar(std::move(inner), q.quantified_var());
+    }
+    case Query::Kind::kForall: {
+      // forall v. phi  ==  not exists v. not phi.
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation inner, Eval(*q.left()));
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation negated, EvalNot(inner));
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation dropped,
+                            ExistsVar(std::move(negated), q.quantified_var()));
+      return EvalNot(dropped);
+    }
+  }
+  return Status::InvalidArgument("unreachable query kind");
+}
+
+}  // namespace
+
+Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
+                                      const QueryOptions& options) {
+  QueryPtr target = options.optimize ? Optimize(q) : q;
+  ITDB_ASSIGN_OR_RETURN(SortMap sorts, InferSorts(db, target));
+  ActiveDomain adom = ComputeActiveDomain(db, *target);
+  Evaluator evaluator{db, sorts, adom, options.algebra};
+  return evaluator.Eval(*target);
+}
+
+Result<bool> EvalBooleanQuery(const Database& db, const QueryPtr& q,
+                              const QueryOptions& options) {
+  if (!q->FreeVariables().empty()) {
+    std::string vars;
+    for (const std::string& v : q->FreeVariables()) vars += " " + v;
+    return Status::InvalidArgument(
+        "yes/no query has free variables:" + vars);
+  }
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, EvalQuery(db, q, options));
+  ITDB_ASSIGN_OR_RETURN(bool empty, IsEmpty(rel, options.algebra));
+  return !empty;
+}
+
+Result<GeneralizedRelation> EvalQueryString(const Database& db,
+                                            std::string_view text,
+                                            const QueryOptions& options) {
+  ITDB_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(text));
+  return EvalQuery(db, q, options);
+}
+
+Result<bool> EvalBooleanQueryString(const Database& db, std::string_view text,
+                                    const QueryOptions& options) {
+  ITDB_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(text));
+  return EvalBooleanQuery(db, q, options);
+}
+
+}  // namespace query
+}  // namespace itdb

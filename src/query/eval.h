@@ -1,0 +1,62 @@
+// Query evaluation (Section 4): compiles two-sorted first-order queries to
+// the closed relational algebra of Section 3 and evaluates them against a
+// Database.
+//
+// Semantics:
+//   * Temporal variables and quantifiers range over all of Z -- the whole
+//     point of the paper's representation.  Negation over the temporal sort
+//     uses the Appendix A.6 complement; universal temporal quantification
+//     is not(exists not(...)).
+//   * Data variables and quantifiers range over the ACTIVE DOMAIN: the data
+//     values appearing in the database plus the constants of the query,
+//     split by type.  This is the standard safe interpretation of the
+//     generic sort.
+//   * The result of an open query is a generalized relation with one
+//     temporal column per free temporal variable and one data column per
+//     free data variable, each named after its variable, in sorted name
+//     order per kind.
+//   * A sentence (no free variables) evaluates to a zero-arity relation;
+//     EvalBooleanQuery reports whether it is nonempty (Theorem 4.1).
+
+#ifndef ITDB_QUERY_EVAL_H_
+#define ITDB_QUERY_EVAL_H_
+
+#include <string_view>
+
+#include "core/algebra.h"
+#include "query/ast.h"
+#include "query/sorts.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace query {
+
+struct QueryOptions {
+  AlgebraOptions algebra;
+  /// Run the logical optimizer (query/optimize.h) before evaluation.
+  /// Semantics-preserving; dramatically cheaper complements on deeply
+  /// quantified queries.  Disable to benchmark the naive pipeline.
+  bool optimize = true;
+};
+
+/// Evaluates an open query; see the semantics above.
+Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
+                                      const QueryOptions& options = {});
+
+/// Evaluates a yes/no query.  Fails with kInvalidArgument when `q` has free
+/// variables.
+Result<bool> EvalBooleanQuery(const Database& db, const QueryPtr& q,
+                              const QueryOptions& options = {});
+
+/// Parse + evaluate conveniences.
+Result<GeneralizedRelation> EvalQueryString(const Database& db,
+                                            std::string_view text,
+                                            const QueryOptions& options = {});
+Result<bool> EvalBooleanQueryString(const Database& db, std::string_view text,
+                                    const QueryOptions& options = {});
+
+}  // namespace query
+}  // namespace itdb
+
+#endif  // ITDB_QUERY_EVAL_H_

@@ -1,0 +1,150 @@
+#include "query/optimize.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace itdb {
+namespace query {
+
+namespace {
+
+QueryCmp NegateCmp(QueryCmp cmp) {
+  switch (cmp) {
+    case QueryCmp::kEq:
+      return QueryCmp::kNe;
+    case QueryCmp::kNe:
+      return QueryCmp::kEq;
+    case QueryCmp::kLe:
+      return QueryCmp::kGt;
+    case QueryCmp::kLt:
+      return QueryCmp::kGe;
+    case QueryCmp::kGe:
+      return QueryCmp::kLt;
+    case QueryCmp::kGt:
+      return QueryCmp::kLe;
+  }
+  return cmp;
+}
+
+bool IsFreeIn(const QueryPtr& q, const std::string& var) {
+  std::vector<std::string> free = q->FreeVariables();
+  return std::binary_search(free.begin(), free.end(), var);
+}
+
+/// Pushes negations toward the leaves.  `negate` is the pending polarity.
+QueryPtr PushNegations(const QueryPtr& q, bool negate) {
+  switch (q->kind()) {
+    case Query::Kind::kAtom:
+      return negate ? Query::Not(q) : q;
+    case Query::Kind::kCmp:
+      return negate
+                 ? Query::Compare(q->lhs(), NegateCmp(q->cmp()), q->rhs())
+                 : q;
+    case Query::Kind::kAnd: {
+      QueryPtr l = PushNegations(q->left(), negate);
+      QueryPtr r = PushNegations(q->right(), negate);
+      return negate ? Query::Or(std::move(l), std::move(r))
+                    : Query::And(std::move(l), std::move(r));
+    }
+    case Query::Kind::kOr: {
+      QueryPtr l = PushNegations(q->left(), negate);
+      QueryPtr r = PushNegations(q->right(), negate);
+      return negate ? Query::And(std::move(l), std::move(r))
+                    : Query::Or(std::move(l), std::move(r));
+    }
+    case Query::Kind::kNot:
+      return PushNegations(q->left(), !negate);
+    case Query::Kind::kExists: {
+      // Deliberately do NOT rewrite "not exists" into "forall not": the
+      // evaluator computes a negated existential as one complement AFTER
+      // the projection (few columns), whereas a universal would complement
+      // the un-projected scope -- strictly more columns, exponentially
+      // worse (Table 3).  The pending negation stays outside.
+      QueryPtr body = PushNegations(q->left(), false);
+      QueryPtr exists = Query::Exists(q->quantified_var(), std::move(body));
+      return negate ? Query::Not(std::move(exists)) : exists;
+    }
+    case Query::Kind::kForall: {
+      if (negate) {
+        // "not forall x. phi" == "exists x. not phi": saves two of the
+        // three complements the evaluator would otherwise run.
+        return Query::Exists(q->quantified_var(),
+                             PushNegations(q->left(), true));
+      }
+      return Query::Forall(q->quantified_var(),
+                           PushNegations(q->left(), false));
+    }
+  }
+  return q;
+}
+
+/// Bottom-up quantifier scope minimization.
+QueryPtr ShrinkQuantifiers(const QueryPtr& q) {
+  switch (q->kind()) {
+    case Query::Kind::kAtom:
+    case Query::Kind::kCmp:
+      return q;
+    case Query::Kind::kAnd:
+      return Query::And(ShrinkQuantifiers(q->left()),
+                        ShrinkQuantifiers(q->right()));
+    case Query::Kind::kOr:
+      return Query::Or(ShrinkQuantifiers(q->left()),
+                       ShrinkQuantifiers(q->right()));
+    case Query::Kind::kNot:
+      return Query::Not(ShrinkQuantifiers(q->left()));
+    case Query::Kind::kExists:
+    case Query::Kind::kForall: {
+      const bool exists = q->kind() == Query::Kind::kExists;
+      const std::string& var = q->quantified_var();
+      QueryPtr body = ShrinkQuantifiers(q->left());
+      if (!IsFreeIn(body, var)) return body;  // Vacuous (domains nonempty).
+      auto requantify = [exists, &var](QueryPtr inner) {
+        return exists ? Query::Exists(var, std::move(inner))
+                      : Query::Forall(var, std::move(inner));
+      };
+      // Push through AND/OR when one side does not mention the variable
+      // (sound for both quantifiers in that one-sided case).
+      if (body->kind() == Query::Kind::kAnd ||
+          body->kind() == Query::Kind::kOr) {
+        const bool in_left = IsFreeIn(body->left(), var);
+        const bool in_right = IsFreeIn(body->right(), var);
+        auto rebuild = [&body](QueryPtr l, QueryPtr r) {
+          return body->kind() == Query::Kind::kAnd
+                     ? Query::And(std::move(l), std::move(r))
+                     : Query::Or(std::move(l), std::move(r));
+        };
+        if (in_left && !in_right) {
+          return rebuild(ShrinkQuantifiers(requantify(body->left())),
+                         body->right());
+        }
+        if (!in_left && in_right) {
+          return rebuild(body->left(),
+                         ShrinkQuantifiers(requantify(body->right())));
+        }
+      }
+      return requantify(std::move(body));
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+QueryPtr Optimize(const QueryPtr& q) {
+  QueryPtr current = q;
+  std::string fingerprint = current->ToString();
+  // Negation pushing can expose new shrink opportunities and vice versa;
+  // iterate to a fixpoint (bounded -- each pass only shrinks scopes).
+  for (int round = 0; round < 16; ++round) {
+    QueryPtr next = ShrinkQuantifiers(PushNegations(current, false));
+    std::string next_fingerprint = next->ToString();
+    if (next_fingerprint == fingerprint) break;
+    current = std::move(next);
+    fingerprint = std::move(next_fingerprint);
+  }
+  return current;
+}
+
+}  // namespace query
+}  // namespace itdb

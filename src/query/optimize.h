@@ -1,0 +1,52 @@
+// Logical query optimization.
+//
+// The evaluator compiles negation to the Appendix A.6 complement, whose
+// cost is exponential in the number of columns of its operand (Table 3 of
+// the paper).  The classical countermeasure is *miniscoping*: push
+// quantifiers (and negations) inward so complements run over as few
+// columns as possible.  Rewrites applied, all standard equivalences of
+// first-order logic:
+//
+//   NOT NOT phi                      -> phi
+//   NOT (phi AND psi)                -> NOT phi OR NOT psi     (toward atoms)
+//   NOT (phi OR psi)                 -> NOT phi AND NOT psi
+//   NOT FORALL v . phi               -> EXISTS v . NOT phi
+//   (but NOT EXISTS stays as written: the evaluator complements a negated
+//    existential after its projection, which is the cheap direction)
+//   NOT (t1 cmp t2)                  -> t1 cmp' t2   (comparison negation)
+//   EXISTS v . phi                   -> phi             if v not free in phi
+//   FORALL v . phi                   -> phi             if v not free in phi
+//   EXISTS v . (phi AND psi)         -> phi AND EXISTS v . psi   if v not
+//                                       free in phi (and symmetrically)
+//   EXISTS v . (phi OR psi)          -> phi OR EXISTS v . psi    if v not
+//                                       free in phi (and symmetrically)
+//   FORALL v . (phi AND psi)         -> phi AND FORALL v . psi   if v not
+//                                       free in phi (and symmetrically)
+//   FORALL v . (phi OR psi)          -> phi OR FORALL v . psi    if v not
+//                                       free in phi (and symmetrically)
+//
+// Quantifier-duplicating distributions (EXISTS over OR into both branches)
+// are deliberately NOT applied: they would quantify the same variable name
+// twice, which the sort-inference pass rejects.
+//
+// The rewrite is semantics-preserving under the evaluator's semantics
+// (temporal sort over Z -- nonempty -- and data sort over the active
+// domain): scope shrinking never changes which domain a quantifier ranges
+// over.
+
+#ifndef ITDB_QUERY_OPTIMIZE_H_
+#define ITDB_QUERY_OPTIMIZE_H_
+
+#include "query/ast.h"
+
+namespace itdb {
+namespace query {
+
+/// Returns an equivalent query with negations pushed toward atoms and
+/// quantifier scopes minimized.  Idempotent.
+QueryPtr Optimize(const QueryPtr& q);
+
+}  // namespace query
+}  // namespace itdb
+
+#endif  // ITDB_QUERY_OPTIMIZE_H_

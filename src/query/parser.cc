@@ -1,0 +1,165 @@
+#include "query/parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "storage/lexer.h"
+
+namespace itdb {
+namespace query {
+
+namespace {
+
+bool TryKeyword(TokenStream& ts, std::string_view upper,
+                std::string_view lower) {
+  return ts.TryIdent(upper) || ts.TryIdent(lower);
+}
+
+bool PeekIsKeyword(const TokenStream& ts) {
+  if (ts.Peek().kind != TokenKind::kIdent) return false;
+  const std::string& t = ts.Peek().text;
+  return t == "AND" || t == "and" || t == "OR" || t == "or" || t == "NOT" ||
+         t == "not" || t == "EXISTS" || t == "exists" || t == "FORALL" ||
+         t == "forall";
+}
+
+Result<QueryPtr> ParseImpl(TokenStream& ts);
+
+Result<Term> ParseTerm(TokenStream& ts) {
+  if (ts.Peek().kind == TokenKind::kString) {
+    return Term::String(ts.Next().text);
+  }
+  if (ts.Peek().kind == TokenKind::kInt ||
+      (ts.Peek().kind == TokenKind::kSymbol && ts.Peek().text == "-")) {
+    ITDB_ASSIGN_OR_RETURN(std::int64_t v, ts.ExpectInt());
+    return Term::Int(v);
+  }
+  if (ts.Peek().kind == TokenKind::kIdent && !PeekIsKeyword(ts)) {
+    std::string name = ts.Next().text;
+    std::int64_t offset = 0;
+    if (ts.Peek().kind == TokenKind::kSymbol &&
+        (ts.Peek().text == "+" || ts.Peek().text == "-") &&
+        ts.Peek(1).kind == TokenKind::kInt) {
+      bool negative = ts.Next().text == "-";
+      std::int64_t v = ts.Next().int_value;
+      offset = negative ? -v : v;
+    }
+    return Term::Variable(std::move(name), offset);
+  }
+  return ts.ErrorHere("expected a term");
+}
+
+std::optional<QueryCmp> TryCmpOp(TokenStream& ts) {
+  if (ts.TrySymbol("<=")) return QueryCmp::kLe;
+  if (ts.TrySymbol(">=")) return QueryCmp::kGe;
+  if (ts.TrySymbol("!=")) return QueryCmp::kNe;
+  if (ts.TrySymbol("=")) return QueryCmp::kEq;
+  if (ts.TrySymbol("<")) return QueryCmp::kLt;
+  if (ts.TrySymbol(">")) return QueryCmp::kGt;
+  return std::nullopt;
+}
+
+Result<QueryPtr> ParsePrimary(TokenStream& ts) {
+  if (ts.TrySymbol("(")) {
+    ITDB_ASSIGN_OR_RETURN(QueryPtr inner, ParseImpl(ts));
+    ITDB_RETURN_IF_ERROR(ts.ExpectSymbol(")"));
+    return inner;
+  }
+  // Atom: NAME "(" ... ")".
+  if (ts.Peek().kind == TokenKind::kIdent && !PeekIsKeyword(ts) &&
+      ts.Peek(1).kind == TokenKind::kSymbol && ts.Peek(1).text == "(") {
+    std::string name = ts.Next().text;
+    ts.Next();  // "(".
+    std::vector<Term> args;
+    if (!ts.TrySymbol(")")) {
+      while (true) {
+        ITDB_ASSIGN_OR_RETURN(Term t, ParseTerm(ts));
+        args.push_back(std::move(t));
+        if (ts.TrySymbol(")")) break;
+        ITDB_RETURN_IF_ERROR(ts.ExpectSymbol(","));
+      }
+    }
+    return Query::Atom(std::move(name), std::move(args));
+  }
+  // Comparison chain: term (OP term)+.
+  ITDB_ASSIGN_OR_RETURN(Term first, ParseTerm(ts));
+  std::optional<QueryCmp> op = TryCmpOp(ts);
+  if (!op.has_value()) {
+    return ts.ErrorHere("expected comparison operator");
+  }
+  ITDB_ASSIGN_OR_RETURN(Term second, ParseTerm(ts));
+  QueryPtr out = Query::Compare(first, *op, second);
+  Term prev = second;
+  while (true) {
+    std::optional<QueryCmp> next_op = TryCmpOp(ts);
+    if (!next_op.has_value()) break;
+    ITDB_ASSIGN_OR_RETURN(Term next, ParseTerm(ts));
+    out = Query::And(std::move(out), Query::Compare(prev, *next_op, next));
+    prev = next;
+  }
+  return out;
+}
+
+Result<QueryPtr> ParseUnary(TokenStream& ts) {
+  if (TryKeyword(ts, "NOT", "not")) {
+    ITDB_ASSIGN_OR_RETURN(QueryPtr inner, ParseUnary(ts));
+    return Query::Not(std::move(inner));
+  }
+  // Quantifier scope extends as far right as possible (standard logic
+  // convention): the body is a full implication expression.
+  if (TryKeyword(ts, "EXISTS", "exists")) {
+    ITDB_ASSIGN_OR_RETURN(std::string var, ts.ExpectIdent());
+    ITDB_RETURN_IF_ERROR(ts.ExpectSymbol("."));
+    ITDB_ASSIGN_OR_RETURN(QueryPtr body, ParseImpl(ts));
+    return Query::Exists(std::move(var), std::move(body));
+  }
+  if (TryKeyword(ts, "FORALL", "forall")) {
+    ITDB_ASSIGN_OR_RETURN(std::string var, ts.ExpectIdent());
+    ITDB_RETURN_IF_ERROR(ts.ExpectSymbol("."));
+    ITDB_ASSIGN_OR_RETURN(QueryPtr body, ParseImpl(ts));
+    return Query::Forall(std::move(var), std::move(body));
+  }
+  return ParsePrimary(ts);
+}
+
+Result<QueryPtr> ParseAnd(TokenStream& ts) {
+  ITDB_ASSIGN_OR_RETURN(QueryPtr out, ParseUnary(ts));
+  while (TryKeyword(ts, "AND", "and")) {
+    ITDB_ASSIGN_OR_RETURN(QueryPtr rhs, ParseUnary(ts));
+    out = Query::And(std::move(out), std::move(rhs));
+  }
+  return out;
+}
+
+Result<QueryPtr> ParseOr(TokenStream& ts) {
+  ITDB_ASSIGN_OR_RETURN(QueryPtr out, ParseAnd(ts));
+  while (TryKeyword(ts, "OR", "or")) {
+    ITDB_ASSIGN_OR_RETURN(QueryPtr rhs, ParseAnd(ts));
+    out = Query::Or(std::move(out), std::move(rhs));
+  }
+  return out;
+}
+
+Result<QueryPtr> ParseImpl(TokenStream& ts) {
+  ITDB_ASSIGN_OR_RETURN(QueryPtr lhs, ParseOr(ts));
+  if (ts.TrySymbol("->")) {
+    ITDB_ASSIGN_OR_RETURN(QueryPtr rhs, ParseImpl(ts));
+    return Query::Implies(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+}  // namespace
+
+Result<QueryPtr> ParseQuery(std::string_view text) {
+  ITDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenStream ts(std::move(tokens));
+  ITDB_ASSIGN_OR_RETURN(QueryPtr out, ParseImpl(ts));
+  if (!ts.AtEnd()) {
+    return ts.ErrorHere("trailing input after query");
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace itdb

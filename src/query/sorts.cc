@@ -1,0 +1,209 @@
+#include "query/sorts.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace itdb {
+namespace query {
+
+namespace {
+
+struct InferenceState {
+  const Database& db;
+  SortMap sorts;
+  // Equality/inequality edges between variables whose sorts must agree.
+  std::vector<std::pair<std::string, std::string>> links;
+};
+
+Status Assign(InferenceState& state, const std::string& var, Sort sort) {
+  auto [it, inserted] = state.sorts.emplace(var, sort);
+  if (!inserted && it->second != sort) {
+    auto name = [](Sort s) {
+      return s == Sort::kTime ? "time"
+             : s == Sort::kDataString ? "string"
+                                      : "int";
+    };
+    return Status::InvalidArgument("variable \"" + var +
+                                   "\" used with conflicting sorts (" +
+                                   name(it->second) + " vs " + name(sort) +
+                                   ")");
+  }
+  return Status::Ok();
+}
+
+Status CollectVariables(const Query& q, std::set<std::string>& bound,
+                        std::set<std::string>& seen_quantified,
+                        std::set<std::string>& all) {
+  switch (q.kind()) {
+    case Query::Kind::kAtom:
+      for (const Term& t : q.args()) {
+        if (t.kind == Term::Kind::kVariable) all.insert(t.var);
+      }
+      return Status::Ok();
+    case Query::Kind::kCmp:
+      for (const Term* t : {&q.lhs(), &q.rhs()}) {
+        if (t->kind == Term::Kind::kVariable) all.insert(t->var);
+      }
+      return Status::Ok();
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr:
+      ITDB_RETURN_IF_ERROR(
+          CollectVariables(*q.left(), bound, seen_quantified, all));
+      return CollectVariables(*q.right(), bound, seen_quantified, all);
+    case Query::Kind::kNot:
+      return CollectVariables(*q.left(), bound, seen_quantified, all);
+    case Query::Kind::kExists:
+    case Query::Kind::kForall: {
+      const std::string& var = q.quantified_var();
+      if (!seen_quantified.insert(var).second || bound.contains(var)) {
+        return Status::InvalidArgument(
+            "variable \"" + var +
+            "\" is quantified more than once (shadowing is not supported)");
+      }
+      bound.insert(var);
+      Status s = CollectVariables(*q.left(), bound, seen_quantified, all);
+      bound.erase(var);
+      all.insert(var);
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Walk(InferenceState& state, const Query& q) {
+  switch (q.kind()) {
+    case Query::Kind::kAtom: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel,
+                            state.db.Get(q.relation()));
+      const Schema& schema = rel.schema();
+      int expected = schema.temporal_arity() + schema.data_arity();
+      if (static_cast<int>(q.args().size()) != expected) {
+        return Status::InvalidArgument(
+            "relation \"" + q.relation() + "\" expects " +
+            std::to_string(expected) + " arguments, got " +
+            std::to_string(q.args().size()));
+      }
+      for (int i = 0; i < expected; ++i) {
+        const Term& t = q.args()[static_cast<std::size_t>(i)];
+        bool temporal_pos = i < schema.temporal_arity();
+        Sort position_sort =
+            temporal_pos ? Sort::kTime
+            : schema.data_type(i - schema.temporal_arity()) == DataType::kInt
+                ? Sort::kDataInt
+                : Sort::kDataString;
+        switch (t.kind) {
+          case Term::Kind::kVariable:
+            ITDB_RETURN_IF_ERROR(Assign(state, t.var, position_sort));
+            if (t.number != 0 && position_sort != Sort::kTime) {
+              return Status::InvalidArgument(
+                  "successor offset on non-temporal variable \"" + t.var +
+                  "\"");
+            }
+            break;
+          case Term::Kind::kInt:
+            if (position_sort == Sort::kDataString) {
+              return Status::InvalidArgument(
+                  "integer constant in string position of \"" + q.relation() +
+                  "\"");
+            }
+            break;
+          case Term::Kind::kString:
+            if (position_sort != Sort::kDataString) {
+              return Status::InvalidArgument(
+                  "string constant in non-string position of \"" +
+                  q.relation() + "\"");
+            }
+            break;
+        }
+      }
+      return Status::Ok();
+    }
+    case Query::Kind::kCmp: {
+      bool order = q.cmp() == QueryCmp::kLe || q.cmp() == QueryCmp::kLt ||
+                   q.cmp() == QueryCmp::kGe || q.cmp() == QueryCmp::kGt;
+      const Term& l = q.lhs();
+      const Term& r = q.rhs();
+      for (const Term* t : {&l, &r}) {
+        if (t->kind != Term::Kind::kVariable) continue;
+        if (order || t->number != 0) {
+          ITDB_RETURN_IF_ERROR(Assign(state, t->var, Sort::kTime));
+        }
+      }
+      // Constants force the sort of variable operands.
+      if (l.kind == Term::Kind::kVariable && r.kind == Term::Kind::kString) {
+        ITDB_RETURN_IF_ERROR(Assign(state, l.var, Sort::kDataString));
+      }
+      if (r.kind == Term::Kind::kVariable && l.kind == Term::Kind::kString) {
+        ITDB_RETURN_IF_ERROR(Assign(state, r.var, Sort::kDataString));
+      }
+      if (l.kind == Term::Kind::kVariable && r.kind == Term::Kind::kInt) {
+        ITDB_RETURN_IF_ERROR(Assign(state, l.var, Sort::kTime));
+      }
+      if (r.kind == Term::Kind::kVariable && l.kind == Term::Kind::kInt) {
+        ITDB_RETURN_IF_ERROR(Assign(state, r.var, Sort::kTime));
+      }
+      if (l.kind == Term::Kind::kVariable && r.kind == Term::Kind::kVariable) {
+        state.links.emplace_back(l.var, r.var);
+      }
+      if (l.kind == Term::Kind::kString && r.kind == Term::Kind::kString &&
+          order) {
+        return Status::InvalidArgument(
+            "order comparison between string constants");
+      }
+      return Status::Ok();
+    }
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr:
+      ITDB_RETURN_IF_ERROR(Walk(state, *q.left()));
+      return Walk(state, *q.right());
+    case Query::Kind::kNot:
+    case Query::Kind::kExists:
+    case Query::Kind::kForall:
+      return Walk(state, *q.left());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SortMap> InferSorts(const Database& db, const QueryPtr& q) {
+  // Reject shadowing first, so the single global SortMap is well defined.
+  std::set<std::string> bound;
+  std::set<std::string> seen_quantified;
+  std::set<std::string> all;
+  ITDB_RETURN_IF_ERROR(CollectVariables(*q, bound, seen_quantified, all));
+
+  InferenceState state{db, {}, {}};
+  ITDB_RETURN_IF_ERROR(Walk(state, *q));
+  // Propagate along = / != links to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : state.links) {
+      auto ia = state.sorts.find(a);
+      auto ib = state.sorts.find(b);
+      if (ia != state.sorts.end() && ib == state.sorts.end()) {
+        ITDB_RETURN_IF_ERROR(Assign(state, b, ia->second));
+        changed = true;
+      } else if (ib != state.sorts.end() && ia == state.sorts.end()) {
+        ITDB_RETURN_IF_ERROR(Assign(state, a, ib->second));
+        changed = true;
+      } else if (ia != state.sorts.end() && ib != state.sorts.end() &&
+                 ia->second != ib->second) {
+        return Status::InvalidArgument("variables \"" + a + "\" and \"" + b +
+                                       "\" compared but have different sorts");
+      }
+    }
+  }
+  for (const std::string& var : all) {
+    if (!state.sorts.contains(var)) {
+      return Status::InvalidArgument("cannot infer the sort of variable \"" +
+                                     var + "\"");
+    }
+  }
+  return state.sorts;
+}
+
+}  // namespace query
+}  // namespace itdb

@@ -1,0 +1,49 @@
+// Sort inference for query variables.
+//
+// The query language is two-sorted (Section 4): temporal variables range
+// over Z, data variables over the generic sort D.  The surface syntax does
+// not annotate variables, so sorts are inferred:
+//   * an argument position of a relation atom dictates the sort (and data
+//     type) of the variable appearing there;
+//   * order comparisons (<=, <, >=, >) and successor offsets force the
+//     temporal sort;
+//   * comparison against a string constant forces the string data sort;
+//   * comparison against an integer constant forces the temporal sort
+//     (write the value into a relation to compare data integers);
+//   * = / != propagate sorts between their operands.
+// Inference iterates to a fixpoint; inconsistent or undetermined variables
+// are errors.
+
+#ifndef ITDB_QUERY_SORTS_H_
+#define ITDB_QUERY_SORTS_H_
+
+#include <map>
+#include <string>
+
+#include "query/ast.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace query {
+
+enum class Sort {
+  kTime,
+  kDataString,
+  kDataInt,
+};
+
+/// Variable name -> inferred sort, for every variable in the query
+/// (quantified variable names must be distinct from each other and from the
+/// free variables; shadowing is rejected).
+using SortMap = std::map<std::string, Sort>;
+
+/// Infers the sort of every variable of `q` against the relation schemas in
+/// `db`.  Fails on: unknown relations, arity mismatches, inconsistent sort
+/// usage, undetermined variables, and variable shadowing.
+Result<SortMap> InferSorts(const Database& db, const QueryPtr& q);
+
+}  // namespace query
+}  // namespace itdb
+
+#endif  // ITDB_QUERY_SORTS_H_

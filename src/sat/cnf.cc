@@ -1,0 +1,61 @@
+#include "sat/cnf.h"
+
+#include <cassert>
+#include <random>
+
+namespace itdb {
+namespace sat {
+
+bool CnfFormula::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    for (const Literal& lit : clause.literals) {
+      bool value = assignment[static_cast<std::size_t>(lit.var)];
+      if (value != lit.negated) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += "(";
+    for (std::size_t j = 0; j < clauses_[i].literals.size(); ++j) {
+      if (j > 0) out += " | ";
+      const Literal& lit = clauses_[i].literals[j];
+      if (lit.negated) out += "!";
+      out += "x" + std::to_string(lit.var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+CnfFormula RandomThreeSat(std::uint32_t seed, int num_vars, int num_clauses) {
+  assert(num_vars >= 3);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> var_pick(0, num_vars - 1);
+  std::bernoulli_distribution sign_pick(0.5);
+  CnfFormula out(num_vars);
+  for (int c = 0; c < num_clauses; ++c) {
+    int a = var_pick(rng);
+    int b = var_pick(rng);
+    while (b == a) b = var_pick(rng);
+    int d = var_pick(rng);
+    while (d == a || d == b) d = var_pick(rng);
+    Clause clause;
+    clause.literals = {Literal{a, sign_pick(rng)}, Literal{b, sign_pick(rng)},
+                       Literal{d, sign_pick(rng)}};
+    out.AddClause(std::move(clause));
+  }
+  return out;
+}
+
+}  // namespace sat
+}  // namespace itdb

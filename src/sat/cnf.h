@@ -1,0 +1,60 @@
+// CNF formulas and random 3-SAT instances.
+//
+// Substrate for Theorem 3.6: the paper proves nonemptiness-of-complement
+// NP-complete by reducing 3-SAT to it.  We implement the instance type, a
+// reproducible random generator, a DPLL baseline solver (solver.h) and the
+// reduction itself (reduction.h).
+
+#ifndef ITDB_SAT_CNF_H_
+#define ITDB_SAT_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace itdb {
+namespace sat {
+
+/// A literal: variable index plus polarity.
+struct Literal {
+  int var = 0;
+  bool negated = false;
+
+  friend bool operator==(const Literal& a, const Literal& b) = default;
+};
+
+/// A disjunction of literals.
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+/// A conjunction of clauses over variables 0..num_vars-1.
+class CnfFormula {
+ public:
+  explicit CnfFormula(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  void AddClause(Clause clause) { clauses_.push_back(std::move(clause)); }
+
+  /// Whether `assignment` (size num_vars) satisfies every clause.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  /// "(x0 | !x1 | x2) & (...)".
+  std::string ToString() const;
+
+ private:
+  int num_vars_;
+  std::vector<Clause> clauses_;
+};
+
+/// Reproducible random 3-SAT: `num_clauses` clauses of three distinct
+/// variables with random polarities.  Requires num_vars >= 3.
+CnfFormula RandomThreeSat(std::uint32_t seed, int num_vars, int num_clauses);
+
+}  // namespace sat
+}  // namespace itdb
+
+#endif  // ITDB_SAT_CNF_H_

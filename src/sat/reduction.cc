@@ -1,0 +1,45 @@
+#include "sat/reduction.h"
+
+namespace itdb {
+namespace sat {
+
+Result<GeneralizedRelation> ReductionToRelation(const CnfFormula& formula) {
+  const int m = formula.num_vars();
+  GeneralizedRelation r(Schema::Temporal(m));
+  for (const Clause& clause : formula.clauses()) {
+    std::vector<Lrp> lrps(static_cast<std::size_t>(m), Lrp::Make(0, 1));
+    GeneralizedTuple t(std::move(lrps));
+    for (const Literal& lit : clause.literals) {
+      if (lit.negated) {
+        // not u_i in clause: falsified when u_i is true, i.e. X_i >= 0.
+        t.mutable_constraints().AddLowerBound(lit.var, 0);
+      } else {
+        // u_i in clause: falsified when u_i is false, i.e. X_i <= -1.
+        t.mutable_constraints().AddUpperBound(lit.var, -1);
+      }
+    }
+    ITDB_RETURN_IF_ERROR(r.AddTuple(std::move(t)));
+  }
+  return r;
+}
+
+Result<ComplementSatResult> SolveViaComplement(const CnfFormula& formula,
+                                               const AlgebraOptions& options) {
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation r, ReductionToRelation(formula));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation complement,
+                        Complement(r, options));
+  ComplementSatResult out;
+  out.complement_tuples = complement.size();
+  ITDB_ASSIGN_OR_RETURN(std::optional<ConcreteRow> witness,
+                        FindWitness(complement, options));
+  if (!witness.has_value()) return out;  // Unsatisfiable.
+  out.satisfiable = true;
+  out.assignment.reserve(witness->temporal.size());
+  for (std::int64_t x : witness->temporal) {
+    out.assignment.push_back(x >= 0);
+  }
+  return out;
+}
+
+}  // namespace sat
+}  // namespace itdb

@@ -1,0 +1,50 @@
+// The Theorem 3.6 reduction: 3-SAT -> nonemptiness of complement.
+//
+// Given a CNF over variables u_0..u_{m-1}, build a generalized relation r
+// with one temporal column per variable and one generalized tuple per
+// clause; the tuple's free extension is [n_0, ..., n_{m-1}] (all of Z) and
+// its constraints encode the clause being FALSIFIED:
+//
+//     u_i     in the clause  ->  X_i <  0   (u_i assigned false)
+//     not u_i in the clause  ->  X_i >= 0   (u_i assigned true)
+//
+// A point of Z^m then encodes an assignment (X_i >= 0 <=> u_i true), and it
+// lies in r iff it falsifies some clause.  Hence the complement of r is
+// nonempty iff the formula is satisfiable.
+
+#ifndef ITDB_SAT_REDUCTION_H_
+#define ITDB_SAT_REDUCTION_H_
+
+#include <vector>
+
+#include "core/algebra.h"
+#include "core/relation.h"
+#include "sat/cnf.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace sat {
+
+/// Builds the Theorem 3.6 relation for `formula`.
+Result<GeneralizedRelation> ReductionToRelation(const CnfFormula& formula);
+
+struct ComplementSatResult {
+  bool satisfiable = false;
+  /// Decoded witness assignment when satisfiable.
+  std::vector<bool> assignment;
+  /// Number of generalized tuples in the computed complement (the paper's
+  /// size measure for the negation, Appendix A.6).
+  int complement_tuples = 0;
+};
+
+/// Decides satisfiability of `formula` entirely through the generalized
+/// database pipeline: build the reduction relation, complement it
+/// (Appendix A.6 algorithm), test nonemptiness (Theorem 3.5), and decode a
+/// witness point into an assignment.
+Result<ComplementSatResult> SolveViaComplement(
+    const CnfFormula& formula, const AlgebraOptions& options = {});
+
+}  // namespace sat
+}  // namespace itdb
+
+#endif  // ITDB_SAT_REDUCTION_H_

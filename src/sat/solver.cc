@@ -1,0 +1,149 @@
+#include "sat/solver.h"
+
+#include <optional>
+
+namespace itdb {
+namespace sat {
+
+namespace {
+
+// -1 = unassigned, 0 = false, 1 = true.
+using Assignment = std::vector<int>;
+
+enum class ClauseState {
+  kSatisfied,
+  kConflict,
+  kUnit,
+  kUnresolved,
+};
+
+ClauseState Inspect(const Clause& clause, const Assignment& assignment,
+                    Literal* unit) {
+  int unassigned = 0;
+  for (const Literal& lit : clause.literals) {
+    int v = assignment[static_cast<std::size_t>(lit.var)];
+    if (v < 0) {
+      ++unassigned;
+      *unit = lit;
+    } else if ((v == 1) != lit.negated) {
+      return ClauseState::kSatisfied;
+    }
+  }
+  if (unassigned == 0) return ClauseState::kConflict;
+  if (unassigned == 1) return ClauseState::kUnit;
+  return ClauseState::kUnresolved;
+}
+
+// Unit propagation; returns false on conflict.
+bool Propagate(const CnfFormula& formula, Assignment& assignment) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : formula.clauses()) {
+      Literal unit;
+      switch (Inspect(clause, assignment, &unit)) {
+        case ClauseState::kConflict:
+          return false;
+        case ClauseState::kUnit:
+          assignment[static_cast<std::size_t>(unit.var)] =
+              unit.negated ? 0 : 1;
+          changed = true;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+// Assigns pure literals (appearing with one polarity among clauses not yet
+// satisfied).  Sound: it can only help satisfiability.
+void AssignPureLiterals(const CnfFormula& formula, Assignment& assignment) {
+  int n = formula.num_vars();
+  std::vector<bool> pos(static_cast<std::size_t>(n), false);
+  std::vector<bool> neg(static_cast<std::size_t>(n), false);
+  for (const Clause& clause : formula.clauses()) {
+    Literal unit;
+    if (Inspect(clause, assignment, &unit) == ClauseState::kSatisfied) {
+      continue;
+    }
+    for (const Literal& lit : clause.literals) {
+      if (assignment[static_cast<std::size_t>(lit.var)] >= 0) continue;
+      (lit.negated ? neg : pos)[static_cast<std::size_t>(lit.var)] = true;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    std::size_t uv = static_cast<std::size_t>(v);
+    if (assignment[uv] >= 0) continue;
+    if (pos[uv] && !neg[uv]) assignment[uv] = 1;
+    if (neg[uv] && !pos[uv]) assignment[uv] = 0;
+  }
+}
+
+struct DpllContext {
+  const CnfFormula& formula;
+  std::int64_t decisions = 0;
+  std::int64_t max_decisions = 0;
+  bool exhausted = false;
+  Assignment found;
+};
+
+bool Dpll(DpllContext& ctx, Assignment assignment) {
+  if (!Propagate(ctx.formula, assignment)) return false;
+  AssignPureLiterals(ctx.formula, assignment);
+  if (!Propagate(ctx.formula, assignment)) return false;
+  // Pick the first unassigned variable of an unsatisfied clause.
+  std::optional<int> branch_var;
+  bool all_satisfied = true;
+  for (const Clause& clause : ctx.formula.clauses()) {
+    Literal unit;
+    ClauseState state = Inspect(clause, assignment, &unit);
+    if (state == ClauseState::kSatisfied) continue;
+    all_satisfied = false;
+    if (state == ClauseState::kConflict) return false;
+    if (!branch_var.has_value()) branch_var = unit.var;
+  }
+  if (all_satisfied) {
+    // Complete the assignment arbitrarily and report it through the context.
+    for (int& v : assignment) {
+      if (v < 0) v = 0;
+    }
+    ctx.found = std::move(assignment);
+    return true;
+  }
+  if (++ctx.decisions > ctx.max_decisions) {
+    ctx.exhausted = true;
+    return false;
+  }
+  for (int value : {1, 0}) {
+    Assignment next = assignment;
+    next[static_cast<std::size_t>(*branch_var)] = value;
+    if (Dpll(ctx, std::move(next))) return true;
+    if (ctx.exhausted) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<SolveResult> SolveDpll(const CnfFormula& formula,
+                              std::int64_t max_decisions) {
+  DpllContext ctx{formula, 0, max_decisions, false, {}};
+  Assignment initial(static_cast<std::size_t>(formula.num_vars()), -1);
+  bool satisfiable = Dpll(ctx, std::move(initial));
+  if (ctx.exhausted) {
+    return Status::ResourceExhausted("DPLL exceeded the decision budget");
+  }
+  SolveResult out;
+  out.satisfiable = satisfiable;
+  out.decisions = ctx.decisions;
+  if (satisfiable) {
+    out.assignment.reserve(ctx.found.size());
+    for (int v : ctx.found) out.assignment.push_back(v == 1);
+  }
+  return out;
+}
+
+}  // namespace sat
+}  // namespace itdb

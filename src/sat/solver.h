@@ -1,0 +1,35 @@
+// DPLL SAT solver: the classical baseline against which the Theorem 3.6
+// reduction pipeline is cross-checked (every instance must get the same
+// verdict from both) and benchmarked.
+
+#ifndef ITDB_SAT_SOLVER_H_
+#define ITDB_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace sat {
+
+struct SolveResult {
+  bool satisfiable = false;
+  /// A satisfying assignment when satisfiable.
+  std::vector<bool> assignment;
+  /// Branching decisions taken (a machine-independent work measure).
+  std::int64_t decisions = 0;
+};
+
+/// Davis-Putnam-Logemann-Loveland with unit propagation and pure-literal
+/// elimination.  Fails with kResourceExhausted after `max_decisions`
+/// branching decisions.
+Result<SolveResult> SolveDpll(const CnfFormula& formula,
+                              std::int64_t max_decisions = std::int64_t{1}
+                                                           << 24);
+
+}  // namespace sat
+}  // namespace itdb
+
+#endif  // ITDB_SAT_SOLVER_H_

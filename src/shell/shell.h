@@ -1,0 +1,43 @@
+// The itdb shell: a small line-oriented interface over a Database.
+//
+// Commands (one per line; '#' starts a comment):
+//   help                         list commands
+//   load <path>                  parse relation blocks from a file
+//   define relation N(...) {...} inline definition (may span lines)
+//   list                         relation names
+//   show <name>                  print a relation in the text format
+//   enumerate <name> <lo> <hi>   concrete rows in a window
+//   ask <query>                  yes/no first-order query
+//   query <query>                open query; prints the result relation
+//   save <path>                  write the whole catalog to a file
+//   drop <name>                  remove a relation
+//   quit / exit                  leave
+//
+// The command loop lives in a library (RunShell) so it can be unit tested;
+// tools/itdb_shell.cc wraps it for interactive use.
+
+#ifndef ITDB_SHELL_SHELL_H_
+#define ITDB_SHELL_SHELL_H_
+
+#include <iosfwd>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace itdb {
+
+struct ShellOptions {
+  /// Print a prompt before each command (interactive sessions).
+  bool prompt = false;
+  /// Stop at the first failing command instead of reporting and continuing.
+  bool stop_on_error = false;
+};
+
+/// Runs the command loop until EOF or quit.  Command output and error
+/// reports go to `out`.  Returns non-OK only for stop_on_error failures.
+Status RunShell(std::istream& in, std::ostream& out, Database& db,
+                const ShellOptions& options = {});
+
+}  // namespace itdb
+
+#endif  // ITDB_SHELL_SHELL_H_

@@ -1,0 +1,69 @@
+#include "storage/database.h"
+
+#include <utility>
+
+#include "storage/lexer.h"
+#include "storage/text_format.h"
+
+namespace itdb {
+
+Status Database::Add(const std::string& name, GeneralizedRelation relation) {
+  if (relations_.contains(name)) {
+    return Status::InvalidArgument("relation \"" + name + "\" already exists");
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::Ok();
+}
+
+void Database::Put(const std::string& name, GeneralizedRelation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Status Database::Remove(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation \"" + name + "\" does not exist");
+  }
+  return Status::Ok();
+}
+
+Result<GeneralizedRelation> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation \"" + name + "\" does not exist");
+  }
+  return it->second;
+}
+
+bool Database::Has(const std::string& name) const {
+  return relations_.contains(name);
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) out.push_back(name);
+  return out;
+}
+
+Result<Database> Database::FromText(std::string_view text) {
+  ITDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenStream ts(std::move(tokens));
+  Database out;
+  while (!ts.AtEnd()) {
+    ITDB_ASSIGN_OR_RETURN(NamedRelation named,
+                          internal_text_format::ParseRelationBlock(ts));
+    ITDB_RETURN_IF_ERROR(out.Add(named.name, std::move(named.relation)));
+  }
+  return out;
+}
+
+std::string Database::ToText() const {
+  std::string out;
+  for (const auto& [name, relation] : relations_) {
+    out += PrintRelation(name, relation);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace itdb

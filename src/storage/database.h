@@ -1,0 +1,46 @@
+// A temporal database: a catalog of named generalized relations
+// (the "collections of generalized relations" of Section 2.1), with textual
+// load/save built on text_format.h.
+
+#ifndef ITDB_STORAGE_DATABASE_H_
+#define ITDB_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace itdb {
+
+/// A catalog of named generalized relations.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds (or fails on duplicate name).
+  Status Add(const std::string& name, GeneralizedRelation relation);
+  /// Replaces or adds.
+  void Put(const std::string& name, GeneralizedRelation relation);
+  Status Remove(const std::string& name);
+
+  /// Fails with kNotFound for unknown names.
+  Result<GeneralizedRelation> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  int size() const { return static_cast<int>(relations_.size()); }
+
+  /// Parses a sequence of `relation ... { ... }` blocks.
+  static Result<Database> FromText(std::string_view text);
+  /// Serializes every relation; FromText round-trips.
+  std::string ToText() const;
+
+ private:
+  std::map<std::string, GeneralizedRelation> relations_;
+};
+
+}  // namespace itdb
+
+#endif  // ITDB_STORAGE_DATABASE_H_

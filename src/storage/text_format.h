@@ -1,0 +1,63 @@
+// Textual format for generalized relations, mirroring the paper's tables.
+//
+// Example (Table 1 of the paper):
+//
+//   relation Perform(From: time, To: time, Robot: string) {
+//     [2+2n, 4+2n | "robot1"] : From = To - 2 && From >= -1;
+//     [6+10n, 7+10n | "robot2"] : From = To - 1 && From >= 10;
+//     [10n, 3+10n | "robot2"] : From = To - 3;
+//   }
+//
+// Grammar (informal):
+//   file       := relation*
+//   relation   := "relation" NAME "(" attr ("," attr)* ")" "{" tuple* "}"
+//   attr       := NAME ":" ("time" | "int" | "string")
+//   tuple      := "[" lrp ("," lrp)* ("|" value ("," value)*)? "]"
+//                 (":" conj)? ";"
+//   lrp        := INT | INT VAR | INT ("+"|"-") INT VAR | VAR
+//                 (VAR is any identifier starting with 'n'; "10n" = 0+10n,
+//                  "n" = 0+1n)
+//   conj       := atom ("&&" atom)*
+//   atom       := operand OP operand        OP in { <=, >=, =, <, > }
+//   operand    := INT | COL | COL ("+"|"-") INT
+//   COL        := a temporal attribute name, or X1..Xk (1-based, paper
+//                 style), or T1..Tk
+//   value      := INT | STRING
+//
+// Constraints must be "restricted" in the paper's sense: at most one
+// temporal attribute on each side, unit coefficients.
+
+#ifndef ITDB_STORAGE_TEXT_FORMAT_H_
+#define ITDB_STORAGE_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/relation.h"
+#include "storage/lexer.h"
+#include "util/status.h"
+
+namespace itdb {
+
+/// A parsed named relation.
+struct NamedRelation {
+  std::string name;
+  GeneralizedRelation relation;
+};
+
+namespace internal_text_format {
+/// Parses one `relation ... { ... }` block from an open token stream
+/// (shared with the multi-relation database parser).
+Result<NamedRelation> ParseRelationBlock(TokenStream& ts);
+}  // namespace internal_text_format
+
+/// Parses a single `relation ... { ... }` block.
+Result<NamedRelation> ParseRelation(std::string_view text);
+
+/// Serializes a relation in the same format (ParseRelation round-trips).
+std::string PrintRelation(const std::string& name,
+                          const GeneralizedRelation& relation);
+
+}  // namespace itdb
+
+#endif  // ITDB_STORAGE_TEXT_FORMAT_H_

@@ -1,0 +1,123 @@
+// Point-based linear temporal logic over the infinite integer timeline,
+// evaluated by compilation to the Section 3 relational algebra.
+//
+// The paper's introduction observes that "model-checking is essentially a
+// form of query evaluation on a special type of database".  This module
+// makes that concrete: atomic propositions are unary temporal relations of
+// a Database, and each temporal operator is a fixed first-order definition
+// over them, so the satisfaction set of any formula is itself a unary
+// generalized relation -- computed exactly, over all of Z, with no horizon.
+//
+// Operators (discrete time, both temporal directions):
+//   Prop(p)                   instants where relation p holds
+//   Not / And / Or            boolean structure
+//   Next / Prev               one step forward / backward
+//   Eventually / Always       unbounded future   (F / G)
+//   Once / Historically       unbounded past     (P / H)
+//   Until(a, b)               exists u >= t with b(u) and a on [t, u)
+//   Since(a, b)               past mirror of Until
+//   EventuallyWithin(a,l,h)   exists u in [t+l, t+h] with a(u)
+//   AlwaysWithin(a,l,h)       for all  u in [t+l, t+h], a(u)
+
+#ifndef ITDB_TL_LTL_H_
+#define ITDB_TL_LTL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/algebra.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace tl {
+
+class TlFormula;
+using TlPtr = std::shared_ptr<const TlFormula>;
+
+/// An immutable temporal-logic formula.
+class TlFormula {
+ public:
+  enum class Kind {
+    kProp,
+    kNot,
+    kAnd,
+    kOr,
+    kNext,
+    kPrev,
+    kEventually,
+    kAlways,
+    kOnce,
+    kHistorically,
+    kUntil,
+    kSince,
+    kEventuallyWithin,
+    kAlwaysWithin,
+  };
+
+  static TlPtr Prop(std::string relation_name);
+  static TlPtr Not(TlPtr a);
+  static TlPtr And(TlPtr a, TlPtr b);
+  static TlPtr Or(TlPtr a, TlPtr b);
+  /// a -> b, sugar for (NOT a) OR b.
+  static TlPtr Implies(TlPtr a, TlPtr b);
+  static TlPtr Next(TlPtr a);
+  static TlPtr Prev(TlPtr a);
+  static TlPtr Eventually(TlPtr a);
+  static TlPtr Always(TlPtr a);
+  static TlPtr Once(TlPtr a);
+  static TlPtr Historically(TlPtr a);
+  static TlPtr Until(TlPtr a, TlPtr b);
+  static TlPtr Since(TlPtr a, TlPtr b);
+  /// Pre: lo <= hi.
+  static TlPtr EventuallyWithin(TlPtr a, std::int64_t lo, std::int64_t hi);
+  static TlPtr AlwaysWithin(TlPtr a, std::int64_t lo, std::int64_t hi);
+  /// Derived: a W b == G a | (a U b)  (until with no obligation that b
+  /// ever happens).
+  static TlPtr WeakUntil(TlPtr a, TlPtr b);
+  /// Derived: a R b == !( !a U !b )  (b holds up to and including the
+  /// first a, or forever).
+  static TlPtr Release(TlPtr a, TlPtr b);
+
+  Kind kind() const { return kind_; }
+  const std::string& prop() const { return prop_; }
+  const TlPtr& left() const { return left_; }
+  const TlPtr& right() const { return right_; }
+  std::int64_t lo() const { return lo_; }
+  std::int64_t hi() const { return hi_; }
+
+  std::string ToString() const;
+
+ protected:
+  TlFormula() = default;
+
+ private:
+  friend struct TlBuilder;
+
+  Kind kind_ = Kind::kProp;
+  std::string prop_;
+  TlPtr left_;
+  TlPtr right_;
+  std::int64_t lo_ = 0;
+  std::int64_t hi_ = 0;
+};
+
+/// The satisfaction set {t in Z | t |= f} as a unary generalized relation
+/// (column "T").  Every proposition must name a relation in `db` of
+/// temporal arity 1 and data arity 0.
+Result<GeneralizedRelation> SatisfactionSet(const Database& db, const TlPtr& f,
+                                            const AlgebraOptions& options = {});
+
+/// Whether the formula holds at the single instant t.
+Result<bool> HoldsAt(const Database& db, const TlPtr& f, std::int64_t t,
+                     const AlgebraOptions& options = {});
+
+/// Whether the formula holds at every instant (its satisfaction set is Z).
+Result<bool> HoldsEverywhere(const Database& db, const TlPtr& f,
+                             const AlgebraOptions& options = {});
+
+}  // namespace tl
+}  // namespace itdb
+
+#endif  // ITDB_TL_LTL_H_

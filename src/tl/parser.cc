@@ -1,0 +1,138 @@
+#include "tl/parser.h"
+
+#include <string>
+#include <vector>
+
+#include "storage/lexer.h"
+
+namespace itdb {
+namespace tl {
+
+namespace {
+
+using F = TlFormula;
+
+Result<TlPtr> ParseImpl(TokenStream& ts);
+
+bool IsModalLetter(const std::string& s) {
+  return s == "X" || s == "Y" || s == "F" || s == "G" || s == "O" || s == "H";
+}
+
+// A modal letter acts as an operator only when what follows can start a
+// modal operand: '(', '[', '!' or another modal application.
+bool NextStartsOperand(const TokenStream& ts) {
+  const Token& t = ts.Peek(1);
+  if (t.kind == TokenKind::kSymbol) {
+    return t.text == "(" || t.text == "[" || t.text == "!";
+  }
+  return false;
+}
+
+Result<TlPtr> ParseUnary(TokenStream& ts);
+
+Result<TlPtr> ParseModal(TokenStream& ts) {
+  if (ts.Peek().kind == TokenKind::kIdent && IsModalLetter(ts.Peek().text) &&
+      NextStartsOperand(ts)) {
+    std::string op = ts.Next().text;
+    bool bounded = false;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (ts.TrySymbol("[")) {
+      bounded = true;
+      ITDB_ASSIGN_OR_RETURN(lo, ts.ExpectInt());
+      ITDB_RETURN_IF_ERROR(ts.ExpectSymbol(","));
+      ITDB_ASSIGN_OR_RETURN(hi, ts.ExpectInt());
+      ITDB_RETURN_IF_ERROR(ts.ExpectSymbol("]"));
+    }
+    ITDB_ASSIGN_OR_RETURN(TlPtr body, ParseUnary(ts));
+    if (bounded) {
+      if (op == "F") return F::EventuallyWithin(std::move(body), lo, hi);
+      if (op == "G") return F::AlwaysWithin(std::move(body), lo, hi);
+      return ts.ErrorHere("bounds are only supported on F and G");
+    }
+    if (op == "X") return F::Next(std::move(body));
+    if (op == "Y") return F::Prev(std::move(body));
+    if (op == "F") return F::Eventually(std::move(body));
+    if (op == "G") return F::Always(std::move(body));
+    if (op == "O") return F::Once(std::move(body));
+    return F::Historically(std::move(body));  // "H".
+  }
+  if (ts.TrySymbol("(")) {
+    ITDB_ASSIGN_OR_RETURN(TlPtr inner, ParseImpl(ts));
+    ITDB_RETURN_IF_ERROR(ts.ExpectSymbol(")"));
+    return inner;
+  }
+  if (ts.Peek().kind == TokenKind::kIdent) {
+    return F::Prop(ts.Next().text);
+  }
+  return ts.ErrorHere("expected a temporal formula");
+}
+
+Result<TlPtr> ParseUnary(TokenStream& ts) {
+  if (ts.TrySymbol("!")) {
+    ITDB_ASSIGN_OR_RETURN(TlPtr inner, ParseUnary(ts));
+    return F::Not(std::move(inner));
+  }
+  return ParseModal(ts);
+}
+
+Result<TlPtr> ParseUntil(TokenStream& ts) {
+  ITDB_ASSIGN_OR_RETURN(TlPtr lhs, ParseUnary(ts));
+  if (ts.Peek().kind == TokenKind::kIdent &&
+      (ts.Peek().text == "U" || ts.Peek().text == "S" ||
+       ts.Peek().text == "W" || ts.Peek().text == "R")) {
+    std::string op = ts.Next().text;
+    ITDB_ASSIGN_OR_RETURN(TlPtr rhs, ParseUntil(ts));
+    if (op == "U") return F::Until(std::move(lhs), std::move(rhs));
+    if (op == "S") return F::Since(std::move(lhs), std::move(rhs));
+    if (op == "W") return F::WeakUntil(std::move(lhs), std::move(rhs));
+    return F::Release(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<TlPtr> ParseAnd(TokenStream& ts) {
+  ITDB_ASSIGN_OR_RETURN(TlPtr out, ParseUntil(ts));
+  while (ts.TrySymbol("&") || ts.TrySymbol("&&")) {
+    ITDB_ASSIGN_OR_RETURN(TlPtr rhs, ParseUntil(ts));
+    out = F::And(std::move(out), std::move(rhs));
+  }
+  return out;
+}
+
+Result<TlPtr> ParseOr(TokenStream& ts) {
+  ITDB_ASSIGN_OR_RETURN(TlPtr out, ParseAnd(ts));
+  while (true) {
+    // '|' but not '||' (the lexer emits '||' as one token; accept both).
+    if (ts.TrySymbol("|") || ts.TrySymbol("||")) {
+      ITDB_ASSIGN_OR_RETURN(TlPtr rhs, ParseAnd(ts));
+      out = F::Or(std::move(out), std::move(rhs));
+      continue;
+    }
+    return out;
+  }
+}
+
+Result<TlPtr> ParseImpl(TokenStream& ts) {
+  ITDB_ASSIGN_OR_RETURN(TlPtr lhs, ParseOr(ts));
+  if (ts.TrySymbol("->")) {
+    ITDB_ASSIGN_OR_RETURN(TlPtr rhs, ParseImpl(ts));
+    return F::Implies(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+}  // namespace
+
+Result<TlPtr> ParseTlFormula(std::string_view text) {
+  ITDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenStream ts(std::move(tokens));
+  ITDB_ASSIGN_OR_RETURN(TlPtr out, ParseImpl(ts));
+  if (!ts.AtEnd()) {
+    return ts.ErrorHere("trailing input after formula");
+  }
+  return out;
+}
+
+}  // namespace tl
+}  // namespace itdb

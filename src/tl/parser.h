@@ -1,0 +1,43 @@
+// Parser for textual temporal-logic formulas.
+//
+// Grammar (precedence low to high):
+//   impl   := or ("->" impl)?                (right associative)
+//   or     := and ("|" and)*
+//   and    := until ("&" until)*
+//   until  := unary (OP2 unary)?             (right associative)
+//   OP2    := "U" (until) | "S" (since) | "W" (weak until) | "R" (release)
+//   unary  := "!" unary | modal
+//   modal  := OP ("[" INT "," INT "]")? unary
+//           | "(" impl ")"
+//           | IDENT                          (a proposition name)
+//   OP     := "X" (next) | "Y" (previously) | "F" (eventually)
+//           | "G" (always) | "O" (once) | "H" (historically)
+//
+// The single letters X Y F G O H act as operators only when followed by
+// '(' , '[' or '!'; otherwise they parse as proposition names, so relations
+// named "F" remain usable.  Bounds "[l,h]" are only meaningful on F and G
+// (giving EventuallyWithin / AlwaysWithin).
+//
+// Examples:
+//   G(alert -> F[0,4] service)
+//   !(p U q) | X p
+//   H (poll) -> O (service)
+
+#ifndef ITDB_TL_PARSER_H_
+#define ITDB_TL_PARSER_H_
+
+#include <string_view>
+
+#include "tl/ltl.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace tl {
+
+/// Parses one formula; fails with kParseError on malformed input.
+Result<TlPtr> ParseTlFormula(std::string_view text);
+
+}  // namespace tl
+}  // namespace itdb
+
+#endif  // ITDB_TL_PARSER_H_

@@ -1,0 +1,128 @@
+#include "util/numeric.h"
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace itdb {
+
+namespace {
+
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+
+}  // namespace
+
+std::int64_t FloorDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t FloorMod(std::int64_t a, std::int64_t b) {
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return -FloorDiv(-a, b);
+}
+
+std::int64_t Gcd(std::int64_t a, std::int64_t b) {
+  // Work on unsigned magnitudes so that INT64_MIN does not overflow llabs.
+  std::uint64_t ua = a == kInt64Min
+                         ? static_cast<std::uint64_t>(kInt64Max) + 1
+                         : static_cast<std::uint64_t>(a < 0 ? -a : a);
+  std::uint64_t ub = b == kInt64Min
+                         ? static_cast<std::uint64_t>(kInt64Max) + 1
+                         : static_cast<std::uint64_t>(b < 0 ? -b : b);
+  while (ub != 0) {
+    std::uint64_t t = ua % ub;
+    ua = ub;
+    ub = t;
+  }
+  return static_cast<std::int64_t>(ua);
+}
+
+Result<std::int64_t> Lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return std::int64_t{0};
+  std::int64_t g = Gcd(a, b);
+  __int128 l = static_cast<__int128>(a < 0 ? -static_cast<__int128>(a) : a) /
+               g *
+               static_cast<__int128>(b < 0 ? -static_cast<__int128>(b) : b);
+  if (l > static_cast<__int128>(kInt64Max)) {
+    return Status::Overflow("lcm overflows int64");
+  }
+  return static_cast<std::int64_t>(l);
+}
+
+ExtendedGcd ExtGcd(std::int64_t a, std::int64_t b) {
+  // Iterative extended Euclid.  Invariants: r0 = a*x0 + b*y0, r1 = a*x1 + b*y1.
+  std::int64_t r0 = a, r1 = b;
+  std::int64_t x0 = 1, x1 = 0;
+  std::int64_t y0 = 0, y1 = 1;
+  while (r1 != 0) {
+    std::int64_t q = r0 / r1;
+    std::int64_t t;
+    t = r0 - q * r1;
+    r0 = r1;
+    r1 = t;
+    t = x0 - q * x1;
+    x0 = x1;
+    x1 = t;
+    t = y0 - q * y1;
+    y0 = y1;
+    y1 = t;
+  }
+  if (r0 < 0) {
+    r0 = -r0;
+    x0 = -x0;
+    y0 = -y0;
+  }
+  return ExtendedGcd{r0, x0, y0};
+}
+
+Result<std::int64_t> ModInverse(std::int64_t a, std::int64_t m) {
+  if (m <= 0) {
+    return Status::InvalidArgument("ModInverse: modulus must be positive, got " +
+                                   std::to_string(m));
+  }
+  ExtendedGcd e = ExtGcd(FloorMod(a, m), m);
+  if (e.g != 1) {
+    return Status::InvalidArgument(
+        "ModInverse: " + std::to_string(a) + " is not invertible modulo " +
+        std::to_string(m) + " (gcd = " + std::to_string(e.g) + ")");
+  }
+  return FloorMod(e.x, m);
+}
+
+Result<std::int64_t> CheckedAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return Status::Overflow("add overflows int64: " + std::to_string(a) +
+                            " + " + std::to_string(b));
+  }
+  return out;
+}
+
+Result<std::int64_t> CheckedSub(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return Status::Overflow("sub overflows int64: " + std::to_string(a) +
+                            " - " + std::to_string(b));
+  }
+  return out;
+}
+
+Result<std::int64_t> CheckedMul(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return Status::Overflow("mul overflows int64: " + std::to_string(a) +
+                            " * " + std::to_string(b));
+  }
+  return out;
+}
+
+}  // namespace itdb

@@ -1,0 +1,57 @@
+// Checked 64-bit integer arithmetic and elementary number theory.
+//
+// The lrp algorithms of the paper (Section 3.2.1) reduce to gcd / lcm /
+// extended-Euclid computations; periods can be multiplied together during
+// normalization (Appendix A.1), so all products and lcms are overflow-checked
+// via 128-bit intermediates and surface failures as Status.
+
+#ifndef ITDB_UTIL_NUMERIC_H_
+#define ITDB_UTIL_NUMERIC_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace itdb {
+
+/// Floored division: the unique q with a = q*b + r and 0 <= r < |b|.
+/// Pre: b != 0.  (C++ `/` truncates toward zero, which is wrong for the
+/// residue computations on negative offsets used throughout the lrp code.)
+std::int64_t FloorDiv(std::int64_t a, std::int64_t b);
+
+/// Floored modulus: a - FloorDiv(a, b) * b.  The remainder has the sign of
+/// the divisor, so for b > 0 (the only case the lrp code uses) it lies in
+/// [0, b).  Pre: b != 0.
+std::int64_t FloorMod(std::int64_t a, std::int64_t b);
+
+/// Ceiling division.  Pre: b != 0.
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b);
+
+/// Non-negative greatest common divisor; Gcd(0, 0) == 0.
+std::int64_t Gcd(std::int64_t a, std::int64_t b);
+
+/// Least common multiple of |a| and |b|; fails with kOverflow if it does not
+/// fit in int64.  Lcm(0, x) == 0.
+Result<std::int64_t> Lcm(std::int64_t a, std::int64_t b);
+
+/// Extended Euclid: returns g = gcd(a, b) (non-negative) and Bezout
+/// coefficients with a*x + b*y == g.
+struct ExtendedGcd {
+  std::int64_t g;
+  std::int64_t x;
+  std::int64_t y;
+};
+ExtendedGcd ExtGcd(std::int64_t a, std::int64_t b);
+
+/// Modular inverse of a modulo m (m > 0): the x in [0, m) with
+/// a*x === 1 (mod m).  Fails with kInvalidArgument when gcd(a, m) != 1.
+Result<std::int64_t> ModInverse(std::int64_t a, std::int64_t m);
+
+/// Checked arithmetic; fail with kOverflow when the result does not fit.
+Result<std::int64_t> CheckedAdd(std::int64_t a, std::int64_t b);
+Result<std::int64_t> CheckedSub(std::int64_t a, std::int64_t b);
+Result<std::int64_t> CheckedMul(std::int64_t a, std::int64_t b);
+
+}  // namespace itdb
+
+#endif  // ITDB_UTIL_NUMERIC_H_

@@ -1,0 +1,114 @@
+// Failure-injection tests: every resource budget must surface
+// kResourceExhausted (never crash, never silently truncate), and overflow
+// paths must surface kOverflow.
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+#include "core/normalize.h"
+
+namespace itdb {
+namespace {
+
+GeneralizedRelation Unary(std::initializer_list<Lrp> lrps) {
+  GeneralizedRelation r(Schema::Temporal(1));
+  for (const Lrp& l : lrps) {
+    EXPECT_TRUE(r.AddTuple(GeneralizedTuple({l})).ok());
+  }
+  return r;
+}
+
+TEST(BudgetTest, IntersectTupleBudget) {
+  GeneralizedRelation a = Unary({Lrp::Make(0, 2), Lrp::Make(1, 2)});
+  AlgebraOptions options;
+  options.max_tuples = 3;  // 2 x 2 pairings exceed it.
+  Result<GeneralizedRelation> r = Intersect(a, a, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, CrossProductTupleBudget) {
+  GeneralizedRelation a(Schema({"A"}, {}, {}));
+  GeneralizedRelation b(Schema({"B"}, {}, {}));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(a.AddTuple(GeneralizedTuple({Lrp::Make(i, 5)})).ok());
+    ASSERT_TRUE(b.AddTuple(GeneralizedTuple({Lrp::Make(i, 5)})).ok());
+  }
+  AlgebraOptions options;
+  options.max_tuples = 8;  // 9 > 8.
+  Result<GeneralizedRelation> r = CrossProduct(a, b, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, SubtractionChainBudget) {
+  // Each subtracted singleton splits tuples; a tiny budget trips quickly.
+  GeneralizedRelation a = Unary({Lrp::Make(0, 1)});
+  GeneralizedRelation b =
+      Unary({Lrp::Singleton(0), Lrp::Singleton(10), Lrp::Singleton(20)});
+  AlgebraOptions options;
+  options.max_tuples = 2;
+  Result<GeneralizedRelation> r = Subtract(a, b, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, NormalizationSplitBudget) {
+  GeneralizedTuple t({Lrp::Make(0, 4), Lrp::Make(0, 9), Lrp::Make(0, 25)});
+  NormalizeOptions options;
+  options.max_split_product = 100;  // (900/4)*(900/9)*(900/25) >> 100.
+  Result<std::vector<GeneralizedTuple>> r = NormalizeTuple(t, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, ComplementUniverseBudget) {
+  GeneralizedRelation r = Unary({Lrp::Make(0, 1000)});
+  AlgebraOptions options;
+  options.max_complement_universe = 100;
+  Result<GeneralizedRelation> c = Complement(r, options);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, ComplementDnfBudget) {
+  // Many constrained tuples on one residue: the incremental DNF grows and
+  // hits max_tuples.
+  GeneralizedRelation r(Schema::Temporal(2));
+  for (int i = 0; i < 12; ++i) {
+    GeneralizedTuple t({Lrp::Make(0, 1), Lrp::Make(0, 1)});
+    t.mutable_constraints().AddDifferenceUpperBound(0, 1, i);
+    t.mutable_constraints().AddUpperBound(0, 100 - i);
+    t.mutable_constraints().AddLowerBound(1, i - 100);
+    ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  }
+  AlgebraOptions options;
+  options.max_tuples = 2;
+  Result<GeneralizedRelation> c = Complement(r, options);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, LcmOverflowSurfacesAsOverflow) {
+  // Two huge coprime periods: the common period overflows int64.
+  constexpr std::int64_t kBig = (std::int64_t{1} << 31) - 1;   // Prime.
+  constexpr std::int64_t kBig2 = std::int64_t{1} << 33;
+  GeneralizedTuple t({Lrp::Make(0, kBig), Lrp::Make(0, kBig2)});
+  Result<std::int64_t> k = CommonPeriod(t);
+  // lcm = kBig * kBig2 ~ 2^64: must overflow, not wrap.
+  ASSERT_FALSE(k.ok());
+  EXPECT_EQ(k.status().code(), StatusCode::kOverflow);
+}
+
+TEST(BudgetTest, ErrorsCarryOperationNames) {
+  GeneralizedRelation a = Unary({Lrp::Make(0, 2), Lrp::Make(1, 2)});
+  AlgebraOptions options;
+  options.max_tuples = 1;
+  Result<GeneralizedRelation> r = Union(a, a, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Union"), std::string::npos)
+      << r.status();
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,311 @@
+#include "core/lrp.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+// Brute-force reference: the elements of {c + k n} in [lo, hi].
+std::set<std::int64_t> ReferenceElements(std::int64_t c, std::int64_t k,
+                                         std::int64_t lo, std::int64_t hi) {
+  std::set<std::int64_t> out;
+  for (std::int64_t x = lo; x <= hi; ++x) {
+    if (k == 0 ? x == c : ((x - c) % k + k) % k == 0) out.insert(x);
+  }
+  return out;
+}
+
+std::set<std::int64_t> AsSet(const Lrp& l, std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> v = l.ElementsInRange(lo, hi);
+  return std::set<std::int64_t>(v.begin(), v.end());
+}
+
+TEST(LrpTest, CanonicalForm) {
+  Lrp a = Lrp::Make(3, 5);
+  EXPECT_EQ(a.offset(), 3);
+  EXPECT_EQ(a.period(), 5);
+  // Negative period flips; offset reduced mod period.
+  EXPECT_EQ(Lrp::Make(3, -5), a);
+  EXPECT_EQ(Lrp::Make(8, 5), a);
+  EXPECT_EQ(Lrp::Make(-2, 5), a);
+  EXPECT_EQ(Lrp::Make(-17, 5), a);
+  // Singletons keep their raw value.
+  EXPECT_EQ(Lrp::Singleton(-42).offset(), -42);
+  EXPECT_EQ(Lrp::Singleton(-42).period(), 0);
+}
+
+TEST(LrpTest, PaperExample21) {
+  // "The lrp 3 + 5n represents {..., -17, -12, 3 ... wait, -2, 3, 8, 13, ...}"
+  Lrp a = Lrp::Make(3, 5);
+  for (std::int64_t x : {-17L, -12L, 3L, 8L, 13L, 18L, 23L}) {
+    EXPECT_TRUE(a.Contains(x)) << x;
+  }
+  for (std::int64_t x : {-16L, 0L, 1L, 2L, 4L, 9L}) {
+    EXPECT_FALSE(a.Contains(x)) << x;
+  }
+}
+
+TEST(LrpTest, SingletonContains) {
+  Lrp s = Lrp::Singleton(7);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(6));
+  EXPECT_TRUE(s.IsSingleton());
+  EXPECT_FALSE(Lrp::Make(0, 2).IsSingleton());
+}
+
+TEST(LrpTest, Includes) {
+  EXPECT_TRUE(Lrp::Make(1, 3).Includes(Lrp::Make(4, 6)));    // 4+6n in 1+3n
+  EXPECT_FALSE(Lrp::Make(1, 3).Includes(Lrp::Make(5, 6)));   // 5 not === 1 mod 3
+  EXPECT_TRUE(Lrp::Make(0, 1).Includes(Lrp::Make(17, 23)));  // Z includes all
+  EXPECT_TRUE(Lrp::Make(2, 4).Includes(Lrp::Singleton(10)));
+  EXPECT_FALSE(Lrp::Make(2, 4).Includes(Lrp::Singleton(11)));
+  EXPECT_FALSE(Lrp::Singleton(2).Includes(Lrp::Make(2, 4)));
+  EXPECT_TRUE(Lrp::Singleton(2).Includes(Lrp::Singleton(2)));
+}
+
+TEST(LrpIntersectTest, PaperExample31) {
+  // From Example 3.1:  2n+1  ^  5n  ==  10n+5,   3n-4 ^ 5n+2 == 15n+2.
+  Result<std::optional<Lrp>> r1 =
+      Lrp::Intersect(Lrp::Make(1, 2), Lrp::Make(0, 5));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1.value().has_value());
+  EXPECT_EQ(*r1.value(), Lrp::Make(5, 10));
+
+  Result<std::optional<Lrp>> r2 =
+      Lrp::Intersect(Lrp::Make(-4, 3), Lrp::Make(2, 5));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2.value().has_value());
+  EXPECT_EQ(*r2.value(), Lrp::Make(2, 15));
+}
+
+TEST(LrpIntersectTest, EmptyWhenIncompatibleResidues) {
+  // 0+2n and 1+2n never meet.
+  Result<std::optional<Lrp>> r =
+      Lrp::Intersect(Lrp::Make(0, 2), Lrp::Make(1, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+  // gcd(4,6)=2 does not divide 1-0=1.
+  r = Lrp::Intersect(Lrp::Make(0, 4), Lrp::Make(1, 6));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+}
+
+TEST(LrpIntersectTest, SingletonCases) {
+  Result<std::optional<Lrp>> r =
+      Lrp::Intersect(Lrp::Singleton(10), Lrp::Make(2, 4));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().has_value());
+  EXPECT_EQ(*r.value(), Lrp::Singleton(10));
+
+  r = Lrp::Intersect(Lrp::Make(2, 4), Lrp::Singleton(11));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+
+  r = Lrp::Intersect(Lrp::Singleton(5), Lrp::Singleton(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().has_value());
+  r = Lrp::Intersect(Lrp::Singleton(5), Lrp::Singleton(6));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+}
+
+// Property sweep: intersection agrees with brute-force set intersection.
+class LrpIntersectPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>> {
+};
+
+TEST_P(LrpIntersectPropertyTest, MatchesSetSemantics) {
+  auto [c1, k1, c2, k2] = GetParam();
+  Lrp a = Lrp::Make(c1, k1);
+  Lrp b = Lrp::Make(c2, k2);
+  Result<std::optional<Lrp>> r = Lrp::Intersect(a, b);
+  ASSERT_TRUE(r.ok());
+  constexpr std::int64_t kLo = -60, kHi = 60;
+  std::set<std::int64_t> expect;
+  std::set<std::int64_t> sa = ReferenceElements(c1, k1, kLo, kHi);
+  std::set<std::int64_t> sb = ReferenceElements(c2, k2, kLo, kHi);
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(expect, expect.begin()));
+  std::set<std::int64_t> got =
+      r.value().has_value() ? AsSet(*r.value(), kLo, kHi)
+                            : std::set<std::int64_t>();
+  EXPECT_EQ(got, expect) << "a=" << a.ToString() << " b=" << b.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LrpIntersectPropertyTest,
+    ::testing::Combine(::testing::Values(-7, -1, 0, 2, 3, 5),
+                       ::testing::Values(0, 1, 2, 3, 4, 6, 10),
+                       ::testing::Values(-5, 0, 1, 4),
+                       ::testing::Values(0, 1, 2, 5, 6, 9)));
+
+TEST(LrpSubtractTest, DisjointGivesOriginal) {
+  Result<LrpDifference> d =
+      Lrp::Subtract(Lrp::Make(0, 2), Lrp::Make(1, 2));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.value().parts.size(), 1u);
+  EXPECT_EQ(d.value().parts[0], Lrp::Make(0, 2));
+  EXPECT_FALSE(d.value().punctured.has_value());
+}
+
+TEST(LrpSubtractTest, IncludedGivesEmpty) {
+  Result<LrpDifference> d =
+      Lrp::Subtract(Lrp::Make(4, 6), Lrp::Make(1, 3));  // 4+6n subset 1+3n
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().IsEmpty());
+}
+
+TEST(LrpSubtractTest, ResidueClassesRemoved) {
+  // (1+3n) - (4+6n) = 1+6n  (the odd-index residue class).
+  Result<LrpDifference> d =
+      Lrp::Subtract(Lrp::Make(1, 3), Lrp::Make(4, 6));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.value().parts.size(), 1u);
+  EXPECT_EQ(d.value().parts[0], Lrp::Make(1, 6));
+}
+
+TEST(LrpSubtractTest, PuncturedPointReported) {
+  Result<LrpDifference> d =
+      Lrp::Subtract(Lrp::Make(0, 5), Lrp::Singleton(10));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().parts.empty());
+  ASSERT_TRUE(d.value().punctured.has_value());
+  EXPECT_EQ(d.value().punctured->base, Lrp::Make(0, 5));
+  EXPECT_EQ(d.value().punctured->point, 10);
+}
+
+TEST(LrpSubtractTest, SingletonMinusAnything) {
+  Result<LrpDifference> d =
+      Lrp::Subtract(Lrp::Singleton(10), Lrp::Make(0, 5));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().IsEmpty());
+  d = Lrp::Subtract(Lrp::Singleton(11), Lrp::Make(0, 5));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.value().parts.size(), 1u);
+  EXPECT_EQ(d.value().parts[0], Lrp::Singleton(11));
+}
+
+class LrpSubtractPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>> {
+};
+
+TEST_P(LrpSubtractPropertyTest, MatchesSetSemantics) {
+  auto [c1, k1, c2, k2] = GetParam();
+  Lrp a = Lrp::Make(c1, k1);
+  Lrp b = Lrp::Make(c2, k2);
+  Result<LrpDifference> r = Lrp::Subtract(a, b);
+  ASSERT_TRUE(r.ok());
+  constexpr std::int64_t kLo = -60, kHi = 60;
+  std::set<std::int64_t> expect;
+  std::set<std::int64_t> sa = ReferenceElements(c1, k1, kLo, kHi);
+  std::set<std::int64_t> sb = ReferenceElements(c2, k2, kLo, kHi);
+  std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                      std::inserter(expect, expect.begin()));
+  std::set<std::int64_t> got;
+  for (const Lrp& part : r.value().parts) {
+    for (std::int64_t x : part.ElementsInRange(kLo, kHi)) got.insert(x);
+  }
+  if (r.value().punctured.has_value()) {
+    for (std::int64_t x :
+         r.value().punctured->base.ElementsInRange(kLo, kHi)) {
+      if (x != r.value().punctured->point) got.insert(x);
+    }
+  }
+  EXPECT_EQ(got, expect) << "a=" << a.ToString() << " b=" << b.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LrpSubtractPropertyTest,
+    ::testing::Combine(::testing::Values(-7, 0, 2, 5),
+                       ::testing::Values(0, 1, 2, 3, 6),
+                       ::testing::Values(-5, 0, 1, 4, 10),
+                       ::testing::Values(0, 1, 2, 6, 12)));
+
+TEST(LrpSubtractTest, PathologicalPeriodRatioBudgeted) {
+  Result<LrpDifference> d = Lrp::Subtract(
+      Lrp::Make(0, 1), Lrp::Make(0, std::int64_t{1} << 30));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LrpSplitTest, Lemma31) {
+  // 1+3n split to period 6: {1+6n, 4+6n}.
+  Result<std::vector<Lrp>> r = Lrp::Make(1, 3).SplitToPeriod(6);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0], Lrp::Make(1, 6));
+  EXPECT_EQ(r.value()[1], Lrp::Make(4, 6));
+}
+
+TEST(LrpSplitTest, UnionOfSplitEqualsOriginal) {
+  Lrp a = Lrp::Make(2, 4);
+  Result<std::vector<Lrp>> r = a.SplitToPeriod(12);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  std::set<std::int64_t> whole = AsSet(a, -50, 50);
+  std::set<std::int64_t> pieces;
+  for (const Lrp& p : r.value()) {
+    for (std::int64_t x : p.ElementsInRange(-50, 50)) {
+      EXPECT_TRUE(pieces.insert(x).second) << "pieces overlap at " << x;
+    }
+  }
+  EXPECT_EQ(pieces, whole);
+}
+
+TEST(LrpSplitTest, InvalidTargets) {
+  EXPECT_FALSE(Lrp::Make(1, 3).SplitToPeriod(7).ok());   // Not a multiple.
+  EXPECT_FALSE(Lrp::Make(1, 3).SplitToPeriod(0).ok());   // Not positive.
+  EXPECT_FALSE(Lrp::Make(1, 3).SplitToPeriod(-6).ok());  // Not positive.
+  EXPECT_FALSE(Lrp::Singleton(1).SplitToPeriod(6).ok()); // Singleton.
+}
+
+TEST(LrpTest, FirstAtLeast) {
+  Lrp a = Lrp::Make(3, 5);
+  EXPECT_EQ(a.FirstAtLeast(3), 3);
+  EXPECT_EQ(a.FirstAtLeast(4), 8);
+  EXPECT_EQ(a.FirstAtLeast(-100), -97);
+  EXPECT_EQ(Lrp::Singleton(5).FirstAtLeast(5), 5);
+  EXPECT_EQ(Lrp::Singleton(5).FirstAtLeast(6), std::nullopt);
+}
+
+TEST(LrpTest, FirstAtLeastNearInt64Max) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Lrp a = Lrp::Make(0, 10);
+  // The next multiple of 10 after kMax - 3 does not fit in int64.
+  EXPECT_EQ(a.FirstAtLeast(kMax - 3), std::nullopt);
+  // But one that fits is returned exactly (kMax ends in 7, so kMax - 17 is
+  // itself a multiple of 10).
+  EXPECT_EQ(a.FirstAtLeast(kMax - 17), kMax - 17);
+  EXPECT_EQ(a.FirstAtLeast(kMax - 16), kMax - 7);
+  // And enumeration near the edge stays safe.
+  EXPECT_TRUE(a.ElementsInRange(kMax - 3, kMax).empty());
+}
+
+TEST(LrpTest, ElementsInRange) {
+  EXPECT_EQ(Lrp::Make(3, 5).ElementsInRange(0, 20),
+            (std::vector<std::int64_t>{3, 8, 13, 18}));
+  EXPECT_EQ(Lrp::Make(3, 5).ElementsInRange(4, 7),
+            (std::vector<std::int64_t>()));
+  EXPECT_EQ(Lrp::Singleton(5).ElementsInRange(0, 10),
+            (std::vector<std::int64_t>{5}));
+  EXPECT_EQ(Lrp::Singleton(5).ElementsInRange(6, 10),
+            (std::vector<std::int64_t>()));
+}
+
+TEST(LrpTest, ToString) {
+  EXPECT_EQ(Lrp::Make(3, 5).ToString(), "3+5n");
+  EXPECT_EQ(Lrp::Singleton(-4).ToString(), "-4");
+  EXPECT_EQ(Lrp::Make(8, 5).ToString(), "3+5n");  // Canonicalized.
+}
+
+}  // namespace
+}  // namespace itdb

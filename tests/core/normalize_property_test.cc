@@ -1,0 +1,99 @@
+// Randomized properties of Theorem 3.2 normalization:
+//   * the normal-form set represents exactly the original extension;
+//   * every output tuple is in normal form with the tuple's lcm period;
+//   * the free extensions of the outputs are pairwise disjoint (the cross
+//     product of Lemma 3.1 splits partitions the original lattice);
+//   * every output is feasible (step 4 pruned the contradictions).
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random_relations.h"
+#include "core/normalize.h"
+
+namespace itdb {
+namespace {
+
+using testing_util::MakeRandomRelation;
+using testing_util::RandomRelationConfig;
+
+class NormalizePropertyTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(NormalizePropertyTest, NormalFormInvariants) {
+  RandomRelationConfig cfg;
+  cfg.num_tuples = 4;
+  cfg.periods = {0, 1, 2, 3, 4, 6};
+  GeneralizedRelation r = MakeRandomRelation(GetParam() + 4200, cfg);
+  for (const GeneralizedTuple& t : r.tuples()) {
+    Result<std::vector<GeneralizedTuple>> normal = NormalizeTuple(t);
+    ASSERT_TRUE(normal.ok()) << normal.status() << " for " << t.ToString();
+    Result<std::int64_t> k = CommonPeriod(t);
+    ASSERT_TRUE(k.ok());
+
+    // (1) Same extension on a window.
+    std::set<std::vector<std::int64_t>> original;
+    for (const std::vector<std::int64_t>& p : t.EnumerateTemporal(-20, 20)) {
+      original.insert(p);
+    }
+    std::set<std::vector<std::int64_t>> rebuilt;
+    for (const GeneralizedTuple& nt : normal.value()) {
+      // (2) Normal form with the right period.
+      std::int64_t period = 0;
+      EXPECT_TRUE(IsNormalForm(nt, &period)) << nt.ToString();
+      bool all_const = true;
+      for (const Lrp& l : nt.temporal()) {
+        if (l.period() != 0) all_const = false;
+      }
+      if (!all_const) {
+        EXPECT_EQ(period, k.value()) << nt.ToString();
+      }
+      // (4) Feasible.
+      Result<NSpaceTuple> ns = NSpaceTuple::Build(nt);
+      ASSERT_TRUE(ns.ok());
+      EXPECT_TRUE(ns.value().feasible()) << nt.ToString();
+      for (const std::vector<std::int64_t>& p :
+           nt.EnumerateTemporal(-20, 20)) {
+        // (3) Disjoint free extensions: no point seen twice.
+        EXPECT_TRUE(rebuilt.insert(p).second)
+            << "duplicate point in normal form of " << t.ToString();
+      }
+    }
+    EXPECT_EQ(rebuilt, original) << t.ToString();
+  }
+}
+
+TEST_P(NormalizePropertyTest, ExplicitPeriodMultiplesAlsoWork) {
+  RandomRelationConfig cfg;
+  cfg.num_tuples = 2;
+  cfg.periods = {1, 2, 3};
+  GeneralizedRelation r = MakeRandomRelation(GetParam() + 7700, cfg);
+  for (const GeneralizedTuple& t : r.tuples()) {
+    Result<std::int64_t> k = CommonPeriod(t);
+    ASSERT_TRUE(k.ok());
+    // Normalize to twice the natural period: still exact.
+    Result<std::vector<GeneralizedTuple>> normal =
+        NormalizeTupleToPeriod(t, k.value() * 2);
+    ASSERT_TRUE(normal.ok()) << normal.status();
+    std::set<std::vector<std::int64_t>> original;
+    for (const std::vector<std::int64_t>& p : t.EnumerateTemporal(-15, 15)) {
+      original.insert(p);
+    }
+    std::set<std::vector<std::int64_t>> rebuilt;
+    for (const GeneralizedTuple& nt : normal.value()) {
+      for (const std::vector<std::int64_t>& p :
+           nt.EnumerateTemporal(-15, 15)) {
+        rebuilt.insert(p);
+      }
+    }
+    EXPECT_EQ(rebuilt, original) << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizePropertyTest,
+                         ::testing::Range(std::uint32_t{0}, std::uint32_t{30}));
+
+}  // namespace
+}  // namespace itdb

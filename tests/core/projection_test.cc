@@ -1,0 +1,191 @@
+// Projection tests, centered on the paper's Figure 2 / Example 3.2: the
+// case where naive real-arithmetic variable elimination is unsound and
+// normalization fixes it (Theorem 3.1).
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+#include "core/relation.h"
+
+namespace itdb {
+namespace {
+
+using Point = std::vector<std::int64_t>;
+
+std::set<std::int64_t> UnaryEnum(const GeneralizedRelation& r, std::int64_t lo,
+                                 std::int64_t hi) {
+  std::set<std::int64_t> out;
+  for (const ConcreteRow& row : r.Enumerate(lo, hi)) {
+    out.insert(row.temporal[0]);
+  }
+  return out;
+}
+
+GeneralizedRelation Figure2Relation() {
+  GeneralizedRelation r(Schema::Temporal(2));
+  GeneralizedTuple t({Lrp::Make(3, 4), Lrp::Make(1, 8)});
+  Dbm& c = t.mutable_constraints();
+  c.AddDifferenceUpperBound(1, 0, 0);  // X1 >= X2.
+  c.AddDifferenceUpperBound(0, 1, 5);  // X1 <= X2 + 5.
+  c.AddLowerBound(1, 2);               // X2 >= 2.
+  EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+  return r;
+}
+
+TEST(ProjectionTest, PaperExample32ProjectionOnX1) {
+  // The paper's worked result: Pi_{X1} = [8n+3] with X1 >= 11, i.e. the set
+  // {11, 19, 27, ...}.  The naive real projection would wrongly include
+  // 3, 7, 15, 23, ...
+  GeneralizedRelation r = Figure2Relation();
+  Result<GeneralizedRelation> p = Project(r, {"T1"});
+  ASSERT_TRUE(p.ok());
+  std::set<std::int64_t> got = UnaryEnum(p.value(), -10, 60);
+  std::set<std::int64_t> expect;
+  for (std::int64_t x = 11; x <= 60; x += 8) expect.insert(x);
+  EXPECT_EQ(got, expect);
+  // The real-projection artifacts of Figure 2 are absent.
+  for (std::int64_t bogus : {3, 7, 15, 23}) {
+    EXPECT_EQ(got.count(bogus), 0u) << bogus;
+  }
+}
+
+TEST(ProjectionTest, PaperExample32ProjectionIsSingleTupleWithBound) {
+  GeneralizedRelation r = Figure2Relation();
+  Result<GeneralizedRelation> p = Project(r, {"T1"});
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.value().size(), 1);
+  const GeneralizedTuple& t = p.value().tuples()[0];
+  EXPECT_EQ(t.lrp(0), Lrp::Make(3, 8));
+  EXPECT_FALSE(t.ContainsTemporal({3}));
+  EXPECT_TRUE(t.ContainsTemporal({11}));
+  EXPECT_TRUE(t.ContainsTemporal({19}));
+}
+
+TEST(ProjectionTest, ProjectionMatchesEnumerationSemantics) {
+  // Enumerate-then-project == project-then-enumerate on a window wide enough
+  // to contain all projection witnesses.
+  GeneralizedRelation r(Schema::Temporal(2));
+  GeneralizedTuple t({Lrp::Make(1, 3), Lrp::Make(0, 2)});
+  t.mutable_constraints().AddDifferenceUpperBound(0, 1, 1);
+  t.mutable_constraints().AddDifferenceUpperBound(1, 0, 4);
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  Result<GeneralizedRelation> p = Project(r, {"T1"});
+  ASSERT_TRUE(p.ok());
+  std::set<std::int64_t> direct;
+  for (const ConcreteRow& row : r.Enumerate(-40, 40)) {
+    if (row.temporal[0] >= -20 && row.temporal[0] <= 20) {
+      direct.insert(row.temporal[0]);
+    }
+  }
+  EXPECT_EQ(UnaryEnum(p.value(), -20, 20), direct);
+}
+
+TEST(ProjectionTest, DropsDataColumns) {
+  Schema schema({"T1"}, {"who"}, {DataType::kString});
+  GeneralizedRelation r(schema);
+  GeneralizedTuple t({Lrp::Make(0, 5)}, {Value("robot")});
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  Result<GeneralizedRelation> p = Project(r, {"T1"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().schema().data_arity(), 0);
+  EXPECT_EQ(p.value().schema().temporal_arity(), 1);
+}
+
+TEST(ProjectionTest, KeepsDataDropsTemporal) {
+  Schema schema({"T1", "T2"}, {"who"}, {DataType::kString});
+  GeneralizedRelation r(schema);
+  GeneralizedTuple t({Lrp::Make(0, 5), Lrp::Make(1, 5)}, {Value("robot")});
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  Result<GeneralizedRelation> p = Project(r, {"T2", "who"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().schema().temporal_names(),
+            std::vector<std::string>{"T2"});
+  EXPECT_EQ(p.value().schema().data_names(), std::vector<std::string>{"who"});
+  ASSERT_EQ(p.value().size(), 1);
+  EXPECT_EQ(p.value().tuples()[0].lrp(0), Lrp::Make(1, 5));
+  EXPECT_EQ(p.value().tuples()[0].value(0).AsString(), "robot");
+}
+
+TEST(ProjectionTest, ReordersTemporalColumns) {
+  GeneralizedRelation r(Schema::Temporal(2));
+  GeneralizedTuple t({Lrp::Make(0, 2), Lrp::Make(1, 2)});
+  t.mutable_constraints().AddDifferenceUpperBound(0, 1, -1);  // X1 < X2.
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  Result<GeneralizedRelation> p = Project(r, {"T2", "T1"});
+  ASSERT_TRUE(p.ok());
+  for (const ConcreteRow& row : p.value().Enumerate(-10, 10)) {
+    EXPECT_GT(row.temporal[0], row.temporal[1]);
+  }
+  EXPECT_FALSE(p.value().Enumerate(-10, 10).empty());
+}
+
+TEST(ProjectionTest, UnknownAttributeFails) {
+  GeneralizedRelation r = Figure2Relation();
+  Result<GeneralizedRelation> p = Project(r, {"nope"});
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProjectionTest, InfeasibleTuplesVanish) {
+  GeneralizedRelation r(Schema::Temporal(2));
+  GeneralizedTuple t({Lrp::Make(0, 8), Lrp::Make(1, 8)});
+  t.mutable_constraints().AddDifferenceEquality(0, 1, 3);  // Lattice-empty.
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  Result<GeneralizedRelation> p = Project(r, {"T1"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().size(), 0);
+}
+
+TEST(ProjectionTest, PartialAndFullNormalizationAgree) {
+  // A dropped column disconnected from a large-period pair: the partial
+  // path avoids their split; both paths must yield the same set.
+  GeneralizedRelation r(Schema({"T1", "T2", "T3"}, {}, {}));
+  GeneralizedTuple t({Lrp::Make(2, 6), Lrp::Make(1, 10), Lrp::Make(0, 4)});
+  t.mutable_constraints().AddDifferenceUpperBound(0, 1, 3);
+  t.mutable_constraints().AddLowerBound(2, -8);
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  AlgebraOptions partial;
+  partial.partial_normalization = true;
+  AlgebraOptions full;
+  full.partial_normalization = false;
+  for (const std::vector<std::string>& attrs :
+       std::vector<std::vector<std::string>>{
+           {"T1", "T2"}, {"T3"}, {"T2"}, {"T2", "T1", "T3"}, {}}) {
+    Result<GeneralizedRelation> a = Project(r, attrs, partial);
+    Result<GeneralizedRelation> b = Project(r, attrs, full);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a.value().Enumerate(-30, 30), b.value().Enumerate(-30, 30));
+  }
+}
+
+TEST(ProjectionTest, PartialNormalizationAvoidsUnrelatedSplit) {
+  // Dropping the lone period-4 column must not multiply the coprime pair:
+  // the result should be a single tuple, not lcm-many.
+  GeneralizedRelation r(Schema({"T1", "T2", "T3"}, {}, {}));
+  GeneralizedTuple t({Lrp::Make(0, 35), Lrp::Make(0, 33), Lrp::Make(1, 4)});
+  t.mutable_constraints().AddDifferenceUpperBound(0, 1, 5);
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  AlgebraOptions partial;
+  partial.partial_normalization = true;
+  Result<GeneralizedRelation> p = Project(r, {"T1", "T2"}, partial);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p.value().size(), 1);
+  EXPECT_EQ(p.value().tuples()[0].lrp(0), Lrp::Make(0, 35));
+  EXPECT_EQ(p.value().tuples()[0].lrp(1), Lrp::Make(0, 33));
+}
+
+TEST(ProjectionTest, EmptyAttributeListYieldsZeroArity) {
+  GeneralizedRelation r = Figure2Relation();
+  Result<GeneralizedRelation> p = Project(r, {});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().schema().temporal_arity(), 0);
+  // Nonempty input: the zero-arity projection contains the empty point.
+  EXPECT_EQ(p.value().size(), 1);
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,128 @@
+#include "core/relation.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+
+namespace itdb {
+namespace {
+
+// Table 1 of the paper: the activities of robots.
+//   [2+2n1,  4+2n2 ]  X1 = X2 - 2 && X1 >= -1 ; robot1
+//   [6+10n1, 7+10n2]  X1 = X2 - 1 && X1 >= 10 ; robot2
+//   [10n1,   3+10n2]  X1 = X2 - 3             ; robot2
+GeneralizedRelation RobotsRelation() {
+  Schema schema({"From", "To"}, {"Robot"}, {DataType::kString});
+  GeneralizedRelation r(schema);
+  {
+    GeneralizedTuple t({Lrp::Make(2, 2), Lrp::Make(4, 2)}, {Value("robot1")});
+    t.mutable_constraints().AddDifferenceEquality(0, 1, -2);
+    t.mutable_constraints().AddLowerBound(0, -1);
+    EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+  }
+  {
+    GeneralizedTuple t({Lrp::Make(6, 10), Lrp::Make(7, 10)},
+                       {Value("robot2")});
+    t.mutable_constraints().AddDifferenceEquality(0, 1, -1);
+    t.mutable_constraints().AddLowerBound(0, 10);
+    EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+  }
+  {
+    GeneralizedTuple t({Lrp::Make(0, 10), Lrp::Make(3, 10)},
+                       {Value("robot2")});
+    t.mutable_constraints().AddDifferenceEquality(0, 1, -3);
+    EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+  }
+  return r;
+}
+
+TEST(SchemaTest, Lookups) {
+  Schema s({"T1", "T2"}, {"who", "what"}, {DataType::kString, DataType::kInt});
+  EXPECT_EQ(s.temporal_arity(), 2);
+  EXPECT_EQ(s.data_arity(), 2);
+  EXPECT_EQ(s.FindTemporal("T2"), 1);
+  EXPECT_EQ(s.FindTemporal("who"), std::nullopt);
+  EXPECT_EQ(s.FindData("what"), 1);
+  EXPECT_EQ(s.FindData("T1"), std::nullopt);
+  EXPECT_EQ(s.data_type(0), DataType::kString);
+}
+
+TEST(SchemaTest, TemporalFactory) {
+  Schema s = Schema::Temporal(3);
+  EXPECT_EQ(s.temporal_names(),
+            (std::vector<std::string>{"T1", "T2", "T3"}));
+  EXPECT_EQ(s.data_arity(), 0);
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({"T"}, {"who"}, {DataType::kString});
+  EXPECT_EQ(s.ToString(), "(T: time, who: string)");
+}
+
+TEST(RelationTest, AddTupleChecksArity) {
+  GeneralizedRelation r(Schema::Temporal(2));
+  EXPECT_TRUE(
+      r.AddTuple(GeneralizedTuple({Lrp::Make(0, 1), Lrp::Make(0, 1)})).ok());
+  EXPECT_FALSE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 1)})).ok());
+  GeneralizedTuple with_data({Lrp::Make(0, 1), Lrp::Make(0, 1)},
+                             {Value("x")});
+  EXPECT_FALSE(r.AddTuple(std::move(with_data)).ok());
+}
+
+TEST(RelationTest, Table1Membership) {
+  GeneralizedRelation r = RobotsRelation();
+  // robot1 performs during [2, 4], [4, 6], [0, 2], ... (x1 even, x1 >= -1
+  // hence x1 >= 0, x2 = x1 + 2).
+  EXPECT_TRUE(r.Contains({{2, 4}, {Value("robot1")}}));
+  EXPECT_TRUE(r.Contains({{0, 2}, {Value("robot1")}}));
+  EXPECT_TRUE(r.Contains({{100, 102}, {Value("robot1")}}));
+  EXPECT_FALSE(r.Contains({{-2, 0}, {Value("robot1")}}));  // X1 >= -1.
+  EXPECT_FALSE(r.Contains({{2, 6}, {Value("robot1")}}));   // Not X2 - 2.
+  EXPECT_FALSE(r.Contains({{2, 4}, {Value("robot3")}}));
+  // robot2, first pattern: (16, 17), (26, 27), ... with X1 >= 10.
+  EXPECT_TRUE(r.Contains({{16, 17}, {Value("robot2")}}));
+  EXPECT_FALSE(r.Contains({{6, 7}, {Value("robot2")}}));  // X1 >= 10 fails.
+  // robot2, second pattern: (0, 3), (10, 13), (-10, -7), ...
+  EXPECT_TRUE(r.Contains({{0, 3}, {Value("robot2")}}));
+  EXPECT_TRUE(r.Contains({{-10, -7}, {Value("robot2")}}));
+}
+
+TEST(RelationTest, Table1Enumerate) {
+  GeneralizedRelation r = RobotsRelation();
+  std::vector<ConcreteRow> rows = r.Enumerate(0, 20);
+  // robot1: x1 in {0,2,...,18}, x2 = x1+2 <= 20: 10 rows.
+  // robot2 first: (16,17) only in [0,20] with x1 >= 10: 1 row.
+  // robot2 second: (0,3), (10,13), (20,23->out): 2 rows.
+  EXPECT_EQ(rows.size(), 10u + 1u + 2u);
+  // Sorted and unique.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1], rows[i]);
+  }
+}
+
+TEST(RelationTest, EnumerateDeduplicatesOverlappingTuples) {
+  GeneralizedRelation r(Schema::Temporal(1));
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 2)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 4)})).ok());
+  std::vector<ConcreteRow> rows = r.Enumerate(0, 8);
+  EXPECT_EQ(rows.size(), 5u);  // 0 2 4 6 8, not double-counted.
+}
+
+TEST(ConcreteRowTest, OrderingAndPrinting) {
+  ConcreteRow a{{1, 2}, {Value("x")}};
+  ConcreteRow b{{1, 3}, {Value("x")}};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.ToString(), "(1, 2, \"x\")");
+}
+
+TEST(RelationTest, ToStringContainsTuples) {
+  GeneralizedRelation r = RobotsRelation();
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("0+2n"), std::string::npos) << s;
+  EXPECT_NE(s.find("robot2"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace itdb

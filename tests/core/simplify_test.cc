@@ -1,0 +1,97 @@
+#include "core/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+
+namespace itdb {
+namespace {
+
+TEST(TupleSubsumesTest, LrpInclusionAndConstraintImplication) {
+  GeneralizedTuple big({Lrp::Make(0, 2)});
+  GeneralizedTuple small({Lrp::Make(0, 4)});
+  EXPECT_TRUE(TupleSubsumes(big, small).value());
+  EXPECT_FALSE(TupleSubsumes(small, big).value());
+}
+
+TEST(TupleSubsumesTest, ConstraintsMatter) {
+  GeneralizedTuple big({Lrp::Make(0, 2)});
+  big.mutable_constraints().AddLowerBound(0, 0);
+  GeneralizedTuple small({Lrp::Make(0, 4)});
+  small.mutable_constraints().AddLowerBound(0, 10);
+  EXPECT_TRUE(TupleSubsumes(big, small).value());
+  GeneralizedTuple unconstrained({Lrp::Make(0, 4)});
+  EXPECT_FALSE(TupleSubsumes(big, unconstrained).value());
+}
+
+TEST(TupleSubsumesTest, DataMustMatch) {
+  GeneralizedTuple big({Lrp::Make(0, 1)}, {Value("a")});
+  GeneralizedTuple small({Lrp::Make(0, 2)}, {Value("b")});
+  EXPECT_FALSE(TupleSubsumes(big, small).value());
+}
+
+TEST(TupleSubsumesTest, EmptyTupleSubsumedByAnything) {
+  GeneralizedTuple big({Lrp::Make(0, 2)});
+  GeneralizedTuple empty({Lrp::Make(1, 2)});
+  empty.mutable_constraints().AddUpperBound(0, 0);
+  empty.mutable_constraints().AddLowerBound(0, 1);
+  EXPECT_TRUE(TupleSubsumes(big, empty).value());
+}
+
+TEST(SimplifyTest, DropsEmptyTuples) {
+  GeneralizedRelation r(Schema::Temporal(2));
+  GeneralizedTuple dead({Lrp::Make(0, 8), Lrp::Make(1, 8)});
+  dead.mutable_constraints().AddDifferenceEquality(0, 1, 3);  // Lattice-empty.
+  ASSERT_TRUE(r.AddTuple(std::move(dead)).ok());
+  ASSERT_TRUE(
+      r.AddTuple(GeneralizedTuple({Lrp::Make(0, 2), Lrp::Make(0, 2)})).ok());
+  Result<GeneralizedRelation> s = Simplify(r);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().size(), 1);
+}
+
+TEST(SimplifyTest, DropsSubsumedTuples) {
+  GeneralizedRelation r(Schema::Temporal(1));
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 2)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 4)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(2, 4)})).ok());
+  Result<GeneralizedRelation> s = Simplify(r);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().size(), 1);
+  EXPECT_EQ(s.value().tuples()[0].lrp(0), Lrp::Make(0, 2));
+}
+
+TEST(SimplifyTest, KeepsExactlyOneOfDuplicates) {
+  GeneralizedRelation r(Schema::Temporal(1));
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(1, 3)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(1, 3)})).ok());
+  Result<GeneralizedRelation> s = Simplify(r);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().size(), 1);
+}
+
+TEST(SimplifyTest, PreservesSemantics) {
+  GeneralizedRelation r(Schema::Temporal(1));
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 2)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 6)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(1, 6)})).ok());
+  Result<GeneralizedRelation> s = Simplify(r);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().Enumerate(-30, 30), r.Enumerate(-30, 30));
+  EXPECT_LT(s.value().size(), r.size());
+}
+
+TEST(SimplifyTest, ViaAlgebraOptionsFlag) {
+  GeneralizedRelation a(Schema::Temporal(1));
+  ASSERT_TRUE(a.AddTuple(GeneralizedTuple({Lrp::Make(0, 2)})).ok());
+  GeneralizedRelation b(Schema::Temporal(1));
+  ASSERT_TRUE(b.AddTuple(GeneralizedTuple({Lrp::Make(0, 4)})).ok());
+  AlgebraOptions options;
+  options.simplify = true;
+  Result<GeneralizedRelation> u = Union(a, b, options);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().size(), 1);  // 0+4n subsumed by 0+2n.
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,134 @@
+#include "core/tuple.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+using Point = std::vector<std::int64_t>;
+
+std::set<Point> EnumSet(const GeneralizedTuple& t, std::int64_t lo,
+                        std::int64_t hi) {
+  std::vector<Point> v = t.EnumerateTemporal(lo, hi);
+  return std::set<Point>(v.begin(), v.end());
+}
+
+TEST(TupleTest, PaperExample22First) {
+  // [1, 1+2n] && X2 >= 0  represents  {[1,1], [1,3], [1,5], ...}.
+  GeneralizedTuple t({Lrp::Singleton(1), Lrp::Make(1, 2)});
+  t.mutable_constraints().AddLowerBound(1, 0);
+  std::set<Point> expect;
+  for (std::int64_t x = 1; x <= 19; x += 2) expect.insert({1, x});
+  EXPECT_EQ(EnumSet(t, 0, 20), expect);
+  EXPECT_TRUE(t.ContainsTemporal({1, 1}));
+  EXPECT_TRUE(t.ContainsTemporal({1, 2001}));
+  EXPECT_FALSE(t.ContainsTemporal({1, -1}));
+  EXPECT_FALSE(t.ContainsTemporal({1, 2}));
+  EXPECT_FALSE(t.ContainsTemporal({2, 3}));
+}
+
+TEST(TupleTest, PaperExample22Second) {
+  // [3+2n1, 5+2n2] && X1 = X2 - 2: all pairs (x, x+2) with x odd.
+  GeneralizedTuple t({Lrp::Make(3, 2), Lrp::Make(5, 2)});
+  t.mutable_constraints().AddDifferenceEquality(0, 1, -2);
+  std::set<Point> expect;
+  for (std::int64_t x = -19; x <= 17; x += 2) expect.insert({x, x + 2});
+  EXPECT_EQ(EnumSet(t, -20, 20), expect);
+  EXPECT_TRUE(t.ContainsTemporal({3, 5}));
+  EXPECT_TRUE(t.ContainsTemporal({-7, -5}));
+  EXPECT_FALSE(t.ContainsTemporal({3, 7}));
+  EXPECT_FALSE(t.ContainsTemporal({4, 6}));
+}
+
+TEST(TupleTest, FreeExtensionDropsConstraints) {
+  GeneralizedTuple t({Lrp::Make(0, 3)});
+  t.mutable_constraints().AddLowerBound(0, 100);
+  GeneralizedTuple free = t.FreeExtension();
+  EXPECT_TRUE(free.ContainsTemporal({0}));
+  EXPECT_FALSE(t.ContainsTemporal({0}));
+  EXPECT_EQ(free.temporal(), t.temporal());
+}
+
+TEST(TupleTest, DataValuesCarried) {
+  GeneralizedTuple t({Lrp::Make(0, 2)},
+                     {Value("robot1"), Value(std::int64_t{7})});
+  EXPECT_EQ(t.data_arity(), 2);
+  EXPECT_EQ(t.value(0).AsString(), "robot1");
+  EXPECT_EQ(t.value(1).AsInt(), 7);
+}
+
+TEST(TupleIntersectTest, PaperExample31) {
+  // [2n1+1, 3n2-4] X1 <= X2 && 3 <= X1   ^   [5n3, 5n4+2] X1 = X2 - 2
+  //   ==  [10n+5, 15n'+2] with all constraints conjoined.
+  GeneralizedTuple a({Lrp::Make(1, 2), Lrp::Make(-4, 3)});
+  a.mutable_constraints().AddDifferenceUpperBound(0, 1, 0);
+  a.mutable_constraints().AddLowerBound(0, 3);
+  GeneralizedTuple b({Lrp::Make(0, 5), Lrp::Make(2, 5)});
+  b.mutable_constraints().AddDifferenceEquality(0, 1, -2);
+
+  Result<std::optional<GeneralizedTuple>> r = GeneralizedTuple::Intersect(a, b);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().has_value());
+  const GeneralizedTuple& t = *r.value();
+  EXPECT_EQ(t.lrp(0), Lrp::Make(5, 10));
+  EXPECT_EQ(t.lrp(1), Lrp::Make(2, 15));
+  // Semantics: x1 in 5+10n, x2 in 2+15n, x1 = x2 - 2, x1 >= 3.
+  // x1 = x2 - 2 with x1 === 5 (mod 10) and x2 === 2 (mod 15): x2 = x1 + 2
+  // === 7 (mod 10) and === 2 (mod 15) -> x2 === 17 (mod 30).
+  std::set<Point> expect;
+  for (std::int64_t x2 = 17; x2 <= 100; x2 += 30) expect.insert({x2 - 2, x2});
+  EXPECT_EQ(EnumSet(t, 0, 100), expect);
+}
+
+TEST(TupleIntersectTest, EmptyOnDisjointLrps) {
+  GeneralizedTuple a({Lrp::Make(0, 2)});
+  GeneralizedTuple b({Lrp::Make(1, 2)});
+  Result<std::optional<GeneralizedTuple>> r = GeneralizedTuple::Intersect(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+}
+
+TEST(TupleIntersectTest, EmptyOnContradictoryConstraints) {
+  GeneralizedTuple a({Lrp::Make(0, 1)});
+  a.mutable_constraints().AddUpperBound(0, 5);
+  GeneralizedTuple b({Lrp::Make(0, 1)});
+  b.mutable_constraints().AddLowerBound(0, 6);
+  Result<std::optional<GeneralizedTuple>> r = GeneralizedTuple::Intersect(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+}
+
+TEST(TupleIntersectTest, EmptyOnDataMismatch) {
+  GeneralizedTuple a({Lrp::Make(0, 1)}, {Value("x")});
+  GeneralizedTuple b({Lrp::Make(0, 1)}, {Value("y")});
+  Result<std::optional<GeneralizedTuple>> r = GeneralizedTuple::Intersect(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+}
+
+TEST(TupleIntersectTest, ArityMismatchRejected) {
+  GeneralizedTuple a({Lrp::Make(0, 1)});
+  GeneralizedTuple b({Lrp::Make(0, 1), Lrp::Make(0, 1)});
+  EXPECT_FALSE(GeneralizedTuple::Intersect(a, b).ok());
+}
+
+TEST(TupleTest, ToStringMatchesPaperNotation) {
+  GeneralizedTuple t({Lrp::Make(2, 2), Lrp::Make(4, 2)});
+  t.mutable_constraints().AddDifferenceEquality(0, 1, -2);
+  t.mutable_constraints().AddLowerBound(0, -1);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("[0+2n, 0+2n]"), std::string::npos) << s;
+  EXPECT_NE(s.find("X0"), std::string::npos) << s;
+}
+
+TEST(TupleTest, ZeroArityTuple) {
+  GeneralizedTuple t(std::vector<Lrp>{});
+  EXPECT_EQ(t.EnumerateTemporal(-5, 5).size(), 1u);
+  EXPECT_TRUE(t.ContainsTemporal({}));
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,64 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+
+namespace itdb {
+namespace {
+
+TEST(ValueTest, IntValues) {
+  Value v(std::int64_t{42});
+  EXPECT_TRUE(v.IsInt());
+  EXPECT_FALSE(v.IsString());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+  EXPECT_EQ(Value(std::int64_t{-7}).ToString(), "-7");
+}
+
+TEST(ValueTest, StringValues) {
+  Value v("robot1");
+  EXPECT_TRUE(v.IsString());
+  EXPECT_FALSE(v.IsInt());
+  EXPECT_EQ(v.AsString(), "robot1");
+  EXPECT_EQ(v.ToString(), "\"robot1\"");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.IsInt());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(std::int64_t{1}), Value(std::int64_t{1}));
+  EXPECT_NE(Value(std::int64_t{1}), Value(std::int64_t{2}));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value("a"), Value("a"));
+  // Cross-type: never equal; ordering is by variant index (ints first).
+  EXPECT_NE(Value(std::int64_t{1}), Value("1"));
+  EXPECT_LT(Value(std::int64_t{5}), Value("a"));
+  EXPECT_LT(Value(std::int64_t{1}), Value(std::int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(SchemaTest, EqualityCoversAllParts) {
+  Schema a({"T"}, {"d"}, {DataType::kInt});
+  Schema b({"T"}, {"d"}, {DataType::kInt});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Schema({"U"}, {"d"}, {DataType::kInt}));
+  EXPECT_NE(a, Schema({"T"}, {"e"}, {DataType::kInt}));
+  EXPECT_NE(a, Schema({"T"}, {"d"}, {DataType::kString}));
+  EXPECT_NE(a, Schema({"T", "U"}, {"d"}, {DataType::kInt}));
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.temporal_arity(), 0);
+  EXPECT_EQ(s.data_arity(), 0);
+  EXPECT_EQ(s.ToString(), "()");
+  EXPECT_EQ(s.FindTemporal("x"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,116 @@
+#include "finite/finite_relation.h"
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+FiniteRelation UnaryFinite(std::initializer_list<std::int64_t> xs) {
+  FiniteRelation r(Schema::Temporal(1));
+  for (std::int64_t x : xs) {
+    EXPECT_TRUE(r.AddRow(ConcreteRow{{x}, {}}).ok());
+  }
+  return r;
+}
+
+TEST(FiniteRelationTest, AddRowKeepsSortedUnique) {
+  FiniteRelation r = UnaryFinite({5, 1, 3, 1, 5});
+  ASSERT_EQ(r.size(), 3);
+  EXPECT_EQ(r.rows()[0].temporal[0], 1);
+  EXPECT_EQ(r.rows()[2].temporal[0], 5);
+  EXPECT_TRUE(r.Contains(ConcreteRow{{3}, {}}));
+  EXPECT_FALSE(r.Contains(ConcreteRow{{4}, {}}));
+}
+
+TEST(FiniteRelationTest, AddRowChecksArity) {
+  FiniteRelation r(Schema::Temporal(1));
+  EXPECT_FALSE(r.AddRow(ConcreteRow{{1, 2}, {}}).ok());
+  EXPECT_FALSE(r.AddRow(ConcreteRow{{1}, {Value("x")}}).ok());
+}
+
+TEST(FiniteRelationTest, MaterializeMatchesEnumerate) {
+  GeneralizedRelation g(Schema::Temporal(1));
+  ASSERT_TRUE(g.AddTuple(GeneralizedTuple({Lrp::Make(1, 3)})).ok());
+  FiniteRelation f = FiniteRelation::Materialize(g, -10, 10);
+  EXPECT_EQ(f.rows(), g.Enumerate(-10, 10));
+}
+
+TEST(FiniteRelationTest, SetOps) {
+  FiniteRelation a = UnaryFinite({1, 2, 3, 4});
+  FiniteRelation b = UnaryFinite({3, 4, 5});
+  EXPECT_EQ(FiniteRelation::Union(a, b).value().size(), 5);
+  EXPECT_EQ(FiniteRelation::Intersect(a, b).value().size(), 2);
+  EXPECT_EQ(FiniteRelation::Subtract(a, b).value().size(), 2);
+  FiniteRelation other(Schema::Temporal(2));
+  EXPECT_FALSE(FiniteRelation::Union(a, other).ok());
+}
+
+TEST(FiniteRelationTest, ComplementWithinWindow) {
+  FiniteRelation a = UnaryFinite({0, 2});
+  Result<FiniteRelation> c = a.Complement(0, 4, {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().rows(),
+            (std::vector<ConcreteRow>{{{1}, {}}, {{3}, {}}, {{4}, {}}}));
+}
+
+TEST(FiniteRelationTest, ComplementWithDomains) {
+  Schema schema({"T"}, {"d"}, {DataType::kString});
+  FiniteRelation a(schema);
+  ASSERT_TRUE(a.AddRow(ConcreteRow{{0}, {Value("x")}}).ok());
+  Result<FiniteRelation> c =
+      a.Complement(0, 1, {{Value("x"), Value("y")}});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().size(), 3);  // (0,y), (1,x), (1,y).
+  EXPECT_FALSE(c.value().Contains(ConcreteRow{{0}, {Value("x")}}));
+}
+
+TEST(FiniteRelationTest, ProjectAndSelect) {
+  Schema schema({"T1", "T2"}, {"d"}, {DataType::kInt});
+  FiniteRelation a(schema);
+  ASSERT_TRUE(a.AddRow(ConcreteRow{{1, 2}, {Value(std::int64_t{7})}}).ok());
+  ASSERT_TRUE(a.AddRow(ConcreteRow{{1, 3}, {Value(std::int64_t{8})}}).ok());
+  Result<FiniteRelation> p = a.Project({"T1"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().size(), 1);
+  Result<FiniteRelation> s =
+      a.SelectTemporal(TemporalCondition{1, 0, CmpOp::kEq, 1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().size(), 1);  // Only (1, 2): T2 == T1 + 1.
+  Result<FiniteRelation> sd =
+      a.SelectData(0, CmpOp::kGt, Value(std::int64_t{7}));
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd.value().size(), 1);
+}
+
+TEST(FiniteRelationTest, JoinOnSharedAttribute) {
+  FiniteRelation a(Schema({"T", "A"}, {}, {}));
+  ASSERT_TRUE(a.AddRow(ConcreteRow{{1, 10}, {}}).ok());
+  ASSERT_TRUE(a.AddRow(ConcreteRow{{2, 20}, {}}).ok());
+  FiniteRelation b(Schema({"T", "B"}, {}, {}));
+  ASSERT_TRUE(b.AddRow(ConcreteRow{{1, 100}, {}}).ok());
+  Result<FiniteRelation> j = FiniteRelation::Join(a, b);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j.value().size(), 1);
+  EXPECT_EQ(j.value().rows()[0].temporal,
+            (std::vector<std::int64_t>{1, 10, 100}));
+}
+
+TEST(FiniteRelationTest, CrossProductSizes) {
+  FiniteRelation a(Schema({"A"}, {}, {}));
+  ASSERT_TRUE(a.AddRow(ConcreteRow{{1}, {}}).ok());
+  ASSERT_TRUE(a.AddRow(ConcreteRow{{2}, {}}).ok());
+  FiniteRelation b(Schema({"B"}, {}, {}));
+  ASSERT_TRUE(b.AddRow(ConcreteRow{{7}, {}}).ok());
+  Result<FiniteRelation> x = FiniteRelation::CrossProduct(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value().size(), 2);
+}
+
+TEST(FiniteRelationTest, ApproxBytesGrowsWithRows) {
+  FiniteRelation small = UnaryFinite({1});
+  FiniteRelation large = UnaryFinite({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_GT(large.ApproxBytes(), small.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace itdb

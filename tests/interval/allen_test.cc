@@ -1,0 +1,264 @@
+#include "interval/allen.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+TEST(AllenTest, NamesAreStableAndDistinct) {
+  std::set<std::string_view> names;
+  for (AllenRelation rel : kAllAllenRelations) {
+    EXPECT_TRUE(names.insert(AllenRelationName(rel)).second);
+  }
+  EXPECT_EQ(names.size(), 13u);
+}
+
+TEST(AllenTest, GroundRelationsTextbookCases) {
+  // [1,3] vs [5,8] and friends.
+  EXPECT_TRUE(AllenHolds(AllenRelation::kBefore, 1, 3, 5, 8));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kMeets, 1, 3, 3, 8));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kOverlaps, 1, 5, 3, 8));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kStarts, 1, 3, 1, 8));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kDuring, 4, 6, 1, 8));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kFinishes, 5, 8, 1, 8));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kEquals, 1, 8, 1, 8));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kAfter, 5, 8, 1, 3));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kMetBy, 3, 8, 1, 3));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kOverlappedBy, 3, 8, 1, 5));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kStartedBy, 1, 8, 1, 3));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kContains, 1, 8, 4, 6));
+  EXPECT_TRUE(AllenHolds(AllenRelation::kFinishedBy, 1, 8, 5, 8));
+}
+
+TEST(AllenTest, ThirteenRelationsPartitionStrictIntervalPairs) {
+  // For strict intervals, exactly one of the 13 relations holds between any
+  // pair -- Allen's foundational property.
+  for (std::int64_t s1 = -4; s1 <= 4; ++s1) {
+    for (std::int64_t e1 = s1 + 1; e1 <= 5; ++e1) {
+      for (std::int64_t s2 = -4; s2 <= 4; ++s2) {
+        for (std::int64_t e2 = s2 + 1; e2 <= 5; ++e2) {
+          int holds = 0;
+          for (AllenRelation rel : kAllAllenRelations) {
+            if (AllenHolds(rel, s1, e1, s2, e2)) ++holds;
+          }
+          EXPECT_EQ(holds, 1) << "(" << s1 << "," << e1 << ") vs (" << s2
+                              << "," << e2 << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(AllenTest, InverseIsInvolutionAndConverse) {
+  for (AllenRelation rel : kAllAllenRelations) {
+    EXPECT_EQ(AllenInverse(AllenInverse(rel)), rel);
+  }
+  for (std::int64_t s1 = -2; s1 <= 2; ++s1) {
+    for (std::int64_t e1 = s1 + 1; e1 <= 3; ++e1) {
+      for (std::int64_t s2 = -2; s2 <= 2; ++s2) {
+        for (std::int64_t e2 = s2 + 1; e2 <= 3; ++e2) {
+          for (AllenRelation rel : kAllAllenRelations) {
+            EXPECT_EQ(AllenHolds(rel, s1, e1, s2, e2),
+                      AllenHolds(AllenInverse(rel), s2, e2, s1, e1));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AllenTest, ConditionsMatchGroundSemantics) {
+  // The constraint encoding over a 4-column universe must carve out exactly
+  // the pairs where the ground relation holds.
+  for (AllenRelation rel : kAllAllenRelations) {
+    GeneralizedRelation universe(Schema::Temporal(4));
+    ASSERT_TRUE(universe
+                    .AddTuple(GeneralizedTuple(
+                        {Lrp::Make(0, 1), Lrp::Make(0, 1), Lrp::Make(0, 1),
+                         Lrp::Make(0, 1)}))
+                    .ok());
+    GeneralizedRelation selected = universe;
+    for (const TemporalCondition& cond : AllenConditions(rel, 0, 1, 2, 3)) {
+      Result<GeneralizedRelation> s = SelectTemporal(selected, cond);
+      ASSERT_TRUE(s.ok());
+      selected = std::move(s).value();
+    }
+    for (std::int64_t s1 = -2; s1 <= 2; ++s1) {
+      for (std::int64_t e1 = s1 + 1; e1 <= 3; ++e1) {
+        for (std::int64_t s2 = -2; s2 <= 2; ++s2) {
+          for (std::int64_t e2 = s2 + 1; e2 <= 3; ++e2) {
+            EXPECT_EQ(selected.Contains({{s1, e1, s2, e2}, {}}),
+                      AllenHolds(rel, s1, e1, s2, e2))
+                << AllenRelationName(rel);
+          }
+        }
+      }
+    }
+  }
+}
+
+GeneralizedRelation PeriodicIntervals(std::int64_t start, std::int64_t len,
+                                      std::int64_t period,
+                                      const char* start_name,
+                                      const char* end_name) {
+  GeneralizedRelation r(Schema({start_name, end_name}, {}, {}));
+  GeneralizedTuple t(
+      {Lrp::Make(start, period), Lrp::Make(start + len, period)});
+  t.mutable_constraints().AddDifferenceEquality(0, 1, -len);
+  EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+  return r;
+}
+
+TEST(AllenJoinTest, DuringOnPeriodicIntervals) {
+  // Short intervals [2+8n, 4+8n] inside long ones [8m, 6+8m]: "during"
+  // holds exactly when the phases align (n == m).
+  GeneralizedRelation small = PeriodicIntervals(2, 2, 8, "S", "E");
+  GeneralizedRelation big = PeriodicIntervals(0, 6, 8, "BS", "BE");
+  Result<GeneralizedRelation> j =
+      AllenJoin(small, big, AllenRelation::kDuring);
+  ASSERT_TRUE(j.ok()) << j.status();
+  EXPECT_TRUE(j.value().Contains({{2, 4, 0, 6}, {}}));
+  EXPECT_TRUE(j.value().Contains({{10, 12, 8, 14}, {}}));
+  EXPECT_FALSE(j.value().Contains({{2, 4, 8, 14}, {}}));
+  // And semantics agree with brute force on a window.
+  std::set<std::vector<std::int64_t>> expect;
+  for (const ConcreteRow& a : small.Enumerate(-20, 20)) {
+    for (const ConcreteRow& b : big.Enumerate(-20, 20)) {
+      if (AllenHolds(AllenRelation::kDuring, a.temporal[0], a.temporal[1],
+                     b.temporal[0], b.temporal[1])) {
+        expect.insert({a.temporal[0], a.temporal[1], b.temporal[0],
+                       b.temporal[1]});
+      }
+    }
+  }
+  std::set<std::vector<std::int64_t>> got;
+  for (const ConcreteRow& row : j.value().Enumerate(-20, 20)) {
+    got.insert(row.temporal);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(AllenJoinTest, SweepAllRelationsAgainstBruteForce) {
+  GeneralizedRelation a = PeriodicIntervals(0, 3, 6, "S", "E");
+  GeneralizedRelation b = PeriodicIntervals(1, 2, 4, "BS", "BE");
+  for (AllenRelation rel : kAllAllenRelations) {
+    Result<GeneralizedRelation> j = AllenJoin(a, b, rel);
+    ASSERT_TRUE(j.ok()) << AllenRelationName(rel);
+    std::set<std::vector<std::int64_t>> expect;
+    for (const ConcreteRow& ra : a.Enumerate(-12, 12)) {
+      for (const ConcreteRow& rb : b.Enumerate(-12, 12)) {
+        if (AllenHolds(rel, ra.temporal[0], ra.temporal[1], rb.temporal[0],
+                       rb.temporal[1])) {
+          expect.insert({ra.temporal[0], ra.temporal[1], rb.temporal[0],
+                         rb.temporal[1]});
+        }
+      }
+    }
+    std::set<std::vector<std::int64_t>> got;
+    for (const ConcreteRow& row : j.value().Enumerate(-12, 12)) {
+      got.insert(row.temporal);
+    }
+    EXPECT_EQ(got, expect) << AllenRelationName(rel);
+  }
+}
+
+TEST(AllenJoinTest, NameCollisionsAutoSuffixed) {
+  GeneralizedRelation a = PeriodicIntervals(0, 3, 6, "S", "E");
+  GeneralizedRelation b = PeriodicIntervals(1, 2, 4, "S", "E");
+  Result<GeneralizedRelation> j = AllenJoin(a, b, AllenRelation::kBefore);
+  ASSERT_TRUE(j.ok()) << j.status();
+  EXPECT_EQ(j.value().schema().temporal_names(),
+            (std::vector<std::string>{"S", "E", "S_r", "E_r"}));
+}
+
+TEST(AllenJoinTest, RequiresIntervalArity) {
+  GeneralizedRelation unary(Schema::Temporal(1));
+  GeneralizedRelation pair(Schema::Temporal(2));
+  EXPECT_FALSE(AllenJoin(unary, pair, AllenRelation::kBefore).ok());
+}
+
+// Brute-force composition for cross-checking AllenCompose.
+std::set<AllenRelation> BruteCompose(AllenRelation r1, AllenRelation r2) {
+  std::set<AllenRelation> out;
+  constexpr std::int64_t kLo = -6, kHi = 6;
+  for (std::int64_t s1 = kLo; s1 <= kHi; ++s1) {
+    for (std::int64_t e1 = s1 + 1; e1 <= kHi + 1; ++e1) {
+      for (std::int64_t s2 = kLo; s2 <= kHi; ++s2) {
+        for (std::int64_t e2 = s2 + 1; e2 <= kHi + 1; ++e2) {
+          if (!AllenHolds(r1, s1, e1, s2, e2)) continue;
+          for (std::int64_t s3 = kLo; s3 <= kHi; ++s3) {
+            for (std::int64_t e3 = s3 + 1; e3 <= kHi + 1; ++e3) {
+              if (!AllenHolds(r2, s2, e2, s3, e3)) continue;
+              for (AllenRelation rel : kAllAllenRelations) {
+                if (AllenHolds(rel, s1, e1, s3, e3)) out.insert(rel);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(AllenComposeTest, TextbookEntries) {
+  // before ; before = {before}.
+  Result<std::vector<AllenRelation>> c =
+      AllenCompose(AllenRelation::kBefore, AllenRelation::kBefore);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c.value(), std::vector<AllenRelation>{AllenRelation::kBefore});
+  // meets ; meets = {before}.
+  c = AllenCompose(AllenRelation::kMeets, AllenRelation::kMeets);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), std::vector<AllenRelation>{AllenRelation::kBefore});
+  // equals is the identity of composition.
+  for (AllenRelation rel :
+       {AllenRelation::kOverlaps, AllenRelation::kDuring,
+        AllenRelation::kFinishes}) {
+    c = AllenCompose(AllenRelation::kEquals, rel);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.value(), std::vector<AllenRelation>{rel});
+    c = AllenCompose(rel, AllenRelation::kEquals);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.value(), std::vector<AllenRelation>{rel});
+  }
+  // during ; during = {during}.
+  c = AllenCompose(AllenRelation::kDuring, AllenRelation::kDuring);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), std::vector<AllenRelation>{AllenRelation::kDuring});
+}
+
+// The full 13x13 composition table, derived symbolically, must match brute
+// force.  Parameterized over the left operand to keep per-case runtime low.
+class AllenComposeSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllenComposeSweepTest, MatchesBruteForce) {
+  AllenRelation r1 = kAllAllenRelations[GetParam()];
+  for (AllenRelation r2 : kAllAllenRelations) {
+    Result<std::vector<AllenRelation>> c = AllenCompose(r1, r2);
+    ASSERT_TRUE(c.ok()) << c.status();
+    std::set<AllenRelation> got(c.value().begin(), c.value().end());
+    EXPECT_EQ(got, BruteCompose(r1, r2))
+        << AllenRelationName(r1) << " ; " << AllenRelationName(r2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeftOperand, AllenComposeSweepTest,
+                         ::testing::Range(0, 13));
+
+TEST(AllenTest, RestrictToStrictIntervals) {
+  GeneralizedRelation r(Schema::Temporal(2));
+  ASSERT_TRUE(
+      r.AddTuple(GeneralizedTuple({Lrp::Make(0, 1), Lrp::Make(0, 1)})).ok());
+  Result<GeneralizedRelation> s = RestrictToStrictIntervals(r, 0, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.value().Contains({{1, 2}, {}}));
+  EXPECT_FALSE(s.value().Contains({{2, 2}, {}}));
+  EXPECT_FALSE(s.value().Contains({{3, 2}, {}}));
+}
+
+}  // namespace
+}  // namespace itdb

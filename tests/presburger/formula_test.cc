@@ -1,0 +1,140 @@
+#include "presburger/formula.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace presburger {
+namespace {
+
+TEST(FormulaTest, ConstantsEvaluate) {
+  EXPECT_TRUE(Formula::True()->Evaluate({}));
+  EXPECT_FALSE(Formula::False()->Evaluate({}));
+}
+
+TEST(FormulaTest, UnaryCmpEvaluates) {
+  // 3*v = 12.
+  FormulaPtr eq = Formula::UnaryCmp(3, 0, Cmp::kEq, 12);
+  EXPECT_TRUE(eq->Evaluate({4}));
+  EXPECT_FALSE(eq->Evaluate({5}));
+  // -2*v < 5.
+  FormulaPtr lt = Formula::UnaryCmp(-2, 0, Cmp::kLt, 5);
+  EXPECT_TRUE(lt->Evaluate({0}));
+  EXPECT_TRUE(lt->Evaluate({10}));
+  EXPECT_FALSE(lt->Evaluate({-3}));  // -2*-3 = 6 >= 5.
+  // 2*v > -4.
+  FormulaPtr gt = Formula::UnaryCmp(2, 0, Cmp::kGt, -4);
+  EXPECT_TRUE(gt->Evaluate({0}));
+  EXPECT_FALSE(gt->Evaluate({-2}));  // -4 > -4 is false.
+}
+
+TEST(FormulaTest, UnaryCongEvaluates) {
+  // 3*v ===_5 1: v = 2 -> 6 === 1 (mod 5) true.
+  FormulaPtr f = Formula::UnaryCong(3, 0, 5, 1);
+  EXPECT_TRUE(f->Evaluate({2}));
+  EXPECT_TRUE(f->Evaluate({7}));
+  EXPECT_TRUE(f->Evaluate({-3}));  // -9 - 1 = -10, divisible by 5.
+  EXPECT_FALSE(f->Evaluate({0}));
+}
+
+TEST(FormulaTest, BinaryAtomsEvaluate) {
+  // 2*v0 = 3*v1 + 1.
+  FormulaPtr eq = Formula::BinaryCmp(2, 0, Cmp::kEq, 3, 1, 1);
+  EXPECT_TRUE(eq->Evaluate({2, 1}));
+  EXPECT_FALSE(eq->Evaluate({2, 2}));
+  // v0 ===_4 v1 + 2.
+  FormulaPtr cong = Formula::BinaryCong(1, 0, 4, 1, 1, 2);
+  EXPECT_TRUE(cong->Evaluate({6, 0}));
+  EXPECT_TRUE(cong->Evaluate({-2, 0}));
+  EXPECT_FALSE(cong->Evaluate({5, 0}));
+}
+
+TEST(FormulaTest, BooleanStructure) {
+  FormulaPtr pos = Formula::UnaryCmp(1, 0, Cmp::kGt, 0);
+  FormulaPtr even = Formula::UnaryCong(1, 0, 2, 0);
+  FormulaPtr both = Formula::And(pos, even);
+  EXPECT_TRUE(both->Evaluate({4}));
+  EXPECT_FALSE(both->Evaluate({3}));
+  EXPECT_FALSE(both->Evaluate({-4}));
+  FormulaPtr either = Formula::Or(pos, even);
+  EXPECT_TRUE(either->Evaluate({3}));
+  EXPECT_TRUE(either->Evaluate({-4}));
+  EXPECT_FALSE(either->Evaluate({-3}));
+  FormulaPtr neither = Formula::Not(either);
+  EXPECT_TRUE(neither->Evaluate({-3}));
+  EXPECT_FALSE(neither->Evaluate({4}));
+}
+
+TEST(FormulaTest, MaxVar) {
+  EXPECT_EQ(Formula::True()->MaxVar(), -1);
+  EXPECT_EQ(Formula::UnaryCmp(1, 0, Cmp::kEq, 0)->MaxVar(), 0);
+  EXPECT_EQ(Formula::BinaryCmp(1, 0, Cmp::kEq, 1, 1, 0)->MaxVar(), 1);
+  EXPECT_EQ(Formula::Not(Formula::BinaryCong(1, 1, 3, 1, 0, 0))->MaxVar(), 1);
+}
+
+class NnfPropertyTest : public ::testing::TestWithParam<int> {};
+
+FormulaPtr BuildFormula(int variant) {
+  FormulaPtr a = Formula::UnaryCmp(2, 0, Cmp::kLt, 7);
+  FormulaPtr b = Formula::UnaryCong(1, 0, 3, 1);
+  FormulaPtr c = Formula::BinaryCmp(1, 0, Cmp::kGt, 2, 1, -1);
+  FormulaPtr d = Formula::BinaryCong(2, 0, 4, 1, 1, 1);
+  switch (variant % 6) {
+    case 0:
+      return Formula::Not(Formula::And(a, b));
+    case 1:
+      return Formula::Not(Formula::Or(Formula::Not(a), c));
+    case 2:
+      return Formula::And(Formula::Not(d), Formula::Or(a, Formula::Not(b)));
+    case 3:
+      return Formula::Not(Formula::Not(Formula::And(c, d)));
+    case 4:
+      return Formula::Or(Formula::Not(c), Formula::Not(d));
+    default:
+      return Formula::Not(
+          Formula::And(Formula::Or(a, d), Formula::Not(Formula::Or(b, c))));
+  }
+}
+
+TEST_P(NnfPropertyTest, NnfPreservesSemantics) {
+  FormulaPtr f = BuildFormula(GetParam());
+  FormulaPtr nnf = NegationNormalForm(f);
+  for (std::int64_t x = -8; x <= 8; ++x) {
+    for (std::int64_t y = -8; y <= 8; ++y) {
+      EXPECT_EQ(f->Evaluate({x, y}), nnf->Evaluate({x, y}))
+          << f->ToString() << " vs " << nnf->ToString() << " at (" << x << ","
+          << y << ")";
+    }
+  }
+}
+
+// NNF must not contain Not nodes.
+bool HasNot(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Formula::Kind::kNot:
+      return true;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      return HasNot(f->left()) || HasNot(f->right());
+    default:
+      return false;
+  }
+}
+
+TEST_P(NnfPropertyTest, NnfHasNoNegation) {
+  EXPECT_FALSE(HasNot(NegationNormalForm(BuildFormula(GetParam()))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, NnfPropertyTest, ::testing::Range(0, 6));
+
+TEST(FormulaTest, ToStringReadable) {
+  FormulaPtr f = Formula::And(Formula::UnaryCmp(2, 0, Cmp::kLt, 7),
+                              Formula::UnaryCong(1, 0, 3, 1));
+  EXPECT_EQ(f->ToString(), "(2*v0 < 7 && 1*v0 ===_3 1)");
+}
+
+}  // namespace
+}  // namespace presburger
+}  // namespace itdb

@@ -1,0 +1,169 @@
+#include "presburger/to_relation.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace presburger {
+namespace {
+
+constexpr std::int64_t kWindow = 15;
+
+std::set<std::int64_t> UnarySetOf(const GeneralizedRelation& r) {
+  std::set<std::int64_t> out;
+  for (const ConcreteRow& row : r.Enumerate(-kWindow, kWindow)) {
+    out.insert(row.temporal[0]);
+  }
+  return out;
+}
+
+std::set<std::int64_t> UnarySetOf(const FormulaPtr& f) {
+  std::set<std::int64_t> out;
+  for (std::int64_t x = -kWindow; x <= kWindow; ++x) {
+    if (f->Evaluate({x})) out.insert(x);
+  }
+  return out;
+}
+
+void ExpectUnaryMatch(const FormulaPtr& f) {
+  Result<GeneralizedRelation> r = UnaryToRelation(f);
+  ASSERT_TRUE(r.ok()) << r.status() << " for " << f->ToString();
+  EXPECT_EQ(UnarySetOf(r.value()), UnarySetOf(f)) << f->ToString();
+}
+
+TEST(SolveUnaryCongruenceTest, BasicSolutions) {
+  // 3v === 1 (mod 5): v === 2 (mod 5).
+  Result<std::optional<Lrp>> s = SolveUnaryCongruence(3, 5, 1);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s.value().has_value());
+  EXPECT_EQ(*s.value(), Lrp::Make(2, 5));
+  // 2v === 1 (mod 4): no solution.
+  s = SolveUnaryCongruence(2, 4, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s.value().has_value());
+  // 2v === 2 (mod 4): v === 1 (mod 2).
+  s = SolveUnaryCongruence(2, 4, 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s.value(), Lrp::Make(1, 2));
+  // mod 0 means equality: 3v = 12 -> v = 4; 3v = 13 -> none.
+  EXPECT_EQ(*SolveUnaryCongruence(3, 0, 12).value(), Lrp::Singleton(4));
+  EXPECT_FALSE(SolveUnaryCongruence(3, 0, 13).value().has_value());
+  // mod 1: everything.
+  EXPECT_EQ(*SolveUnaryCongruence(7, 1, 3).value(), Lrp::Make(0, 1));
+}
+
+TEST(UnaryToRelationTest, Theorem21BasicFormulas) {
+  ExpectUnaryMatch(Formula::UnaryCmp(3, 0, Cmp::kEq, 12));
+  ExpectUnaryMatch(Formula::UnaryCmp(3, 0, Cmp::kEq, 13));  // Empty.
+  ExpectUnaryMatch(Formula::UnaryCmp(3, 0, Cmp::kLt, 7));
+  ExpectUnaryMatch(Formula::UnaryCmp(3, 0, Cmp::kGt, 7));
+  ExpectUnaryMatch(Formula::UnaryCmp(-3, 0, Cmp::kLt, 7));
+  ExpectUnaryMatch(Formula::UnaryCmp(-3, 0, Cmp::kGt, 7));
+  ExpectUnaryMatch(Formula::UnaryCong(3, 0, 5, 1));
+  ExpectUnaryMatch(Formula::UnaryCong(2, 0, 4, 1));  // Empty.
+  ExpectUnaryMatch(Formula::UnaryCong(2, 0, 4, 2));
+  ExpectUnaryMatch(Formula::UnaryCmp(0, 0, Cmp::kLt, 1));   // Always true.
+  ExpectUnaryMatch(Formula::UnaryCmp(0, 0, Cmp::kGt, 1));   // Always false.
+}
+
+TEST(UnaryToRelationTest, BooleanCombinations) {
+  FormulaPtr even = Formula::UnaryCong(1, 0, 2, 0);
+  FormulaPtr pos = Formula::UnaryCmp(1, 0, Cmp::kGt, 0);
+  FormulaPtr mult3 = Formula::UnaryCong(1, 0, 3, 0);
+  ExpectUnaryMatch(Formula::And(even, pos));
+  ExpectUnaryMatch(Formula::Or(even, mult3));
+  ExpectUnaryMatch(Formula::Not(even));
+  ExpectUnaryMatch(Formula::Not(Formula::And(even, pos)));
+  ExpectUnaryMatch(
+      Formula::And(Formula::Not(mult3), Formula::Or(even, Formula::Not(pos))));
+}
+
+TEST(UnaryToRelationTest, RejectsBinaryFormulas) {
+  FormulaPtr f = Formula::BinaryCmp(1, 0, Cmp::kEq, 1, 1, 0);
+  EXPECT_FALSE(UnaryToRelation(f).ok());
+}
+
+using Pair = std::vector<std::int64_t>;
+
+std::set<Pair> BinarySetOf(const GeneralRelation& r) {
+  std::set<Pair> out;
+  for (const Pair& p : r.Enumerate(-kWindow, kWindow)) out.insert(p);
+  return out;
+}
+
+std::set<Pair> BinarySetOf(const FormulaPtr& f) {
+  std::set<Pair> out;
+  for (std::int64_t x = -kWindow; x <= kWindow; ++x) {
+    for (std::int64_t y = -kWindow; y <= kWindow; ++y) {
+      if (f->Evaluate({x, y})) out.insert({x, y});
+    }
+  }
+  return out;
+}
+
+void ExpectBinaryMatch(const FormulaPtr& f) {
+  Result<GeneralRelation> r = BinaryToGeneralRelation(f);
+  ASSERT_TRUE(r.ok()) << r.status() << " for " << f->ToString();
+  EXPECT_EQ(BinarySetOf(r.value()), BinarySetOf(f)) << f->ToString();
+}
+
+TEST(BinaryToGeneralRelationTest, Theorem22BasicFormulas) {
+  ExpectBinaryMatch(Formula::BinaryCmp(2, 0, Cmp::kEq, 3, 1, 1));
+  ExpectBinaryMatch(Formula::BinaryCmp(2, 0, Cmp::kLt, 3, 1, 1));
+  ExpectBinaryMatch(Formula::BinaryCmp(2, 0, Cmp::kGt, 3, 1, 1));
+  ExpectBinaryMatch(Formula::BinaryCmp(-2, 0, Cmp::kLt, 3, 1, 0));
+  ExpectBinaryMatch(Formula::BinaryCong(1, 0, 4, 1, 1, 2));
+  ExpectBinaryMatch(Formula::BinaryCong(2, 0, 6, 3, 1, 1));
+  ExpectBinaryMatch(Formula::BinaryCong(3, 0, 5, 2, 1, 0));
+}
+
+TEST(BinaryToGeneralRelationTest, UnaryAtomsInsideBinaryFormulas) {
+  ExpectBinaryMatch(Formula::And(Formula::UnaryCmp(1, 0, Cmp::kGt, 0),
+                                 Formula::UnaryCong(1, 1, 3, 2)));
+  ExpectBinaryMatch(Formula::UnaryCmp(2, 1, Cmp::kEq, 6));
+}
+
+TEST(BinaryToGeneralRelationTest, BooleanCombinationsWithNegation) {
+  FormulaPtr diag = Formula::BinaryCmp(1, 0, Cmp::kEq, 1, 1, 0);
+  FormulaPtr cong = Formula::BinaryCong(1, 0, 3, 1, 1, 1);
+  FormulaPtr lt = Formula::BinaryCmp(1, 0, Cmp::kLt, 1, 1, -2);
+  ExpectBinaryMatch(Formula::And(diag, Formula::UnaryCmp(1, 0, Cmp::kGt, 2)));
+  ExpectBinaryMatch(Formula::Or(cong, lt));
+  ExpectBinaryMatch(Formula::Not(diag));
+  ExpectBinaryMatch(Formula::Not(cong));
+  ExpectBinaryMatch(Formula::Not(Formula::Or(Formula::Not(lt), cong)));
+}
+
+TEST(BinaryToGeneralRelationTest, PaperProofShape) {
+  // The congruence construction materializes at most `mod` residue tuples.
+  Result<GeneralRelation> r =
+      BinaryToGeneralRelation(Formula::BinaryCong(1, 0, 4, 1, 1, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().size(), 4);
+  for (const GeneralTuple& t : r.value().tuples()) {
+    EXPECT_TRUE(t.constraints().empty());  // Pure free extensions.
+  }
+}
+
+TEST(BinaryToGeneralRelationTest, RejectsTernary) {
+  FormulaPtr f = Formula::BinaryCmp(1, 0, Cmp::kEq, 1, 2, 0);
+  EXPECT_FALSE(BinaryToGeneralRelation(f).ok());
+}
+
+TEST(GeneralRelationTest, ContainsAndToString) {
+  GeneralRelation r(2);
+  GeneralTuple t({Lrp::Make(0, 2), Lrp::Make(0, 1)});
+  t.AddConstraint(GeneralConstraint{2, 0, 1, 1, 0});  // 2*X0 <= X1.
+  ASSERT_TRUE(r.AddTuple(std::move(t)).ok());
+  EXPECT_TRUE(r.Contains({2, 4}));
+  EXPECT_FALSE(r.Contains({2, 3}));
+  EXPECT_FALSE(r.Contains({1, 100}));  // Odd X0 not on the lrp.
+  EXPECT_NE(r.ToString().find("2*X0 <= 1*X1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace presburger
+}  // namespace itdb

@@ -1,0 +1,259 @@
+#include "query/eval.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace query {
+namespace {
+
+Database SmallDb() {
+  Result<Database> db = Database::FromText(R"(
+    relation P(T: time) { [3+10n] : T >= 3; }     # {3, 13, 23, ...}
+    relation Q(T: time) { [10n]; }                # multiples of 10
+    relation Less(A: time, B: time) { [n, n] : A <= B - 1; }
+    relation Who(T: time, W: string) { [2n | "alice"]; [1+2n | "bob"]; }
+  )");
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+Result<bool> Ask(const Database& db, const std::string& text) {
+  return EvalBooleanQueryString(db, text);
+}
+
+std::set<std::int64_t> OpenUnary(const Database& db, const std::string& text,
+                                 std::int64_t lo, std::int64_t hi) {
+  Result<GeneralizedRelation> r = EvalQueryString(db, text);
+  EXPECT_TRUE(r.ok()) << r.status() << " for " << text;
+  std::set<std::int64_t> out;
+  if (!r.ok()) return out;
+  EXPECT_EQ(r.value().schema().temporal_arity(), 1);
+  for (const ConcreteRow& row : r.value().Enumerate(lo, hi)) {
+    out.insert(row.temporal[0]);
+  }
+  return out;
+}
+
+TEST(EvalTest, ExistentialAtom) {
+  Database db = SmallDb();
+  EXPECT_TRUE(Ask(db, "EXISTS t . P(t)").value());
+  EXPECT_TRUE(Ask(db, "EXISTS t . Q(t)").value());
+  // P lives on 3+10n, Q on 10n: disjoint residues.
+  EXPECT_FALSE(Ask(db, "EXISTS t . P(t) AND Q(t)").value());
+}
+
+TEST(EvalTest, ConstantArguments) {
+  Database db = SmallDb();
+  EXPECT_TRUE(Ask(db, "P(13)").value());
+  EXPECT_FALSE(Ask(db, "P(14)").value());
+  EXPECT_FALSE(Ask(db, "P(-7)").value());  // On the lrp but below the bound.
+  EXPECT_TRUE(Ask(db, "Q(-20)").value());
+  EXPECT_TRUE(Ask(db, "Who(4, \"alice\")").value());
+  EXPECT_FALSE(Ask(db, "Who(4, \"bob\")").value());
+}
+
+TEST(EvalTest, OpenAtomQuery) {
+  Database db = SmallDb();
+  std::set<std::int64_t> expect;
+  for (std::int64_t x = 3; x <= 60; x += 10) expect.insert(x);
+  EXPECT_EQ(OpenUnary(SmallDb(), "P(t)", -60, 60), expect);
+}
+
+TEST(EvalTest, SuccessorOffsetsShiftColumns) {
+  // P(t + 7) holds iff t + 7 in {3 + 10n, >= 3}, i.e. t in {-4 + 10n, >= -4}.
+  std::set<std::int64_t> expect;
+  for (std::int64_t x = -4; x <= 60; x += 10) expect.insert(x);
+  EXPECT_EQ(OpenUnary(SmallDb(), "P(t + 7)", -60, 60), expect);
+}
+
+TEST(EvalTest, RepeatedVariablesInAtom) {
+  Database db = SmallDb();
+  // Less(t, t) is always false (strict order).
+  EXPECT_FALSE(Ask(db, "EXISTS t . Less(t, t)").value());
+  EXPECT_TRUE(Ask(db, "EXISTS t . Less(t, t + 1)").value());
+}
+
+TEST(EvalTest, NegationOverZ) {
+  Database db = SmallDb();
+  EXPECT_TRUE(Ask(db, "EXISTS t . NOT Q(t)").value());
+  std::set<std::int64_t> expect = {1, 2, 3, 4};
+  EXPECT_EQ(OpenUnary(db, "NOT Q(t) AND 0 <= t AND t <= 4", -10, 10), expect);
+}
+
+TEST(EvalTest, UniversalTemporalQuantification) {
+  Database db = SmallDb();
+  // Every point is covered by alice (even) or bob (odd).
+  EXPECT_TRUE(Ask(db, "FORALL t . EXISTS w . Who(t, w)").value());
+  EXPECT_TRUE(
+      Ask(db, "FORALL t . Who(t, \"alice\") OR Who(t, \"bob\")").value());
+  EXPECT_FALSE(Ask(db, "FORALL t . Who(t, \"alice\")").value());
+  // Every multiple of 10 shifted by 3 is in P -- but only from 0 upward.
+  EXPECT_FALSE(Ask(db, "FORALL t . Q(t) -> P(t + 3)").value());
+  EXPECT_TRUE(
+      Ask(db, "FORALL t . (Q(t) AND t >= 0) -> P(t + 3)").value());
+}
+
+TEST(EvalTest, DataQuantification) {
+  Database db = SmallDb();
+  // No single w covers all t.
+  EXPECT_FALSE(Ask(db, "EXISTS w . FORALL t . Who(t, w)").value());
+  // alice and bob are distinct workers at distinct instants.
+  EXPECT_TRUE(Ask(db,
+                  "EXISTS w . EXISTS v . Who(2, w) AND Who(3, v) AND "
+                  "NOT w = v")
+                  .value());
+  EXPECT_TRUE(Ask(db, "EXISTS w . Who(2, w) AND w = \"alice\"").value());
+  EXPECT_FALSE(Ask(db, "EXISTS w . Who(2, w) AND w != \"alice\"").value());
+}
+
+TEST(EvalTest, OpenDataQuery) {
+  Database db = SmallDb();
+  Result<GeneralizedRelation> r = EvalQueryString(db, "Who(4, w)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().schema().data_names(), std::vector<std::string>{"w"});
+  ASSERT_EQ(r.value().size(), 1);
+  EXPECT_EQ(r.value().tuples()[0].value(0).AsString(), "alice");
+}
+
+TEST(EvalTest, MixedOpenQuery) {
+  Database db = SmallDb();
+  // Pairs (t, w): worker w active at both t and t + 2.
+  Result<GeneralizedRelation> r =
+      EvalQueryString(db, "Who(t, w) AND Who(t + 2, w)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().schema().temporal_names(),
+            std::vector<std::string>{"t"});
+  EXPECT_EQ(r.value().schema().data_names(), std::vector<std::string>{"w"});
+  // Everyone keeps their parity: all (even, alice) and (odd, bob).
+  EXPECT_TRUE(r.value().Contains({{4}, {Value("alice")}}));
+  EXPECT_TRUE(r.value().Contains({{5}, {Value("bob")}}));
+  EXPECT_FALSE(r.value().Contains({{4}, {Value("bob")}}));
+}
+
+TEST(EvalTest, ComparisonChains) {
+  Database db = SmallDb();
+  EXPECT_TRUE(Ask(db, "EXISTS a . EXISTS b . EXISTS c . "
+                      "a <= b <= c AND a + 4 <= c AND P(a)")
+                  .value());
+  EXPECT_FALSE(Ask(db, "EXISTS a . a < a").value());
+  EXPECT_TRUE(Ask(db, "EXISTS a . a <= a").value());
+}
+
+TEST(EvalTest, GroundComparisons) {
+  Database db = SmallDb();
+  EXPECT_TRUE(Ask(db, "3 <= 4").value());
+  EXPECT_FALSE(Ask(db, "4 <= 3").value());
+  EXPECT_TRUE(Ask(db, "EXISTS t . P(t) AND 1 = 1").value());
+}
+
+TEST(EvalTest, FreeVariablesRejectedInBooleanQueries) {
+  Database db = SmallDb();
+  Result<bool> r = Ask(db, "P(t)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- The Example 2.4 train anomaly ----
+
+TEST(EvalTest, Example24IntervalsPreventPhantomTrains) {
+  // Trains every hour: slow (xx:02 -> xx+1:20), express (xx:46 -> xx+1:50),
+  // minutes since midnight, period 60.  The interval representation must
+  // NOT contain the phantom train xx:46 -> xx:50 that the two point-based
+  // unary relations would fabricate.
+  Result<Database> db = Database::FromText(R"(
+    relation Train(Leave: time, Arrive: time) {
+      [2+60n, 80+60n] : Leave = Arrive - 78;
+      [46+60n, 110+60n] : Leave = Arrive - 64;
+    }
+  )");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_TRUE(Ask(db.value(), "Train(62, 140)").value());
+  EXPECT_TRUE(Ask(db.value(), "Train(106, 170)").value());
+  // The phantom: leaves at :46 and arrives at :50 four minutes later.
+  EXPECT_FALSE(Ask(db.value(), "Train(106, 110)").value());
+  EXPECT_FALSE(
+      Ask(db.value(), "EXISTS t . Train(t, t + 4)").value());
+}
+
+// ---- Example 4.1 of the paper ----
+
+Database RobotsDb(bool conflicting) {
+  std::string text = R"(
+    relation Perform(T1: time, T2: time, Robot: string, Task: string) {
+      [8n, 6+8n | "r1", "task2"] : T1 = T2 - 6;
+      [7+8n, 7+8n | "r2", "task1"] : T1 = T2;
+    }
+  )";
+  if (conflicting) {
+    text = R"(
+      relation Perform(T1: time, T2: time, Robot: string, Task: string) {
+        [8n, 6+8n | "r1", "task2"] : T1 = T2 - 6;
+        [2+8n, 4+8n | "r2", "task1"] : T1 = T2 - 2;
+      }
+    )";
+  }
+  Result<Database> db = Database::FromText(text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+TEST(EvalTest, Example41PinnedRobotQuiet) {
+  // r2 only works at instants 7 (mod 8), never inside [0, 6]: during r1's
+  // task2 interval [0, 6], r2 performs nothing.
+  Database db = RobotsDb(/*conflicting=*/false);
+  Result<bool> r = Ask(db,
+                       "FORALL t3 . FORALL t4 . FORALL z . "
+                       "(0 <= t3 AND t3 <= t4 AND t4 <= 6) -> "
+                       "NOT Perform(t3, t4, \"r2\", z)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value());
+}
+
+TEST(EvalTest, Example41PinnedRobotBusy) {
+  // Here r2 works during (2, 4), inside [0, 6].
+  Database db = RobotsDb(/*conflicting=*/true);
+  Result<bool> r = Ask(db,
+                       "FORALL t3 . FORALL t4 . FORALL z . "
+                       "(0 <= t3 AND t3 <= t4 AND t4 <= 6) -> "
+                       "NOT Perform(t3, t4, \"r2\", z)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r.value());
+}
+
+TEST(EvalTest, Example41PaperOriginalForm) {
+  // The formula exactly as printed in the paper (universal block scoping
+  // over the whole implication).  Naive evaluation would complement over
+  // seven columns; the miniscoping optimizer makes it tractable.
+  Database db = RobotsDb(/*conflicting=*/false);
+  Result<bool> r = Ask(db, R"(
+    EXISTS x . EXISTS y . EXISTS t1 . EXISTS t2 .
+      FORALL t3 . FORALL t4 . FORALL z .
+        (Perform(t1, t2, x, "task2") AND t1 <= t3 <= t4 <= t2
+           AND t1 + 5 <= t2)
+        -> NOT Perform(t3, t4, y, z)
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value());
+}
+
+TEST(EvalTest, Example41FullQuery) {
+  // The paper's Example 4.1 (miniscoped form): there are robots x, y such
+  // that whenever x performs task2 over an interval of length >= 5, y
+  // performs nothing during any part of that interval.
+  Database db = RobotsDb(/*conflicting=*/false);
+  Result<bool> r = Ask(db,
+                       "EXISTS x . EXISTS y . EXISTS t1 . EXISTS t2 . "
+                       "Perform(t1, t2, x, \"task2\") AND t1 + 5 <= t2 AND "
+                       "(FORALL t3 . FORALL t4 . "
+                       " (t1 <= t3 AND t3 <= t4 AND t4 <= t2) -> "
+                       " (FORALL z . NOT Perform(t3, t4, y, z)))");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value());
+}
+
+}  // namespace
+}  // namespace itdb
+}  // namespace query

@@ -1,0 +1,370 @@
+// Property tests for the query evaluator: randomized existential-positive
+// queries (atoms, comparisons, AND, OR, EXISTS) are evaluated both by the
+// engine (exact, symbolic) and by a brute-force evaluator over a wide
+// window, and must agree on a narrow observation window.
+//
+// Soundness direction (every brute-force-true assignment is in the engine
+// result) holds unconditionally; the completeness direction relies on the
+// wide window containing all existential witnesses, which the small
+// periods/offsets/bounds of the generated databases guarantee with a wide
+// margin.  Everything is seeded and deterministic.
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+#include "query/sorts.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace query {
+namespace {
+
+constexpr std::int64_t kInnerWindow = 5;
+constexpr std::int64_t kOuterWindow = 40;
+
+Database MakeDb(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int64_t> period_pick(1, 4);
+  std::uniform_int_distribution<std::int64_t> offset_pick(-5, 5);
+  std::uniform_int_distribution<std::int64_t> bound_pick(-4, 4);
+  std::uniform_int_distribution<int> tuples_pick(1, 3);
+  Database db;
+  {
+    GeneralizedRelation r(Schema({"A", "B"}, {}, {}));
+    int n = tuples_pick(rng);
+    for (int i = 0; i < n; ++i) {
+      GeneralizedTuple t({Lrp::Make(offset_pick(rng), period_pick(rng)),
+                          Lrp::Make(offset_pick(rng), period_pick(rng))});
+      t.mutable_constraints().AddDifferenceUpperBound(0, 1, bound_pick(rng));
+      EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+    }
+    db.Put("R", std::move(r));
+  }
+  {
+    GeneralizedRelation r(Schema({"T"}, {}, {}));
+    int n = tuples_pick(rng);
+    for (int i = 0; i < n; ++i) {
+      GeneralizedTuple t({Lrp::Make(offset_pick(rng), period_pick(rng))});
+      if (i % 2 == 0) {
+        t.mutable_constraints().AddLowerBound(0, bound_pick(rng));
+      }
+      EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+    }
+    db.Put("U", std::move(r));
+  }
+  return db;
+}
+
+// A random existential-positive query over temporal variables a, b, c with
+// some subset quantified.
+QueryPtr MakeQuery(std::uint32_t seed, std::vector<std::string>* free_vars) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> var_pick(0, 2);
+  std::uniform_int_distribution<int> atom_pick(0, 3);
+  std::uniform_int_distribution<std::int64_t> const_pick(-4, 4);
+  std::uniform_int_distribution<int> connective_pick(0, 1);
+  const std::string vars[3] = {"a", "b", "c"};
+  auto term = [&](int v) { return Term::Variable(vars[v]); };
+  auto make_atom = [&]() -> QueryPtr {
+    switch (atom_pick(rng)) {
+      case 0:
+        return Query::Atom("R", {term(var_pick(rng)), term(var_pick(rng))});
+      case 1:
+        return Query::Atom("U", {term(var_pick(rng))});
+      case 2:
+        return Query::Compare(
+            Term::Variable(vars[var_pick(rng)], const_pick(rng)),
+            QueryCmp::kLe, term(var_pick(rng)));
+      default:
+        return Query::Compare(term(var_pick(rng)), QueryCmp::kLe,
+                              Term::Int(const_pick(rng)));
+    }
+  };
+  // 3-4 atoms combined left-deep with random AND/OR.
+  QueryPtr q = make_atom();
+  // Guarantee every variable occurs (so sorts are inferable): conjoin one
+  // atom per variable.
+  for (int v = 0; v < 3; ++v) {
+    q = Query::And(std::move(q), Query::Atom("U", {term(v)}));
+  }
+  int extra = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < extra; ++i) {
+    QueryPtr atom = make_atom();
+    q = connective_pick(rng) == 0 ? Query::And(std::move(q), std::move(atom))
+                                  : Query::Or(std::move(q), std::move(atom));
+  }
+  // Quantify a suffix of the variables.
+  int quantified = static_cast<int>(rng() % 3);  // 0..2 quantified.
+  for (int v = 0; v < quantified; ++v) {
+    q = Query::Exists(vars[v], std::move(q));
+  }
+  free_vars->clear();
+  for (int v = quantified; v < 3; ++v) free_vars->push_back(vars[v]);
+  return q;
+}
+
+// Brute-force evaluation with all quantifiers ranging over
+// [-kOuterWindow, kOuterWindow].
+bool BruteEval(const Query& q, std::map<std::string, std::int64_t>& assign,
+               const Database& db) {
+  switch (q.kind()) {
+    case Query::Kind::kAtom: {
+      GeneralizedRelation rel = db.Get(q.relation()).value();
+      std::vector<std::int64_t> point;
+      point.reserve(q.args().size());
+      for (const Term& t : q.args()) {
+        point.push_back(t.kind == Term::Kind::kInt
+                            ? t.number
+                            : assign.at(t.var) + t.number);
+      }
+      return rel.Contains({point, {}});
+    }
+    case Query::Kind::kCmp: {
+      auto value = [&assign](const Term& t) {
+        return t.kind == Term::Kind::kInt ? t.number
+                                          : assign.at(t.var) + t.number;
+      };
+      std::int64_t l = value(q.lhs());
+      std::int64_t r = value(q.rhs());
+      switch (q.cmp()) {
+        case QueryCmp::kEq:
+          return l == r;
+        case QueryCmp::kNe:
+          return l != r;
+        case QueryCmp::kLe:
+          return l <= r;
+        case QueryCmp::kLt:
+          return l < r;
+        case QueryCmp::kGe:
+          return l >= r;
+        case QueryCmp::kGt:
+          return l > r;
+      }
+      return false;
+    }
+    case Query::Kind::kAnd:
+      return BruteEval(*q.left(), assign, db) &&
+             BruteEval(*q.right(), assign, db);
+    case Query::Kind::kOr:
+      return BruteEval(*q.left(), assign, db) ||
+             BruteEval(*q.right(), assign, db);
+    case Query::Kind::kExists: {
+      for (std::int64_t v = -kOuterWindow; v <= kOuterWindow; ++v) {
+        assign[q.quantified_var()] = v;
+        bool hit = BruteEval(*q.left(), assign, db);
+        assign.erase(q.quantified_var());
+        if (hit) return true;
+      }
+      return false;
+    }
+    default:
+      ADD_FAILURE() << "unexpected node in existential-positive query";
+      return false;
+  }
+}
+
+class QueryPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(QueryPropertyTest, EngineAgreesWithBruteForceOnWindow) {
+  Database db = MakeDb(GetParam());
+  std::vector<std::string> free_vars;
+  QueryPtr q = MakeQuery(GetParam() + 10000, &free_vars);
+  Result<GeneralizedRelation> engine = EvalQuery(db, q);
+  ASSERT_TRUE(engine.ok()) << engine.status() << "\n" << q->ToString();
+  // The engine result's columns are the free variables, sorted.
+  std::vector<std::string> sorted_free = free_vars;
+  std::sort(sorted_free.begin(), sorted_free.end());
+  ASSERT_EQ(engine.value().schema().temporal_names(), sorted_free);
+
+  // Sweep all assignments of the free variables in the inner window.
+  std::vector<std::int64_t> point(free_vars.size(), -kInnerWindow);
+  while (true) {
+    std::map<std::string, std::int64_t> assign;
+    for (std::size_t i = 0; i < free_vars.size(); ++i) {
+      assign[sorted_free[i]] = point[i];
+    }
+    bool brute = BruteEval(*q, assign, db);
+    bool symbolic = engine.value().Contains({point, {}});
+    EXPECT_EQ(symbolic, brute)
+        << q->ToString() << " at " << ::testing::PrintToString(point);
+    if (free_vars.empty()) break;
+    std::size_t d = free_vars.size();
+    while (d > 0) {
+      if (++point[d - 1] <= kInnerWindow) break;
+      point[d - 1] = -kInnerWindow;
+      --d;
+    }
+    if (d == 0) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
+                         ::testing::Range(std::uint32_t{0}, std::uint32_t{60}));
+
+// ---- Data-sorted variables: random queries over a relation with a data
+// column, compared against brute force (temporal vars over the wide window,
+// data vars over the explicit active domain).
+
+Database MakeDataDb(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int64_t> period_pick(1, 4);
+  std::uniform_int_distribution<std::int64_t> offset_pick(-5, 5);
+  const char* names[3] = {"x", "y", "z"};
+  Database db;
+  GeneralizedRelation r(Schema({"T"}, {"W"}, {DataType::kString}));
+  int n = 2 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < n; ++i) {
+    GeneralizedTuple t({Lrp::Make(offset_pick(rng), period_pick(rng))},
+                       {Value(names[rng() % 3])});
+    EXPECT_TRUE(r.AddTuple(std::move(t)).ok());
+  }
+  db.Put("Who", std::move(r));
+  return db;
+}
+
+bool BruteEvalData(const Query& q,
+                   std::map<std::string, std::int64_t>& tassign,
+                   std::map<std::string, Value>& dassign, const Database& db,
+                   const std::vector<Value>& adomain) {
+  switch (q.kind()) {
+    case Query::Kind::kAtom: {
+      GeneralizedRelation rel = db.Get(q.relation()).value();
+      // Who(T, W): first arg temporal, second data.
+      std::int64_t t = q.args()[0].kind == Term::Kind::kInt
+                           ? q.args()[0].number
+                           : tassign.at(q.args()[0].var) + q.args()[0].number;
+      Value w = q.args()[1].kind == Term::Kind::kString
+                    ? Value(q.args()[1].text)
+                    : dassign.at(q.args()[1].var);
+      return rel.Contains({{t}, {w}});
+    }
+    case Query::Kind::kCmp: {
+      // Either a temporal comparison or a data equality.
+      const Term& l = q.lhs();
+      const Term& r = q.rhs();
+      bool data = (l.kind == Term::Kind::kVariable && dassign.contains(l.var)) ||
+                  (r.kind == Term::Kind::kVariable && dassign.contains(r.var)) ||
+                  l.kind == Term::Kind::kString || r.kind == Term::Kind::kString;
+      if (data) {
+        Value lv = l.kind == Term::Kind::kString ? Value(l.text)
+                                                 : dassign.at(l.var);
+        Value rv = r.kind == Term::Kind::kString ? Value(r.text)
+                                                 : dassign.at(r.var);
+        return q.cmp() == QueryCmp::kEq ? lv == rv : lv != rv;
+      }
+      auto value = [&tassign](const Term& t) {
+        return t.kind == Term::Kind::kInt ? t.number
+                                          : tassign.at(t.var) + t.number;
+      };
+      std::int64_t lv = value(l);
+      std::int64_t rv = value(r);
+      switch (q.cmp()) {
+        case QueryCmp::kEq:
+          return lv == rv;
+        case QueryCmp::kNe:
+          return lv != rv;
+        case QueryCmp::kLe:
+          return lv <= rv;
+        case QueryCmp::kLt:
+          return lv < rv;
+        case QueryCmp::kGe:
+          return lv >= rv;
+        case QueryCmp::kGt:
+          return lv > rv;
+      }
+      return false;
+    }
+    case Query::Kind::kAnd:
+      return BruteEvalData(*q.left(), tassign, dassign, db, adomain) &&
+             BruteEvalData(*q.right(), tassign, dassign, db, adomain);
+    case Query::Kind::kOr:
+      return BruteEvalData(*q.left(), tassign, dassign, db, adomain) ||
+             BruteEvalData(*q.right(), tassign, dassign, db, adomain);
+    case Query::Kind::kExists: {
+      const std::string& v = q.quantified_var();
+      // Data variables in this suite are named w1/w2; temporal a/b.
+      if (v[0] == 'w') {
+        for (const Value& value : adomain) {
+          dassign[v] = value;
+          bool hit = BruteEvalData(*q.left(), tassign, dassign, db, adomain);
+          dassign.erase(v);
+          if (hit) return true;
+        }
+        return false;
+      }
+      for (std::int64_t t = -kOuterWindow; t <= kOuterWindow; ++t) {
+        tassign[v] = t;
+        bool hit = BruteEvalData(*q.left(), tassign, dassign, db, adomain);
+        tassign.erase(v);
+        if (hit) return true;
+      }
+      return false;
+    }
+    default:
+      ADD_FAILURE() << "unexpected node";
+      return false;
+  }
+}
+
+class DataQueryPropertyTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(DataQueryPropertyTest, EngineAgreesWithBruteForce) {
+  std::mt19937 rng(GetParam() + 5000);
+  Database db = MakeDataDb(GetParam() + 20000);
+  // Query shape: EXISTS w1 . EXISTS w2 . EXISTS b .
+  //   Who(a, w1) AND Who(b, w2) AND <random extras>; free temporal var a.
+  std::uniform_int_distribution<int> extra_pick(0, 3);
+  QueryPtr body = Query::And(
+      Query::Atom("Who", {Term::Variable("a"), Term::Variable("w1")}),
+      Query::Atom("Who", {Term::Variable("b"), Term::Variable("w2")}));
+  switch (extra_pick(rng)) {
+    case 0:
+      body = Query::And(std::move(body),
+                        Query::Compare(Term::Variable("w1"), QueryCmp::kNe,
+                                       Term::Variable("w2")));
+      break;
+    case 1:
+      body = Query::And(std::move(body),
+                        Query::Compare(Term::Variable("w1"), QueryCmp::kEq,
+                                       Term::String("x")));
+      break;
+    case 2:
+      body = Query::And(std::move(body),
+                        Query::Compare(Term::Variable("a"), QueryCmp::kLe,
+                                       Term::Variable("b", -1)));
+      break;
+    default:
+      body = Query::Or(std::move(body),
+                       Query::Atom("Who", {Term::Variable("a"),
+                                           Term::String("y")}));
+      break;
+  }
+  QueryPtr q = Query::Exists(
+      "w1", Query::Exists("w2", Query::Exists("b", std::move(body))));
+
+  Result<GeneralizedRelation> engine = EvalQuery(db, q);
+  ASSERT_TRUE(engine.ok()) << engine.status() << "\n" << q->ToString();
+  std::vector<Value> adomain = {Value("x"), Value("y"), Value("z")};
+  for (std::int64_t a = -kInnerWindow; a <= kInnerWindow; ++a) {
+    std::map<std::string, std::int64_t> tassign{{"a", a}};
+    std::map<std::string, Value> dassign;
+    bool brute = BruteEvalData(*q, tassign, dassign, db, adomain);
+    bool symbolic = engine.value().Contains({{a}, {}});
+    EXPECT_EQ(symbolic, brute) << q->ToString() << " at a=" << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataQueryPropertyTest,
+                         ::testing::Range(std::uint32_t{0}, std::uint32_t{30}));
+
+}  // namespace
+}  // namespace query
+}  // namespace itdb

@@ -1,0 +1,97 @@
+#include "query/sorts.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace itdb {
+namespace query {
+namespace {
+
+Database TestDb() {
+  Result<Database> db = Database::FromText(R"(
+    relation Perform(From: time, To: time, Robot: string, Task: string) {
+      [2+2n, 4+2n | "robot1", "task2"] : From = To - 2;
+    }
+    relation Count(T: time, N: int) {
+      [2n | 5];
+    }
+  )");
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+Result<SortMap> Infer(const std::string& text) {
+  Result<QueryPtr> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return InferSorts(TestDb(), q.value());
+}
+
+TEST(SortsTest, AtomPositionsDictateSorts) {
+  Result<SortMap> s = Infer("Perform(a, b, r, k)");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s.value().at("a"), Sort::kTime);
+  EXPECT_EQ(s.value().at("b"), Sort::kTime);
+  EXPECT_EQ(s.value().at("r"), Sort::kDataString);
+  EXPECT_EQ(s.value().at("k"), Sort::kDataString);
+  s = Infer("Count(t, c)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().at("c"), Sort::kDataInt);
+}
+
+TEST(SortsTest, ComparisonsForceTime) {
+  Result<SortMap> s = Infer("a <= b AND c = 5");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s.value().at("a"), Sort::kTime);
+  EXPECT_EQ(s.value().at("b"), Sort::kTime);
+  EXPECT_EQ(s.value().at("c"), Sort::kTime);
+}
+
+TEST(SortsTest, StringConstantForcesDataString) {
+  Result<SortMap> s = Infer("x = \"robot1\"");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s.value().at("x"), Sort::kDataString);
+}
+
+TEST(SortsTest, EqualityPropagatesAcrossLinks) {
+  Result<SortMap> s = Infer("Perform(a, b, r, k) AND r = y AND y = z");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s.value().at("y"), Sort::kDataString);
+  EXPECT_EQ(s.value().at("z"), Sort::kDataString);
+}
+
+TEST(SortsTest, ConflictsRejected) {
+  // r is a string position but also order-compared.
+  EXPECT_FALSE(Infer("Perform(a, b, r, k) AND r <= a").ok());
+  // Same variable in temporal and string positions.
+  EXPECT_FALSE(Infer("Perform(a, b, a, k)").ok());
+  // Data-int variable compared with an integer constant (documented
+  // limitation: integer comparison constants are temporal).
+  EXPECT_FALSE(Infer("Count(t, c) AND c = 7").ok());
+}
+
+TEST(SortsTest, UndeterminedVariableRejected) {
+  EXPECT_FALSE(Infer("x = y").ok());
+}
+
+TEST(SortsTest, ShadowingRejected) {
+  EXPECT_FALSE(Infer("EXISTS t . Perform(t, t, r, k) AND "
+                     "(EXISTS t . t <= 5)")
+                   .ok());
+}
+
+TEST(SortsTest, ArityAndUnknownRelationChecked) {
+  EXPECT_FALSE(Infer("Perform(a, b)").ok());
+  EXPECT_FALSE(Infer("Nope(a)").ok());
+  EXPECT_FALSE(Infer("Perform(a, b, 3, k)").ok());  // Int in string slot.
+  EXPECT_FALSE(Infer("Perform(a, b, r, \"x\") AND Count(a, \"y\")").ok());
+}
+
+TEST(SortsTest, OffsetsOnlyOnTemporal) {
+  EXPECT_FALSE(Infer("Perform(a, b, r + 1, k)").ok());
+  EXPECT_TRUE(Infer("Perform(a + 1, b, r, k)").ok());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace itdb

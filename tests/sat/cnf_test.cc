@@ -1,0 +1,57 @@
+#include "sat/cnf.h"
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace sat {
+namespace {
+
+CnfFormula TinyFormula() {
+  // (x0 | !x1) & (!x0 | x2).
+  CnfFormula f(3);
+  f.AddClause(Clause{{Literal{0, false}, Literal{1, true}}});
+  f.AddClause(Clause{{Literal{0, true}, Literal{2, false}}});
+  return f;
+}
+
+TEST(CnfTest, EvaluationBasics) {
+  CnfFormula f = TinyFormula();
+  EXPECT_TRUE(f.IsSatisfiedBy({true, true, true}));
+  EXPECT_TRUE(f.IsSatisfiedBy({false, false, false}));
+  EXPECT_FALSE(f.IsSatisfiedBy({false, true, true}));   // First clause fails.
+  EXPECT_FALSE(f.IsSatisfiedBy({true, false, false}));  // Second fails.
+}
+
+TEST(CnfTest, EmptyFormulaIsTrue) {
+  CnfFormula f(2);
+  EXPECT_TRUE(f.IsSatisfiedBy({false, false}));
+}
+
+TEST(CnfTest, ToString) {
+  EXPECT_EQ(TinyFormula().ToString(), "(x0 | !x1) & (!x0 | x2)");
+}
+
+TEST(RandomThreeSatTest, ShapeAndDeterminism) {
+  CnfFormula a = RandomThreeSat(7, 5, 12);
+  EXPECT_EQ(a.num_vars(), 5);
+  EXPECT_EQ(a.num_clauses(), 12);
+  for (const Clause& c : a.clauses()) {
+    ASSERT_EQ(c.literals.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(c.literals[0].var, c.literals[1].var);
+    EXPECT_NE(c.literals[0].var, c.literals[2].var);
+    EXPECT_NE(c.literals[1].var, c.literals[2].var);
+    for (const Literal& l : c.literals) {
+      EXPECT_GE(l.var, 0);
+      EXPECT_LT(l.var, 5);
+    }
+  }
+  CnfFormula b = RandomThreeSat(7, 5, 12);
+  EXPECT_EQ(a.ToString(), b.ToString());  // Same seed, same formula.
+  CnfFormula c = RandomThreeSat(8, 5, 12);
+  EXPECT_NE(a.ToString(), c.ToString());  // (Overwhelmingly likely.)
+}
+
+}  // namespace
+}  // namespace sat
+}  // namespace itdb

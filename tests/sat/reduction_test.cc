@@ -1,0 +1,97 @@
+#include "sat/reduction.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "sat/solver.h"
+
+namespace itdb {
+namespace sat {
+namespace {
+
+TEST(ReductionTest, RelationShapeMatchesTheorem36) {
+  // One column per variable, one tuple per clause, free extensions Z^m.
+  CnfFormula f(4);
+  f.AddClause(Clause{{Literal{0, false}, Literal{1, true}, Literal{2, false}}});
+  f.AddClause(Clause{{Literal{1, false}, Literal{2, true}, Literal{3, true}}});
+  Result<GeneralizedRelation> r = ReductionToRelation(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().temporal_arity(), 4);
+  EXPECT_EQ(r.value().size(), 2);
+  for (const GeneralizedTuple& t : r.value().tuples()) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(t.lrp(i), Lrp::Make(0, 1));
+    }
+  }
+}
+
+TEST(ReductionTest, PointsEncodeFalsifyingAssignments) {
+  // Clause (x0 | !x1): falsified by x0=false, x1=true, i.e. X0 < 0, X1 >= 0.
+  CnfFormula f(2);
+  f.AddClause(Clause{{Literal{0, false}, Literal{1, true}}});
+  Result<GeneralizedRelation> r = ReductionToRelation(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Contains({{-1, 0}, {}}));
+  EXPECT_TRUE(r.value().Contains({{-5, 7}, {}}));
+  EXPECT_FALSE(r.value().Contains({{0, 0}, {}}));   // x0 true: clause holds.
+  EXPECT_FALSE(r.value().Contains({{-1, -1}, {}}));  // x1 false: clause holds.
+}
+
+TEST(SolveViaComplementTest, SatisfiableInstance) {
+  // (x0 | x1) & (!x0 | x1): satisfiable with x1 = true.
+  CnfFormula f(2);
+  f.AddClause(Clause{{Literal{0, false}, Literal{1, false}}});
+  f.AddClause(Clause{{Literal{0, true}, Literal{1, false}}});
+  Result<ComplementSatResult> r = SolveViaComplement(f);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value().satisfiable);
+  EXPECT_TRUE(f.IsSatisfiedBy(r.value().assignment));
+}
+
+TEST(SolveViaComplementTest, UnsatisfiableInstance) {
+  // (x0) & (!x0).
+  CnfFormula f(1);
+  f.AddClause(Clause{{Literal{0, false}}});
+  f.AddClause(Clause{{Literal{0, true}}});
+  Result<ComplementSatResult> r = SolveViaComplement(f);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r.value().satisfiable);
+}
+
+TEST(SolveViaComplementTest, EmptyFormulaSatisfiable) {
+  CnfFormula f(2);
+  Result<ComplementSatResult> r = SolveViaComplement(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().satisfiable);
+}
+
+class ReductionAgreementTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReductionAgreementTest, ComplementPipelineAgreesWithDpll) {
+  // The reduction pipeline and the classical solver must give the same
+  // verdict on every instance, spanning satisfiable and unsatisfiable
+  // densities.
+  for (int num_clauses : {5, 15, 25, 35}) {
+    CnfFormula f =
+        RandomThreeSat(GetParam() * 1000 + num_clauses, 6, num_clauses);
+    Result<SolveResult> dpll = SolveDpll(f);
+    ASSERT_TRUE(dpll.ok());
+    Result<ComplementSatResult> pipeline = SolveViaComplement(f);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status() << " on " << f.ToString();
+    EXPECT_EQ(pipeline.value().satisfiable, dpll.value().satisfiable)
+        << f.ToString();
+    if (pipeline.value().satisfiable) {
+      EXPECT_TRUE(f.IsSatisfiedBy(pipeline.value().assignment))
+          << f.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionAgreementTest,
+                         ::testing::Range(std::uint32_t{0}, std::uint32_t{10}));
+
+}  // namespace
+}  // namespace sat
+}  // namespace itdb

@@ -1,0 +1,92 @@
+#include "sat/solver.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace sat {
+namespace {
+
+// Brute-force satisfiability for cross-checking (num_vars <= 20).
+bool BruteForceSat(const CnfFormula& f) {
+  int n = f.num_vars();
+  for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+    std::vector<bool> assignment;
+    assignment.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) assignment.push_back((bits >> i) & 1);
+    if (f.IsSatisfiedBy(assignment)) return true;
+  }
+  return false;
+}
+
+TEST(DpllTest, TrivialSat) {
+  CnfFormula f(1);
+  f.AddClause(Clause{{Literal{0, false}}});
+  Result<SolveResult> r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().satisfiable);
+  EXPECT_TRUE(f.IsSatisfiedBy(r.value().assignment));
+}
+
+TEST(DpllTest, TrivialUnsat) {
+  CnfFormula f(1);
+  f.AddClause(Clause{{Literal{0, false}}});
+  f.AddClause(Clause{{Literal{0, true}}});
+  Result<SolveResult> r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().satisfiable);
+}
+
+TEST(DpllTest, EmptyFormulaSat) {
+  CnfFormula f(3);
+  Result<SolveResult> r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().satisfiable);
+}
+
+TEST(DpllTest, PigeonholeStyleUnsat) {
+  // x0..x2: (x0|x1) & (x0|!x1) & (!x0|x2) & (!x0|!x2) is unsat.
+  CnfFormula f(3);
+  f.AddClause(Clause{{Literal{0, false}, Literal{1, false}}});
+  f.AddClause(Clause{{Literal{0, false}, Literal{1, true}}});
+  f.AddClause(Clause{{Literal{0, true}, Literal{2, false}}});
+  f.AddClause(Clause{{Literal{0, true}, Literal{2, true}}});
+  Result<SolveResult> r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().satisfiable);
+}
+
+class DpllRandomTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DpllRandomTest, AgreesWithBruteForce) {
+  // Sweep under- and over-constrained regions around the phase transition.
+  for (int num_clauses : {10, 20, 34, 45, 60}) {
+    CnfFormula f = RandomThreeSat(GetParam() * 100 + num_clauses, 8,
+                                  num_clauses);
+    Result<SolveResult> r = SolveDpll(f);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().satisfiable, BruteForceSat(f)) << f.ToString();
+    if (r.value().satisfiable) {
+      EXPECT_TRUE(f.IsSatisfiedBy(r.value().assignment));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpllRandomTest,
+                         ::testing::Range(std::uint32_t{0}, std::uint32_t{15}));
+
+TEST(DpllTest, DecisionBudgetEnforced) {
+  CnfFormula f = RandomThreeSat(3, 30, 128);
+  Result<SolveResult> r = SolveDpll(f, /*max_decisions=*/1);
+  // Either it solves within one decision (unlikely but possible via
+  // propagation) or reports exhaustion.
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+}  // namespace
+}  // namespace sat
+}  // namespace itdb

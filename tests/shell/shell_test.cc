@@ -1,0 +1,148 @@
+#include "shell/shell.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+std::string RunScript(const std::string& script, Database* db = nullptr) {
+  Database local;
+  Database& target = db == nullptr ? local : *db;
+  std::istringstream in(script);
+  std::ostringstream out;
+  Status s = RunShell(in, out, target);
+  EXPECT_TRUE(s.ok()) << s;
+  return out.str();
+}
+
+constexpr const char* kDefineP = R"(
+define relation P(T: time) {
+  [3+10n] : T >= 3;
+}
+)";
+
+TEST(ShellTest, HelpListsCommands) {
+  std::string out = RunScript("help\n");
+  EXPECT_NE(out.find("enumerate"), std::string::npos);
+  EXPECT_NE(out.find("ask"), std::string::npos);
+}
+
+TEST(ShellTest, DefineListShow) {
+  std::string out = RunScript(std::string(kDefineP) + "list\nshow P\n");
+  EXPECT_NE(out.find("P\n"), std::string::npos);
+  EXPECT_NE(out.find("relation P(T: time)"), std::string::npos);
+  EXPECT_NE(out.find("3+10n"), std::string::npos);
+}
+
+TEST(ShellTest, EnumerateWindow) {
+  std::string out = RunScript(std::string(kDefineP) + "enumerate P 0 25\n");
+  EXPECT_NE(out.find("(3)"), std::string::npos);
+  EXPECT_NE(out.find("(13)"), std::string::npos);
+  EXPECT_NE(out.find("(23)"), std::string::npos);
+  EXPECT_NE(out.find("3 row(s)"), std::string::npos);
+}
+
+TEST(ShellTest, AskAndQuery) {
+  std::string out = RunScript(std::string(kDefineP) +
+                        "ask EXISTS t . P(t)\n"
+                        "ask P(4)\n"
+                        "query P(t) AND t <= 20\n");
+  EXPECT_NE(out.find("true"), std::string::npos);
+  EXPECT_NE(out.find("false"), std::string::npos);
+  EXPECT_NE(out.find("relation result"), std::string::npos);
+}
+
+TEST(ShellTest, DropRemovesRelation) {
+  std::string out = RunScript(std::string(kDefineP) + "drop P\nlist\nshow P\n");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(ShellTest, UnknownCommandReportsError) {
+  std::string out = RunScript("frobnicate\n");
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST(ShellTest, CommentsAndBlankLinesIgnored) {
+  std::string out = RunScript("# nothing here\n\n   \nlist\n");
+  EXPECT_EQ(out.find("error"), std::string::npos);
+}
+
+TEST(ShellTest, QuitStopsProcessing) {
+  std::string out = RunScript("quit\nfrobnicate\n");
+  EXPECT_EQ(out.find("unknown command"), std::string::npos);
+}
+
+TEST(ShellTest, StopOnErrorPropagates) {
+  Database db;
+  std::istringstream in("show missing\nlist\n");
+  std::ostringstream out;
+  ShellOptions options;
+  options.stop_on_error = true;
+  Status s = RunShell(in, out, db, options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(ShellTest, SaveAndLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/shell_roundtrip.itdb";
+  RunScript(std::string(kDefineP) + "save " + path + "\n");
+  Database db;
+  std::string out = RunScript("load " + path + "\nask P(13)\n", &db);
+  EXPECT_NE(out.find("true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ShellTest, CheckAndSatCommands) {
+  std::string script = R"(
+define relation req(T: time) {
+  [10n];
+}
+define relation ack(T: time) {
+  [3+10n];
+}
+check G(req -> F[0,5](ack))
+check G(req -> F[0,2](ack))
+sat F[0,3](req)
+)";
+  std::string out = RunScript(script);
+  EXPECT_NE(out.find("PASS"), std::string::npos) << out;
+  EXPECT_NE(out.find("FAIL"), std::string::npos) << out;
+  EXPECT_NE(out.find("violations"), std::string::npos) << out;
+  EXPECT_NE(out.find("relation sat"), std::string::npos) << out;
+}
+
+TEST(ShellTest, CoalesceSimplifyWitnessCommands) {
+  std::string script = R"(
+define relation R(T: time) {
+  [6n];
+  [3+6n];
+  [2+4n];
+  [2+4n];
+}
+coalesce R
+simplify R
+show R
+witness R
+)";
+  std::string out = RunScript(script);
+  // {6n, 3+6n} merge to 3n; the duplicate 2+4n collapses.
+  EXPECT_NE(out.find("4 -> 2 tuple(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("0+3n"), std::string::npos) << out;
+  // Witness prints some concrete member.
+  EXPECT_NE(out.find("("), std::string::npos) << out;
+  // Unknown relation errors cleanly.
+  std::string err = RunScript("witness nope\n");
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+TEST(ShellTest, DefineRejectsDuplicates) {
+  std::string out = RunScript(std::string(kDefineP) + kDefineP);
+  EXPECT_NE(out.find("already exists"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itdb

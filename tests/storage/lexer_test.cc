@@ -1,0 +1,95 @@
+#include "storage/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> r = Tokenize("relation Foo(T1: time) { }");
+  ASSERT_TRUE(r.ok());
+  const std::vector<Token>& t = r.value();
+  ASSERT_EQ(t.size(), 10u);  // 9 tokens + end.
+  EXPECT_EQ(t[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[0].text, "relation");
+  EXPECT_EQ(t[2].text, "(");
+  EXPECT_EQ(t[4].text, ":");
+  EXPECT_EQ(t.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IntegersAndLrpSuffix) {
+  Result<std::vector<Token>> r = Tokenize("2+10n");
+  ASSERT_TRUE(r.ok());
+  const std::vector<Token>& t = r.value();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].kind, TokenKind::kInt);
+  EXPECT_EQ(t[0].int_value, 2);
+  EXPECT_EQ(t[1].text, "+");
+  EXPECT_EQ(t[2].int_value, 10);
+  EXPECT_EQ(t[3].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[3].text, "n");
+}
+
+TEST(LexerTest, Strings) {
+  Result<std::vector<Token>> r = Tokenize(R"("hello \"x\" world")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].kind, TokenKind::kString);
+  EXPECT_EQ(r.value()[0].text, "hello \"x\" world");
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  Result<std::vector<Token>> r = Tokenize("<= >= && || != -> < >");
+  ASSERT_TRUE(r.ok());
+  std::vector<std::string> expect = {"<=", ">=", "&&", "||", "!=", "->",
+                                     "<",  ">"};
+  ASSERT_EQ(r.value().size(), expect.size() + 1);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(r.value()[i].text, expect[i]);
+  }
+}
+
+TEST(LexerTest, Comments) {
+  Result<std::vector<Token>> r = Tokenize("a # comment\n b");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(r.value()[0].text, "a");
+  EXPECT_EQ(r.value()[1].text, "b");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a $ b").ok());
+}
+
+TEST(LexerTest, IntegerOverflowDetected) {
+  EXPECT_FALSE(Tokenize("99999999999999999999999").ok());
+}
+
+TEST(TokenStreamTest, Navigation) {
+  Result<std::vector<Token>> r = Tokenize("foo ( -42 )");
+  ASSERT_TRUE(r.ok());
+  TokenStream ts(std::move(r).value());
+  EXPECT_TRUE(ts.TryIdent("foo"));
+  EXPECT_FALSE(ts.TryIdent("bar"));
+  EXPECT_TRUE(ts.ExpectSymbol("(").ok());
+  Result<std::int64_t> v = ts.ExpectInt();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), -42);
+  EXPECT_TRUE(ts.ExpectSymbol(")").ok());
+  EXPECT_TRUE(ts.AtEnd());
+  EXPECT_FALSE(ts.ExpectSymbol(";").ok());
+}
+
+TEST(TokenStreamTest, ErrorsMentionPosition) {
+  Result<std::vector<Token>> r = Tokenize("abc def");
+  ASSERT_TRUE(r.ok());
+  TokenStream ts(std::move(r).value());
+  ts.Next();
+  Status s = ts.ExpectSymbol("(");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("'def'"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("offset 4"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,119 @@
+// Robustness: malformed and randomly mutated inputs must produce Status
+// errors (or parse fine), never crashes, across all three parsers
+// (relation text format, FO queries, TL formulas).  Deterministic seeds.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "storage/text_format.h"
+#include "tl/parser.h"
+
+namespace itdb {
+namespace {
+
+constexpr const char* kValidRelation = R"(
+relation Perform(From: time, To: time, Robot: string) {
+  [2+2n, 4+2n | "robot1"] : From = To - 2 && From >= -1;
+  [10n, 3+10n | "robot2"] : From = To - 3;
+}
+)";
+
+constexpr const char* kValidQuery =
+    "EXISTS t1 . EXISTS t2 . Perform(t1, t2, \"robot1\") AND t1 + 5 <= t2";
+
+constexpr const char* kValidTl = "G(req -> F[0,5](ack)) & !(p U q)";
+
+std::string Mutate(const std::string& input, std::mt19937& rng) {
+  std::string out = input;
+  std::uniform_int_distribution<int> op_pick(0, 2);
+  std::uniform_int_distribution<std::size_t> pos_pick(0, out.size() - 1);
+  std::uniform_int_distribution<int> char_pick(32, 126);
+  int mutations = 1 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < mutations && !out.empty(); ++i) {
+    std::size_t pos = pos_pick(rng) % out.size();
+    switch (op_pick(rng)) {
+      case 0:  // Delete.
+        out.erase(pos, 1);
+        break;
+      case 1:  // Replace.
+        out[pos] = static_cast<char>(char_pick(rng));
+        break;
+      default:  // Insert.
+        out.insert(pos, 1, static_cast<char>(char_pick(rng)));
+        break;
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParserFuzzTest, MutatedRelationTextNeverCrashes) {
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::string text = Mutate(kValidRelation, rng);
+    Result<NamedRelation> r = ParseRelation(text);
+    if (r.ok()) {
+      // Whatever parsed must round-trip through the printer.
+      std::string printed = PrintRelation(r.value().name, r.value().relation);
+      EXPECT_TRUE(ParseRelation(printed).ok()) << printed;
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedQueriesNeverCrash) {
+  std::mt19937 rng(GetParam() + 1000);
+  for (int round = 0; round < 50; ++round) {
+    std::string text = Mutate(kValidQuery, rng);
+    Result<query::QueryPtr> q = query::ParseQuery(text);
+    if (q.ok()) {
+      EXPECT_FALSE(q.value()->ToString().empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedTlFormulasNeverCrash) {
+  std::mt19937 rng(GetParam() + 2000);
+  for (int round = 0; round < 50; ++round) {
+    std::string text = Mutate(kValidTl, rng);
+    Result<tl::TlPtr> f = tl::ParseTlFormula(text);
+    if (f.ok()) {
+      EXPECT_FALSE(f.value()->ToString().empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  std::mt19937 rng(GetParam() + 3000);
+  std::uniform_int_distribution<int> len_pick(0, 60);
+  std::uniform_int_distribution<int> char_pick(1, 126);
+  for (int round = 0; round < 50; ++round) {
+    std::string text;
+    int len = len_pick(rng);
+    for (int i = 0; i < len; ++i) {
+      text += static_cast<char>(char_pick(rng));
+    }
+    (void)ParseRelation(text);
+    (void)query::ParseQuery(text);
+    (void)tl::ParseTlFormula(text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range(std::uint32_t{0}, std::uint32_t{20}));
+
+TEST(ParserRobustnessTest, DeepNestingDoesNotOverflow) {
+  // 200 levels of parentheses: recursive descent must survive.
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "NOT (";
+  text += "P(t)";
+  for (int i = 0; i < 200; ++i) text += ")";
+  Result<query::QueryPtr> q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,69 @@
+#include "tl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace tl {
+namespace {
+
+std::string Reparse(const std::string& text) {
+  Result<TlPtr> f = ParseTlFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status() << " for " << text;
+  return f.ok() ? f.value()->ToString() : "<error>";
+}
+
+TEST(TlParserTest, Propositions) {
+  EXPECT_EQ(Reparse("alert"), "alert");
+  // Modal letters without an operand-shaped follower are propositions.
+  EXPECT_EQ(Reparse("F"), "F");
+  EXPECT_EQ(Reparse("G & F"), "(G & F)");
+}
+
+TEST(TlParserTest, UnaryOperators) {
+  EXPECT_EQ(Reparse("!p"), "!(p)");
+  EXPECT_EQ(Reparse("X(p)"), "X(p)");
+  EXPECT_EQ(Reparse("Y(p)"), "Y(p)");
+  EXPECT_EQ(Reparse("F(p)"), "F(p)");
+  EXPECT_EQ(Reparse("G(p)"), "G(p)");
+  EXPECT_EQ(Reparse("O(p)"), "P(p)");   // Once prints as P (past F).
+  EXPECT_EQ(Reparse("H(p)"), "H(p)");
+  EXPECT_EQ(Reparse("G!p"), "G(!(p))");
+}
+
+TEST(TlParserTest, BoundedOperators) {
+  EXPECT_EQ(Reparse("F[0,5](ack)"), "F[0,5](ack)");
+  EXPECT_EQ(Reparse("G[-2,2](ok)"), "G[-2,2](ok)");
+  EXPECT_FALSE(ParseTlFormula("X[0,5](p)").ok());  // Bounds only on F/G.
+}
+
+TEST(TlParserTest, PrecedenceAndStructure) {
+  // -> lowest, then |, then &, then U/S, then unary.
+  EXPECT_EQ(Reparse("a -> b | c & d"), "(!(a) | (b | (c & d)))");
+  EXPECT_EQ(Reparse("a & b U c"), "(a & (b U c))");
+  EXPECT_EQ(Reparse("a U b U c"), "(a U (b U c))");
+  EXPECT_EQ(Reparse("a S b"), "(a S b)");
+  EXPECT_EQ(Reparse("(a | b) & c"), "((a | b) & c)");
+}
+
+TEST(TlParserTest, RequestResponseSpec) {
+  EXPECT_EQ(Reparse("G(req -> F[0,5](ack))"),
+            "G((!(req) | F[0,5](ack)))");
+}
+
+TEST(TlParserTest, AmpersandVariants) {
+  EXPECT_EQ(Reparse("a & b"), Reparse("a && b"));
+  EXPECT_EQ(Reparse("a | b"), Reparse("a || b"));
+}
+
+TEST(TlParserTest, Errors) {
+  EXPECT_FALSE(ParseTlFormula("").ok());
+  EXPECT_FALSE(ParseTlFormula("(p").ok());
+  EXPECT_FALSE(ParseTlFormula("p q").ok());
+  EXPECT_FALSE(ParseTlFormula("p U").ok());
+  EXPECT_FALSE(ParseTlFormula("F[1](p)").ok());
+  EXPECT_FALSE(ParseTlFormula("& p").ok());
+}
+
+}  // namespace
+}  // namespace tl
+}  // namespace itdb

@@ -1,0 +1,133 @@
+#include "util/numeric.h"
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+TEST(FloorDivTest, MatchesMathematicalDefinition) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(7, -2), -4);
+  EXPECT_EQ(FloorDiv(-7, -2), 3);
+  EXPECT_EQ(FloorDiv(6, 3), 2);
+  EXPECT_EQ(FloorDiv(-6, 3), -2);
+  EXPECT_EQ(FloorDiv(0, 5), 0);
+}
+
+TEST(FloorModTest, RemainderHasDivisorSign) {
+  EXPECT_EQ(FloorMod(7, 3), 1);
+  EXPECT_EQ(FloorMod(-7, 3), 2);
+  EXPECT_EQ(FloorMod(7, -3), -2);
+  EXPECT_EQ(FloorMod(-7, -3), -1);
+  EXPECT_EQ(FloorMod(-1, 5), 4);
+  EXPECT_EQ(FloorMod(0, 5), 0);
+}
+
+TEST(CeilDivTest, MatchesMathematicalDefinition) {
+  EXPECT_EQ(CeilDiv(7, 2), 4);
+  EXPECT_EQ(CeilDiv(-7, 2), -3);
+  EXPECT_EQ(CeilDiv(6, 3), 2);
+  EXPECT_EQ(CeilDiv(6, -3), -2);
+}
+
+class FloorModPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(FloorModPropertyTest, DivModIdentity) {
+  auto [a, b] = GetParam();
+  if (b == 0) GTEST_SKIP();
+  std::int64_t q = FloorDiv(a, b);
+  std::int64_t r = FloorMod(a, b);
+  EXPECT_EQ(q * b + r, a) << "a=" << a << " b=" << b;
+  if (b > 0) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, b);
+  } else {
+    EXPECT_LE(r, 0);
+    EXPECT_GT(r, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FloorModPropertyTest,
+    ::testing::Combine(::testing::Values(-17, -5, -1, 0, 1, 4, 5, 23, 1000),
+                       ::testing::Values(-7, -3, -1, 1, 2, 3, 7, 12)));
+
+TEST(GcdTest, BasicCases) {
+  EXPECT_EQ(Gcd(12, 18), 6);
+  EXPECT_EQ(Gcd(-12, 18), 6);
+  EXPECT_EQ(Gcd(12, -18), 6);
+  EXPECT_EQ(Gcd(0, 7), 7);
+  EXPECT_EQ(Gcd(7, 0), 7);
+  EXPECT_EQ(Gcd(0, 0), 0);
+  EXPECT_EQ(Gcd(1, 999), 1);
+}
+
+TEST(GcdTest, Int64MinDoesNotOverflow) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(Gcd(kMin, 2), 2);
+  EXPECT_EQ(Gcd(kMin, 3), 1);
+}
+
+TEST(LcmTest, BasicCases) {
+  ASSERT_TRUE(Lcm(4, 6).ok());
+  EXPECT_EQ(Lcm(4, 6).value(), 12);
+  EXPECT_EQ(Lcm(-4, 6).value(), 12);
+  EXPECT_EQ(Lcm(0, 6).value(), 0);
+  EXPECT_EQ(Lcm(5, 7).value(), 35);
+}
+
+TEST(LcmTest, OverflowDetected) {
+  constexpr std::int64_t kBig = std::int64_t{1} << 62;
+  Result<std::int64_t> r = Lcm(kBig, kBig - 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOverflow);
+}
+
+TEST(ExtGcdTest, BezoutIdentityHolds) {
+  for (std::int64_t a : {-30, -7, 0, 3, 12, 35}) {
+    for (std::int64_t b : {-21, -1, 0, 5, 12, 49}) {
+      ExtendedGcd e = ExtGcd(a, b);
+      EXPECT_EQ(e.g, Gcd(a, b)) << a << "," << b;
+      EXPECT_EQ(a * e.x + b * e.y, e.g) << a << "," << b;
+    }
+  }
+}
+
+TEST(ModInverseTest, InverseIsCorrect) {
+  ASSERT_TRUE(ModInverse(3, 7).ok());
+  EXPECT_EQ(ModInverse(3, 7).value(), 5);  // 3*5 = 15 === 1 (mod 7)
+  EXPECT_EQ(ModInverse(1, 13).value(), 1);
+  EXPECT_EQ(ModInverse(-3, 7).value(), FloorMod(-5, 7));
+}
+
+TEST(ModInverseTest, NonCoprimeFails) {
+  Result<std::int64_t> r = ModInverse(4, 8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModInverseTest, NonPositiveModulusFails) {
+  EXPECT_FALSE(ModInverse(3, 0).ok());
+  EXPECT_FALSE(ModInverse(3, -7).ok());
+}
+
+TEST(CheckedArithmeticTest, DetectsOverflow) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_TRUE(CheckedAdd(1, 2).ok());
+  EXPECT_EQ(CheckedAdd(1, 2).value(), 3);
+  EXPECT_FALSE(CheckedAdd(kMax, 1).ok());
+  EXPECT_FALSE(CheckedSub(kMin, 1).ok());
+  EXPECT_FALSE(CheckedMul(kMax, 2).ok());
+  EXPECT_EQ(CheckedMul(-3, 7).value(), -21);
+}
+
+}  // namespace
+}  // namespace itdb

@@ -1,0 +1,43 @@
+// Interactive shell over an itdb database.
+//
+//   ./itdb_shell [file.itdb ...]     # preload relation files, then REPL
+//
+// Pipe a script to run non-interactively:
+//   echo 'ask EXISTS t . Backup(t, t + 45)' | ./itdb_shell db.itdb
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <unistd.h>
+
+#include "shell/shell.h"
+
+int main(int argc, char** argv) {
+  itdb::Database db;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::cerr << "error: cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    itdb::Result<itdb::Database> loaded =
+        itdb::Database::FromText(buffer.str());
+    if (!loaded.ok()) {
+      std::cerr << "error: " << argv[i] << ": " << loaded.status() << "\n";
+      return 1;
+    }
+    for (const std::string& name : loaded.value().Names()) {
+      itdb::Status s = db.Add(name, loaded.value().Get(name).value());
+      if (!s.ok()) {
+        std::cerr << "error: " << s << "\n";
+        return 1;
+      }
+    }
+  }
+  itdb::ShellOptions options;
+  options.prompt = isatty(STDIN_FILENO) != 0;
+  itdb::Status status = itdb::RunShell(std::cin, std::cout, db, options);
+  return status.ok() ? 0 : 1;
+}
