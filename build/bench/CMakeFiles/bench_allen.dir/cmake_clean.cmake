@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allen.dir/bench_allen.cc.o"
+  "CMakeFiles/bench_allen.dir/bench_allen.cc.o.d"
+  "bench_allen"
+  "bench_allen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

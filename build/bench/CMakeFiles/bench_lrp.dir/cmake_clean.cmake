@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lrp.dir/bench_lrp.cc.o"
+  "CMakeFiles/bench_lrp.dir/bench_lrp.cc.o.d"
+  "bench_lrp"
+  "bench_lrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_npc_complement.dir/bench_npc_complement.cc.o"
+  "CMakeFiles/bench_npc_complement.dir/bench_npc_complement.cc.o.d"
+  "bench_npc_complement"
+  "bench_npc_complement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_npc_complement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

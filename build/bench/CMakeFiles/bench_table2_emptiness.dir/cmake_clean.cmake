@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_emptiness.dir/bench_table2_emptiness.cc.o"
+  "CMakeFiles/bench_table2_emptiness.dir/bench_table2_emptiness.cc.o.d"
+  "bench_table2_emptiness"
+  "bench_table2_emptiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_emptiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

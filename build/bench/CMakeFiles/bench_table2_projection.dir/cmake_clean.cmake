@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_projection.dir/bench_table2_projection.cc.o"
+  "CMakeFiles/bench_table2_projection.dir/bench_table2_projection.cc.o.d"
+  "bench_table2_projection"
+  "bench_table2_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_negation.dir/bench_table3_negation.cc.o"
+  "CMakeFiles/bench_table3_negation.dir/bench_table3_negation.cc.o.d"
+  "bench_table3_negation"
+  "bench_table3_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_finite.dir/bench_vs_finite.cc.o"
+  "CMakeFiles/bench_vs_finite.dir/bench_vs_finite.cc.o.d"
+  "bench_vs_finite"
+  "bench_vs_finite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_finite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

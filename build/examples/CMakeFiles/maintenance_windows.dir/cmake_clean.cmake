@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_windows.dir/maintenance_windows.cc.o"
+  "CMakeFiles/maintenance_windows.dir/maintenance_windows.cc.o.d"
+  "maintenance_windows"
+  "maintenance_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_verification.dir/periodic_verification.cc.o"
+  "CMakeFiles/periodic_verification.dir/periodic_verification.cc.o.d"
+  "periodic_verification"
+  "periodic_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

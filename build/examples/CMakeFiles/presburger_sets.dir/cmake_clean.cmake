@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_sets.dir/presburger_sets.cc.o"
+  "CMakeFiles/presburger_sets.dir/presburger_sets.cc.o.d"
+  "presburger_sets"
+  "presburger_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/robot_factory.cc" "examples/CMakeFiles/robot_factory.dir/robot_factory.cc.o" "gcc" "examples/CMakeFiles/robot_factory.dir/robot_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/itdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/itdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/itdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_factory.dir/robot_factory.cc.o"
+  "CMakeFiles/robot_factory.dir/robot_factory.cc.o.d"
+  "robot_factory"
+  "robot_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

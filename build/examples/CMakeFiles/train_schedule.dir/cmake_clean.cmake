@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_schedule.dir/train_schedule.cc.o"
+  "CMakeFiles/train_schedule.dir/train_schedule.cc.o.d"
+  "train_schedule"
+  "train_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algebra.cc" "src/core/CMakeFiles/itdb_core.dir/algebra.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/algebra.cc.o.d"
+  "/root/repo/src/core/coalesce.cc" "src/core/CMakeFiles/itdb_core.dir/coalesce.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/coalesce.cc.o.d"
+  "/root/repo/src/core/dbm.cc" "src/core/CMakeFiles/itdb_core.dir/dbm.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/dbm.cc.o.d"
+  "/root/repo/src/core/lrp.cc" "src/core/CMakeFiles/itdb_core.dir/lrp.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/lrp.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/core/CMakeFiles/itdb_core.dir/normalize.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/normalize.cc.o.d"
+  "/root/repo/src/core/relation.cc" "src/core/CMakeFiles/itdb_core.dir/relation.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/relation.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/itdb_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/schema.cc.o.d"
+  "/root/repo/src/core/simplify.cc" "src/core/CMakeFiles/itdb_core.dir/simplify.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/simplify.cc.o.d"
+  "/root/repo/src/core/tuple.cc" "src/core/CMakeFiles/itdb_core.dir/tuple.cc.o" "gcc" "src/core/CMakeFiles/itdb_core.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/itdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

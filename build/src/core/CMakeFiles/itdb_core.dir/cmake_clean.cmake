@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_core.dir/algebra.cc.o"
+  "CMakeFiles/itdb_core.dir/algebra.cc.o.d"
+  "CMakeFiles/itdb_core.dir/coalesce.cc.o"
+  "CMakeFiles/itdb_core.dir/coalesce.cc.o.d"
+  "CMakeFiles/itdb_core.dir/dbm.cc.o"
+  "CMakeFiles/itdb_core.dir/dbm.cc.o.d"
+  "CMakeFiles/itdb_core.dir/lrp.cc.o"
+  "CMakeFiles/itdb_core.dir/lrp.cc.o.d"
+  "CMakeFiles/itdb_core.dir/normalize.cc.o"
+  "CMakeFiles/itdb_core.dir/normalize.cc.o.d"
+  "CMakeFiles/itdb_core.dir/relation.cc.o"
+  "CMakeFiles/itdb_core.dir/relation.cc.o.d"
+  "CMakeFiles/itdb_core.dir/schema.cc.o"
+  "CMakeFiles/itdb_core.dir/schema.cc.o.d"
+  "CMakeFiles/itdb_core.dir/simplify.cc.o"
+  "CMakeFiles/itdb_core.dir/simplify.cc.o.d"
+  "CMakeFiles/itdb_core.dir/tuple.cc.o"
+  "CMakeFiles/itdb_core.dir/tuple.cc.o.d"
+  "libitdb_core.a"
+  "libitdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_finite.dir/finite_relation.cc.o"
+  "CMakeFiles/itdb_finite.dir/finite_relation.cc.o.d"
+  "libitdb_finite.a"
+  "libitdb_finite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_finite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

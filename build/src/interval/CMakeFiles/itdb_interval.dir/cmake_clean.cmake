@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_interval.dir/allen.cc.o"
+  "CMakeFiles/itdb_interval.dir/allen.cc.o.d"
+  "libitdb_interval.a"
+  "libitdb_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/presburger/formula.cc" "src/presburger/CMakeFiles/itdb_presburger.dir/formula.cc.o" "gcc" "src/presburger/CMakeFiles/itdb_presburger.dir/formula.cc.o.d"
+  "/root/repo/src/presburger/general_relation.cc" "src/presburger/CMakeFiles/itdb_presburger.dir/general_relation.cc.o" "gcc" "src/presburger/CMakeFiles/itdb_presburger.dir/general_relation.cc.o.d"
+  "/root/repo/src/presburger/to_relation.cc" "src/presburger/CMakeFiles/itdb_presburger.dir/to_relation.cc.o" "gcc" "src/presburger/CMakeFiles/itdb_presburger.dir/to_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/itdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_presburger.dir/formula.cc.o"
+  "CMakeFiles/itdb_presburger.dir/formula.cc.o.d"
+  "CMakeFiles/itdb_presburger.dir/general_relation.cc.o"
+  "CMakeFiles/itdb_presburger.dir/general_relation.cc.o.d"
+  "CMakeFiles/itdb_presburger.dir/to_relation.cc.o"
+  "CMakeFiles/itdb_presburger.dir/to_relation.cc.o.d"
+  "libitdb_presburger.a"
+  "libitdb_presburger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_presburger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libitdb_presburger.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/itdb_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/itdb_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/eval.cc" "src/query/CMakeFiles/itdb_query.dir/eval.cc.o" "gcc" "src/query/CMakeFiles/itdb_query.dir/eval.cc.o.d"
+  "/root/repo/src/query/optimize.cc" "src/query/CMakeFiles/itdb_query.dir/optimize.cc.o" "gcc" "src/query/CMakeFiles/itdb_query.dir/optimize.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/itdb_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/itdb_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/sorts.cc" "src/query/CMakeFiles/itdb_query.dir/sorts.cc.o" "gcc" "src/query/CMakeFiles/itdb_query.dir/sorts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/itdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/itdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_query.dir/ast.cc.o"
+  "CMakeFiles/itdb_query.dir/ast.cc.o.d"
+  "CMakeFiles/itdb_query.dir/eval.cc.o"
+  "CMakeFiles/itdb_query.dir/eval.cc.o.d"
+  "CMakeFiles/itdb_query.dir/optimize.cc.o"
+  "CMakeFiles/itdb_query.dir/optimize.cc.o.d"
+  "CMakeFiles/itdb_query.dir/parser.cc.o"
+  "CMakeFiles/itdb_query.dir/parser.cc.o.d"
+  "CMakeFiles/itdb_query.dir/sorts.cc.o"
+  "CMakeFiles/itdb_query.dir/sorts.cc.o.d"
+  "libitdb_query.a"
+  "libitdb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_sat.dir/cnf.cc.o"
+  "CMakeFiles/itdb_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/itdb_sat.dir/reduction.cc.o"
+  "CMakeFiles/itdb_sat.dir/reduction.cc.o.d"
+  "CMakeFiles/itdb_sat.dir/solver.cc.o"
+  "CMakeFiles/itdb_sat.dir/solver.cc.o.d"
+  "libitdb_sat.a"
+  "libitdb_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

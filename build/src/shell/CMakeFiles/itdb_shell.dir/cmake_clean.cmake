@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_shell.dir/shell.cc.o"
+  "CMakeFiles/itdb_shell.dir/shell.cc.o.d"
+  "libitdb_shell.a"
+  "libitdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

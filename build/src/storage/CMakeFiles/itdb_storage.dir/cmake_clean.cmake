@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_storage.dir/database.cc.o"
+  "CMakeFiles/itdb_storage.dir/database.cc.o.d"
+  "CMakeFiles/itdb_storage.dir/lexer.cc.o"
+  "CMakeFiles/itdb_storage.dir/lexer.cc.o.d"
+  "CMakeFiles/itdb_storage.dir/text_format.cc.o"
+  "CMakeFiles/itdb_storage.dir/text_format.cc.o.d"
+  "libitdb_storage.a"
+  "libitdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

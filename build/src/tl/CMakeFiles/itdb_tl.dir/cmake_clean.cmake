@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_tl.dir/ltl.cc.o"
+  "CMakeFiles/itdb_tl.dir/ltl.cc.o.d"
+  "CMakeFiles/itdb_tl.dir/parser.cc.o"
+  "CMakeFiles/itdb_tl.dir/parser.cc.o.d"
+  "libitdb_tl.a"
+  "libitdb_tl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_tl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_util.dir/numeric.cc.o"
+  "CMakeFiles/itdb_util.dir/numeric.cc.o.d"
+  "CMakeFiles/itdb_util.dir/status.cc.o"
+  "CMakeFiles/itdb_util.dir/status.cc.o.d"
+  "libitdb_util.a"
+  "libitdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

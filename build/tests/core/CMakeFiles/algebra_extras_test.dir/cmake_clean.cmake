@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_extras_test.dir/algebra_extras_test.cc.o"
+  "CMakeFiles/algebra_extras_test.dir/algebra_extras_test.cc.o.d"
+  "algebra_extras_test"
+  "algebra_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/coalesce_test.cc" "tests/core/CMakeFiles/coalesce_test.dir/coalesce_test.cc.o" "gcc" "tests/core/CMakeFiles/coalesce_test.dir/coalesce_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/finite/CMakeFiles/itdb_finite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/itdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

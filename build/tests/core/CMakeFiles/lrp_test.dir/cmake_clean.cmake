@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrp_test.dir/lrp_test.cc.o"
+  "CMakeFiles/lrp_test.dir/lrp_test.cc.o.d"
+  "lrp_test"
+  "lrp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalize_property_test.dir/normalize_property_test.cc.o"
+  "CMakeFiles/normalize_property_test.dir/normalize_property_test.cc.o.d"
+  "normalize_property_test"
+  "normalize_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalize_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

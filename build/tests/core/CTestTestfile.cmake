@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lrp_test "/root/repo/build/tests/core/lrp_test")
+set_tests_properties(lrp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(dbm_test "/root/repo/build/tests/core/dbm_test")
+set_tests_properties(dbm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;2;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(tuple_test "/root/repo/build/tests/core/tuple_test")
+set_tests_properties(tuple_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;3;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(relation_test "/root/repo/build/tests/core/relation_test")
+set_tests_properties(relation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;4;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(normalize_test "/root/repo/build/tests/core/normalize_test")
+set_tests_properties(normalize_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;5;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(projection_test "/root/repo/build/tests/core/projection_test")
+set_tests_properties(projection_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;6;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(algebra_test "/root/repo/build/tests/core/algebra_test")
+set_tests_properties(algebra_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;7;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(algebra_property_test "/root/repo/build/tests/core/algebra_property_test")
+set_tests_properties(algebra_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;8;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(simplify_test "/root/repo/build/tests/core/simplify_test")
+set_tests_properties(simplify_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;9;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(algebra_extras_test "/root/repo/build/tests/core/algebra_extras_test")
+set_tests_properties(algebra_extras_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;10;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(coalesce_test "/root/repo/build/tests/core/coalesce_test")
+set_tests_properties(coalesce_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;11;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(normalize_property_test "/root/repo/build/tests/core/normalize_property_test")
+set_tests_properties(normalize_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;12;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(budget_test "/root/repo/build/tests/core/budget_test")
+set_tests_properties(budget_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;13;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(value_test "/root/repo/build/tests/core/value_test")
+set_tests_properties(value_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/core/CMakeLists.txt;14;itdb_add_test;/root/repo/tests/core/CMakeLists.txt;0;")

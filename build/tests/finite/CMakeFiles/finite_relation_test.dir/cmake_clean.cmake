@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_relation_test.dir/finite_relation_test.cc.o"
+  "CMakeFiles/finite_relation_test.dir/finite_relation_test.cc.o.d"
+  "finite_relation_test"
+  "finite_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/finite
+# Build directory: /root/repo/build/tests/finite
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(finite_relation_test "/root/repo/build/tests/finite/finite_relation_test")
+set_tests_properties(finite_relation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/finite/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/finite/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/integration/CMakeFiles/end_to_end_test.dir/end_to_end_test.cc.o" "gcc" "tests/integration/CMakeFiles/end_to_end_test.dir/end_to_end_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shell/CMakeFiles/itdb_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/tl/CMakeFiles/itdb_tl.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/itdb_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/finite/CMakeFiles/itdb_finite.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/itdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/itdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/itdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

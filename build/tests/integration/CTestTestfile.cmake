@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(end_to_end_test "/root/repo/build/tests/integration/end_to_end_test")
+set_tests_properties(end_to_end_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/integration/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/interval
+# Build directory: /root/repo/build/tests/interval
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(allen_test "/root/repo/build/tests/interval/allen_test")
+set_tests_properties(allen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/interval/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/interval/CMakeLists.txt;0;")

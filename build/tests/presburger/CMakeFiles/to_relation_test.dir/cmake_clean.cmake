@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_relation_test.dir/to_relation_test.cc.o"
+  "CMakeFiles/to_relation_test.dir/to_relation_test.cc.o.d"
+  "to_relation_test"
+  "to_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

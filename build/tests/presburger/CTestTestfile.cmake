@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/presburger
+# Build directory: /root/repo/build/tests/presburger
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(formula_test "/root/repo/build/tests/presburger/formula_test")
+set_tests_properties(formula_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/presburger/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/presburger/CMakeLists.txt;0;")
+add_test(to_relation_test "/root/repo/build/tests/presburger/to_relation_test")
+set_tests_properties(to_relation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/presburger/CMakeLists.txt;2;itdb_add_test;/root/repo/tests/presburger/CMakeLists.txt;0;")
+add_test(presburger_property_test "/root/repo/build/tests/presburger/presburger_property_test")
+set_tests_properties(presburger_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/presburger/CMakeLists.txt;3;itdb_add_test;/root/repo/tests/presburger/CMakeLists.txt;0;")

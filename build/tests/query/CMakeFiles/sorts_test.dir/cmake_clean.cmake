@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorts_test.dir/sorts_test.cc.o"
+  "CMakeFiles/sorts_test.dir/sorts_test.cc.o.d"
+  "sorts_test"
+  "sorts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/query
+# Build directory: /root/repo/build/tests/query
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(query_parser_test "/root/repo/build/tests/query/query_parser_test")
+set_tests_properties(query_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/query/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/query/CMakeLists.txt;0;")
+add_test(sorts_test "/root/repo/build/tests/query/sorts_test")
+set_tests_properties(sorts_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/query/CMakeLists.txt;2;itdb_add_test;/root/repo/tests/query/CMakeLists.txt;0;")
+add_test(query_eval_test "/root/repo/build/tests/query/query_eval_test")
+set_tests_properties(query_eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/query/CMakeLists.txt;3;itdb_add_test;/root/repo/tests/query/CMakeLists.txt;0;")
+add_test(query_optimize_test "/root/repo/build/tests/query/query_optimize_test")
+set_tests_properties(query_optimize_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/query/CMakeLists.txt;4;itdb_add_test;/root/repo/tests/query/CMakeLists.txt;0;")
+add_test(query_property_test "/root/repo/build/tests/query/query_property_test")
+set_tests_properties(query_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/query/CMakeLists.txt;5;itdb_add_test;/root/repo/tests/query/CMakeLists.txt;0;")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sat
+# Build directory: /root/repo/build/tests/sat
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cnf_test "/root/repo/build/tests/sat/cnf_test")
+set_tests_properties(cnf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sat/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/sat/CMakeLists.txt;0;")
+add_test(solver_test "/root/repo/build/tests/sat/solver_test")
+set_tests_properties(solver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sat/CMakeLists.txt;2;itdb_add_test;/root/repo/tests/sat/CMakeLists.txt;0;")
+add_test(reduction_test "/root/repo/build/tests/sat/reduction_test")
+set_tests_properties(reduction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sat/CMakeLists.txt;3;itdb_add_test;/root/repo/tests/sat/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/shell
+# Build directory: /root/repo/build/tests/shell
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shell_test "/root/repo/build/tests/shell/shell_test")
+set_tests_properties(shell_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/shell/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/shell/CMakeLists.txt;0;")

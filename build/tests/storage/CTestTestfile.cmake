@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storage
+# Build directory: /root/repo/build/tests/storage
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lexer_test "/root/repo/build/tests/storage/lexer_test")
+set_tests_properties(lexer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/storage/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
+add_test(text_format_test "/root/repo/build/tests/storage/text_format_test")
+set_tests_properties(text_format_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/storage/CMakeLists.txt;2;itdb_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
+add_test(database_test "/root/repo/build/tests/storage/database_test")
+set_tests_properties(database_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/storage/CMakeLists.txt;3;itdb_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
+add_test(parser_robustness_test "/root/repo/build/tests/storage/parser_robustness_test")
+set_tests_properties(parser_robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/storage/CMakeLists.txt;4;itdb_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")

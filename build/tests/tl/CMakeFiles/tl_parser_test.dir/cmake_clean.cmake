@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_parser_test.dir/tl_parser_test.cc.o"
+  "CMakeFiles/tl_parser_test.dir/tl_parser_test.cc.o.d"
+  "tl_parser_test"
+  "tl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tl
+# Build directory: /root/repo/build/tests/tl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ltl_test "/root/repo/build/tests/tl/ltl_test")
+set_tests_properties(ltl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/tl/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/tl/CMakeLists.txt;0;")
+add_test(tl_parser_test "/root/repo/build/tests/tl/tl_parser_test")
+set_tests_properties(tl_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/tl/CMakeLists.txt;2;itdb_add_test;/root/repo/tests/tl/CMakeLists.txt;0;")

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(numeric_test "/root/repo/build/tests/util/numeric_test")
+set_tests_properties(numeric_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/util/CMakeLists.txt;1;itdb_add_test;/root/repo/tests/util/CMakeLists.txt;0;")
+add_test(status_test "/root/repo/build/tests/util/status_test")
+set_tests_properties(status_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/util/CMakeLists.txt;2;itdb_add_test;/root/repo/tests/util/CMakeLists.txt;0;")

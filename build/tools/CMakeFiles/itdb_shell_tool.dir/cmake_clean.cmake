@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdb_shell_tool.dir/itdb_shell.cc.o"
+  "CMakeFiles/itdb_shell_tool.dir/itdb_shell.cc.o.d"
+  "itdb_shell"
+  "itdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdb_shell_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
