@@ -8,14 +8,37 @@
 #ifndef ITDB_BENCH_BENCH_UTIL_H_
 #define ITDB_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
 #include <random>
 #include <vector>
 
+#include "core/algebra.h"
 #include "core/relation.h"
+#include "util/thread_pool.h"
 
 namespace itdb {
 namespace bench {
+
+/// Records the parallel-execution configuration of a run as benchmark
+/// counters: "threads" is the resolved worker count (after the ITDB_THREADS
+/// / hardware default), "cache" flags an attached normalization memo-cache,
+/// and "cache_hits"/"cache_misses" report its hit statistics.
+inline void RecordParallelCounters(benchmark::State& state,
+                                   const AlgebraOptions& options) {
+  state.counters["threads"] = benchmark::Counter(
+      static_cast<double>(ResolveThreads(options.threads)));
+  state.counters["cache"] = benchmark::Counter(
+      options.normalize_cache != nullptr ? 1.0 : 0.0);
+  if (options.normalize_cache != nullptr) {
+    NormalizeCache::Stats stats = options.normalize_cache->stats();
+    state.counters["cache_hits"] =
+        benchmark::Counter(static_cast<double>(stats.hits));
+    state.counters["cache_misses"] =
+        benchmark::Counter(static_cast<double>(stats.misses));
+  }
+}
 
 /// A relation with `num_tuples` tuples over `arity` temporal columns, every
 /// lrp of period `period` (the normalized shape of Appendix A), random

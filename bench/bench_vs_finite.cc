@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/algebra.h"
 #include "finite/finite_relation.h"
 
@@ -57,14 +58,17 @@ BENCHMARK(BM_Materialize_VsHorizon)
 
 void BM_GeneralizedIntersect_HorizonFree(benchmark::State& state) {
   // Intersecting the workload with a shifted copy of itself: constant cost,
-  // independent of any horizon (there is none).
+  // independent of any horizon (there is none).  Threads come from the
+  // ITDB_THREADS / hardware default; the counter records what was used.
   GeneralizedRelation a = Workload();
   auto shifted = itdb::ShiftTemporalColumn(a, 0, 15);
   GeneralizedRelation b = std::move(shifted).value();
+  itdb::AlgebraOptions options;
   for (auto _ : state) {
-    auto r = itdb::Intersect(a, b);
+    auto r = itdb::Intersect(a, b, options);
     benchmark::DoNotOptimize(r);
   }
+  itdb::bench::RecordParallelCounters(state, options);
 }
 BENCHMARK(BM_GeneralizedIntersect_HorizonFree);
 

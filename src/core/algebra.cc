@@ -8,6 +8,7 @@
 #include "core/coalesce.h"
 #include "core/simplify.h"
 #include "util/numeric.h"
+#include "util/thread_pool.h"
 
 namespace itdb {
 
@@ -215,13 +216,27 @@ Result<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
   ITDB_RETURN_IF_ERROR(
       CheckBudget(static_cast<std::int64_t>(a.size()) * b.size(), options,
                   "Intersect"));
+  // Pair intersections are independent; fan the rows of `a` out over the
+  // thread pool.  Per-row buffers merge in row order, so the tuple sequence
+  // matches the sequential double loop exactly.
+  ITDB_ASSIGN_OR_RETURN(
+      std::vector<GeneralizedTuple> tuples,
+      ParallelAppend<GeneralizedTuple>(
+          static_cast<std::int64_t>(a.size()),
+          ParallelOptions{options.threads, /*grain=*/1},
+          [&](std::int64_t i, std::vector<GeneralizedTuple>& row) -> Status {
+            const GeneralizedTuple& ta =
+                a.tuples()[static_cast<std::size_t>(i)];
+            for (const GeneralizedTuple& tb : b.tuples()) {
+              ITDB_ASSIGN_OR_RETURN(std::optional<GeneralizedTuple> t,
+                                    GeneralizedTuple::Intersect(ta, tb));
+              if (t.has_value()) row.push_back(std::move(*t));
+            }
+            return Status::Ok();
+          }));
   GeneralizedRelation out(a.schema());
-  for (const GeneralizedTuple& ta : a.tuples()) {
-    for (const GeneralizedTuple& tb : b.tuples()) {
-      ITDB_ASSIGN_OR_RETURN(std::optional<GeneralizedTuple> t,
-                            GeneralizedTuple::Intersect(ta, tb));
-      if (t.has_value()) ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(*t)));
-    }
+  for (GeneralizedTuple& t : tuples) {
+    ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
   }
   return MaybeSimplify(std::move(out), options);
 }
@@ -232,15 +247,30 @@ Result<GeneralizedRelation> Subtract(const GeneralizedRelation& a,
   ITDB_RETURN_IF_ERROR(CheckSameSchema(a, b, "Subtract"));
   std::vector<GeneralizedTuple> current = a.tuples();
   for (const GeneralizedTuple& t2 : b.tuples()) {
+    // One round subtracts t2 from every residue independently; the round's
+    // outputs merge in residue order.  The budget is checked on the merged
+    // round: round sizes only grow as residues accumulate, so this trips
+    // exactly when the sequential per-residue prefix check would.
+    ITDB_ASSIGN_OR_RETURN(
+        std::vector<std::vector<GeneralizedTuple>> rounds,
+        ParallelAppend<std::vector<GeneralizedTuple>>(
+            static_cast<std::int64_t>(current.size()),
+            ParallelOptions{options.threads, /*grain=*/1},
+            [&](std::int64_t i, std::vector<std::vector<GeneralizedTuple>>&
+                                    out_parts) -> Status {
+              ITDB_ASSIGN_OR_RETURN(
+                  std::vector<GeneralizedTuple> parts,
+                  SubtractTuples(current[static_cast<std::size_t>(i)], t2));
+              out_parts.push_back(std::move(parts));
+              return Status::Ok();
+            }));
     std::vector<GeneralizedTuple> next;
-    for (const GeneralizedTuple& t1 : current) {
-      ITDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> parts,
-                            SubtractTuples(t1, t2));
+    for (std::vector<GeneralizedTuple>& parts : rounds) {
       for (GeneralizedTuple& p : parts) next.push_back(std::move(p));
-      ITDB_RETURN_IF_ERROR(
-          CheckBudget(static_cast<std::int64_t>(next.size()), options,
-                      "Subtract"));
     }
+    ITDB_RETURN_IF_ERROR(
+        CheckBudget(static_cast<std::int64_t>(next.size()), options,
+                    "Subtract"));
     current = std::move(next);
     if (current.empty()) break;
   }
@@ -323,8 +353,10 @@ Result<GeneralizedRelation> Complement(const GeneralizedRelation& r,
   // free extension is a plain residue vector.
   std::map<std::vector<std::int64_t>, std::vector<Dbm>> groups;
   for (const GeneralizedTuple& t : r.tuples()) {
-    ITDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> normal,
-                          NormalizeTupleToPeriod(t, k, options.normalize));
+    ITDB_ASSIGN_OR_RETURN(
+        std::vector<GeneralizedTuple> normal,
+        CachedNormalizeTupleToPeriod(options.normalize_cache, t, k,
+                                     options.normalize));
     for (GeneralizedTuple& nt : normal) {
       std::vector<std::int64_t> residues(static_cast<std::size_t>(m));
       Dbm constraints = nt.constraints();
@@ -342,41 +374,53 @@ Result<GeneralizedRelation> Complement(const GeneralizedRelation& r,
       groups[std::move(residues)].push_back(std::move(constraints));
     }
   }
-  // Enumerate the k^m universe.
+  // Enumerate the k^m universe.  Residue vectors are decoded from a linear
+  // index in base k with the LAST column least significant -- the sequential
+  // odometer order -- so the index-ordered merge reproduces it exactly.
+  // Each residue class is complemented independently (groups is only read);
+  // the tuple budget is checked on the merged result, which trips exactly
+  // when the sequential running check would (the count only grows).
+  ITDB_ASSIGN_OR_RETURN(
+      std::vector<GeneralizedTuple> tuples,
+      ParallelAppend<GeneralizedTuple>(
+          static_cast<std::int64_t>(universe),
+          ParallelOptions{options.threads, /*grain=*/16},
+          [&](std::int64_t index, std::vector<GeneralizedTuple>& part)
+              -> Status {
+            std::vector<std::int64_t> rv(static_cast<std::size_t>(m), 0);
+            std::int64_t rest = index;
+            for (int i = m - 1; i >= 0; --i) {
+              rv[static_cast<std::size_t>(i)] = rest % k;
+              rest /= k;
+            }
+            std::vector<Lrp> lrps;
+            lrps.reserve(static_cast<std::size_t>(m));
+            for (int i = 0; i < m; ++i) {
+              lrps.push_back(Lrp::Make(rv[static_cast<std::size_t>(i)], k));
+            }
+            auto it = groups.find(rv);
+            if (it == groups.end()) {
+              part.push_back(GeneralizedTuple(std::move(lrps)));
+              return Status::Ok();
+            }
+            ITDB_ASSIGN_OR_RETURN(
+                std::vector<Dbm> systems,
+                ComplementConstraintSets(m, it->second, options));
+            for (Dbm& s : systems) {
+              GeneralizedTuple t(lrps);
+              t.set_constraints(std::move(s));
+              part.push_back(std::move(t));
+            }
+            return Status::Ok();
+          }));
+  ITDB_RETURN_IF_ERROR(
+      CheckBudget(static_cast<std::int64_t>(tuples.size()), options,
+                  "Complement"));
   GeneralizedRelation out(r.schema());
-  std::vector<std::int64_t> rv(static_cast<std::size_t>(m), 0);
-  while (true) {
-    std::vector<Lrp> lrps;
-    lrps.reserve(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-      lrps.push_back(Lrp::Make(rv[static_cast<std::size_t>(i)], k));
-    }
-    auto it = groups.find(rv);
-    if (it == groups.end()) {
-      ITDB_RETURN_IF_ERROR(out.AddTuple(GeneralizedTuple(lrps)));
-    } else {
-      ITDB_ASSIGN_OR_RETURN(std::vector<Dbm> systems,
-                            ComplementConstraintSets(m, it->second, options));
-      for (Dbm& s : systems) {
-        GeneralizedTuple t(lrps);
-        t.set_constraints(std::move(s));
-        ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
-      }
-    }
-    ITDB_RETURN_IF_ERROR(
-        CheckBudget(static_cast<std::int64_t>(out.size()), options,
-                    "Complement"));
-    // Odometer over [0, k)^m.
-    int d = m - 1;
-    while (d >= 0) {
-      std::size_t ud = static_cast<std::size_t>(d);
-      if (++rv[ud] < k) break;
-      rv[ud] = 0;
-      --d;
-    }
-    if (d < 0) break;
+  for (GeneralizedTuple& t : tuples) {
+    ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
   }
-  if (options.coalesce) return CoalesceResidues(out);
+  if (options.coalesce) return CoalesceResidues(out, options.threads);
   return out;
 }
 
@@ -447,8 +491,9 @@ Result<std::vector<GeneralizedTuple>> ProjectTupleFull(
     const std::vector<bool>& kept, std::vector<Value> data,
     const AlgebraOptions& options) {
   std::vector<GeneralizedTuple> out;
-  ITDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> normal,
-                        NormalizeTuple(t, options.normalize));
+  ITDB_ASSIGN_OR_RETURN(
+      std::vector<GeneralizedTuple> normal,
+      CachedNormalizeTuple(options.normalize_cache, t, options.normalize));
   for (const GeneralizedTuple& nt : normal) {
     ITDB_ASSIGN_OR_RETURN(NSpaceTuple ns, NSpaceTuple::Build(nt));
     if (!ns.feasible()) continue;
@@ -884,50 +929,66 @@ Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
   ITDB_RETURN_IF_ERROR(
       CheckBudget(static_cast<std::int64_t>(a.size()) * b.size(), options,
                   "Join"));
+  // Tuple-pair matching is independent per pair; fan the rows of `a` out
+  // over the thread pool.  Per-row buffers keep b's order within each row
+  // and merge in row order: byte-identical to the sequential double loop.
+  ITDB_ASSIGN_OR_RETURN(
+      std::vector<GeneralizedTuple> tuples,
+      ParallelAppend<GeneralizedTuple>(
+          static_cast<std::int64_t>(a.size()),
+          ParallelOptions{options.threads, /*grain=*/1},
+          [&](std::int64_t row, std::vector<GeneralizedTuple>& part)
+              -> Status {
+            const GeneralizedTuple& ta =
+                a.tuples()[static_cast<std::size_t>(row)];
+            for (const GeneralizedTuple& tb : b.tuples()) {
+              // Shared data attributes must agree.
+              bool data_ok = true;
+              for (int j = 0; j < sb.data_arity(); ++j) {
+                int i = b_data_match[static_cast<std::size_t>(j)];
+                if (i >= 0 && ta.value(i) != tb.value(j)) {
+                  data_ok = false;
+                  break;
+                }
+              }
+              if (!data_ok) continue;
+              // Shared temporal attributes: lrp intersection.
+              std::vector<Lrp> lrps = ta.temporal();
+              lrps.resize(static_cast<std::size_t>(m_out));
+              bool temporal_ok = true;
+              for (int j = 0; j < mb && temporal_ok; ++j) {
+                int target = b_temporal_target[static_cast<std::size_t>(j)];
+                int match = b_temporal_match[static_cast<std::size_t>(j)];
+                if (match >= 0) {
+                  ITDB_ASSIGN_OR_RETURN(
+                      std::optional<Lrp> inter,
+                      Lrp::Intersect(ta.lrp(match), tb.lrp(j)));
+                  if (!inter.has_value()) {
+                    temporal_ok = false;
+                    break;
+                  }
+                  lrps[static_cast<std::size_t>(target)] = *inter;
+                } else {
+                  lrps[static_cast<std::size_t>(target)] = tb.lrp(j);
+                }
+              }
+              if (!temporal_ok) continue;
+              std::vector<Value> data = ta.data();
+              for (int j : b_new_data) data.push_back(tb.value(j));
+              GeneralizedTuple t(std::move(lrps), std::move(data));
+              Dbm ca = ta.constraints().AppendVariables(m_out - ma);
+              Dbm cb = tb.constraints().MapVariables(b_temporal_target, m_out);
+              Dbm merged = Dbm::Conjoin(ca, cb);
+              ITDB_RETURN_IF_ERROR(merged.Close());
+              if (!merged.feasible()) continue;
+              t.set_constraints(std::move(merged));
+              part.push_back(std::move(t));
+            }
+            return Status::Ok();
+          }));
   GeneralizedRelation out(std::move(schema));
-  for (const GeneralizedTuple& ta : a.tuples()) {
-    for (const GeneralizedTuple& tb : b.tuples()) {
-      // Shared data attributes must agree.
-      bool data_ok = true;
-      for (int j = 0; j < sb.data_arity(); ++j) {
-        int i = b_data_match[static_cast<std::size_t>(j)];
-        if (i >= 0 && ta.value(i) != tb.value(j)) {
-          data_ok = false;
-          break;
-        }
-      }
-      if (!data_ok) continue;
-      // Shared temporal attributes: lrp intersection.
-      std::vector<Lrp> lrps = ta.temporal();
-      lrps.resize(static_cast<std::size_t>(m_out));
-      bool temporal_ok = true;
-      for (int j = 0; j < mb && temporal_ok; ++j) {
-        int target = b_temporal_target[static_cast<std::size_t>(j)];
-        int match = b_temporal_match[static_cast<std::size_t>(j)];
-        if (match >= 0) {
-          ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> inter,
-                                Lrp::Intersect(ta.lrp(match), tb.lrp(j)));
-          if (!inter.has_value()) {
-            temporal_ok = false;
-            break;
-          }
-          lrps[static_cast<std::size_t>(target)] = *inter;
-        } else {
-          lrps[static_cast<std::size_t>(target)] = tb.lrp(j);
-        }
-      }
-      if (!temporal_ok) continue;
-      std::vector<Value> data = ta.data();
-      for (int j : b_new_data) data.push_back(tb.value(j));
-      GeneralizedTuple t(std::move(lrps), std::move(data));
-      Dbm ca = ta.constraints().AppendVariables(m_out - ma);
-      Dbm cb = tb.constraints().MapVariables(b_temporal_target, m_out);
-      Dbm merged = Dbm::Conjoin(ca, cb);
-      ITDB_RETURN_IF_ERROR(merged.Close());
-      if (!merged.feasible()) continue;
-      t.set_constraints(std::move(merged));
-      ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
-    }
+  for (GeneralizedTuple& t : tuples) {
+    ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
   }
   return MaybeSimplify(std::move(out), options);
 }
@@ -1016,8 +1077,9 @@ Result<GeneralizedRelation> Rename(
 
 Result<bool> TupleIsEmpty(const GeneralizedTuple& t,
                           const AlgebraOptions& options) {
-  ITDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> normal,
-                        NormalizeTuple(t, options.normalize));
+  ITDB_ASSIGN_OR_RETURN(
+      std::vector<GeneralizedTuple> normal,
+      CachedNormalizeTuple(options.normalize_cache, t, options.normalize));
   // NormalizeTuple prunes infeasible combinations, so any survivor is a
   // nonempty piece of the extension.
   return normal.empty();
@@ -1035,8 +1097,9 @@ Result<bool> IsEmpty(const GeneralizedRelation& r,
 Result<std::optional<std::vector<std::int64_t>>> FindTemporalWitness(
     const GeneralizedTuple& t, const AlgebraOptions& options) {
   using MaybePoint = std::optional<std::vector<std::int64_t>>;
-  ITDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> normal,
-                        NormalizeTuple(t, options.normalize));
+  ITDB_ASSIGN_OR_RETURN(
+      std::vector<GeneralizedTuple> normal,
+      CachedNormalizeTuple(options.normalize_cache, t, options.normalize));
   if (normal.empty()) return MaybePoint(std::nullopt);
   const GeneralizedTuple& nt = normal.front();
   // Fix the n-space variables one at a time: each variable is pinned to its

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/normalize.h"
+#include "core/normalize_cache.h"
 #include "core/relation.h"
 #include "util/status.h"
 
@@ -72,6 +73,18 @@ struct AlgebraOptions {
   /// eliminated ones are normalized; unrelated columns pass through
   /// untouched, avoiding their share of the k^m split.
   bool partial_normalization = true;
+  /// Worker threads for the per-tuple / per-tuple-pair kernels of
+  /// Intersect, Join, Subtract, Complement, and Coalesce (0 = the
+  /// ITDB_THREADS / hardware default, 1 = sequential).  Results are
+  /// bit-identical at every thread count: work is partitioned by input
+  /// index and merged in input order.  Independent of normalize.threads,
+  /// which governs the in-tuple split sweep.
+  int threads = 0;
+  /// Optional memo-cache for Theorem 3.2 normalization, shared across the
+  /// operations of one query / benchmark run (see normalize_cache.h).
+  /// Not owned; null disables memoization.  Cached and uncached results
+  /// are byte-identical.
+  NormalizeCache* normalize_cache = nullptr;
 };
 
 /// r1 U r2.  Schemas must match.

@@ -110,6 +110,17 @@ Status Dbm::Close() {
   if (closed_) return Status::Ok();
   int n = num_vars_ + 1;
   for (int r = 0; r < n; ++r) {
+    // Pivot skip: a path p -> r -> q needs a finite (p, r) and a finite
+    // (r, q) entry.  When the pivot's row or column is all kInf off the
+    // diagonal, no pair exists and the O(n^2) relaxation is a no-op.
+    bool row_live = false;
+    bool col_live = false;
+    for (int i = 0; i < n && !(row_live && col_live); ++i) {
+      if (i == r) continue;
+      row_live = row_live || bound_node(r, i) != kInf;
+      col_live = col_live || bound_node(i, r) != kInf;
+    }
+    if (!row_live || !col_live) continue;
     for (int p = 0; p < n; ++p) {
       std::int64_t pr = bound_node(p, r);
       if (pr == kInf) continue;

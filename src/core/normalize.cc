@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/numeric.h"
+#include "util/thread_pool.h"
 
 namespace itdb {
 
@@ -76,30 +77,32 @@ Result<std::vector<GeneralizedTuple>> NormalizeTupleToPeriod(
   // Cross product of the splits (step 2 of Theorem 3.2); constraints are
   // carried over unchanged in X-space -- the floor-alignment of steps 3..5
   // happens in NSpaceTuple::Build, which we also use to prune infeasible
-  // combinations (step 4).
-  std::vector<GeneralizedTuple> out;
-  std::vector<std::size_t> idx(static_cast<std::size_t>(m), 0);
-  while (true) {
-    std::vector<Lrp> lrps;
-    lrps.reserve(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-      lrps.push_back(choices[static_cast<std::size_t>(i)]
-                            [idx[static_cast<std::size_t>(i)]]);
-    }
-    GeneralizedTuple candidate(std::move(lrps), t.data());
-    candidate.set_constraints(t.constraints());
-    ITDB_ASSIGN_OR_RETURN(NSpaceTuple ns, NSpaceTuple::Build(candidate));
-    if (ns.feasible()) out.push_back(std::move(candidate));
-    int d = m - 1;
-    while (d >= 0) {
-      std::size_t ud = static_cast<std::size_t>(d);
-      if (++idx[ud] < choices[ud].size()) break;
-      idx[ud] = 0;
-      --d;
-    }
-    if (d < 0) break;
-  }
-  return out;
+  // combinations (step 4).  Combinations are enumerated by a linear index
+  // decoded in mixed radix with the LAST column least significant, which is
+  // exactly the sequential odometer order; feasibility checks are
+  // independent per combination, so the sweep fans out over the thread pool
+  // with index-ordered merging (byte-identical to the sequential loop).
+  const std::int64_t total = static_cast<std::int64_t>(product);
+  ParallelOptions parallel{options.threads, /*grain=*/64};
+  return ParallelAppend<GeneralizedTuple>(
+      total, parallel,
+      [&](std::int64_t index, std::vector<GeneralizedTuple>& out) -> Status {
+        std::vector<Lrp> lrps(static_cast<std::size_t>(m));
+        std::int64_t rest = index;
+        for (int i = m - 1; i >= 0; --i) {
+          const std::vector<Lrp>& column =
+              choices[static_cast<std::size_t>(i)];
+          const std::int64_t size = static_cast<std::int64_t>(column.size());
+          lrps[static_cast<std::size_t>(i)] =
+              column[static_cast<std::size_t>(rest % size)];
+          rest /= size;
+        }
+        GeneralizedTuple candidate(std::move(lrps), t.data());
+        candidate.set_constraints(t.constraints());
+        ITDB_ASSIGN_OR_RETURN(NSpaceTuple ns, NSpaceTuple::Build(candidate));
+        if (ns.feasible()) out.push_back(std::move(candidate));
+        return Status::Ok();
+      });
 }
 
 Result<NSpaceTuple> NSpaceTuple::Build(const GeneralizedTuple& t) {

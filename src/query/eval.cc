@@ -520,7 +520,16 @@ Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
   QueryPtr target = options.optimize ? Optimize(q) : q;
   ITDB_ASSIGN_OR_RETURN(SortMap sorts, InferSorts(db, target));
   ActiveDomain adom = ComputeActiveDomain(db, *target);
-  Evaluator evaluator{db, sorts, adom, options.algebra};
+  // One normalization memo-cache per query evaluation: subqueries repeatedly
+  // renormalize the same base tuples (negation and quantifier elimination in
+  // particular), so sharing the cache across the whole tree pays for itself.
+  // A caller-provided cache (shared across queries) takes precedence.
+  NormalizeCache query_cache;
+  AlgebraOptions algebra = options.algebra;
+  if (algebra.normalize_cache == nullptr) {
+    algebra.normalize_cache = &query_cache;
+  }
+  Evaluator evaluator{db, sorts, adom, algebra};
   return evaluator.Eval(*target);
 }
 

@@ -1,0 +1,140 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace itdb {
+
+namespace {
+
+/// True while the current thread is executing a ParallelFor range; nested
+/// parallel regions then run inline instead of re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+
+/// Shared state of one ParallelFor invocation.  Helpers and the caller pull
+/// chunks off `next` until exhausted; the caller waits for `completed == n`,
+/// so `body` outlives every invocation.
+struct ParallelForState {
+  std::atomic<std::int64_t> next{0};
+  std::int64_t n = 0;
+  std::int64_t chunk = 1;
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::int64_t completed = 0;
+};
+
+void RunChunks(const std::shared_ptr<ParallelForState>& state) {
+  bool saved = t_in_parallel_region;
+  t_in_parallel_region = true;
+  while (true) {
+    std::int64_t begin = state->next.fetch_add(state->chunk);
+    if (begin >= state->n) break;
+    std::int64_t end = begin + state->chunk;
+    if (end > state->n) end = state->n;
+    (*state->body)(begin, end);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->completed += end - begin;
+    if (state->completed == state->n) state->done_cv.notify_all();
+  }
+  t_in_parallel_region = saved;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  if (count > kMaxWorkers) count = kMaxWorkers;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("ITDB_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) {
+      return parsed > kMaxWorkers ? kMaxWorkers : static_cast<int>(parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreads(int threads) {
+  if (threads <= 0) return ThreadPool::DefaultThreads();
+  return threads > ThreadPool::kMaxWorkers ? ThreadPool::kMaxWorkers : threads;
+}
+
+void ParallelFor(std::int64_t n, const ParallelOptions& options,
+                 const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  const int threads = ResolveThreads(options.threads);
+  const std::int64_t grain = options.grain < 1 ? 1 : options.grain;
+  if (threads <= 1 || n <= grain || t_in_parallel_region) {
+    body(0, n);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->body = &body;
+  // ~4 chunks per thread balances load without much contention on `next`.
+  std::int64_t chunk = n / (static_cast<std::int64_t>(threads) * 4);
+  state->chunk = chunk < grain ? grain : chunk;
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(threads - 1);
+  for (int h = 0; h < threads - 1; ++h) {
+    pool.Submit([state] { RunChunks(state); });
+  }
+  RunChunks(state);  // The caller participates: progress is guaranteed.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->completed == state->n; });
+}
+
+}  // namespace itdb

@@ -1,0 +1,155 @@
+// A reusable worker pool and deterministic data-parallel helpers.
+//
+// The algebra of Section 3 reduces, after normalization, to independent
+// per-tuple or per-tuple-pair kernels (feasibility closures, lrp
+// intersections, residue enumeration).  These helpers fan such kernels out
+// over a process-wide pool while guaranteeing that RESULTS ARE BIT-IDENTICAL
+// TO THE SEQUENTIAL LOOP at every thread count:
+//
+//   * work is partitioned into contiguous index ranges and each range
+//     appends to its own output buffer;
+//   * buffers are concatenated in range order, which equals input order;
+//   * on failure, the error of the smallest failing index is reported
+//     (later indices in the same range are skipped, which never hides a
+//     smaller-index error).
+//
+// Thread count resolution: an explicit per-call count wins; 0 falls back to
+// the ITDB_THREADS environment variable, then to the hardware concurrency.
+// Nested parallel regions run inline on the calling worker (no
+// oversubscription, no pool deadlock).
+
+#ifndef ITDB_UTIL_THREAD_POOL_H_
+#define ITDB_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace itdb {
+
+/// A lazily grown, process-wide pool of worker threads.  Tasks must not
+/// block on other tasks; ParallelFor keeps the submitting thread working,
+/// so progress never depends on a free worker.
+class ThreadPool {
+ public:
+  /// Hard cap on workers (sanity bound for ITDB_THREADS).
+  static constexpr int kMaxWorkers = 256;
+
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const;
+
+  /// Grows the pool to at least `count` workers (capped at kMaxWorkers).
+  void EnsureWorkers(int count);
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// The shared pool.  Created empty; ParallelFor grows it on demand.
+  static ThreadPool& Global();
+
+  /// The default parallelism: ITDB_THREADS when set (clamped to
+  /// [1, kMaxWorkers]), else std::thread::hardware_concurrency(), at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+};
+
+/// Per-call parallelism knobs.
+struct ParallelOptions {
+  /// Worker count; 0 = ThreadPool::DefaultThreads(), 1 = run sequentially.
+  int threads = 0;
+  /// Minimum indices per range; inputs of at most `grain` run sequentially.
+  std::int64_t grain = 1;
+};
+
+/// Resolves a requested thread count (0 = default) to a concrete one >= 1.
+int ResolveThreads(int threads);
+
+/// Runs body(begin, end) over a partition of [0, n), in parallel when
+/// worthwhile.  Ranges are disjoint and cover [0, n); the calling thread
+/// participates.  Blocks until every invocation returned.
+void ParallelFor(std::int64_t n, const ParallelOptions& options,
+                 const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Deterministic parallel map-append: calls fn(i, out) for every i in
+/// [0, n) ascending within each range, where fn appends any number of
+/// results to `out`; returns all results concatenated IN INPUT-INDEX ORDER,
+/// so the output equals the sequential loop's byte for byte regardless of
+/// thread count.  On failure returns the Status of the smallest failing
+/// index.
+template <typename T, typename Fn>
+Result<std::vector<T>> ParallelAppend(std::int64_t n,
+                                      const ParallelOptions& options,
+                                      Fn&& fn) {
+  std::vector<T> out;
+  if (n <= 0) return out;
+  const int threads = ResolveThreads(options.threads);
+  const std::int64_t grain = options.grain < 1 ? 1 : options.grain;
+  if (threads <= 1 || n <= grain) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      ITDB_RETURN_IF_ERROR(fn(i, out));
+    }
+    return out;
+  }
+  // Fixed contiguous pieces; piece boundaries affect scheduling only, never
+  // the merged result (see file comment).
+  std::int64_t pieces = static_cast<std::int64_t>(threads) * 8;
+  if (pieces > n / grain) pieces = n / grain;
+  if (pieces < 1) pieces = 1;
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(pieces));
+  std::vector<Status> piece_error(static_cast<std::size_t>(pieces));
+  std::atomic<std::int64_t> first_bad_piece{pieces};
+  ParallelFor(pieces, ParallelOptions{threads, 1},
+              [&](std::int64_t cb, std::int64_t ce) {
+                for (std::int64_t c = cb; c < ce; ++c) {
+                  const std::int64_t lo = c * n / pieces;
+                  const std::int64_t hi = (c + 1) * n / pieces;
+                  std::vector<T>& local =
+                      parts[static_cast<std::size_t>(c)];
+                  for (std::int64_t i = lo; i < hi; ++i) {
+                    Status s = fn(i, local);
+                    if (!s.ok()) {
+                      piece_error[static_cast<std::size_t>(c)] = std::move(s);
+                      std::int64_t cur = first_bad_piece.load();
+                      while (c < cur &&
+                             !first_bad_piece.compare_exchange_weak(cur, c)) {
+                      }
+                      break;
+                    }
+                  }
+                }
+              });
+  const std::int64_t bad = first_bad_piece.load();
+  if (bad < pieces) return piece_error[static_cast<std::size_t>(bad)];
+  std::size_t total = 0;
+  for (const std::vector<T>& p : parts) total += p.size();
+  out.reserve(total);
+  for (std::vector<T>& p : parts) {
+    for (T& v : p) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace itdb
+
+#endif  // ITDB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,145 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+TEST(ResolveThreadsTest, ExplicitCountWinsAndIsCapped) {
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(3), 3);
+  EXPECT_EQ(ResolveThreads(ThreadPool::kMaxWorkers + 17),
+            ThreadPool::kMaxWorkers);
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_GE(ResolveThreads(-5), 1);
+}
+
+TEST(ResolveThreadsTest, EnvironmentOverridesDefault) {
+  ASSERT_EQ(setenv("ITDB_THREADS", "2", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 2);
+  EXPECT_EQ(ResolveThreads(0), 2);
+  ASSERT_EQ(setenv("ITDB_THREADS", "garbage", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);  // Unparsable: hardware default.
+  ASSERT_EQ(unsetenv("ITDB_THREADS"), 0);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const std::int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  ParallelFor(n, ParallelOptions{4, 1},
+              [&](std::int64_t begin, std::int64_t end) {
+                for (std::int64_t i = begin; i < end; ++i) {
+                  hits[static_cast<std::size_t>(i)].fetch_add(1);
+                }
+              });
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SmallInputsRunOnTheCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  bool inline_run = false;
+  ParallelFor(8, ParallelOptions{4, /*grain=*/16},
+              [&](std::int64_t begin, std::int64_t end) {
+                inline_run = std::this_thread::get_id() == caller &&
+                             begin == 0 && end == 8;
+              });
+  EXPECT_TRUE(inline_run);
+}
+
+std::vector<std::int64_t> AppendPairs(std::int64_t n, int threads) {
+  auto result = ParallelAppend<std::int64_t>(
+      n, ParallelOptions{threads, 1},
+      [](std::int64_t i, std::vector<std::int64_t>& out) -> Status {
+        out.push_back(2 * i);
+        out.push_back(2 * i + 1);
+        return Status::Ok();
+      });
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+TEST(ParallelAppendTest, PreservesInputOrderAtEveryThreadCount) {
+  const std::int64_t n = 1237;  // Deliberately not a multiple of any piece
+                                // count, to exercise uneven ranges.
+  std::vector<std::int64_t> expected = AppendPairs(n, 1);
+  ASSERT_EQ(expected.size(), static_cast<std::size_t>(2 * n));
+  for (std::int64_t i = 0; i < 2 * n; ++i) {
+    EXPECT_EQ(expected[static_cast<std::size_t>(i)], i);
+  }
+  for (int threads : {2, 3, 4, 8}) {
+    EXPECT_EQ(AppendPairs(n, threads), expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelAppendTest, ReportsTheSmallestFailingIndex) {
+  for (int threads : {1, 4}) {
+    auto result = ParallelAppend<int>(
+        1000, ParallelOptions{threads, 1},
+        [](std::int64_t i, std::vector<int>&) -> Status {
+          if (i >= 321) {
+            return Status::InvalidArgument(std::to_string(i));
+          }
+          return Status::Ok();
+        });
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(result.status().message(), "321") << threads << " threads";
+  }
+}
+
+TEST(ParallelAppendTest, NestedRegionsRunInline) {
+  // An outer sweep whose body itself calls ParallelAppend: the inner call
+  // must run inline on the worker (no pool re-entry) and stay correct.
+  auto outer = ParallelAppend<std::int64_t>(
+      16, ParallelOptions{4, 1},
+      [](std::int64_t i, std::vector<std::int64_t>& out) -> Status {
+        auto inner = ParallelAppend<std::int64_t>(
+            50, ParallelOptions{4, 1},
+            [i](std::int64_t j, std::vector<std::int64_t>& acc) -> Status {
+              acc.push_back(i * 50 + j);
+              return Status::Ok();
+            });
+        ITDB_RETURN_IF_ERROR(inner.status());
+        std::int64_t sum = 0;
+        for (std::int64_t v : inner.value()) sum += v;
+        out.push_back(sum);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(outer.ok());
+  ASSERT_EQ(outer.value().size(), 16u);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    // sum_{j<50} (50 i + j) = 2500 i + 1225.
+    EXPECT_EQ(outer.value()[static_cast<std::size_t>(i)], 2500 * i + 1225);
+  }
+}
+
+TEST(ParallelAppendTest, EmptyInputYieldsEmptyOutput) {
+  auto result = ParallelAppend<int>(
+      0, ParallelOptions{4, 1},
+      [](std::int64_t, std::vector<int>&) -> Status {
+        return Status::InvalidArgument("never called");
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsMonotonically) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_workers(), 2);
+  pool.EnsureWorkers(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  pool.EnsureWorkers(1);  // Never shrinks.
+  EXPECT_EQ(pool.num_workers(), 4);
+}
+
+}  // namespace
+}  // namespace itdb
