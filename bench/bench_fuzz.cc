@@ -1,0 +1,63 @@
+// Throughput of the fuzzing subsystem: complete cases per second (generate
+// + all three oracles), and the cost split of its two expensive pieces,
+// case generation and the finite-baseline differential evaluation.  The
+// cases/sec rate is what sizes the CI fuzz-smoke budget.
+
+#include <benchmark/benchmark.h>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+namespace {
+
+using namespace itdb::fuzz;  // NOLINT(google-build-using-namespace)
+
+void BM_Fuzz_CompleteCases(benchmark::State& state) {
+  FuzzConfig config;
+  config.cases = static_cast<int>(state.range(0));
+  config.seed = 1;
+  std::int64_t cases = 0;
+  for (auto _ : state) {
+    FuzzReport report = RunFuzz(config);
+    benchmark::DoNotOptimize(report);
+    cases += report.cases;
+  }
+  state.counters["cases_per_sec"] = benchmark::Counter(
+      static_cast<double>(cases), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fuzz_CompleteCases)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fuzz_GenerateCase(benchmark::State& state) {
+  DatabaseConfig db_cfg;
+  ExprConfig expr_cfg;
+  std::uint32_t seed = 0;
+  for (auto _ : state) {
+    itdb::Database db = MakeRandomDatabase(seed, db_cfg);
+    ExprPtr e = MakeRandomExpr(seed, db, expr_cfg);
+    benchmark::DoNotOptimize(e);
+    ++seed;
+  }
+}
+BENCHMARK(BM_Fuzz_GenerateCase);
+
+void BM_Fuzz_FiniteBaseline(benchmark::State& state) {
+  const std::int64_t outer = state.range(0);
+  DatabaseConfig db_cfg;
+  ExprConfig expr_cfg;
+  std::uint32_t seed = 0;
+  for (auto _ : state) {
+    itdb::Database db = MakeRandomDatabase(seed, db_cfg);
+    ExprPtr e = MakeRandomExpr(seed, db, expr_cfg);
+    auto fin = EvalExprFinite(e, db, -outer, outer, 200000);
+    benchmark::DoNotOptimize(fin);
+    ++seed;
+  }
+  state.SetComplexityN(outer);
+}
+BENCHMARK(BM_Fuzz_FiniteBaseline)->Arg(28)->Arg(56)->Arg(112)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -223,6 +223,20 @@ Result<FiniteRelation> FiniteRelation::SelectTemporal(
   return out;
 }
 
+Result<FiniteRelation> FiniteRelation::ShiftTemporalColumn(
+    int col, std::int64_t delta) const {
+  if (col < 0 || col >= schema_.temporal_arity()) {
+    return Status::InvalidArgument("finite ShiftTemporalColumn: bad column");
+  }
+  FiniteRelation out(schema_);
+  out.rows_ = rows_;
+  for (ConcreteRow& row : out.rows_) {
+    row.temporal[static_cast<std::size_t>(col)] += delta;
+  }
+  out.Normalize();
+  return out;
+}
+
 Result<FiniteRelation> FiniteRelation::SelectData(int data_col, CmpOp op,
                                                   const Value& value) const {
   if (data_col < 0 || data_col >= schema_.data_arity()) {

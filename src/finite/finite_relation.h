@@ -69,6 +69,13 @@ class FiniteRelation {
   Result<FiniteRelation> SelectData(int data_col, CmpOp op,
                                     const Value& value) const;
 
+  /// Replaces temporal column `col` by its image under x -> x + delta
+  /// (mirrors the generalized ShiftTemporalColumn).  Shifted rows may leave
+  /// the window they were materialized on; callers comparing against a
+  /// window-restricted oracle must account for the drift.
+  Result<FiniteRelation> ShiftTemporalColumn(int col,
+                                             std::int64_t delta) const;
+
   static Result<FiniteRelation> CrossProduct(const FiniteRelation& a,
                                              const FiniteRelation& b);
   /// Natural join on shared attribute names (same convention as the

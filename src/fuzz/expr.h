@@ -1,0 +1,147 @@
+// Algebra expressions over a named catalog -- the test subject language of
+// the fuzzer.
+//
+// An Expr is a small immutable tree over the Section 3 operations.  It can
+// be evaluated two independent ways:
+//   * EvalExpr        -- through the generalized algebra (the engine under
+//     test), optionally with a deliberately injected bug for exercising the
+//     oracle/shrinker pipeline end to end;
+//   * EvalExprFinite  -- through the finite-materialization baseline of
+//     src/finite, with every leaf materialized on a window.  This is the
+//     differential oracle's reference.
+//
+// Expressions print to a compact functional syntax (ParseExpr round-trips)
+// so failing cases can be dumped to and replayed from text:
+//
+//   subtract(R0, project(select(join(R0, S0), X1 <= X3 + 2), [A, C]))
+//
+// Temporal selection columns are written X1..Xk (1-based, paper style) so
+// the syntax needs no schema context.
+
+#ifndef ITDB_FUZZ_EXPR_H_
+#define ITDB_FUZZ_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/algebra.h"
+#include "finite/finite_relation.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace fuzz {
+
+/// Deliberate engine corruptions, used to demonstrate (and test) that the
+/// oracles catch wrong-answer bugs and that the shrinker minimizes them.
+enum class InjectedBug {
+  kNone = 0,
+  /// Join forgets the operands' constraints on its output tuples.
+  kJoinDropConstraint,
+  /// Union ignores the last tuple of its right operand.
+  kUnionDropTuple,
+  /// ShiftTemporalColumn shifts by delta + 1.
+  kShiftOffByOne,
+};
+
+/// Parses a bug name ("none", "join-drop-constraint", "union-drop-tuple",
+/// "shift-off-by-one").
+Result<InjectedBug> ParseInjectedBug(std::string_view name);
+std::string_view InjectedBugName(InjectedBug bug);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One node of an algebra expression.  Treat as immutable once built.
+struct Expr {
+  enum class Kind {
+    kLeaf,        // A named relation of the database.
+    kUnion,
+    kIntersect,
+    kSubtract,
+    kJoin,        // Natural join (degenerates to cross product).
+    kComplement,  // Purely temporal operand only.
+    kProject,
+    kSelect,      // Temporal selection.
+    kSelectData,
+    kShift,       // Iterated successor on one temporal column.
+  };
+
+  Kind kind = Kind::kLeaf;
+  std::string leaf;                  // kLeaf: relation name.
+  ExprPtr left;
+  ExprPtr right;                     // Binary kinds only.
+  std::vector<std::string> attrs;    // kProject.
+  TemporalCondition cond;            // kSelect.
+  int data_col = 0;                  // kSelectData.
+  CmpOp data_op = CmpOp::kEq;        // kSelectData.
+  Value data_value;                  // kSelectData.
+  int shift_col = 0;                 // kShift.
+  std::int64_t shift_delta = 0;      // kShift.
+
+  static ExprPtr Leaf(std::string name);
+  static ExprPtr Union(ExprPtr a, ExprPtr b);
+  static ExprPtr Intersect(ExprPtr a, ExprPtr b);
+  static ExprPtr Subtract(ExprPtr a, ExprPtr b);
+  static ExprPtr Join(ExprPtr a, ExprPtr b);
+  static ExprPtr Complement(ExprPtr a);
+  static ExprPtr Project(ExprPtr a, std::vector<std::string> attrs);
+  static ExprPtr Select(ExprPtr a, TemporalCondition cond);
+  static ExprPtr SelectData(ExprPtr a, int col, CmpOp op, Value value);
+  static ExprPtr Shift(ExprPtr a, int col, std::int64_t delta);
+
+  int NodeCount() const;
+  std::string ToString() const;
+};
+
+/// Relation names referenced by leaves, sorted and deduplicated.
+std::vector<std::string> LeafNames(const ExprPtr& e);
+
+struct EvalExprOptions {
+  AlgebraOptions algebra;
+  InjectedBug bug = InjectedBug::kNone;
+};
+
+/// Evaluates through the generalized algebra (the engine under test).
+Result<GeneralizedRelation> EvalExpr(const ExprPtr& e, const Database& db,
+                                     const EvalExprOptions& options = {});
+
+/// A finite evaluation result together with the window on which it is
+/// exact.  Operations on window-materialized relations suffer boundary
+/// artifacts -- a shifted row drifts past the window edge and then survives
+/// a subtraction it should not, projection pulls an out-of-window witness
+/// inward -- so each node tracks the interval [valid_lo, valid_hi] on which
+/// its rows provably agree with the true infinite extension:
+///   rel restricted to [valid_lo, valid_hi]^k  ==  true extension likewise.
+/// Leaves are exact on the materialization window; set operations intersect
+/// their operands' windows (membership is pointwise); shift translates the
+/// window along with the rows; projection shrinks it by a witness-distance
+/// slack.  Rows outside the window may be garbage and must be ignored.
+struct FiniteEval {
+  FiniteRelation rel;
+  std::int64_t valid_lo = 0;
+  std::int64_t valid_hi = 0;
+};
+
+/// Evaluates through the finite baseline: leaves are materialized on
+/// [lo, hi] (and complements taken relative to that window).  Fails with
+/// kResourceExhausted when any intermediate exceeds `max_rows` rows, so a
+/// pathological case degrades into a skipped check instead of a hang.
+Result<FiniteEval> EvalExprFinite(const ExprPtr& e, const Database& db,
+                                  std::int64_t lo, std::int64_t hi,
+                                  std::int64_t max_rows);
+
+/// The output schema of `e` over `db`, computed structurally (mirrors the
+/// algebra's schema conventions; no evaluation).
+Result<Schema> InferSchema(const ExprPtr& e, const Database& db);
+
+/// Parses the ToString syntax back into a tree.
+Result<ExprPtr> ParseExpr(std::string_view text);
+
+}  // namespace fuzz
+}  // namespace itdb
+
+#endif  // ITDB_FUZZ_EXPR_H_

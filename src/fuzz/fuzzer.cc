@@ -1,0 +1,138 @@
+#include "fuzz/fuzzer.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace itdb {
+namespace fuzz {
+
+namespace {
+
+/// splitmix64: statistically independent sub-seeds from sequential inputs.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string FuzzReport::Summary() const {
+  std::ostringstream os;
+  os << cases << " cases: " << failures.size() << " failures, " << skipped
+     << " skipped, " << diff_skipped << " diff-skipped, "
+     << metamorphic_checks << " metamorphic checks";
+  return os.str();
+}
+
+FuzzReport RunFuzz(const FuzzConfig& config) {
+  FuzzReport report;
+  const std::uint64_t stream = SplitMix64(config.seed);
+  for (int i = 0; i < config.cases; ++i) {
+    // Double mixing, so that master seeds S and S+k do not share cases.
+    const std::uint64_t case_seed =
+        SplitMix64(stream + static_cast<std::uint64_t>(i));
+    const auto db_seed = static_cast<std::uint32_t>(case_seed);
+    const auto expr_seed = static_cast<std::uint32_t>(case_seed >> 32);
+
+    Database db = MakeRandomDatabase(db_seed, config.database);
+    ExprPtr expr = MakeRandomExpr(expr_seed, db, config.expr);
+
+    CaseOutcome outcome =
+        CheckCase(db, expr, config.oracle, db_seed ^ expr_seed);
+    ++report.cases;
+    if (outcome.skipped) ++report.skipped;
+    if (outcome.diff_skipped) ++report.diff_skipped;
+    report.metamorphic_checks += outcome.metamorphic_checked;
+    if (!outcome.failure) continue;
+
+    FuzzFailure fail;
+    fail.case_seed = case_seed;
+    fail.failure = *outcome.failure;
+    fail.repro = {std::move(db), std::move(expr)};
+    if (config.shrink) {
+      // Replay with exhaustive metamorphic rewrites so the predicate is
+      // deterministic, and pin to the original oracle so shrinking cannot
+      // slide onto a different bug.
+      OracleOptions replay = config.oracle;
+      replay.exhaustive_metamorphic = true;
+      const std::string oracle = fail.failure.oracle;
+      auto still_fails = [&](const ShrinkCase& c) {
+        CaseOutcome o = CheckCase(c.db, c.expr, replay, 0);
+        return o.failure.has_value() && o.failure->oracle == oracle;
+      };
+      fail.repro = Shrink(std::move(fail.repro), still_fails,
+                          config.shrink_options, &fail.shrink_stats);
+      // Report the failure as it manifests on the SHRUNK case.
+      CaseOutcome o = CheckCase(fail.repro.db, fail.repro.expr, replay, 0);
+      if (o.failure) fail.failure = *o.failure;
+    }
+    report.failures.push_back(std::move(fail));
+    if (static_cast<int>(report.failures.size()) >= config.max_failures) {
+      break;
+    }
+  }
+  return report;
+}
+
+std::string FormatRepro(const ShrinkCase& c, const OracleFailure& failure,
+                        std::uint64_t case_seed) {
+  std::vector<std::string> headers;
+  headers.push_back("itdb_fuzz repro v1");
+  headers.push_back("seed: " + std::to_string(case_seed));
+  headers.push_back("oracle: " + failure.oracle);
+  if (!failure.rule.empty()) headers.push_back("rule: " + failure.rule);
+  if (!failure.detail.empty()) {
+    headers.push_back("detail: " + OneLine(failure.detail));
+  }
+  if (failure.mutant) {
+    headers.push_back("mutant: " + failure.mutant->ToString());
+  }
+  headers.push_back("expr: " + c.expr->ToString());
+  return c.db.ToText(headers);
+}
+
+Result<Repro> ParseRepro(std::string_view text) {
+  std::string expr_text;
+  std::string oracle;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    constexpr std::string_view kExpr = "# expr: ";
+    constexpr std::string_view kOracle = "# oracle: ";
+    if (line.starts_with(kExpr)) expr_text = line.substr(kExpr.size());
+    if (line.starts_with(kOracle)) oracle = line.substr(kOracle.size());
+  }
+  if (expr_text.empty()) {
+    return Status::ParseError("repro has no '# expr:' header");
+  }
+  ITDB_ASSIGN_OR_RETURN(Database db, Database::FromText(text));
+  ITDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(expr_text));
+  for (const std::string& name : LeafNames(expr)) {
+    if (!db.Has(name)) {
+      return Status::NotFound("repro expression references relation '" +
+                              name + "' not defined in the dump");
+    }
+  }
+  return Repro{std::move(db), std::move(expr), std::move(oracle)};
+}
+
+Result<CaseOutcome> ReplayRepro(std::string_view text,
+                                OracleOptions options) {
+  ITDB_ASSIGN_OR_RETURN(Repro repro, ParseRepro(text));
+  options.exhaustive_metamorphic = true;
+  return CheckCase(repro.db, repro.expr, options, 0);
+}
+
+}  // namespace fuzz
+}  // namespace itdb

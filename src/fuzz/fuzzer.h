@@ -1,0 +1,92 @@
+// The fuzzing loop: generate -> check -> shrink -> dump.
+//
+// RunFuzz derives one sub-seed per case from the master seed (splitmix64,
+// so nearby master seeds give unrelated streams), generates a database and
+// an expression, and runs the three oracles of oracle.h.  On failure it
+// greedily shrinks the case (shrink.h) against a predicate that replays the
+// oracles, and records a minimal repro.
+//
+// Repros serialize to the text_format database syntax plus `#`-comment
+// headers carrying the expression and metadata:
+//
+//   # itdb_fuzz repro v1
+//   # seed: 42
+//   # oracle: differential
+//   # expr: subtract(U0, shift(U0, X1, 1))
+//   relation U0 (T: time) {
+//     [0+2n]
+//   }
+//
+// ParseRepro/ReplayRepro read such a dump back and re-run the oracles on
+// it, which is how `itdb_fuzz --replay` and the checked-in regression
+// corpus (tests/fuzz/corpus) work.
+
+#ifndef ITDB_FUZZ_FUZZER_H_
+#define ITDB_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/shrink.h"
+
+namespace itdb {
+namespace fuzz {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  int cases = 1000;
+  /// Stop after this many failures (each failure costs a shrink run).
+  int max_failures = 5;
+  bool shrink = true;
+  DatabaseConfig database;
+  ExprConfig expr;
+  OracleOptions oracle;
+  ShrinkOptions shrink_options;
+};
+
+struct FuzzFailure {
+  std::uint64_t case_seed = 0;  // Sub-seed of the failing case.
+  OracleFailure failure;        // From the ORIGINAL (pre-shrink) case.
+  ShrinkCase repro;             // Shrunk when config.shrink, else original.
+  ShrinkStats shrink_stats;
+};
+
+struct FuzzReport {
+  int cases = 0;
+  int skipped = 0;               // Reference evaluation over budget.
+  int diff_skipped = 0;          // Differential oracle over finite budget.
+  std::int64_t metamorphic_checks = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// One-line human-readable summary.
+  std::string Summary() const;
+};
+
+FuzzReport RunFuzz(const FuzzConfig& config);
+
+/// Serializes a failing case as a replayable text dump (format above).
+std::string FormatRepro(const ShrinkCase& c, const OracleFailure& failure,
+                        std::uint64_t case_seed);
+
+struct Repro {
+  Database db;
+  ExprPtr expr;
+  std::string oracle;  // From the "# oracle:" header, may be empty.
+};
+
+Result<Repro> ParseRepro(std::string_view text);
+
+/// Parses a repro dump and re-runs the oracles on it (exhaustive
+/// metamorphic mode, so replay is deterministic).
+Result<CaseOutcome> ReplayRepro(std::string_view text,
+                                OracleOptions options = {});
+
+}  // namespace fuzz
+}  // namespace itdb
+
+#endif  // ITDB_FUZZ_FUZZER_H_

@@ -1,0 +1,332 @@
+#include "fuzz/generator.h"
+
+#include <random>
+#include <utility>
+
+namespace itdb {
+namespace fuzz {
+
+GeneralizedRelation MakeRandomRelation(std::uint32_t seed,
+                                       const RandomRelationConfig& cfg) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> period_pick(
+      0, cfg.periods.size() - 1);
+  std::uniform_int_distribution<std::int64_t> offset_pick(-cfg.offset_range,
+                                                          cfg.offset_range);
+  std::uniform_int_distribution<std::int64_t> bound_pick(-cfg.bound_range,
+                                                         cfg.bound_range);
+  std::uniform_int_distribution<int> count_pick(0, cfg.max_constraints);
+  std::uniform_int_distribution<int> col_pick(0, cfg.temporal_arity - 1);
+  std::uniform_int_distribution<int> kind_pick(0, 3);
+
+  Schema schema = cfg.data_values.empty()
+                      ? Schema::Temporal(cfg.temporal_arity)
+                      : Schema(Schema::Temporal(cfg.temporal_arity)
+                                   .temporal_names(),
+                               {"d"},
+                               {cfg.data_values[0].IsInt()
+                                    ? DataType::kInt
+                                    : DataType::kString});
+  GeneralizedRelation r(schema);
+  for (int t = 0; t < cfg.num_tuples; ++t) {
+    std::vector<Lrp> lrps;
+    for (int i = 0; i < cfg.temporal_arity; ++i) {
+      lrps.push_back(Lrp::Make(offset_pick(rng),
+                               cfg.periods[period_pick(rng)]));
+    }
+    std::vector<Value> data;
+    if (!cfg.data_values.empty()) {
+      std::uniform_int_distribution<std::size_t> value_pick(
+          0, cfg.data_values.size() - 1);
+      data.push_back(cfg.data_values[value_pick(rng)]);
+    }
+    GeneralizedTuple tuple(std::move(lrps), std::move(data));
+    int n_constraints = count_pick(rng);
+    for (int c = 0; c < n_constraints; ++c) {
+      int kind = kind_pick(rng);
+      int i = col_pick(rng);
+      std::int64_t b = bound_pick(rng);
+      switch (kind) {
+        case 0:
+          tuple.mutable_constraints().AddUpperBound(i, b);
+          break;
+        case 1:
+          tuple.mutable_constraints().AddLowerBound(i, b);
+          break;
+        case 2: {
+          if (cfg.temporal_arity < 2) break;
+          int j = col_pick(rng);
+          if (j == i) j = (i + 1) % cfg.temporal_arity;
+          tuple.mutable_constraints().AddDifferenceUpperBound(i, j, b);
+          break;
+        }
+        case 3: {
+          if (cfg.temporal_arity < 2) break;
+          int j = col_pick(rng);
+          if (j == i) j = (i + 1) % cfg.temporal_arity;
+          tuple.mutable_constraints().AddDifferenceEquality(i, j, b);
+          break;
+        }
+      }
+    }
+    // Arities match the schema by construction, so AddTuple cannot fail.
+    (void)r.AddTuple(std::move(tuple));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Databases.
+
+namespace {
+
+GeneralizedRelation MakeGroupRelation(std::mt19937& rng,
+                                      const DatabaseConfig& cfg,
+                                      const Schema& schema) {
+  std::uniform_int_distribution<std::size_t> period_pick(
+      0, cfg.periods.size() - 1);
+  std::uniform_int_distribution<std::int64_t> offset_pick(-cfg.offset_range,
+                                                          cfg.offset_range);
+  std::uniform_int_distribution<std::int64_t> bound_pick(-cfg.bound_range,
+                                                         cfg.bound_range);
+  std::uniform_int_distribution<int> tuples_pick(1, cfg.max_tuples);
+  std::uniform_int_distribution<int> count_pick(0, cfg.max_constraints);
+  std::uniform_int_distribution<int> kind_pick(0, 3);
+  const int arity = schema.temporal_arity();
+  static const char* kStrings[3] = {"x", "y", "z"};
+
+  GeneralizedRelation r(schema);
+  int n = tuples_pick(rng);
+  for (int t = 0; t < n; ++t) {
+    std::vector<Lrp> lrps;
+    for (int i = 0; i < arity; ++i) {
+      lrps.push_back(Lrp::Make(offset_pick(rng),
+                               cfg.periods[period_pick(rng)]));
+    }
+    std::vector<Value> data;
+    for (int i = 0; i < schema.data_arity(); ++i) {
+      data.push_back(Value(kStrings[rng() % 3]));
+    }
+    GeneralizedTuple tuple(std::move(lrps), std::move(data));
+    int n_constraints = count_pick(rng);
+    for (int c = 0; c < n_constraints; ++c) {
+      std::uniform_int_distribution<int> col_pick(0, arity - 1);
+      int kind = kind_pick(rng);
+      int i = col_pick(rng);
+      std::int64_t b = bound_pick(rng);
+      switch (kind) {
+        case 0:
+          tuple.mutable_constraints().AddUpperBound(i, b);
+          break;
+        case 1:
+          tuple.mutable_constraints().AddLowerBound(i, b);
+          break;
+        case 2: {
+          if (arity < 2) break;
+          int j = col_pick(rng);
+          if (j == i) j = (i + 1) % arity;
+          tuple.mutable_constraints().AddDifferenceUpperBound(i, j, b);
+          break;
+        }
+        case 3: {
+          if (arity < 2) break;
+          int j = col_pick(rng);
+          if (j == i) j = (i + 1) % arity;
+          tuple.mutable_constraints().AddDifferenceEquality(i, j, b);
+          break;
+        }
+      }
+    }
+    (void)r.AddTuple(std::move(tuple));
+  }
+  return r;
+}
+
+}  // namespace
+
+Database MakeRandomDatabase(std::uint32_t seed, const DatabaseConfig& cfg) {
+  std::mt19937 rng(seed);
+  Database db;
+  Schema ab({"A", "B"}, {}, {});
+  Schema bc({"B", "C"}, {}, {});
+  Schema t({"T"}, {}, {});
+  db.Put("R0", MakeGroupRelation(rng, cfg, ab));
+  db.Put("R1", MakeGroupRelation(rng, cfg, ab));
+  db.Put("S0", MakeGroupRelation(rng, cfg, bc));
+  db.Put("S1", MakeGroupRelation(rng, cfg, bc));
+  db.Put("U0", MakeGroupRelation(rng, cfg, t));
+  db.Put("U1", MakeGroupRelation(rng, cfg, t));
+  if (cfg.with_data_group) {
+    Schema td({"T"}, {"D"}, {DataType::kString});
+    db.Put("W0", MakeGroupRelation(rng, cfg, td));
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions.
+
+namespace {
+
+struct ExprGen {
+  std::mt19937 rng;
+  const ExprConfig* cfg;
+  int complements_left;
+
+  std::int64_t PickConst(std::int64_t range) {
+    std::uniform_int_distribution<std::int64_t> pick(-range, range);
+    return pick(rng);
+  }
+
+  TemporalCondition RandomCondition(int arity) {
+    TemporalCondition cond;
+    std::uniform_int_distribution<int> col_pick(0, arity - 1);
+    cond.lhs = col_pick(rng);
+    if (arity >= 2 && rng() % 2 == 0) {
+      cond.rhs = col_pick(rng);
+      if (cond.rhs == cond.lhs) cond.rhs = (cond.lhs + 1) % arity;
+    } else {
+      cond.rhs = kZeroVar;
+    }
+    static const CmpOp kOps[6] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                  CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+    cond.op = kOps[rng() % 6];
+    cond.c = PickConst(cfg->select_const_range);
+    return cond;
+  }
+
+  /// A same-schema operator tree over one schema group.  `names` are the
+  /// leaf relations of the group; all listed schemas are identical.
+  ExprPtr GenGroupTree(const std::vector<std::string>& names,
+                       const Schema& schema, int depth) {
+    if (depth <= 0 || rng() % 4 == 0) {
+      return Expr::Leaf(names[rng() % names.size()]);
+    }
+    const bool purely_temporal = schema.data_arity() == 0;
+    // Weighted choice of operator.
+    int choice = static_cast<int>(rng() % 8);
+    switch (choice) {
+      case 0:
+      case 1: {
+        ExprPtr a = GenGroupTree(names, schema, depth - 1);
+        ExprPtr b = GenGroupTree(names, schema, depth - 1);
+        int which = static_cast<int>(rng() % 3);
+        if (which == 0) return Expr::Union(std::move(a), std::move(b));
+        if (which == 1) return Expr::Intersect(std::move(a), std::move(b));
+        return Expr::Subtract(std::move(a), std::move(b));
+      }
+      case 2:
+      case 3:
+        return Expr::Select(GenGroupTree(names, schema, depth - 1),
+                            RandomCondition(schema.temporal_arity()));
+      case 4: {
+        std::uniform_int_distribution<int> col_pick(
+            0, schema.temporal_arity() - 1);
+        std::int64_t delta = PickConst(cfg->shift_range);
+        return Expr::Shift(GenGroupTree(names, schema, depth - 1),
+                           col_pick(rng), delta);
+      }
+      case 5:
+        if (purely_temporal && schema.temporal_arity() <= 2 &&
+            complements_left > 0) {
+          --complements_left;
+          return Expr::Complement(GenGroupTree(names, schema, depth - 1));
+        }
+        return Expr::Leaf(names[rng() % names.size()]);
+      case 6:
+        if (schema.data_arity() > 0) {
+          static const char* kStrings[3] = {"x", "y", "z"};
+          CmpOp op = rng() % 2 == 0 ? CmpOp::kEq : CmpOp::kNe;
+          return Expr::SelectData(GenGroupTree(names, schema, depth - 1), 0,
+                                  op, Value(kStrings[rng() % 3]));
+        }
+        [[fallthrough]];
+      default: {
+        ExprPtr a = GenGroupTree(names, schema, depth - 1);
+        ExprPtr b = GenGroupTree(names, schema, depth - 1);
+        return Expr::Union(std::move(a), std::move(b));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ExprPtr MakeRandomExpr(std::uint32_t seed, const Database& db,
+                       const ExprConfig& cfg) {
+  ExprGen gen{std::mt19937(seed), &cfg, cfg.max_complements};
+  std::mt19937& rng = gen.rng;
+
+  struct Group {
+    std::vector<std::string> names;
+    Schema schema;
+  };
+  std::vector<Group> groups;
+  groups.push_back({{"R0", "R1"}, Schema({"A", "B"}, {}, {})});
+  groups.push_back({{"S0", "S1"}, Schema({"B", "C"}, {}, {})});
+  groups.push_back({{"U0", "U1"}, Schema({"T"}, {}, {})});
+  if (db.Has("W0")) {
+    groups.push_back({{"W0"}, Schema({"T"}, {"D"}, {DataType::kString})});
+  }
+
+  const Group& g1 = groups[rng() % groups.size()];
+  ExprPtr e = gen.GenGroupTree(g1.names, g1.schema, cfg.max_depth);
+  Schema schema = g1.schema;
+
+  // Optionally join with a tree over a second (possibly the same) group.
+  if (cfg.allow_join && rng() % 2 == 0) {
+    const Group& g2 = groups[rng() % groups.size()];
+    ExprPtr other = gen.GenGroupTree(g2.names, g2.schema, cfg.max_depth - 1);
+    e = Expr::Join(std::move(e), std::move(other));
+    // Join schema: g1's attributes then g2's new ones (data merged by name;
+    // the only data attribute is "D", so merging never clashes on type).
+    std::vector<std::string> temporal = schema.temporal_names();
+    for (const std::string& n : g2.schema.temporal_names()) {
+      if (!schema.FindTemporal(n).has_value()) temporal.push_back(n);
+    }
+    std::vector<std::string> data = schema.data_names();
+    std::vector<DataType> types = schema.data_types();
+    for (int j = 0; j < g2.schema.data_arity(); ++j) {
+      if (!schema.FindData(g2.schema.data_name(j)).has_value()) {
+        data.push_back(g2.schema.data_name(j));
+        types.push_back(g2.schema.data_type(j));
+      }
+    }
+    schema = Schema(std::move(temporal), std::move(data), std::move(types));
+  }
+
+  // Optionally a top-level selection or shift on the combined schema.
+  if (rng() % 2 == 0) {
+    e = Expr::Select(std::move(e),
+                     gen.RandomCondition(schema.temporal_arity()));
+  } else if (rng() % 2 == 0) {
+    std::uniform_int_distribution<int> col_pick(0,
+                                                schema.temporal_arity() - 1);
+    e = Expr::Shift(std::move(e), col_pick(rng),
+                    gen.PickConst(cfg.shift_range));
+  }
+
+  // Optionally project onto a random subset keeping >= 1 temporal column.
+  if (cfg.allow_project && rng() % 2 == 0) {
+    std::vector<std::string> attrs;
+    for (const std::string& n : schema.temporal_names()) {
+      if (rng() % 2 == 0) attrs.push_back(n);
+    }
+    if (attrs.empty()) {
+      attrs.push_back(
+          schema.temporal_name(static_cast<int>(
+              rng() % static_cast<std::uint32_t>(schema.temporal_arity()))));
+    }
+    for (const std::string& n : schema.data_names()) {
+      if (rng() % 2 == 0) attrs.push_back(n);
+    }
+    if (static_cast<int>(attrs.size()) <
+        schema.temporal_arity() + schema.data_arity()) {
+      e = Expr::Project(std::move(e), std::move(attrs));
+    }
+  }
+  return e;
+}
+
+}  // namespace fuzz
+}  // namespace itdb

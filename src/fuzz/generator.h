@@ -1,0 +1,85 @@
+// Seeded, size-bounded generators for the fuzzing subsystem.
+//
+// Three layers, all deterministic (same seed => same output, given one
+// standard library implementation):
+//   * MakeRandomRelation  -- one generalized relation from a shape config.
+//     This is the single shared implementation behind both the fuzzer and
+//     the property tests (tests/common/random_relations.h re-exports it).
+//   * MakeRandomDatabase  -- a catalog of relations over a few fixed schema
+//     groups, so that generated algebra expressions can combine relations
+//     with equal schemas (union/intersect/subtract) and overlapping
+//     attribute names (join).
+//   * MakeRandomExpr      -- a random algebra expression over the catalog;
+//     see expr.h for the expression language.
+//
+// All constants are deliberately small: the differential oracle compares
+// materializations on a bounded window, and its soundness for projection
+// (witnesses must lie inside the outer window) rests on periods, offsets,
+// bounds and shifts being far smaller than the window slack -- the same
+// argument the query property tests already make.
+
+#ifndef ITDB_FUZZ_GENERATOR_H_
+#define ITDB_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relation.h"
+#include "fuzz/expr.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace fuzz {
+
+struct RandomRelationConfig {
+  int temporal_arity = 2;
+  int num_tuples = 3;
+  /// Periods are drawn from this list (0 = singleton column).
+  std::vector<std::int64_t> periods = {0, 1, 2, 3, 4, 6};
+  std::int64_t offset_range = 8;     // Offsets in [-range, range].
+  int max_constraints = 2;           // Per tuple.
+  std::int64_t bound_range = 6;      // Constraint bounds in [-range, range].
+  std::vector<Value> data_values;    // Empty => purely temporal.
+};
+
+/// Builds a reproducible random relation; same seed => same relation.
+GeneralizedRelation MakeRandomRelation(std::uint32_t seed,
+                                       const RandomRelationConfig& cfg);
+
+/// Shape of a generated database.  The catalog always holds four schema
+/// groups (attribute names fixed so joins share columns by construction):
+///   R0, R1   (A: time, B: time)
+///   S0, S1   (B: time, C: time)
+///   U0, U1   (T: time)
+///   W0       (T: time, D: string)     -- only when with_data_group
+struct DatabaseConfig {
+  int max_tuples = 3;  // 1..max per relation.
+  std::vector<std::int64_t> periods = {0, 2, 3, 4, 6};
+  std::int64_t offset_range = 5;
+  std::int64_t bound_range = 5;
+  int max_constraints = 2;
+  bool with_data_group = true;
+};
+
+Database MakeRandomDatabase(std::uint32_t seed, const DatabaseConfig& cfg);
+
+/// Shape of a generated expression.
+struct ExprConfig {
+  int max_depth = 3;           // Of each same-schema subtree.
+  int max_complements = 1;     // Complements are exponential; ration them.
+  std::int64_t shift_range = 2;
+  std::int64_t select_const_range = 4;
+  bool allow_join = true;
+  bool allow_project = true;
+};
+
+/// A random expression valid over `db` (as produced by MakeRandomDatabase).
+/// Structure: a same-schema operator tree per schema group, optionally
+/// joined pairwise, optionally topped by selection/shift/projection.
+ExprPtr MakeRandomExpr(std::uint32_t seed, const Database& db,
+                       const ExprConfig& cfg);
+
+}  // namespace fuzz
+}  // namespace itdb
+
+#endif  // ITDB_FUZZ_GENERATOR_H_

@@ -1,0 +1,195 @@
+#include "fuzz/mutate.h"
+
+#include <utility>
+
+namespace itdb {
+namespace fuzz {
+
+namespace {
+
+/// Whether complement(e) is cheap enough to introduce: purely temporal,
+/// arity <= 2 (the A.6 residue universe is k^m).
+bool ComplementableSchema(const Schema& s) {
+  return s.data_arity() == 0 && s.temporal_arity() >= 1 &&
+         s.temporal_arity() <= 2;
+}
+
+/// All attribute names of `s`, temporal first -- the identity projection.
+std::vector<std::string> AllAttrs(const Schema& s) {
+  std::vector<std::string> attrs = s.temporal_names();
+  for (const std::string& n : s.data_names()) attrs.push_back(n);
+  return attrs;
+}
+
+/// Rewrites applicable at the root of `e` (not inside it).  The two
+/// term-growing rules (double-complement introduction, union idempotence)
+/// only fire when `at_root`: applied at arbitrary depth they would multiply
+/// the cost of every enclosing operator.
+Status LocalRewrites(const ExprPtr& e, const Database& db, bool at_root,
+                     std::vector<Rewrite>* out) {
+  ITDB_ASSIGN_OR_RETURN(Schema schema, InferSchema(e, db));
+
+  if (at_root) {
+    // Complement-introduction: r = not(not(r)).
+    if (ComplementableSchema(schema)) {
+      out->push_back({"double-complement",
+                      Expr::Complement(Expr::Complement(e))});
+    }
+    // Union idempotence: r = r U r.
+    out->push_back({"union-idempotent", Expr::Union(e, e)});
+  }
+
+  switch (e->kind) {
+    case Expr::Kind::kUnion:
+      out->push_back({"union-commute", Expr::Union(e->right, e->left)});
+      if (e->left->kind == Expr::Kind::kUnion) {
+        out->push_back(
+            {"union-assoc",
+             Expr::Union(e->left->left,
+                         Expr::Union(e->left->right, e->right))});
+      }
+      break;
+    case Expr::Kind::kIntersect:
+      out->push_back({"intersect-commute",
+                      Expr::Intersect(e->right, e->left)});
+      if (e->left->kind == Expr::Kind::kIntersect) {
+        out->push_back(
+            {"intersect-assoc",
+             Expr::Intersect(e->left->left,
+                             Expr::Intersect(e->left->right, e->right))});
+      }
+      out->push_back(
+          {"intersect-as-subtract",
+           Expr::Subtract(e->left, Expr::Subtract(e->left, e->right))});
+      break;
+    case Expr::Kind::kSubtract: {
+      ITDB_ASSIGN_OR_RETURN(Schema rschema, InferSchema(e->right, db));
+      if (ComplementableSchema(rschema)) {
+        out->push_back(
+            {"subtract-as-complement",
+             Expr::Intersect(e->left, Expr::Complement(e->right))});
+      }
+      break;
+    }
+    case Expr::Kind::kJoin:
+      // a |x| b = project(b |x| a, attrs of a |x| b).
+      out->push_back({"join-commute",
+                      Expr::Project(Expr::Join(e->right, e->left),
+                                    AllAttrs(schema))});
+      if (e->left->kind == Expr::Kind::kJoin) {
+        out->push_back(
+            {"join-assoc",
+             Expr::Join(e->left->left,
+                        Expr::Join(e->left->right, e->right))});
+      }
+      break;
+    case Expr::Kind::kComplement:
+      if (e->left->kind == Expr::Kind::kComplement) {
+        out->push_back({"double-complement", e->left->left});
+      }
+      if (e->left->kind == Expr::Kind::kUnion) {
+        out->push_back(
+            {"demorgan-union",
+             Expr::Intersect(Expr::Complement(e->left->left),
+                             Expr::Complement(e->left->right))});
+      }
+      if (e->left->kind == Expr::Kind::kIntersect) {
+        out->push_back(
+            {"demorgan-intersect",
+             Expr::Union(Expr::Complement(e->left->left),
+                         Expr::Complement(e->left->right))});
+      }
+      break;
+    case Expr::Kind::kProject:
+      if (e->left->kind == Expr::Kind::kUnion) {
+        out->push_back(
+            {"project-pushdown",
+             Expr::Union(Expr::Project(e->left->left, e->attrs),
+                         Expr::Project(e->left->right, e->attrs))});
+      }
+      break;
+    case Expr::Kind::kSelect: {
+      if (e->left->kind == Expr::Kind::kUnion) {
+        out->push_back(
+            {"select-pushdown",
+             Expr::Union(Expr::Select(e->left->left, e->cond),
+                         Expr::Select(e->left->right, e->cond))});
+      }
+      if (e->left->kind == Expr::Kind::kSelect) {
+        out->push_back(
+            {"select-commute",
+             Expr::Select(Expr::Select(e->left->left, e->cond),
+                          e->left->cond)});
+      }
+      if (e->cond.op == CmpOp::kNe) {
+        TemporalCondition lt = e->cond;
+        lt.op = CmpOp::kLt;
+        TemporalCondition gt = e->cond;
+        gt.op = CmpOp::kGt;
+        out->push_back({"select-split-ne",
+                        Expr::Union(Expr::Select(e->left, lt),
+                                    Expr::Select(e->left, gt))});
+      }
+      if (e->cond.op == CmpOp::kLe) {
+        TemporalCondition lt = e->cond;
+        lt.op = CmpOp::kLt;
+        TemporalCondition eq = e->cond;
+        eq.op = CmpOp::kEq;
+        out->push_back({"select-split-le",
+                        Expr::Union(Expr::Select(e->left, lt),
+                                    Expr::Select(e->left, eq))});
+      }
+      break;
+    }
+    case Expr::Kind::kLeaf:
+    case Expr::Kind::kSelectData:
+    case Expr::Kind::kShift:
+      break;
+  }
+  return Status::Ok();
+}
+
+/// Rebuilds `e` with its left (or right) child replaced.
+ExprPtr WithChild(const ExprPtr& e, bool right_child, ExprPtr child) {
+  Expr copy = *e;
+  if (right_child) {
+    copy.right = std::move(child);
+  } else {
+    copy.left = std::move(child);
+  }
+  return std::make_shared<const Expr>(std::move(copy));
+}
+
+Status Collect(const ExprPtr& e, const Database& db, bool at_root, int limit,
+               std::vector<Rewrite>* out) {
+  if (static_cast<int>(out->size()) >= limit) return Status::Ok();
+  ITDB_RETURN_IF_ERROR(LocalRewrites(e, db, at_root, out));
+  if (static_cast<int>(out->size()) > limit) out->resize(limit);
+
+  // Rewrites inside the children, re-wrapped at this node.
+  for (bool right_child : {false, true}) {
+    const ExprPtr& child = right_child ? e->right : e->left;
+    if (!child) continue;
+    std::vector<Rewrite> inner;
+    ITDB_RETURN_IF_ERROR(Collect(child, db, false, limit, &inner));
+    for (Rewrite& r : inner) {
+      if (static_cast<int>(out->size()) >= limit) break;
+      out->push_back({std::move(r.rule),
+                      WithChild(e, right_child, std::move(r.expr))});
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<Rewrite>> EnumerateRewrites(const ExprPtr& e,
+                                               const Database& db,
+                                               int limit) {
+  std::vector<Rewrite> out;
+  ITDB_RETURN_IF_ERROR(Collect(e, db, true, limit, &out));
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace itdb

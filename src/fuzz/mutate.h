@@ -1,0 +1,59 @@
+// Metamorphic rewrites: paper-sound equivalent-expression transformations
+// (the EET technique applied to the Section 3 algebra).
+//
+// Every rule rewrites an expression into one that denotes the SAME set of
+// concrete rows over the infinite extension, with the SAME output schema.
+// The metamorphic oracle evaluates original and rewrite through the engine
+// and requires equivalence (symbolically via Equivalent(), i.e. both
+// directions of the Section 3.3/Theorem 3.5 subset test on coalesced
+// normal forms, plus a window materialization cross-check).
+//
+// Identity list (citations refer to the paper):
+//   double-complement        r = not(not(r))                  (A.6 closure)
+//   demorgan-union           not(a U b) = not(a) ^ not(b)     (boolean alg.)
+//   demorgan-intersect       not(a ^ b) = not(a) U not(b)
+//   union-commute            a U b = b U a                    (3.1)
+//   intersect-commute        a ^ b = b ^ a                    (3.2)
+//   join-commute             a |x| b = project(b |x| a, attrs(a |x| b))
+//   union-assoc              (a U b) U c = a U (b U c)
+//   intersect-assoc          (a ^ b) ^ c = a ^ (b ^ c)
+//   join-assoc               (a |x| b) |x| c = a |x| (b |x| c)
+//   union-idempotent         r = r U r                        (3.1)
+//   project-pushdown         project(a U b) = project(a) U project(b)  (3.4)
+//   select-pushdown          select(a U b) = select(a) U select(b)     (3.5)
+//   select-split-ne          sel[X != t] r = sel[X < t] r U sel[X > t] r
+//                            (the paper's kNe disjunction-splitting, 3.5)
+//   select-split-le          sel[X <= t] r = sel[X < t] r U sel[X = t] r
+//   select-commute           sel[c1] sel[c2] r = sel[c2] sel[c1] r
+//   intersect-as-subtract    a ^ b = a - (a - b)              (3.3)
+//   subtract-as-complement   a - b = a ^ not(b)               (3.3, Fig. 1)
+
+#ifndef ITDB_FUZZ_MUTATE_H_
+#define ITDB_FUZZ_MUTATE_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/expr.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace fuzz {
+
+struct Rewrite {
+  std::string rule;  // Identity name from the list above.
+  ExprPtr expr;      // Whole rewritten expression.
+};
+
+/// All single-step rewrites of `e`, at any position in the tree, capped at
+/// `limit`.  Complement-introducing rules are only applied to purely
+/// temporal subexpressions of arity <= 2 (complement cost is exponential in
+/// the arity).  `db` supplies leaf schemas for those applicability checks.
+Result<std::vector<Rewrite>> EnumerateRewrites(const ExprPtr& e,
+                                               const Database& db,
+                                               int limit = 64);
+
+}  // namespace fuzz
+}  // namespace itdb
+
+#endif  // ITDB_FUZZ_MUTATE_H_

@@ -1,0 +1,205 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace itdb {
+namespace fuzz {
+
+namespace {
+
+/// One-step expression reductions: every tree obtained by replacing a node
+/// with one of its children or zeroing/halving one of its constants.
+/// Ordered most-aggressive-first so the greedy loop takes big bites early.
+void ExprReductions(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+
+  // Hoist a child over this node (drops the node entirely).
+  if (e->left) out->push_back(e->left);
+  if (e->right) out->push_back(e->right);
+
+  // Shrink node-local constants.
+  if (e->kind == Expr::Kind::kSelect && e->cond.c != 0) {
+    Expr copy = *e;
+    copy.cond.c = 0;
+    out->push_back(std::make_shared<const Expr>(copy));
+    if (e->cond.c > 1 || e->cond.c < -1) {
+      copy.cond.c = e->cond.c / 2;
+      out->push_back(std::make_shared<const Expr>(copy));
+    }
+  }
+  if (e->kind == Expr::Kind::kShift && e->shift_delta != 0) {
+    Expr copy = *e;
+    copy.shift_delta = 0;
+    out->push_back(std::make_shared<const Expr>(copy));
+  }
+
+  // Same reductions inside the children, re-wrapped at this node.
+  for (bool right_child : {false, true}) {
+    const ExprPtr& child = right_child ? e->right : e->left;
+    if (!child) continue;
+    std::vector<ExprPtr> inner;
+    ExprReductions(child, &inner);
+    for (ExprPtr& reduced : inner) {
+      Expr copy = *e;
+      (right_child ? copy.right : copy.left) = std::move(reduced);
+      out->push_back(std::make_shared<const Expr>(std::move(copy)));
+    }
+  }
+}
+
+GeneralizedRelation WithTuples(const Schema& schema,
+                               std::vector<GeneralizedTuple> tuples) {
+  GeneralizedRelation r(schema);
+  for (GeneralizedTuple& t : tuples) (void)r.AddTuple(std::move(t));
+  return r;
+}
+
+/// The tuple's constraints as an irredundant atomic list, or nullopt when
+/// they are unconstrained / unclosable (nothing to drop then).
+std::optional<std::vector<AtomicConstraint>> TupleAtomics(
+    const GeneralizedTuple& t) {
+  Dbm closed = t.constraints();
+  if (!closed.Close().ok() || !closed.feasible()) return std::nullopt;
+  std::vector<AtomicConstraint> atomics = closed.MinimalAtomics();
+  if (atomics.empty()) return std::nullopt;
+  return atomics;
+}
+
+GeneralizedTuple WithAtomics(const GeneralizedTuple& t,
+                             const std::vector<AtomicConstraint>& atomics) {
+  GeneralizedTuple copy = t;
+  Dbm dbm(t.temporal_arity());
+  for (const AtomicConstraint& c : atomics) dbm.AddAtomic(c);
+  copy.set_constraints(std::move(dbm));
+  return copy;
+}
+
+/// One-step reductions of a single tuple: clear all constraints, drop one
+/// constraint, zero/halve one bound, simplify one lrp.
+void TupleReductions(const GeneralizedTuple& t,
+                     std::vector<GeneralizedTuple>* out) {
+  std::optional<std::vector<AtomicConstraint>> atomics = TupleAtomics(t);
+  if (atomics) {
+    out->push_back(WithAtomics(t, {}));  // Clear every constraint.
+    for (std::size_t i = 0; i < atomics->size(); ++i) {
+      std::vector<AtomicConstraint> fewer = *atomics;
+      fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(i));
+      out->push_back(WithAtomics(t, fewer));
+      if ((*atomics)[i].bound != 0) {
+        std::vector<AtomicConstraint> smaller = *atomics;
+        smaller[i].bound = 0;
+        out->push_back(WithAtomics(t, smaller));
+      }
+    }
+  }
+
+  for (int i = 0; i < t.temporal_arity(); ++i) {
+    const Lrp& lrp = t.lrp(i);
+    auto with_lrp = [&](Lrp replacement) {
+      std::vector<Lrp> temporal = t.temporal();
+      temporal[static_cast<std::size_t>(i)] = replacement;
+      GeneralizedTuple copy(std::move(temporal), t.data());
+      copy.set_constraints(t.constraints());
+      out->push_back(std::move(copy));
+    };
+    if (lrp.period() != 0) with_lrp(Lrp::Singleton(0));
+    if (lrp.offset() != 0) with_lrp(Lrp::Make(0, lrp.period()));
+  }
+}
+
+}  // namespace
+
+ShrinkCase Shrink(ShrinkCase start, const FailPredicate& fails,
+                  const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  st = ShrinkStats{};
+
+  auto try_accept = [&](ShrinkCase candidate) -> bool {
+    if (st.attempts >= options.max_attempts) return false;
+    ++st.attempts;
+    if (!fails(candidate)) return false;
+    ++st.accepted;
+    start = std::move(candidate);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && st.attempts < options.max_attempts) {
+    progress = false;
+
+    // Drop relations the expression no longer references (one attempt).
+    {
+      std::vector<std::string> used = LeafNames(start.expr);
+      Database trimmed;
+      bool smaller = false;
+      for (const std::string& name : start.db.Names()) {
+        if (std::binary_search(used.begin(), used.end(), name)) {
+          trimmed.Put(name, *start.db.Get(name));
+        } else {
+          smaller = true;
+        }
+      }
+      if (smaller && try_accept({std::move(trimmed), start.expr})) {
+        progress = true;
+        continue;
+      }
+    }
+
+    // Expression reductions.
+    {
+      std::vector<ExprPtr> exprs;
+      ExprReductions(start.expr, &exprs);
+      bool accepted = false;
+      for (ExprPtr& e : exprs) {
+        if (try_accept({start.db, std::move(e)})) {
+          accepted = true;
+          break;
+        }
+      }
+      if (accepted) {
+        progress = true;
+        continue;
+      }
+    }
+
+    // Database reductions: drop a tuple, then shrink a tuple in place.
+    for (const std::string& name : start.db.Names()) {
+      const GeneralizedRelation rel = *start.db.Get(name);
+      bool accepted = false;
+      for (int i = 0; i < rel.size() && !accepted; ++i) {
+        std::vector<GeneralizedTuple> fewer = rel.tuples();
+        fewer.erase(fewer.begin() + i);
+        Database smaller = start.db;
+        smaller.Put(name, WithTuples(rel.schema(), std::move(fewer)));
+        accepted = try_accept({std::move(smaller), start.expr});
+      }
+      for (int i = 0; i < rel.size() && !accepted; ++i) {
+        std::vector<GeneralizedTuple> variants;
+        TupleReductions(rel.tuples()[static_cast<std::size_t>(i)], &variants);
+        for (GeneralizedTuple& v : variants) {
+          std::vector<GeneralizedTuple> tuples = rel.tuples();
+          tuples[static_cast<std::size_t>(i)] = std::move(v);
+          Database changed = start.db;
+          changed.Put(name, WithTuples(rel.schema(), std::move(tuples)));
+          if (try_accept({std::move(changed), start.expr})) {
+            accepted = true;
+            break;
+          }
+        }
+      }
+      if (accepted) {
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  return start;
+}
+
+}  // namespace fuzz
+}  // namespace itdb

@@ -1,0 +1,53 @@
+// Greedy test-case minimization.
+//
+// Given a failing (database, expression) pair and a predicate that re-runs
+// the oracles, the shrinker repeatedly tries smaller variants -- replacing
+// expression nodes by their children, zeroing constants, dropping unused
+// relations, dropping tuples, clearing or dropping single constraints,
+// shrinking lrp offsets/periods and constraint bounds -- and keeps any
+// variant on which the failure reproduces.  The result is the fixpoint:
+// no single reduction step preserves the failure (1-minimal in the
+// delta-debugging sense), or the attempt budget ran out.
+
+#ifndef ITDB_FUZZ_SHRINK_H_
+#define ITDB_FUZZ_SHRINK_H_
+
+#include <functional>
+
+#include "fuzz/expr.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace fuzz {
+
+/// A candidate test case: catalog plus expression over it.
+struct ShrinkCase {
+  Database db;
+  ExprPtr expr;
+};
+
+/// Re-runs the oracles on a candidate; true = the failure still reproduces.
+/// The predicate must be deterministic, or the shrink result is meaningless.
+using FailPredicate = std::function<bool(const ShrinkCase&)>;
+
+struct ShrinkOptions {
+  /// Total predicate evaluations allowed.  Each evaluation re-runs the
+  /// oracles, so this bounds shrinking time.
+  int max_attempts = 500;
+};
+
+struct ShrinkStats {
+  int attempts = 0;  // Predicate evaluations spent.
+  int accepted = 0;  // Reductions that kept the failure.
+};
+
+/// Pre: fails(start) is true.  Returns a case at least as small on which
+/// `fails` still holds.
+ShrinkCase Shrink(ShrinkCase start, const FailPredicate& fails,
+                  const ShrinkOptions& options = {},
+                  ShrinkStats* stats = nullptr);
+
+}  // namespace fuzz
+}  // namespace itdb
+
+#endif  // ITDB_FUZZ_SHRINK_H_

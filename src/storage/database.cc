@@ -66,4 +66,17 @@ std::string Database::ToText() const {
   return out;
 }
 
+std::string Database::ToText(
+    const std::vector<std::string>& header_comments) const {
+  std::string out;
+  for (const std::string& h : header_comments) {
+    out += "# ";
+    out += h;
+    out += "\n";
+  }
+  if (!header_comments.empty()) out += "\n";
+  out += ToText();
+  return out;
+}
+
 }  // namespace itdb

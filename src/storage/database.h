@@ -36,6 +36,10 @@ class Database {
   static Result<Database> FromText(std::string_view text);
   /// Serializes every relation; FromText round-trips.
   std::string ToText() const;
+  /// Like ToText(), prefixed with one `# `-comment line per entry (entries
+  /// must be single lines).  FromText skips comments, so the headers ride
+  /// along transparently -- used by the fuzzer's repro dumps.
+  std::string ToText(const std::vector<std::string>& header_comments) const;
 
  private:
   std::map<std::string, GeneralizedRelation> relations_;

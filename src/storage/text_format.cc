@@ -298,6 +298,24 @@ Result<NamedRelation> ParseRelationBlock(TokenStream& ts) {
 
 }  // namespace internal_text_format
 
+namespace {
+
+/// Value::ToString does not escape; the lexer unescapes '\x' inside string
+/// literals, so quotes and backslashes must be escaped here for the printed
+/// form to parse back to the same value.
+std::string PrintValue(const Value& v) {
+  if (v.IsInt()) return std::to_string(v.AsInt());
+  std::string out = "\"";
+  for (char c : v.AsString()) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string PrintRelation(const std::string& name,
                           const GeneralizedRelation& relation) {
   const Schema& schema = relation.schema();
@@ -331,7 +349,7 @@ std::string PrintRelation(const std::string& name,
       out += " | ";
       for (int i = 0; i < t.data_arity(); ++i) {
         if (i > 0) out += ", ";
-        out += t.value(i).ToString();
+        out += PrintValue(t.value(i));
       }
     }
     out += "]";

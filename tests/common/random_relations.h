@@ -1,98 +1,20 @@
 // Deterministic pseudo-random generalized relations for property tests.
+//
+// The implementation lives in src/fuzz/generator.h so the fuzzer and the
+// property tests share one generator (same seed => same relation in both);
+// this header only re-exports it under the historical testing_util names.
+// Every generator takes an explicit seed -- there is no hidden global RNG.
 
 #ifndef ITDB_TESTS_COMMON_RANDOM_RELATIONS_H_
 #define ITDB_TESTS_COMMON_RANDOM_RELATIONS_H_
 
-#include <cstdint>
-#include <random>
-#include <vector>
-
-#include <gtest/gtest.h>
-
-#include "core/relation.h"
+#include "fuzz/generator.h"
 
 namespace itdb {
 namespace testing_util {
 
-struct RandomRelationConfig {
-  int temporal_arity = 2;
-  int num_tuples = 3;
-  /// Periods are drawn from this list (0 = singleton column).
-  std::vector<std::int64_t> periods = {0, 1, 2, 3, 4, 6};
-  std::int64_t offset_range = 8;     // Offsets in [-range, range].
-  int max_constraints = 2;           // Per tuple.
-  std::int64_t bound_range = 6;      // Constraint bounds in [-range, range].
-  std::vector<Value> data_values;    // Empty => purely temporal.
-};
-
-/// Builds a reproducible random relation; same seed => same relation.
-inline GeneralizedRelation MakeRandomRelation(std::uint32_t seed,
-                                              const RandomRelationConfig& cfg) {
-  std::mt19937 rng(seed);
-  std::uniform_int_distribution<std::size_t> period_pick(
-      0, cfg.periods.size() - 1);
-  std::uniform_int_distribution<std::int64_t> offset_pick(-cfg.offset_range,
-                                                          cfg.offset_range);
-  std::uniform_int_distribution<std::int64_t> bound_pick(-cfg.bound_range,
-                                                         cfg.bound_range);
-  std::uniform_int_distribution<int> count_pick(0, cfg.max_constraints);
-  std::uniform_int_distribution<int> col_pick(0, cfg.temporal_arity - 1);
-  std::uniform_int_distribution<int> kind_pick(0, 3);
-
-  Schema schema = cfg.data_values.empty()
-                      ? Schema::Temporal(cfg.temporal_arity)
-                      : Schema(Schema::Temporal(cfg.temporal_arity)
-                                   .temporal_names(),
-                               {"d"},
-                               {cfg.data_values[0].IsInt()
-                                    ? DataType::kInt
-                                    : DataType::kString});
-  GeneralizedRelation r(schema);
-  for (int t = 0; t < cfg.num_tuples; ++t) {
-    std::vector<Lrp> lrps;
-    for (int i = 0; i < cfg.temporal_arity; ++i) {
-      lrps.push_back(Lrp::Make(offset_pick(rng),
-                               cfg.periods[period_pick(rng)]));
-    }
-    std::vector<Value> data;
-    if (!cfg.data_values.empty()) {
-      std::uniform_int_distribution<std::size_t> value_pick(
-          0, cfg.data_values.size() - 1);
-      data.push_back(cfg.data_values[value_pick(rng)]);
-    }
-    GeneralizedTuple tuple(std::move(lrps), std::move(data));
-    int n_constraints = count_pick(rng);
-    for (int c = 0; c < n_constraints; ++c) {
-      int kind = kind_pick(rng);
-      int i = col_pick(rng);
-      std::int64_t b = bound_pick(rng);
-      switch (kind) {
-        case 0:
-          tuple.mutable_constraints().AddUpperBound(i, b);
-          break;
-        case 1:
-          tuple.mutable_constraints().AddLowerBound(i, b);
-          break;
-        case 2: {
-          if (cfg.temporal_arity < 2) break;
-          int j = col_pick(rng);
-          if (j == i) j = (i + 1) % cfg.temporal_arity;
-          tuple.mutable_constraints().AddDifferenceUpperBound(i, j, b);
-          break;
-        }
-        case 3: {
-          if (cfg.temporal_arity < 2) break;
-          int j = col_pick(rng);
-          if (j == i) j = (i + 1) % cfg.temporal_arity;
-          tuple.mutable_constraints().AddDifferenceEquality(i, j, b);
-          break;
-        }
-      }
-    }
-    EXPECT_TRUE(r.AddTuple(std::move(tuple)).ok());
-  }
-  return r;
-}
+using fuzz::MakeRandomRelation;     // NOLINT(misc-unused-using-decls)
+using fuzz::RandomRelationConfig;   // NOLINT(misc-unused-using-decls)
 
 }  // namespace testing_util
 }  // namespace itdb

@@ -1,0 +1,58 @@
+// Replays every checked-in repro in tests/fuzz/corpus/ against the clean
+// engine.  Each file is a (shrunk) case that once exposed a discrepancy or
+// exercises a construction the paper calls out as delicate (punctured lrp
+// subtraction, De Morgan complements, difference-equality joins); all must
+// pass every oracle on the current engine.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+
+#ifndef ITDB_FUZZ_CORPUS_DIR
+#error "ITDB_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace itdb {
+namespace fuzz {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ITDB_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() == ".itdb") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplayTest, CorpusIsNotEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 5u);
+}
+
+TEST(CorpusReplayTest, EveryCorpusCasePassesAllOracles) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    std::ifstream file(path);
+    ASSERT_TRUE(file) << path;
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    Result<CaseOutcome> outcome = ReplayRepro(buffer.str());
+    ASSERT_TRUE(outcome.ok()) << path << ": " << outcome.status();
+    EXPECT_FALSE(outcome->skipped)
+        << path << ": " << outcome->skip_reason;
+    EXPECT_FALSE(outcome->failure.has_value())
+        << path << ": [" << outcome->failure->oracle << "] "
+        << outcome->failure->detail;
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace itdb

@@ -1,0 +1,82 @@
+// Text-format round-trip properties over fuzz-generated relations:
+// parse(print(db)) preserves the represented set, print(parse(print(db)))
+// is a fixpoint, and string values with quotes/backslashes survive.
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+#include "finite/finite_relation.h"
+#include "fuzz/generator.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace fuzz {
+namespace {
+
+TEST(RoundtripPropertyTest, PrintParsePreservesRepresentedSet) {
+  DatabaseConfig cfg;
+  for (std::uint32_t seed = 0; seed < 60; ++seed) {
+    Database db = MakeRandomDatabase(seed, cfg);
+    std::string text = db.ToText();
+    Result<Database> reparsed = Database::FromText(text);
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": "
+                               << reparsed.status() << "\n" << text;
+    ASSERT_EQ(reparsed->Names(), db.Names());
+    for (const std::string& name : db.Names()) {
+      const GeneralizedRelation original = *db.Get(name);
+      const GeneralizedRelation parsed = *reparsed->Get(name);
+      EXPECT_EQ(parsed.schema(), original.schema());
+      // The printer normalizes (it drops infeasible tuples and prints
+      // minimal constraint systems), so compare represented sets, not
+      // representations.
+      EXPECT_EQ(FiniteRelation::Materialize(parsed, -20, 20),
+                FiniteRelation::Materialize(original, -20, 20))
+          << "seed " << seed << " relation " << name << "\n" << text;
+      Result<bool> equiv = Equivalent(parsed, original);
+      ASSERT_TRUE(equiv.ok()) << equiv.status();
+      EXPECT_TRUE(*equiv) << "seed " << seed << " relation " << name;
+    }
+  }
+}
+
+TEST(RoundtripPropertyTest, PrintIsAFixpointAfterOneRoundTrip) {
+  DatabaseConfig cfg;
+  for (std::uint32_t seed = 0; seed < 60; ++seed) {
+    Database db = MakeRandomDatabase(seed, cfg);
+    Result<Database> once = Database::FromText(db.ToText());
+    ASSERT_TRUE(once.ok()) << once.status();
+    std::string text1 = once->ToText();
+    Result<Database> twice = Database::FromText(text1);
+    ASSERT_TRUE(twice.ok()) << twice.status();
+    EXPECT_EQ(twice->ToText(), text1) << "seed " << seed;
+  }
+}
+
+TEST(RoundtripPropertyTest, StringValuesWithMetacharactersSurvive) {
+  Schema schema({"T"}, {"D"}, {DataType::kString});
+  GeneralizedRelation r(schema);
+  for (const char* s : {"plain", "with \"quotes\"", "back\\slash",
+                        "\\\" both \\\""}) {
+    ASSERT_TRUE(
+        r.AddTuple(GeneralizedTuple({Lrp::Singleton(0)}, {Value(s)})).ok());
+  }
+  Database db;
+  db.Put("W", std::move(r));
+  Result<Database> reparsed = Database::FromText(db.ToText());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << db.ToText();
+  EXPECT_EQ(reparsed->Get("W")->tuples(), db.Get("W")->tuples());
+}
+
+TEST(RoundtripPropertyTest, HeaderCommentsAreTransparentToParsing) {
+  DatabaseConfig cfg;
+  Database db = MakeRandomDatabase(7, cfg);
+  std::string with_headers =
+      db.ToText({"itdb_fuzz repro v1", "expr: union(U0, U1)"});
+  Result<Database> reparsed = Database::FromText(with_headers);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToText(), db.ToText());
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace itdb

@@ -1,0 +1,178 @@
+// Metamorphic + differential fuzzer for the generalized algebra.
+//
+//   ./itdb_fuzz --cases 2000 --seed 1          # fuzz, exit 1 on failure
+//   ./itdb_fuzz --replay repro.itdb            # re-run a saved repro
+//   ./itdb_fuzz --inject-bug join-drop-constraint --out /tmp/repros
+//
+// On failure, each minimized case is written as a replayable dump
+// (<out>/repro-<seed>.itdb, default ".") and printed to stderr.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: itdb_fuzz [options]
+  --cases N          number of random cases to run (default 1000)
+  --seed S           master seed; every failure reports its own sub-seed
+                     (default 1)
+  --threads N        "N" of the 1-vs-N determinism matrix (default: hardware)
+  --inner W          differential comparison window [-W, W] (default 4)
+  --outer W          finite-baseline materialization window (default 28)
+  --max-failures N   stop after N failures (default 5)
+  --no-shrink        report failures unminimized
+  --inject-bug NAME  corrupt the engine on purpose; the fuzzer must catch it
+                     (none, join-drop-constraint, union-drop-tuple,
+                      shift-off-by-one)
+  --replay FILE      re-run the oracles on a saved repro dump, then exit
+  --out DIR          directory for repro dumps (default ".")
+  --verbose          per-failure detail on stderr
+)";
+
+std::uint64_t ParseU64(const std::string& s) {
+  return std::stoull(s);
+}
+
+int Usage() {
+  std::cerr << kUsage;
+  return 2;
+}
+
+int Replay(const std::string& path, const itdb::fuzz::OracleOptions& oracle) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  itdb::Result<itdb::fuzz::CaseOutcome> outcome =
+      itdb::fuzz::ReplayRepro(buffer.str(), oracle);
+  if (!outcome.ok()) {
+    std::cerr << path << ": " << outcome.status() << "\n";
+    return 2;
+  }
+  if (outcome->skipped) {
+    std::cout << path << ": skipped (" << outcome->skip_reason << ")\n";
+    return 0;
+  }
+  if (outcome->failure) {
+    std::cerr << path << ": FAIL [" << outcome->failure->oracle;
+    if (!outcome->failure->rule.empty()) {
+      std::cerr << " / " << outcome->failure->rule;
+    }
+    std::cerr << "] " << outcome->failure->detail << "\n";
+    return 1;
+  }
+  std::cout << path << ": ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  itdb::fuzz::FuzzConfig config;
+  std::string replay_path;
+  std::string out_dir = ".";
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    try {
+      if (arg == "--cases") {
+        const char* v = next();
+        if (!v) return Usage();
+        config.cases = std::stoi(v);
+      } else if (arg == "--seed") {
+        const char* v = next();
+        if (!v) return Usage();
+        config.seed = ParseU64(v);
+      } else if (arg == "--threads") {
+        const char* v = next();
+        if (!v) return Usage();
+        config.oracle.threads = std::stoi(v);
+      } else if (arg == "--inner") {
+        const char* v = next();
+        if (!v) return Usage();
+        config.oracle.inner_window = std::stoll(v);
+      } else if (arg == "--outer") {
+        const char* v = next();
+        if (!v) return Usage();
+        config.oracle.outer_window = std::stoll(v);
+      } else if (arg == "--max-failures") {
+        const char* v = next();
+        if (!v) return Usage();
+        config.max_failures = std::stoi(v);
+      } else if (arg == "--no-shrink") {
+        config.shrink = false;
+      } else if (arg == "--inject-bug") {
+        const char* v = next();
+        if (!v) return Usage();
+        itdb::Result<itdb::fuzz::InjectedBug> bug =
+            itdb::fuzz::ParseInjectedBug(v);
+        if (!bug.ok()) {
+          std::cerr << "error: " << bug.status() << "\n";
+          return 2;
+        }
+        config.oracle.bug = *bug;
+      } else if (arg == "--replay") {
+        const char* v = next();
+        if (!v) return Usage();
+        replay_path = v;
+      } else if (arg == "--out") {
+        const char* v = next();
+        if (!v) return Usage();
+        out_dir = v;
+      } else if (arg == "--verbose") {
+        verbose = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else {
+        std::cerr << "error: unknown option " << arg << "\n";
+        return Usage();
+      }
+    } catch (const std::exception&) {
+      std::cerr << "error: bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return Replay(replay_path, config.oracle);
+
+  itdb::fuzz::FuzzReport report = itdb::fuzz::RunFuzz(config);
+  std::cout << "seed " << config.seed << ": " << report.Summary() << "\n";
+
+  for (const itdb::fuzz::FuzzFailure& fail : report.failures) {
+    std::string dump = itdb::fuzz::FormatRepro(fail.repro, fail.failure,
+                                               fail.case_seed);
+    std::string path =
+        out_dir + "/repro-" + std::to_string(fail.case_seed) + ".itdb";
+    std::ofstream file(path);
+    if (file) {
+      file << dump;
+      std::cerr << "FAIL [" << fail.failure.oracle << "] seed "
+                << fail.case_seed << " -> " << path << "\n";
+    } else {
+      std::cerr << "FAIL [" << fail.failure.oracle << "] seed "
+                << fail.case_seed << " (cannot write " << path << ")\n";
+    }
+    if (verbose) {
+      std::cerr << "  detail: " << fail.failure.detail << "\n"
+                << "  shrink: " << fail.shrink_stats.accepted
+                << " reductions in " << fail.shrink_stats.attempts
+                << " attempts\n"
+                << dump;
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
