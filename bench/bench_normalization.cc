@@ -110,4 +110,4 @@ BENCHMARK(BM_Normalize_MemoCache);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ITDB_BENCHMARK_MAIN();

@@ -15,6 +15,8 @@ namespace {
 
 using itdb::AlgebraOptions;
 using itdb::GeneralizedRelation;
+using itdb::KernelCounters;
+using itdb::bench::MakeKeyedRelation;
 using itdb::bench::MakeNormalizedRelation;
 
 AlgebraOptions BigBudget() {
@@ -23,11 +25,19 @@ AlgebraOptions BigBudget() {
   return options;
 }
 
+/// The Table-2 complexity rows measure the paper's naive O(m^2 N^2) pair
+/// scan; pin the indexed kernels off so the asymptotics stay the paper's.
+AlgebraOptions NaiveBigBudget() {
+  AlgebraOptions options = BigBudget();
+  options.use_index = false;
+  return options;
+}
+
 void BM_Intersect_VsN(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   GeneralizedRelation a = MakeNormalizedRelation(1, n, 2, 12);
   GeneralizedRelation b = MakeNormalizedRelation(2, n, 2, 12);
-  AlgebraOptions options = BigBudget();
+  AlgebraOptions options = NaiveBigBudget();
   for (auto _ : state) {
     auto r = itdb::Intersect(a, b, options);
     benchmark::DoNotOptimize(r);
@@ -43,7 +53,7 @@ void BM_Intersect_DensityEffect(benchmark::State& state) {
   const std::int64_t k = state.range(0);
   GeneralizedRelation a = MakeNormalizedRelation(1, 256, 2, k);
   GeneralizedRelation b = MakeNormalizedRelation(2, 256, 2, k);
-  AlgebraOptions options = BigBudget();
+  AlgebraOptions options = NaiveBigBudget();
   std::int64_t result_tuples = 0;
   for (auto _ : state) {
     auto r = itdb::Intersect(a, b, options);
@@ -64,7 +74,7 @@ void BM_CrossProduct_VsN(benchmark::State& state) {
       itdb::Rename(a0, {{"T1", "A1"}, {"T2", "A2"}}).value();
   GeneralizedRelation b =
       itdb::Rename(b0, {{"T1", "B1"}, {"T2", "B2"}}).value();
-  AlgebraOptions options = BigBudget();
+  AlgebraOptions options = NaiveBigBudget();
   for (auto _ : state) {
     auto r = itdb::CrossProduct(a, b, options);
     benchmark::DoNotOptimize(r);
@@ -81,7 +91,7 @@ void BM_Join_VsN(benchmark::State& state) {
   // Share one attribute: natural join on "T".
   GeneralizedRelation a = itdb::Rename(a0, {{"T1", "T"}, {"T2", "A"}}).value();
   GeneralizedRelation b = itdb::Rename(b0, {{"T1", "T"}, {"T2", "B"}}).value();
-  AlgebraOptions options = BigBudget();
+  AlgebraOptions options = NaiveBigBudget();
   for (auto _ : state) {
     auto r = itdb::Join(a, b, options);
     benchmark::DoNotOptimize(r);
@@ -115,7 +125,7 @@ void BM_Intersect_VsArity(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   GeneralizedRelation a = MakeNormalizedRelation(1, 128, m, 12);
   GeneralizedRelation b = MakeNormalizedRelation(2, 128, m, 12);
-  AlgebraOptions options = BigBudget();
+  AlgebraOptions options = NaiveBigBudget();
   for (auto _ : state) {
     auto r = itdb::Intersect(a, b, options);
     benchmark::DoNotOptimize(r);
@@ -157,6 +167,93 @@ void BM_Join_VsThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_Join_VsThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// ---- Selective-join workload: the indexed-kernel headline case. ----
+//
+// Both operands carry an integer key "K" spread over [0, 4N), so the
+// expected number of key-matching pairs is ~N/4 out of the N^2 raw product.
+// The naive kernel scans all N^2 pairs; the hash-partitioned kernel visits
+// only the matching buckets and prunes the survivors with the residue/hull
+// prefilters before any DBM closure.
+
+GeneralizedRelation SelectiveOperand(std::uint32_t seed, int n,
+                                     const char* t1, const char* t2) {
+  GeneralizedRelation r =
+      MakeKeyedRelation(seed, n, 2, 12, std::int64_t{4} * n);
+  return itdb::Rename(r, {{"T1", t1}, {"T2", t2}}).value();
+}
+
+void BM_Join_Selective_Naive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = SelectiveOperand(1, n, "T", "A");
+  GeneralizedRelation b = SelectiveOperand(2, n, "T", "B");
+  AlgebraOptions options = NaiveBigBudget();
+  for (auto _ : state) {
+    auto r = itdb::Join(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Join_Selective_Naive)
+    ->RangeMultiplier(2)
+    ->Range(256, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Join_Selective_Indexed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = SelectiveOperand(1, n, "T", "A");
+  GeneralizedRelation b = SelectiveOperand(2, n, "T", "B");
+  AlgebraOptions options = BigBudget();
+  KernelCounters counters;
+  options.counters = &counters;
+  for (auto _ : state) {
+    counters.Reset();
+    auto r = itdb::Join(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+  itdb::bench::RecordKernelCounters(state, counters);
+}
+BENCHMARK(BM_Join_Selective_Indexed)
+    ->RangeMultiplier(2)
+    ->Range(256, 2048)
+    ->Complexity();
+
+void BM_Intersect_Selective_Naive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = MakeKeyedRelation(1, n, 2, 12, std::int64_t{4} * n);
+  GeneralizedRelation b = MakeKeyedRelation(2, n, 2, 12, std::int64_t{4} * n);
+  AlgebraOptions options = NaiveBigBudget();
+  for (auto _ : state) {
+    auto r = itdb::Intersect(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Intersect_Selective_Naive)
+    ->RangeMultiplier(2)
+    ->Range(256, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Intersect_Selective_Indexed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = MakeKeyedRelation(1, n, 2, 12, std::int64_t{4} * n);
+  GeneralizedRelation b = MakeKeyedRelation(2, n, 2, 12, std::int64_t{4} * n);
+  AlgebraOptions options = BigBudget();
+  KernelCounters counters;
+  options.counters = &counters;
+  for (auto _ : state) {
+    counters.Reset();
+    auto r = itdb::Intersect(a, b, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+  itdb::bench::RecordKernelCounters(state, counters);
+}
+BENCHMARK(BM_Intersect_Selective_Indexed)
+    ->RangeMultiplier(2)
+    ->Range(256, 2048)
+    ->Complexity();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+ITDB_BENCHMARK_MAIN();

@@ -10,16 +10,56 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "core/algebra.h"
+#include "core/index.h"
 #include "core/relation.h"
 #include "util/thread_pool.h"
 
 namespace itdb {
 namespace bench {
+
+/// Shared benchmark main with one convenience on top of the stock
+/// google-benchmark flags: `--json <path>` (or `--json=<path>`) is rewritten
+/// into `--benchmark_out=<path> --benchmark_out_format=json`, so CI can ask
+/// every harness for a machine-readable report with a uniform flag.
+inline int BenchMain(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.push_back("--benchmark_out_format=json");
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.push_back(std::string("--benchmark_out=") + (arg + 7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#define ITDB_BENCHMARK_MAIN()                                  \
+  int main(int argc, char** argv) {                            \
+    return ::itdb::bench::BenchMain(argc, argv);               \
+  }                                                            \
+  static_assert(true, "require a trailing semicolon")
 
 /// Records the parallel-execution configuration of a run as benchmark
 /// counters: "threads" is the resolved worker count (after the ITDB_THREADS
@@ -84,6 +124,60 @@ inline GeneralizedRelation MakeNormalizedRelation(std::uint32_t seed,
       }
     }
     Status s = r.AddTuple(std::move(tuple));
+    (void)s;  // Arity matches by construction.
+  }
+  return r;
+}
+
+/// Reports the indexed-kernel statistics of a run as benchmark counters.
+/// `pairs_total` is the raw |a| x |b| product the naive kernels scan,
+/// `pairs_candidate` the pairs that survived the hash partition, and the
+/// `pruned_*` counters the candidates discarded by the O(1) temporal
+/// prefilters before any DBM work.
+inline void RecordKernelCounters(benchmark::State& state,
+                                 const KernelCounters& counters) {
+  auto put = [&state](const char* name,
+                      const std::atomic<std::int64_t>& value) {
+    state.counters[name] = benchmark::Counter(
+        static_cast<double>(value.load(std::memory_order_relaxed)));
+  };
+  put("pairs_total", counters.pairs_total);
+  put("pairs_candidate", counters.pairs_candidate);
+  put("pruned_residue", counters.pairs_pruned_residue);
+  put("pruned_hull", counters.pairs_pruned_hull);
+  put("closures_incremental", counters.closures_incremental);
+  put("closures_full", counters.closures_full);
+  put("tuples_subsumed", counters.tuples_subsumed);
+}
+
+/// Like MakeNormalizedRelation but with one integer data attribute "K"
+/// drawn uniformly from [0, key_range).  With key_range >> num_tuples the
+/// expected number of key-matching pairs in a self-or-sibling join is far
+/// below the raw product -- the selective workload the hash-partitioned
+/// kernels are built for.
+inline GeneralizedRelation MakeKeyedRelation(std::uint32_t seed,
+                                             int num_tuples, int arity,
+                                             std::int64_t period,
+                                             std::int64_t key_range,
+                                             int max_constraints = 2) {
+  GeneralizedRelation base =
+      MakeNormalizedRelation(seed, num_tuples, arity, period, max_constraints);
+  // Re-derive key values from an independent stream so changing the
+  // constraint generator never reshuffles keys.
+  std::mt19937 rng(seed ^ 0x9e3779b9u);
+  std::uniform_int_distribution<std::int64_t> key_pick(0, key_range - 1);
+  std::vector<std::string> temporal_names;
+  for (int i = 0; i < arity; ++i) {
+    temporal_names.push_back("T" + std::to_string(i + 1));
+  }
+  GeneralizedRelation r(Schema(std::move(temporal_names), {"K"},
+                               {DataType::kInt}));
+  for (const GeneralizedTuple& t : base.tuples()) {
+    GeneralizedTuple keyed(
+        std::vector<Lrp>(t.temporal()),
+        std::vector<Value>{Value(key_pick(rng))});
+    keyed.set_constraints(t.constraints());
+    Status s = r.AddTuple(std::move(keyed));
     (void)s;  // Arity matches by construction.
   }
   return r;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/coalesce.h"
+#include "core/index.h"
 #include "core/simplify.h"
 #include "util/numeric.h"
 #include "util/thread_pool.h"
@@ -13,6 +14,15 @@
 namespace itdb {
 
 namespace {
+
+/// Relaxed add on an optional KernelCounters field; safe from any worker
+/// thread (the fields are atomic).
+void BumpCounter(std::atomic<std::int64_t> KernelCounters::*field,
+                 const AlgebraOptions& options, std::int64_t v) {
+  if (options.counters != nullptr && v != 0) {
+    (options.counters->*field).fetch_add(v, std::memory_order_relaxed);
+  }
+}
 
 Status CheckSameSchema(const GeneralizedRelation& a,
                        const GeneralizedRelation& b, const char* op) {
@@ -53,8 +63,11 @@ Result<std::optional<GeneralizedTuple>> PruneByRelaxation(GeneralizedTuple t) {
 
 /// t1 - t2 for tuples of identical schema (Section 3.3.3 and Figure 1):
 ///   t1 - t2 = (t1 - t2*) U (not(t2) ^ t1).
+/// `c2` is t2's constraints, closed by the caller (Subtract hoists the
+/// closure out of the per-t1 loop: it is the same matrix for every t1 of a
+/// round).
 Result<std::vector<GeneralizedTuple>> SubtractTuples(
-    const GeneralizedTuple& t1, const GeneralizedTuple& t2) {
+    const GeneralizedTuple& t1, const GeneralizedTuple& t2, const Dbm& c2) {
   std::vector<GeneralizedTuple> out;
   if (t1.data() != t2.data()) {
     out.push_back(t1);
@@ -62,8 +75,6 @@ Result<std::vector<GeneralizedTuple>> SubtractTuples(
   }
   int m = t1.temporal_arity();
   // If t2's constraints are already contradictory, t2 is empty.
-  Dbm c2 = t2.constraints();
-  ITDB_RETURN_IF_ERROR(c2.Close());
   if (!c2.feasible()) {
     out.push_back(t1);
     return out;
@@ -201,6 +212,105 @@ Result<GeneralizedRelation> IntersectByIndex(const GeneralizedRelation& a,
   return MaybeSimplify(std::move(out), options);
 }
 
+/// Indexed pair scan (core/index.h): partition b on all data columns, then
+/// reject candidate pairs with the O(1) residue and hull prefilters before
+/// paying lrp intersection + conjunction, and close the conjunction
+/// incrementally from ta's cached closed matrix.  Bit-identical to the
+/// naive double loop: buckets enumerate exactly the pairs whose data values
+/// match, in the naive order; prefilter-rejected pairs are exactly those
+/// GeneralizedTuple::Intersect maps to nullopt; and the incremental
+/// conjunction reproduces the naive closure's matrix and status.
+Result<GeneralizedRelation> IntersectIndexed(const GeneralizedRelation& a,
+                                             const GeneralizedRelation& b,
+                                             const AlgebraOptions& options) {
+  const int m = a.schema().temporal_arity();
+  std::vector<int> key_cols(static_cast<std::size_t>(a.schema().data_arity()));
+  for (std::size_t i = 0; i < key_cols.size(); ++i) {
+    key_cols[i] = static_cast<int>(i);
+  }
+  DataKeyIndex index(b, key_cols);
+  std::int64_t candidates = index.CountCandidatePairs(a, key_cols);
+  BumpCounter(&KernelCounters::pairs_total, options,
+              static_cast<std::int64_t>(a.size()) * b.size());
+  BumpCounter(&KernelCounters::pairs_candidate, options, candidates);
+  ITDB_RETURN_IF_ERROR(CheckBudget(candidates, options, "Intersect"));
+  std::vector<TemporalHull> hull_b;
+  hull_b.reserve(b.tuples().size());
+  for (const GeneralizedTuple& tb : b.tuples()) {
+    hull_b.push_back(TemporalHull::Of(tb));
+  }
+  std::vector<std::pair<int, int>> hull_cols;
+  hull_cols.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) hull_cols.emplace_back(i, i);
+  ITDB_ASSIGN_OR_RETURN(
+      std::vector<GeneralizedTuple> tuples,
+      ParallelAppend<GeneralizedTuple>(
+          static_cast<std::int64_t>(a.size()),
+          ParallelOptions{options.threads, /*grain=*/1},
+          [&](std::int64_t i, std::vector<GeneralizedTuple>& row) -> Status {
+            const GeneralizedTuple& ta =
+                a.tuples()[static_cast<std::size_t>(i)];
+            const std::vector<std::size_t>* bucket =
+                index.Candidates(ta, key_cols);
+            if (bucket == nullptr) return Status::Ok();
+            TemporalHull ha = TemporalHull::Of(ta);
+            for (std::size_t j : *bucket) {
+              const GeneralizedTuple& tb = b.tuples()[j];
+              bool residue_empty = false;
+              for (int col = 0; col < m; ++col) {
+                if (LrpIntersectionEmpty(ta.lrp(col), tb.lrp(col))) {
+                  residue_empty = true;
+                  break;
+                }
+              }
+              if (residue_empty) {
+                BumpCounter(&KernelCounters::pairs_pruned_residue, options, 1);
+                continue;
+              }
+              const TemporalHull& hb = hull_b[j];
+              if (ha.infeasible || hb.infeasible ||
+                  HullsDisjoint(ha, hb, hull_cols)) {
+                BumpCounter(&KernelCounters::pairs_pruned_hull, options, 1);
+                continue;
+              }
+              if (!ha.usable() || !hb.usable()) {
+                // A tuple's own closure overflowed: take the naive pair
+                // kernel so any status it reports is reproduced exactly.
+                ITDB_ASSIGN_OR_RETURN(std::optional<GeneralizedTuple> t,
+                                      GeneralizedTuple::Intersect(ta, tb));
+                if (t.has_value()) row.push_back(std::move(*t));
+                continue;
+              }
+              std::vector<Lrp> lrps;
+              lrps.reserve(static_cast<std::size_t>(m));
+              bool empty = false;
+              for (int col = 0; col < m && !empty; ++col) {
+                ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> x,
+                                      Lrp::Intersect(ta.lrp(col), tb.lrp(col)));
+                if (!x.has_value()) {
+                  empty = true;  // Unreachable after the residue prefilter.
+                  break;
+                }
+                lrps.push_back(*x);
+              }
+              if (empty) continue;
+              ITDB_ASSIGN_OR_RETURN(
+                  Dbm merged, ConjoinOntoClosed(*ha.closed, tb.constraints(),
+                                                options.counters));
+              if (!merged.feasible()) continue;
+              GeneralizedTuple t(std::move(lrps), ta.data());
+              t.set_constraints(std::move(merged));
+              row.push_back(std::move(t));
+            }
+            return Status::Ok();
+          }));
+  GeneralizedRelation out(a.schema());
+  for (GeneralizedTuple& t : tuples) {
+    ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
+  }
+  return MaybeSimplify(std::move(out), options);
+}
+
 }  // namespace
 
 Result<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
@@ -213,6 +323,7 @@ Result<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
       return IntersectByIndex(a, b, options);
     }
   }
+  if (options.use_index) return IntersectIndexed(a, b, options);
   ITDB_RETURN_IF_ERROR(
       CheckBudget(static_cast<std::int64_t>(a.size()) * b.size(), options,
                   "Intersect"));
@@ -246,7 +357,49 @@ Result<GeneralizedRelation> Subtract(const GeneralizedRelation& a,
                                      const AlgebraOptions& options) {
   ITDB_RETURN_IF_ERROR(CheckSameSchema(a, b, "Subtract"));
   std::vector<GeneralizedTuple> current = a.tuples();
+  const int m = a.schema().temporal_arity();
+  // Round skipping: every tuple SubtractTuples emits inherits t1's data
+  // values, so the data keys of `current` never change across rounds.  A
+  // key probe of t2 against the partition of the original `a` therefore
+  // decides in O(log n) whether the whole round is the identity.
+  const bool skip_rounds = options.use_index && a.schema().data_arity() > 0;
+  std::vector<int> key_cols(static_cast<std::size_t>(a.schema().data_arity()));
+  for (std::size_t i = 0; i < key_cols.size(); ++i) {
+    key_cols[i] = static_cast<int>(i);
+  }
+  std::optional<DataKeyIndex> index;
+  if (skip_rounds) index.emplace(a, key_cols);
   for (const GeneralizedTuple& t2 : b.tuples()) {
+    if (current.empty()) break;
+    BumpCounter(&KernelCounters::pairs_total, options,
+                static_cast<std::int64_t>(current.size()));
+    // When no residue shares t2's data values the round maps every t1 to
+    // {t1}: skip it (keeping the old per-round budget check).  Decided by
+    // index probe when available, by linear scan otherwise -- either way
+    // this mirrors SubtractTuples' data-mismatch early exit, which also
+    // never looks at t2's constraints.
+    bool any_match = true;
+    if (skip_rounds && index->Candidates(t2, key_cols) == nullptr) {
+      // The partition covers the original `a`, a superset of the surviving
+      // residues: an empty bucket proves no survivor matches either.
+      any_match = false;
+    } else if (a.schema().data_arity() > 0) {
+      any_match = std::any_of(
+          current.begin(), current.end(),
+          [&t2](const GeneralizedTuple& t1) { return t1.data() == t2.data(); });
+    }
+    if (!any_match) {
+      ITDB_RETURN_IF_ERROR(
+          CheckBudget(static_cast<std::int64_t>(current.size()), options,
+                      "Subtract"));
+      continue;
+    }
+    BumpCounter(&KernelCounters::pairs_candidate, options,
+                static_cast<std::int64_t>(current.size()));
+    // The closure of t2's constraints is the same matrix for every t1:
+    // hoist it out of the per-residue loop.
+    Dbm c2 = t2.constraints();
+    ITDB_RETURN_IF_ERROR(c2.Close());
     // One round subtracts t2 from every residue independently; the round's
     // outputs merge in residue order.  The budget is checked on the merged
     // round: round sizes only grow as residues accumulate, so this trips
@@ -258,9 +411,24 @@ Result<GeneralizedRelation> Subtract(const GeneralizedRelation& a,
             ParallelOptions{options.threads, /*grain=*/1},
             [&](std::int64_t i, std::vector<std::vector<GeneralizedTuple>>&
                                     out_parts) -> Status {
-              ITDB_ASSIGN_OR_RETURN(
-                  std::vector<GeneralizedTuple> parts,
-                  SubtractTuples(current[static_cast<std::size_t>(i)], t2));
+              const GeneralizedTuple& t1 =
+                  current[static_cast<std::size_t>(i)];
+              if (options.use_index && t1.data() == t2.data() &&
+                  c2.feasible()) {
+                // Residue prefilter: a disjoint shared column means the free
+                // extensions miss each other, so t1 - t2 == t1 -- exactly
+                // SubtractTuples' first-empty-column early exit.
+                for (int col = 0; col < m; ++col) {
+                  if (LrpIntersectionEmpty(t1.lrp(col), t2.lrp(col))) {
+                    BumpCounter(&KernelCounters::pairs_pruned_residue,
+                                options, 1);
+                    out_parts.push_back({t1});
+                    return Status::Ok();
+                  }
+                }
+              }
+              ITDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> parts,
+                                    SubtractTuples(t1, t2, c2));
               out_parts.push_back(std::move(parts));
               return Status::Ok();
             }));
@@ -300,9 +468,22 @@ Result<std::vector<Dbm>> ComplementConstraintSets(
     std::vector<Dbm> next;
     for (const Dbm& s : current) {
       for (const AtomicConstraint& a : atoms) {
+        // Every system in `current` is closed and feasible, so one negated
+        // atomic can be folded in with the O(n^2) incremental closure.
         Dbm d = s;
-        d.AddAtomic(a.Negated());
-        ITDB_RETURN_IF_ERROR(d.Close());
+        if (options.use_index) {
+          Dbm::TightenResult tr = d.TightenAndClose(a.Negated());
+          if (tr == Dbm::TightenResult::kFallbackNeeded) {
+            BumpCounter(&KernelCounters::closures_full, options, 1);
+            d.AddAtomic(a.Negated());
+            ITDB_RETURN_IF_ERROR(d.Close());
+          } else {
+            BumpCounter(&KernelCounters::closures_incremental, options, 1);
+          }
+        } else {
+          d.AddAtomic(a.Negated());
+          ITDB_RETURN_IF_ERROR(d.Close());
+        }
         if (!d.feasible()) continue;
         // Reduction: drop d if subsumed by a kept system; drop kept systems
         // subsumed by d.
@@ -736,7 +917,45 @@ Result<GeneralizedRelation> SelectTemporal(const GeneralizedRelation& r,
   }
   GeneralizedRelation out(r.schema());
   for (const GeneralizedTuple& t : r.tuples()) {
+    // DBM fast path: close the tuple's constraints once, then fold each
+    // branch's atomics in with the O(n^2) incremental closure instead of
+    // paying one full Floyd-Warshall per branch.  If the base closure
+    // overflows, every branch takes the naive route (reproducing the
+    // error); if it is infeasible, so is every branch.
+    std::optional<Dbm> base;
+    if (options.use_index) {
+      Dbm c = t.constraints();
+      if (c.Close().ok()) {
+        if (!c.feasible()) continue;
+        base = std::move(c);
+      }
+    }
     for (const std::vector<AtomicConstraint>& branch : branches) {
+      if (base.has_value()) {
+        Dbm c = *base;
+        bool feasible = true;
+        bool fast = true;
+        for (const AtomicConstraint& a : branch) {
+          Dbm::TightenResult tr = c.TightenAndClose(a);
+          if (tr == Dbm::TightenResult::kInfeasible) {
+            feasible = false;
+            break;
+          }
+          if (tr == Dbm::TightenResult::kFallbackNeeded) {
+            fast = false;
+            break;
+          }
+        }
+        if (fast) {
+          BumpCounter(&KernelCounters::closures_incremental, options, 1);
+          if (!feasible) continue;
+          GeneralizedTuple selected = t;
+          selected.set_constraints(std::move(c));
+          ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(selected)));
+          continue;
+        }
+        BumpCounter(&KernelCounters::closures_full, options, 1);
+      }
       GeneralizedTuple selected = t;
       Dbm c = t.constraints();
       for (const AtomicConstraint& a : branch) c.AddAtomic(a);
@@ -926,66 +1145,178 @@ Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
     b_temporal_target[static_cast<std::size_t>(b_new_temporal[pos])] =
         ma + static_cast<int>(pos);
   }
-  ITDB_RETURN_IF_ERROR(
-      CheckBudget(static_cast<std::int64_t>(a.size()) * b.size(), options,
-                  "Join"));
-  // Tuple-pair matching is independent per pair; fan the rows of `a` out
-  // over the thread pool.  Per-row buffers keep b's order within each row
-  // and merge in row order: byte-identical to the sequential double loop.
-  ITDB_ASSIGN_OR_RETURN(
-      std::vector<GeneralizedTuple> tuples,
-      ParallelAppend<GeneralizedTuple>(
-          static_cast<std::int64_t>(a.size()),
-          ParallelOptions{options.threads, /*grain=*/1},
-          [&](std::int64_t row, std::vector<GeneralizedTuple>& part)
-              -> Status {
-            const GeneralizedTuple& ta =
-                a.tuples()[static_cast<std::size_t>(row)];
-            for (const GeneralizedTuple& tb : b.tuples()) {
-              // Shared data attributes must agree.
-              bool data_ok = true;
-              for (int j = 0; j < sb.data_arity(); ++j) {
-                int i = b_data_match[static_cast<std::size_t>(j)];
-                if (i >= 0 && ta.value(i) != tb.value(j)) {
-                  data_ok = false;
-                  break;
-                }
+  // Shared data columns drive the hash partition; shared temporal columns
+  // drive the prefilters.
+  std::vector<int> a_key_cols;
+  std::vector<int> b_key_cols;
+  for (int j = 0; j < sb.data_arity(); ++j) {
+    int i = b_data_match[static_cast<std::size_t>(j)];
+    if (i >= 0) {
+      a_key_cols.push_back(i);
+      b_key_cols.push_back(j);
+    }
+  }
+  std::vector<std::pair<int, int>> shared_temporal;  // (a column, b column)
+  for (int j = 0; j < mb; ++j) {
+    int match = b_temporal_match[static_cast<std::size_t>(j)];
+    if (match >= 0) shared_temporal.emplace_back(match, j);
+  }
+  // The per-pair lrp intersection over shared columns, writing into the
+  // output lrp vector.  Sets `temporal_ok` false on a disjoint pair.
+  auto intersect_shared = [&](const GeneralizedTuple& ta,
+                              const GeneralizedTuple& tb,
+                              std::vector<Lrp>& lrps,
+                              bool& temporal_ok) -> Status {
+    temporal_ok = true;
+    for (int j = 0; j < mb && temporal_ok; ++j) {
+      int target = b_temporal_target[static_cast<std::size_t>(j)];
+      int match = b_temporal_match[static_cast<std::size_t>(j)];
+      if (match >= 0) {
+        ITDB_ASSIGN_OR_RETURN(std::optional<Lrp> inter,
+                              Lrp::Intersect(ta.lrp(match), tb.lrp(j)));
+        if (!inter.has_value()) {
+          temporal_ok = false;
+          break;
+        }
+        lrps[static_cast<std::size_t>(target)] = *inter;
+      } else {
+        lrps[static_cast<std::size_t>(target)] = tb.lrp(j);
+      }
+    }
+    return Status::Ok();
+  };
+  std::vector<GeneralizedTuple> tuples;
+  if (options.use_index) {
+    DataKeyIndex index(b, b_key_cols);
+    std::int64_t candidates = index.CountCandidatePairs(a, a_key_cols);
+    BumpCounter(&KernelCounters::pairs_total, options,
+                static_cast<std::int64_t>(a.size()) * b.size());
+    BumpCounter(&KernelCounters::pairs_candidate, options, candidates);
+    ITDB_RETURN_IF_ERROR(CheckBudget(candidates, options, "Join"));
+    // Per-b-tuple hulls and output-space constraint matrices, hoisted out
+    // of the pair loop (both depend only on tb).
+    std::vector<TemporalHull> hull_b;
+    std::vector<Dbm> cb_mapped;
+    hull_b.reserve(b.tuples().size());
+    cb_mapped.reserve(b.tuples().size());
+    for (const GeneralizedTuple& tb : b.tuples()) {
+      hull_b.push_back(TemporalHull::Of(tb));
+      cb_mapped.push_back(
+          tb.constraints().MapVariables(b_temporal_target, m_out));
+    }
+    ITDB_ASSIGN_OR_RETURN(
+        tuples,
+        ParallelAppend<GeneralizedTuple>(
+            static_cast<std::int64_t>(a.size()),
+            ParallelOptions{options.threads, /*grain=*/1},
+            [&](std::int64_t row, std::vector<GeneralizedTuple>& part)
+                -> Status {
+              const GeneralizedTuple& ta =
+                  a.tuples()[static_cast<std::size_t>(row)];
+              const std::vector<std::size_t>* bucket =
+                  index.Candidates(ta, a_key_cols);
+              if (bucket == nullptr) return Status::Ok();
+              TemporalHull ha = TemporalHull::Of(ta);
+              std::optional<Dbm> ca_ext;
+              if (ha.usable()) {
+                ca_ext = ha.closed->AppendVariablesClosed(m_out - ma);
               }
-              if (!data_ok) continue;
-              // Shared temporal attributes: lrp intersection.
-              std::vector<Lrp> lrps = ta.temporal();
-              lrps.resize(static_cast<std::size_t>(m_out));
-              bool temporal_ok = true;
-              for (int j = 0; j < mb && temporal_ok; ++j) {
-                int target = b_temporal_target[static_cast<std::size_t>(j)];
-                int match = b_temporal_match[static_cast<std::size_t>(j)];
-                if (match >= 0) {
-                  ITDB_ASSIGN_OR_RETURN(
-                      std::optional<Lrp> inter,
-                      Lrp::Intersect(ta.lrp(match), tb.lrp(j)));
-                  if (!inter.has_value()) {
-                    temporal_ok = false;
+              for (std::size_t j : *bucket) {
+                const GeneralizedTuple& tb = b.tuples()[j];
+                bool residue_empty = false;
+                for (const auto& [ca_col, cb_col] : shared_temporal) {
+                  if (LrpIntersectionEmpty(ta.lrp(ca_col), tb.lrp(cb_col))) {
+                    residue_empty = true;
                     break;
                   }
-                  lrps[static_cast<std::size_t>(target)] = *inter;
-                } else {
-                  lrps[static_cast<std::size_t>(target)] = tb.lrp(j);
                 }
+                if (residue_empty) {
+                  BumpCounter(&KernelCounters::pairs_pruned_residue, options,
+                              1);
+                  continue;
+                }
+                const TemporalHull& hb = hull_b[j];
+                if (ha.infeasible || hb.infeasible ||
+                    HullsDisjoint(ha, hb, shared_temporal)) {
+                  BumpCounter(&KernelCounters::pairs_pruned_hull, options, 1);
+                  continue;
+                }
+                std::vector<Lrp> lrps = ta.temporal();
+                lrps.resize(static_cast<std::size_t>(m_out));
+                bool temporal_ok = true;
+                ITDB_RETURN_IF_ERROR(
+                    intersect_shared(ta, tb, lrps, temporal_ok));
+                if (!temporal_ok) continue;
+                std::vector<Value> data = ta.data();
+                for (int j2 : b_new_data) data.push_back(tb.value(j2));
+                GeneralizedTuple t(std::move(lrps), std::move(data));
+                Dbm merged(m_out);
+                if (ca_ext.has_value()) {
+                  ITDB_ASSIGN_OR_RETURN(
+                      merged, ConjoinOntoClosed(*ca_ext, cb_mapped[j],
+                                                options.counters));
+                } else {
+                  // ta's own closure overflowed: replay the naive kernel so
+                  // its status is reproduced exactly.
+                  Dbm ca = ta.constraints().AppendVariables(m_out - ma);
+                  merged = Dbm::Conjoin(ca, cb_mapped[j]);
+                  ITDB_RETURN_IF_ERROR(merged.Close());
+                }
+                if (!merged.feasible()) continue;
+                t.set_constraints(std::move(merged));
+                part.push_back(std::move(t));
               }
-              if (!temporal_ok) continue;
-              std::vector<Value> data = ta.data();
-              for (int j : b_new_data) data.push_back(tb.value(j));
-              GeneralizedTuple t(std::move(lrps), std::move(data));
-              Dbm ca = ta.constraints().AppendVariables(m_out - ma);
-              Dbm cb = tb.constraints().MapVariables(b_temporal_target, m_out);
-              Dbm merged = Dbm::Conjoin(ca, cb);
-              ITDB_RETURN_IF_ERROR(merged.Close());
-              if (!merged.feasible()) continue;
-              t.set_constraints(std::move(merged));
-              part.push_back(std::move(t));
-            }
-            return Status::Ok();
-          }));
+              return Status::Ok();
+            }));
+  } else {
+    ITDB_RETURN_IF_ERROR(
+        CheckBudget(static_cast<std::int64_t>(a.size()) * b.size(), options,
+                    "Join"));
+    // Tuple-pair matching is independent per pair; fan the rows of `a` out
+    // over the thread pool.  Per-row buffers keep b's order within each row
+    // and merge in row order: byte-identical to the sequential double loop.
+    ITDB_ASSIGN_OR_RETURN(
+        tuples,
+        ParallelAppend<GeneralizedTuple>(
+            static_cast<std::int64_t>(a.size()),
+            ParallelOptions{options.threads, /*grain=*/1},
+            [&](std::int64_t row, std::vector<GeneralizedTuple>& part)
+                -> Status {
+              const GeneralizedTuple& ta =
+                  a.tuples()[static_cast<std::size_t>(row)];
+              for (const GeneralizedTuple& tb : b.tuples()) {
+                // Shared data attributes must agree.
+                bool data_ok = true;
+                for (int j = 0; j < sb.data_arity(); ++j) {
+                  int i = b_data_match[static_cast<std::size_t>(j)];
+                  if (i >= 0 && ta.value(i) != tb.value(j)) {
+                    data_ok = false;
+                    break;
+                  }
+                }
+                if (!data_ok) continue;
+                // Shared temporal attributes: lrp intersection.
+                std::vector<Lrp> lrps = ta.temporal();
+                lrps.resize(static_cast<std::size_t>(m_out));
+                bool temporal_ok = true;
+                ITDB_RETURN_IF_ERROR(
+                    intersect_shared(ta, tb, lrps, temporal_ok));
+                if (!temporal_ok) continue;
+                std::vector<Value> data = ta.data();
+                for (int j : b_new_data) data.push_back(tb.value(j));
+                GeneralizedTuple t(std::move(lrps), std::move(data));
+                Dbm ca = ta.constraints().AppendVariables(m_out - ma);
+                Dbm cb =
+                    tb.constraints().MapVariables(b_temporal_target, m_out);
+                Dbm merged = Dbm::Conjoin(ca, cb);
+                ITDB_RETURN_IF_ERROR(merged.Close());
+                if (!merged.feasible()) continue;
+                t.set_constraints(std::move(merged));
+                part.push_back(std::move(t));
+              }
+              return Status::Ok();
+            }));
+  }
   GeneralizedRelation out(std::move(schema));
   for (GeneralizedTuple& t : tuples) {
     ITDB_RETURN_IF_ERROR(out.AddTuple(std::move(t)));

@@ -27,6 +27,8 @@
 
 namespace itdb {
 
+struct KernelCounters;  // core/index.h
+
 /// Comparison operators for selection conditions.
 enum class CmpOp {
   kEq,
@@ -85,6 +87,19 @@ struct AlgebraOptions {
   /// Not owned; null disables memoization.  Cached and uncached results
   /// are byte-identical.
   NormalizeCache* normalize_cache = nullptr;
+  /// Indexed kernels and DBM fast paths (core/index.h): hash-partition the
+  /// inner relation of Join / Intersect / Subtract on shared data-attribute
+  /// values, reject candidate pairs with O(1) residue-class and bounding-
+  /// interval prefilters, and close conjunctions incrementally in O(n^2) per
+  /// atomic instead of the full O(n^3) Floyd-Warshall.  Bit-identical to the
+  /// naive paths (the fuzz determinism matrix pins indexed == naive); also
+  /// switches CheckBudget in Join / Intersect to charge candidate pairs
+  /// rather than the raw a x b product.
+  bool use_index = true;
+  /// Optional instrumentation for the indexed kernels (pairs pruned per
+  /// prefilter, incremental vs full closures, tuples subsumed).  Not owned;
+  /// null disables counting.
+  KernelCounters* counters = nullptr;
 };
 
 /// r1 U r2.  Schemas must match.

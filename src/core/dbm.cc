@@ -153,6 +153,70 @@ Status Dbm::Close() {
   return Status::Ok();
 }
 
+Dbm::TightenResult Dbm::TightenAndClose(const AtomicConstraint& c) {
+  assert(closed_ && feasible_);
+  int p = c.lhs + 1;
+  int q = c.rhs + 1;
+  std::int64_t w = c.bound;
+  if (p == q) {
+    // Degenerate self-edge: a non-negative bound is vacuous; a negative one
+    // is a contradiction AddAtomic encodes specially -- punt to the caller.
+    return w >= 0 ? TightenResult::kClosed : TightenResult::kFallbackNeeded;
+  }
+  if (w >= bound_node(p, q)) return TightenResult::kClosed;  // Not tighter.
+  // A negative cycle in the new system must use the new edge (the base was
+  // feasible), so it exists iff the best old q -> p path plus w is negative.
+  std::int64_t qp = bound_node(q, p);
+  if (qp != kInf && static_cast<__int128>(qp) + w < 0) {
+    Tighten(p, q, w);
+    closed_ = true;  // Content is irrelevant once infeasible.
+    feasible_ = false;
+    return TightenResult::kInfeasible;
+  }
+  int n = num_vars_ + 1;
+  // Any improved shortest path decomposes as i ->* p -> q ->* j over OLD
+  // closed distances (using the edge twice cannot help absent a negative
+  // cycle).  Snapshot column p and row q so in-place stores cannot feed
+  // later reads, then detect-before-mutate so kFallbackNeeded leaves the
+  // matrix untouched: an improving value IS the final closed entry, so any
+  // such value outside the safe range is exactly what makes Close() report
+  // overflow on the full recomputation.
+  std::vector<std::int64_t> to_p(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> from_q(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    to_p[static_cast<std::size_t>(i)] = bound_node(i, p);
+    from_q[static_cast<std::size_t>(i)] = bound_node(q, i);
+  }
+  for (int i = 0; i < n; ++i) {
+    std::int64_t ip = to_p[static_cast<std::size_t>(i)];
+    if (ip == kInf) continue;
+    for (int j = 0; j < n; ++j) {
+      std::int64_t qj = from_q[static_cast<std::size_t>(j)];
+      if (qj == kInf) continue;
+      __int128 via = static_cast<__int128>(ip) + w + qj;
+      if (via < bound_node(i, j) &&
+          (via > kBoundLimit || via < -kBoundLimit)) {
+        return TightenResult::kFallbackNeeded;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::int64_t ip = to_p[static_cast<std::size_t>(i)];
+    if (ip == kInf) continue;
+    for (int j = 0; j < n; ++j) {
+      std::int64_t qj = from_q[static_cast<std::size_t>(j)];
+      if (qj == kInf) continue;
+      __int128 via = static_cast<__int128>(ip) + w + qj;
+      if (via < bound_node(i, j)) {
+        set_bound_node(i, j, static_cast<std::int64_t>(via));
+      }
+    }
+  }
+  closed_ = true;
+  feasible_ = true;
+  return TightenResult::kClosed;
+}
+
 bool Dbm::IsSatisfiedBy(const std::vector<std::int64_t>& x) const {
   assert(static_cast<int>(x.size()) == num_vars_);
   if (closed_ && !feasible_) return false;
@@ -205,6 +269,14 @@ Dbm Dbm::AppendVariables(int count) const {
   out.closed_ = false;  // New rows are kInf; closure may propagate nothing,
                         // but infeasibility flags must be recomputed.
   if (closed_ && !feasible_) out.closed_ = false;
+  return out;
+}
+
+Dbm Dbm::AppendVariablesClosed(int count) const {
+  assert(closed_ && feasible_);
+  Dbm out = AppendVariables(count);
+  out.closed_ = true;
+  out.feasible_ = true;
   return out;
 }
 

@@ -83,6 +83,29 @@ class Dbm {
   /// is true and feasible() reports integer satisfiability.
   Status Close();
 
+  /// Outcome of TightenAndClose (incremental closure).
+  enum class TightenResult {
+    /// The matrix is again the canonical closure (possibly unchanged).
+    kClosed,
+    /// The constraint closed a negative cycle: closed() && !feasible().
+    kInfeasible,
+    /// A derived bound would leave the safe range; the matrix is UNCHANGED
+    /// and the caller must fall back to AddAtomic + Close on a fresh copy.
+    kFallbackNeeded,
+  };
+
+  /// Adds one atomic constraint to an already-closed feasible system and
+  /// re-closes incrementally in O(n^2) instead of re-running the O(n^3)
+  /// Floyd-Warshall: a shortest path that uses the new edge (p, q) once
+  /// decomposes as i ->* p -> q ->* j over old shortest paths, and using it
+  /// twice cannot help unless there is a negative cycle -- which, because
+  /// the base was closed and feasible, must pass through the new edge and
+  /// is detected exactly by bound(q, p) + w < 0.
+  ///
+  /// Pre: closed() && feasible().  On kClosed the matrix is bit-identical
+  /// to what AddAtomic(c) + Close() would produce.
+  TightenResult TightenAndClose(const AtomicConstraint& c);
+
   bool closed() const { return closed_; }
   /// Pre: closed().  False iff the constraint graph has a negative cycle.
   bool feasible() const { return feasible_; }
@@ -97,6 +120,11 @@ class Dbm {
 
   /// Returns a copy with `count` additional unconstrained variables appended.
   Dbm AppendVariables(int count) const;
+
+  /// Like AppendVariables, but preserves closure: appending unconstrained
+  /// variables to a closed feasible matrix cannot create shorter paths, so
+  /// the result is closed and feasible.  Pre: closed() && feasible().
+  Dbm AppendVariablesClosed(int count) const;
 
   /// Returns a DBM over `new_size` variables where old variable i becomes
   /// new variable new_from_old[i].  Targets must be distinct and in range;

@@ -1,0 +1,149 @@
+#include "core/index.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/numeric.h"
+
+namespace itdb {
+
+void KernelCounters::Reset() {
+  pairs_total.store(0, std::memory_order_relaxed);
+  pairs_candidate.store(0, std::memory_order_relaxed);
+  pairs_pruned_residue.store(0, std::memory_order_relaxed);
+  pairs_pruned_hull.store(0, std::memory_order_relaxed);
+  closures_incremental.store(0, std::memory_order_relaxed);
+  closures_full.store(0, std::memory_order_relaxed);
+  tuples_subsumed.store(0, std::memory_order_relaxed);
+}
+
+bool LrpIntersectionEmpty(const Lrp& a, const Lrp& b) {
+  // Mirrors Lrp::Intersect's emptiness decisions exactly, in the same order
+  // and through the same primitives, so the prefilter and the naive kernel
+  // agree on every input -- including any edge cases of Contains / FloorMod.
+  if (a.period() == 0) return !b.Contains(a.offset());
+  if (b.period() == 0) return !a.Contains(b.offset());
+  std::int64_t g = Gcd(a.period(), b.period());
+  std::int64_t diff = b.offset() - a.offset();  // Canonical offsets: no
+                                                // overflow (both in [0, k)).
+  return FloorMod(diff, g) != 0;
+}
+
+DataKeyIndex::DataKeyIndex(const GeneralizedRelation& r,
+                           std::vector<int> key_cols)
+    : keyed_(!key_cols.empty()), key_cols_(std::move(key_cols)) {
+  if (!keyed_) {
+    all_.resize(static_cast<std::size_t>(r.size()));
+    for (std::size_t i = 0; i < all_.size(); ++i) all_[i] = i;
+    return;
+  }
+  std::vector<Value> key(key_cols_.size());
+  for (std::size_t i = 0; i < r.tuples().size(); ++i) {
+    const GeneralizedTuple& t = r.tuples()[i];
+    for (std::size_t c = 0; c < key_cols_.size(); ++c) {
+      key[c] = t.value(key_cols_[c]);
+    }
+    buckets_[key].push_back(i);
+  }
+}
+
+const std::vector<std::size_t>* DataKeyIndex::Candidates(
+    const GeneralizedTuple& probe, const std::vector<int>& probe_cols) const {
+  if (!keyed_) return &all_;
+  assert(probe_cols.size() == key_cols_.size());
+  std::vector<Value> key(probe_cols.size());
+  for (std::size_t c = 0; c < probe_cols.size(); ++c) {
+    key[c] = probe.value(probe_cols[c]);
+  }
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return nullptr;
+  return &it->second;
+}
+
+std::int64_t DataKeyIndex::CountCandidatePairs(
+    const GeneralizedRelation& probe_rel,
+    const std::vector<int>& probe_cols) const {
+  std::int64_t total = 0;
+  for (const GeneralizedTuple& t : probe_rel.tuples()) {
+    const std::vector<std::size_t>* bucket = Candidates(t, probe_cols);
+    if (bucket != nullptr) total += static_cast<std::int64_t>(bucket->size());
+  }
+  return total;
+}
+
+TemporalHull TemporalHull::Of(const GeneralizedTuple& t) {
+  TemporalHull out;
+  Dbm c = t.constraints();
+  if (!c.Close().ok()) {
+    out.close_failed = true;
+    return out;
+  }
+  if (!c.feasible()) {
+    out.infeasible = true;
+    return out;
+  }
+  int m = c.num_vars();
+  out.lo.resize(static_cast<std::size_t>(m));
+  out.hi.resize(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    // Row / column of the zero node: Xi <= bound(i+1, 0) and
+    // -Xi <= bound(0, i+1), i.e. Xi >= -bound(0, i+1).
+    std::int64_t upper = c.bound_node(i + 1, 0);
+    std::int64_t lower = c.bound_node(0, i + 1);
+    out.hi[static_cast<std::size_t>(i)] = upper;
+    out.lo[static_cast<std::size_t>(i)] =
+        lower == Dbm::kInf ? -Dbm::kInf : -lower;
+  }
+  out.closed = std::move(c);
+  return out;
+}
+
+bool HullsDisjoint(const TemporalHull& a, const TemporalHull& b,
+                   const std::vector<std::pair<int, int>>& cols) {
+  if (!a.usable() || !b.usable()) return false;
+  for (const auto& [ca, cb] : cols) {
+    std::int64_t lo = std::max(a.lo[static_cast<std::size_t>(ca)],
+                               b.lo[static_cast<std::size_t>(cb)]);
+    std::int64_t hi = std::min(a.hi[static_cast<std::size_t>(ca)],
+                               b.hi[static_cast<std::size_t>(cb)]);
+    if (hi != Dbm::kInf && lo > hi) return true;
+  }
+  return false;
+}
+
+Result<Dbm> ConjoinOntoClosed(const Dbm& closed_base, const Dbm& addition,
+                              KernelCounters* counters) {
+  assert(closed_base.closed() && closed_base.feasible());
+  assert(closed_base.num_vars() == addition.num_vars());
+  Dbm out = closed_base;
+  for (const AtomicConstraint& c : addition.ToAtomics()) {
+    switch (out.TightenAndClose(c)) {
+      case Dbm::TightenResult::kClosed:
+        break;
+      case Dbm::TightenResult::kInfeasible:
+        // Adding the remaining constraints cannot restore feasibility, and
+        // callers discard infeasible results without looking at the matrix.
+        if (counters != nullptr) {
+          counters->closures_incremental.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
+        return out;
+      case Dbm::TightenResult::kFallbackNeeded: {
+        // Bounds near the overflow guard: recompute exactly the way the
+        // naive kernel would, so the status (and matrix) are identical.
+        if (counters != nullptr) {
+          counters->closures_full.fetch_add(1, std::memory_order_relaxed);
+        }
+        Dbm merged = Dbm::Conjoin(closed_base, addition);
+        ITDB_RETURN_IF_ERROR(merged.Close());
+        return merged;
+      }
+    }
+  }
+  if (counters != nullptr) {
+    counters->closures_incremental.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace itdb

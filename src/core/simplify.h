@@ -16,6 +16,8 @@
 
 namespace itdb {
 
+struct KernelCounters;  // core/index.h
+
 struct SimplifyOptions {
   NormalizeOptions normalize;
 };
@@ -31,6 +33,16 @@ Result<bool> TupleSubsumes(const GeneralizedTuple& big,
 /// tuples subsumed by another remaining tuple.
 Result<GeneralizedRelation> Simplify(const GeneralizedRelation& r,
                                      const SimplifyOptions& options = {});
+
+/// The cheap variant: only the pairwise subsumption sweep plus the
+/// real-relaxation infeasibility prune -- no normalization, so a tuple with
+/// a nonempty relaxation but an empty lattice extension survives.  Intended
+/// for intermediate results inside query evaluation
+/// (QueryOptions::prune_intermediates), where soundness matters but exact
+/// emptiness is too expensive to pay per operator.  Drops are counted into
+/// `counters` (tuples_subsumed) when provided.
+Result<GeneralizedRelation> SimplifyRelation(const GeneralizedRelation& r,
+                                             KernelCounters* counters = nullptr);
 
 }  // namespace itdb
 

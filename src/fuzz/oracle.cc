@@ -90,6 +90,7 @@ struct EvalConfig {
   const char* name;
   int threads;
   bool cache;
+  bool index;
 };
 
 }  // namespace
@@ -103,9 +104,10 @@ CaseOutcome CheckCase(const Database& db, const ExprPtr& expr,
   eval.algebra = options.algebra;
   eval.algebra.threads = 1;
   eval.algebra.normalize_cache = nullptr;
+  eval.algebra.use_index = false;
   eval.bug = options.bug;
 
-  // ---- Reference evaluation: 1 thread, no memo-cache. ----
+  // ---- Reference evaluation: 1 thread, no memo-cache, naive kernels. ----
   Result<GeneralizedRelation> ref = EvalExpr(expr, db, eval);
   if (!ref.ok()) {
     if (IsBudgetError(ref.status())) {
@@ -119,17 +121,26 @@ CaseOutcome CheckCase(const Database& db, const ExprPtr& expr,
     return outcome;
   }
 
-  // ---- Determinism matrix: {1, N} threads x {off, on} memo-cache. ----
+  // ---- Determinism matrix: {1, N} threads x {off, on} memo-cache x
+  // {naive, indexed} kernels.  The indexed configs pin the tentpole
+  // bit-identity contract: hash-partitioned Join / Intersect / Subtract with
+  // prefilters and incremental closures must reproduce the naive
+  // representation exactly.  Indexed budgets charge candidate pairs, a lower
+  // bound of the naive raw product, so an indexed config can never exhaust a
+  // budget the naive reference survived. ----
   const EvalConfig configs[] = {
-      {"threads=N cache=off", options.threads, false},
-      {"threads=1 cache=on", 1, true},
-      {"threads=N cache=on", options.threads, true},
+      {"threads=N cache=off index=naive", options.threads, false, false},
+      {"threads=1 cache=off index=on", 1, false, true},
+      {"threads=N cache=off index=on", options.threads, false, true},
+      {"threads=1 cache=on index=on", 1, true, true},
+      {"threads=N cache=on index=on", options.threads, true, true},
   };
   for (const EvalConfig& cfg : configs) {
     NormalizeCache cache;
     EvalExprOptions alt = eval;
     alt.algebra.threads = cfg.threads;
     alt.algebra.normalize_cache = cfg.cache ? &cache : nullptr;
+    alt.algebra.use_index = cfg.index;
     Result<GeneralizedRelation> got = EvalExpr(expr, db, alt);
     if (!got.ok()) {
       outcome.failure = {"determinism", "",

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/simplify.h"
 #include "util/numeric.h"
 
 namespace itdb {
@@ -88,6 +89,7 @@ struct Evaluator {
   const SortMap& sorts;
   const ActiveDomain& adom;
   const AlgebraOptions& algebra;
+  bool prune_intermediates = false;
 
   Result<GeneralizedRelation> Eval(const Query& q) const;
 
@@ -104,6 +106,9 @@ struct Evaluator {
     return SortOf(var) == Sort::kDataInt ? DataType::kInt : DataType::kString;
   }
 
+  /// Opt-in cheap-subsumption sweep on an intermediate result (see
+  /// QueryOptions::prune_intermediates).
+  Result<GeneralizedRelation> MaybePrune(GeneralizedRelation rel) const;
   /// Reorders (and renames nothing) so columns are sorted by name per kind.
   Result<GeneralizedRelation> Canonical(const GeneralizedRelation& rel) const;
   /// Extends `rel` with an unconstrained column for each missing variable
@@ -115,6 +120,12 @@ struct Evaluator {
   Result<GeneralizedRelation> Universe(
       const std::vector<std::string>& vars) const;
 };
+
+Result<GeneralizedRelation> Evaluator::MaybePrune(
+    GeneralizedRelation rel) const {
+  if (!prune_intermediates) return rel;
+  return SimplifyRelation(rel, algebra.counters);
+}
 
 Result<GeneralizedRelation> Evaluator::Canonical(
     const GeneralizedRelation& rel) const {
@@ -489,13 +500,17 @@ Result<GeneralizedRelation> Evaluator::Eval(const Query& q) const {
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation l, Eval(*q.left()));
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation r, Eval(*q.right()));
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation joined, Join(l, r, algebra));
-      return Canonical(joined);
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation canon, Canonical(joined));
+      return MaybePrune(std::move(canon));
     }
-    case Query::Kind::kOr:
-      return EvalOr(q);
+    case Query::Kind::kOr: {
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation merged, EvalOr(q));
+      return MaybePrune(std::move(merged));
+    }
     case Query::Kind::kNot: {
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation inner, Eval(*q.left()));
-      return EvalNot(inner);
+      ITDB_ASSIGN_OR_RETURN(GeneralizedRelation negated, EvalNot(inner));
+      return MaybePrune(std::move(negated));
     }
     case Query::Kind::kExists: {
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation inner, Eval(*q.left()));
@@ -529,7 +544,7 @@ Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
   if (algebra.normalize_cache == nullptr) {
     algebra.normalize_cache = &query_cache;
   }
-  Evaluator evaluator{db, sorts, adom, algebra};
+  Evaluator evaluator{db, sorts, adom, algebra, options.prune_intermediates};
   return evaluator.Eval(*target);
 }
 

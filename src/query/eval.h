@@ -38,6 +38,12 @@ struct QueryOptions {
   /// Semantics-preserving; dramatically cheaper complements on deeply
   /// quantified queries.  Disable to benchmark the naive pipeline.
   bool optimize = true;
+  /// Sweep intermediate results of kAnd / kOr / kNot nodes with the cheap
+  /// subsumption pass (SimplifyRelation): drops duplicate, subsumed, and
+  /// relaxation-infeasible tuples so composed plans don't snowball tuple
+  /// counts.  Semantics-preserving (the represented set is unchanged) but
+  /// NOT representation-preserving, hence opt-in.
+  bool prune_intermediates = false;
 };
 
 /// Evaluates an open query; see the semantics above.

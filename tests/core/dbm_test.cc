@@ -1,6 +1,7 @@
 #include "core/dbm.h"
 
 #include <cstdint>
+#include <random>
 #include <tuple>
 #include <vector>
 
@@ -213,6 +214,102 @@ TEST(DbmTest, ZeroVariableSystem) {
   ASSERT_TRUE(d.Close().ok());
   EXPECT_TRUE(d.feasible());
   EXPECT_TRUE(d.IsSatisfiedBy({}));
+}
+
+// ---------------------------------------------------------------------------
+// TightenAndClose: the O(n^2) incremental closure must agree with
+// AddAtomic + Close on every outcome, and must leave the matrix untouched
+// when it punts (kFallbackNeeded).
+
+TEST(TightenAndCloseTest, AgreesWithFullClosureOnRandomSystems) {
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<std::int64_t> bound_pick(-20, 20);
+  std::uniform_int_distribution<int> var_pick(0, 2);
+  for (int trial = 0; trial < 200; ++trial) {
+    Dbm d(3);
+    for (int c = 0; c < 3; ++c) {
+      int i = var_pick(rng);
+      int j = var_pick(rng);
+      if (i != j) d.AddDifferenceUpperBound(i, j, bound_pick(rng));
+      d.AddUpperBound(var_pick(rng), bound_pick(rng));
+    }
+    if (!d.Close().ok() || !d.feasible()) continue;
+    AtomicConstraint extra{var_pick(rng), var_pick(rng), bound_pick(rng)};
+    Dbm incremental = d;
+    Dbm::TightenResult tr = incremental.TightenAndClose(extra);
+    Dbm naive = d;
+    naive.AddAtomic(extra);
+    Status s = naive.Close();
+    ASSERT_TRUE(s.ok()) << "trial " << trial;  // Bounds are tiny.
+    switch (tr) {
+      case Dbm::TightenResult::kClosed:
+        EXPECT_TRUE(naive.feasible()) << "trial " << trial;
+        EXPECT_EQ(incremental, naive) << "trial " << trial;
+        break;
+      case Dbm::TightenResult::kInfeasible:
+        EXPECT_FALSE(naive.feasible()) << "trial " << trial;
+        EXPECT_FALSE(incremental.feasible()) << "trial " << trial;
+        break;
+      case Dbm::TightenResult::kFallbackNeeded:
+        // Only degenerate i == i contradictions can punt at these magnitudes.
+        EXPECT_EQ(extra.lhs, extra.rhs) << "trial " << trial;
+        break;
+    }
+  }
+}
+
+TEST(TightenAndCloseTest, VacuousAndContradictorySelfEdges) {
+  Dbm d(2);
+  d.AddUpperBound(0, 5);
+  ASSERT_TRUE(d.Close().ok());
+  Dbm copy = d;
+  // x0 - x0 <= 3 is vacuous: no change, still closed.
+  EXPECT_EQ(copy.TightenAndClose({0, 0, 3}), Dbm::TightenResult::kClosed);
+  EXPECT_EQ(copy, d);
+  // x0 - x0 <= -1 is the AddAtomic contradiction encoding: punt untouched.
+  EXPECT_EQ(copy.TightenAndClose({0, 0, -1}),
+            Dbm::TightenResult::kFallbackNeeded);
+  EXPECT_EQ(copy, d);
+}
+
+TEST(TightenAndCloseTest, FallbackOnOverflowAdjacentBoundsLeavesMatrixAlone) {
+  // An improving path through bounds near the overflow guard: the
+  // incremental step must refuse (the naive closure's overflow check is
+  // global) and must not leave a half-updated matrix behind.
+  const std::int64_t kHuge = (std::int64_t{1} << 61) - 1;
+  Dbm d(2);
+  d.AddUpperBound(0, kHuge);
+  ASSERT_TRUE(d.Close().ok());
+  ASSERT_TRUE(d.feasible());
+  Dbm copy = d;
+  // x1 - x0 <= kHuge makes the closure derive x1 <= 2 * kHuge > kBoundLimit.
+  EXPECT_EQ(copy.TightenAndClose({1, 0, kHuge}),
+            Dbm::TightenResult::kFallbackNeeded);
+  EXPECT_EQ(copy, d);
+  Dbm naive = d;
+  naive.AddAtomic({1, 0, kHuge});
+  EXPECT_FALSE(naive.Close().ok());  // The full path overflows too.
+}
+
+TEST(TightenAndCloseTest, DetectsInfeasibilityIncrementally) {
+  Dbm d(2);
+  d.AddDifferenceUpperBound(0, 1, -5);  // x0 - x1 <= -5.
+  ASSERT_TRUE(d.Close().ok());
+  EXPECT_EQ(d.TightenAndClose({1, 0, 4}),  // x1 - x0 <= 4: cycle -1.
+            Dbm::TightenResult::kInfeasible);
+  EXPECT_FALSE(d.feasible());
+}
+
+TEST(AppendVariablesClosedTest, StaysClosedAndMatchesAppendPlusClose) {
+  Dbm d(2);
+  d.AddDifferenceUpperBound(0, 1, 3);
+  d.AddLowerBound(0, -7);
+  ASSERT_TRUE(d.Close().ok());
+  Dbm fast = d.AppendVariablesClosed(2);
+  Dbm naive = d.AppendVariables(2);
+  ASSERT_TRUE(naive.Close().ok());
+  EXPECT_TRUE(naive.feasible());
+  EXPECT_EQ(fast, naive);
 }
 
 // Property sweep: closure preserves the solution set on a grid.

@@ -1,0 +1,296 @@
+// The indexed-kernel support layer (core/index.h): the gcd residue-class
+// prefilter must agree with Lrp::Intersect emptiness decision for decision,
+// the data-key partition must enumerate exactly the naive matching pairs in
+// the naive order, hull disjointness must imply an empty tuple intersection,
+// and the indexed Join / Intersect / Subtract must be bit-identical to the
+// naive kernels while charging budgets on candidate pairs only.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random_relations.h"
+#include "core/algebra.h"
+#include "core/index.h"
+#include "core/lrp.h"
+#include "core/relation.h"
+#include "core/tuple.h"
+
+namespace itdb {
+namespace {
+
+using testing_util::MakeRandomRelation;
+using testing_util::RandomRelationConfig;
+
+// ---------------------------------------------------------------------------
+// LrpIntersectionEmpty.
+
+TEST(LrpIntersectionEmptyTest, AgreesWithIntersectOnGrid) {
+  // Offsets include negatives and overflow-adjacent magnitudes (|c| = 2^61;
+  // large enough that sloppy prefilter arithmetic would diverge, small
+  // enough that Lrp::Contains' subtraction stays in range).  k = 1 rows pin
+  // the "gcd is 1, never prune" edge.
+  const std::int64_t kBig = std::int64_t{1} << 61;
+  const std::int64_t offsets[] = {-kBig, -1000000007, -7, -3, -1, 0,
+                                  1,     2,           5,  97, kBig};
+  const std::int64_t periods[] = {0, 1, 2, 3, 4, 6, 97};
+  for (std::int64_t c1 : offsets) {
+    for (std::int64_t k1 : periods) {
+      for (std::int64_t c2 : offsets) {
+        for (std::int64_t k2 : periods) {
+          Lrp a = Lrp::Make(c1, k1);
+          Lrp b = Lrp::Make(c2, k2);
+          auto meet = Lrp::Intersect(a, b);
+          ASSERT_TRUE(meet.ok())
+              << a.ToString() << " ^ " << b.ToString() << ": "
+              << meet.status();
+          EXPECT_EQ(LrpIntersectionEmpty(a, b), !meet.value().has_value())
+              << a.ToString() << " ^ " << b.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(LrpIntersectionEmptyTest, PeriodOneNeverPrunesAgainstAnything) {
+  Lrp z = Lrp::Make(0, 1);  // All of Z.
+  for (std::int64_t c : {std::int64_t{-9}, std::int64_t{0}, std::int64_t{7}}) {
+    for (std::int64_t k : {std::int64_t{0}, std::int64_t{1}, std::int64_t{6}}) {
+      EXPECT_FALSE(LrpIntersectionEmpty(z, Lrp::Make(c, k)));
+      EXPECT_FALSE(LrpIntersectionEmpty(Lrp::Make(c, k), z));
+    }
+  }
+}
+
+TEST(LrpIntersectionEmptyTest, NegativeOffsetCanonicalization) {
+  // [-3+2n] canonicalizes to [1+2n]: disjoint from [0+2n], meets [5].
+  Lrp odd = Lrp::Make(-3, 2);
+  EXPECT_TRUE(LrpIntersectionEmpty(odd, Lrp::Make(0, 2)));
+  EXPECT_FALSE(LrpIntersectionEmpty(odd, Lrp::Singleton(5)));
+  EXPECT_TRUE(LrpIntersectionEmpty(odd, Lrp::Singleton(-4)));
+  EXPECT_FALSE(LrpIntersectionEmpty(odd, Lrp::Singleton(-7)));
+}
+
+// ---------------------------------------------------------------------------
+// DataKeyIndex.
+
+GeneralizedRelation KeyedRelation(const std::vector<std::int64_t>& keys) {
+  GeneralizedRelation r(Schema({"T1"}, {"K"}, {DataType::kInt}));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    Status s = r.AddTuple(GeneralizedTuple(
+        {Lrp::Singleton(static_cast<std::int64_t>(i))},
+        {Value(keys[i])}));
+    EXPECT_TRUE(s.ok());
+  }
+  return r;
+}
+
+GeneralizedTuple Probe(std::int64_t key) {
+  return GeneralizedTuple({Lrp::Singleton(0)}, {Value(key)});
+}
+
+TEST(DataKeyIndexTest, BucketsListIndicesAscending) {
+  GeneralizedRelation r = KeyedRelation({1, 2, 1, 3, 1});
+  DataKeyIndex index(r, {0});
+  const std::vector<std::size_t>* ones = index.Candidates(Probe(1), {0});
+  ASSERT_NE(ones, nullptr);
+  EXPECT_EQ(*ones, (std::vector<std::size_t>{0, 2, 4}));
+  const std::vector<std::size_t>* threes = index.Candidates(Probe(3), {0});
+  ASSERT_NE(threes, nullptr);
+  EXPECT_EQ(*threes, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(index.Candidates(Probe(9), {0}), nullptr);
+}
+
+TEST(DataKeyIndexTest, EmptyKeyDegeneratesToRawProduct) {
+  GeneralizedRelation r = KeyedRelation({1, 2, 3});
+  DataKeyIndex index(r, {});
+  const std::vector<std::size_t>* all = index.Candidates(Probe(99), {});
+  ASSERT_NE(all, nullptr);
+  EXPECT_EQ(*all, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(index.CountCandidatePairs(r, {}), 9);
+}
+
+TEST(DataKeyIndexTest, CountCandidatePairsMatchesBucketSizes) {
+  GeneralizedRelation r = KeyedRelation({1, 2, 1, 3, 1});
+  GeneralizedRelation probes = KeyedRelation({1, 3, 7});
+  DataKeyIndex index(r, {0});
+  // Probe 1 hits 3 tuples, probe 3 hits 1, probe 7 hits 0.
+  EXPECT_EQ(index.CountCandidatePairs(probes, {0}), 4);
+}
+
+// ---------------------------------------------------------------------------
+// TemporalHull / HullsDisjoint.
+
+TEST(TemporalHullTest, ReadsBoundsOffClosedDbm) {
+  GeneralizedTuple t({Lrp::Make(0, 2), Lrp::Make(1, 3)});
+  t.mutable_constraints().AddLowerBound(0, -4);
+  t.mutable_constraints().AddUpperBound(0, 9);
+  TemporalHull h = TemporalHull::Of(t);
+  ASSERT_TRUE(h.usable());
+  EXPECT_FALSE(h.infeasible);
+  EXPECT_EQ(h.lo[0], -4);
+  EXPECT_EQ(h.hi[0], 9);
+  EXPECT_EQ(h.lo[1], -Dbm::kInf);
+  EXPECT_EQ(h.hi[1], Dbm::kInf);
+}
+
+TEST(TemporalHullTest, InfeasibleConstraintsAreFlagged) {
+  GeneralizedTuple t({Lrp::Make(0, 2)});
+  t.mutable_constraints().AddLowerBound(0, 3);
+  t.mutable_constraints().AddUpperBound(0, 1);
+  TemporalHull h = TemporalHull::Of(t);
+  EXPECT_FALSE(h.usable());
+  EXPECT_TRUE(h.infeasible);
+  EXPECT_FALSE(h.close_failed);
+}
+
+TEST(TemporalHullTest, DisjointHullsImplyEmptyIntersection) {
+  GeneralizedTuple a({Lrp::Make(0, 1)});
+  a.mutable_constraints().AddLowerBound(0, 0);
+  a.mutable_constraints().AddUpperBound(0, 5);
+  GeneralizedTuple b({Lrp::Make(0, 1)});
+  b.mutable_constraints().AddLowerBound(0, 10);
+  b.mutable_constraints().AddUpperBound(0, 20);
+  TemporalHull ha = TemporalHull::Of(a);
+  TemporalHull hb = TemporalHull::Of(b);
+  ASSERT_TRUE(ha.usable());
+  ASSERT_TRUE(hb.usable());
+  EXPECT_TRUE(HullsDisjoint(ha, hb, {{0, 0}}));
+  auto meet = GeneralizedTuple::Intersect(a, b);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_FALSE(meet.value().has_value());
+}
+
+TEST(TemporalHullTest, UnboundedHullsNeverPrune) {
+  GeneralizedTuple a({Lrp::Make(0, 2)});
+  GeneralizedTuple b({Lrp::Make(1, 2)});
+  TemporalHull ha = TemporalHull::Of(a);
+  TemporalHull hb = TemporalHull::Of(b);
+  EXPECT_FALSE(HullsDisjoint(ha, hb, {{0, 0}}));
+}
+
+// ---------------------------------------------------------------------------
+// Indexed kernels vs naive: bit-identical on relations with data columns.
+
+void ExpectSame(const GeneralizedRelation& want,
+                const GeneralizedRelation& got, const char* what) {
+  EXPECT_EQ(want.schema(), got.schema()) << what;
+  EXPECT_EQ(want.tuples(), got.tuples()) << what;
+}
+
+TEST(IndexedKernelsTest, BitIdenticalToNaiveOnRandomKeyedRelations) {
+  RandomRelationConfig cfg;
+  cfg.temporal_arity = 2;
+  cfg.num_tuples = 12;
+  cfg.data_values = {Value(std::int64_t{0}), Value(std::int64_t{1}),
+                     Value(std::int64_t{2})};
+  AlgebraOptions naive;
+  naive.use_index = false;
+  AlgebraOptions indexed;
+  indexed.use_index = true;
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    GeneralizedRelation a = MakeRandomRelation(seed, cfg);
+    GeneralizedRelation b = MakeRandomRelation(seed + 1000, cfg);
+    auto i0 = Intersect(a, b, naive);
+    auto i1 = Intersect(a, b, indexed);
+    ASSERT_EQ(i0.ok(), i1.ok()) << "Intersect seed " << seed;
+    if (i0.ok()) ExpectSame(*i0, *i1, "Intersect");
+    auto j0 = Join(a, b, naive);
+    auto j1 = Join(a, b, indexed);
+    ASSERT_EQ(j0.ok(), j1.ok()) << "Join seed " << seed;
+    if (j0.ok()) ExpectSame(*j0, *j1, "Join");
+    auto s0 = Subtract(a, b, naive);
+    auto s1 = Subtract(a, b, indexed);
+    ASSERT_EQ(s0.ok(), s1.ok()) << "Subtract seed " << seed;
+    if (s0.ok()) ExpectSame(*s0, *s1, "Subtract");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Budgets charge candidate pairs after partitioning; counters fill in.
+
+TEST(IndexedKernelsTest, BudgetChargesCandidatePairsNotRawProduct) {
+  // 100 x 100 tuples, every key distinct within each relation and shared
+  // one-to-one across them: 10000 raw pairs but only 100 candidates.
+  std::vector<std::int64_t> keys(100);
+  for (int i = 0; i < 100; ++i) keys[static_cast<std::size_t>(i)] = i;
+  GeneralizedRelation a = KeyedRelation(keys);
+  GeneralizedRelation b = KeyedRelation(keys);
+  AlgebraOptions options;
+  options.max_tuples = 500;
+
+  options.use_index = false;
+  auto naive = Intersect(a, b, options);
+  ASSERT_FALSE(naive.ok());
+  EXPECT_EQ(naive.status().code(), StatusCode::kResourceExhausted);
+
+  options.use_index = true;
+  KernelCounters counters;
+  options.counters = &counters;
+  auto indexed = Intersect(a, b, options);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  EXPECT_EQ(indexed.value().size(), 100u);
+  EXPECT_EQ(counters.pairs_total.load(), 10000);
+  EXPECT_EQ(counters.pairs_candidate.load(), 100);
+}
+
+TEST(IndexedKernelsTest, CountersRecordPrefilterPrunes) {
+  // Same key everywhere, but disjoint residue classes: every candidate pair
+  // must be pruned by the gcd prefilter, none by the hull.
+  GeneralizedRelation a(Schema({"T1"}, {"K"}, {DataType::kInt}));
+  GeneralizedRelation b(Schema({"T1"}, {"K"}, {DataType::kInt}));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        a.AddTuple(GeneralizedTuple({Lrp::Make(0, 2)}, {Value(std::int64_t{7})}))
+            .ok());
+    ASSERT_TRUE(
+        b.AddTuple(GeneralizedTuple({Lrp::Make(1, 2)}, {Value(std::int64_t{7})}))
+            .ok());
+  }
+  AlgebraOptions options;
+  KernelCounters counters;
+  options.counters = &counters;
+  auto meet = Intersect(a, b, options);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(meet.value().size(), 0u);
+  EXPECT_EQ(counters.pairs_candidate.load(), 16);
+  EXPECT_EQ(counters.pairs_pruned_residue.load(), 16);
+  EXPECT_EQ(counters.pairs_pruned_hull.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ConjoinOntoClosed.
+
+TEST(ConjoinOntoClosedTest, MatchesNaiveConjoinPlusClose) {
+  RandomRelationConfig cfg;
+  cfg.temporal_arity = 3;
+  cfg.num_tuples = 24;
+  cfg.max_constraints = 4;
+  GeneralizedRelation r = MakeRandomRelation(77, cfg);
+  KernelCounters counters;
+  for (std::size_t i = 0; i + 1 < static_cast<std::size_t>(r.size());
+       i += 2) {
+    const GeneralizedTuple& t1 = r.tuples()[i];
+    const GeneralizedTuple& t2 = r.tuples()[i + 1];
+    Dbm base = t1.constraints();
+    ASSERT_TRUE(base.Close().ok());
+    if (!base.feasible()) continue;
+    Dbm naive = Dbm::Conjoin(base, t2.constraints());
+    Status naive_status = naive.Close();
+    auto fast = ConjoinOntoClosed(base, t2.constraints(), &counters);
+    ASSERT_EQ(naive_status.ok(), fast.ok()) << "pair " << i;
+    if (!naive_status.ok()) continue;
+    EXPECT_EQ(fast.value().feasible(), naive.feasible()) << "pair " << i;
+    if (naive.feasible()) {
+      EXPECT_EQ(fast.value(), naive) << "pair " << i;
+    }
+  }
+  EXPECT_GT(counters.closures_incremental.load() +
+                counters.closures_full.load(),
+            0);
+}
+
+}  // namespace
+}  // namespace itdb

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/algebra.h"
+#include "core/index.h"
 
 namespace itdb {
 namespace {
@@ -91,6 +92,81 @@ TEST(SimplifyTest, ViaAlgebraOptionsFlag) {
   Result<GeneralizedRelation> u = Union(a, b, options);
   ASSERT_TRUE(u.ok());
   EXPECT_EQ(u.value().size(), 1);  // 0+4n subsumed by 0+2n.
+}
+
+// ---------------------------------------------------------------------------
+// TupleSubsumes on lrp-period mismatches: Includes is exact on residue
+// classes, so coprime or shifted periods never subsume even when their
+// extensions overlap heavily.
+
+TEST(TupleSubsumesTest, PeriodMismatchesDoNotSubsume) {
+  // 0+2n vs 0+3n: neither residue class contains the other.
+  GeneralizedTuple evens({Lrp::Make(0, 2)});
+  GeneralizedTuple thirds({Lrp::Make(0, 3)});
+  EXPECT_FALSE(TupleSubsumes(evens, thirds).value());
+  EXPECT_FALSE(TupleSubsumes(thirds, evens).value());
+  // 0+2n vs 1+4n: same period family, wrong coset.
+  GeneralizedTuple odd4({Lrp::Make(1, 4)});
+  EXPECT_FALSE(TupleSubsumes(evens, odd4).value());
+  // 0+2n does include the singleton {6} but not {7}.
+  EXPECT_TRUE(TupleSubsumes(evens, GeneralizedTuple({Lrp::Singleton(6)}))
+                  .value());
+  EXPECT_FALSE(TupleSubsumes(evens, GeneralizedTuple({Lrp::Singleton(7)}))
+                   .value());
+}
+
+TEST(TupleSubsumesTest, PuncturedComplementIsSoundNotComplete) {
+  // The complement of {4} within 0+2n comes back as bound-constrained
+  // pieces (T <= 2, T >= 6).  Each piece IS a subset of the full lrp, and
+  // the subsumption test proves it (lrp equal, constraints imply "true").
+  GeneralizedTuple full({Lrp::Make(0, 2)});
+  GeneralizedTuple below({Lrp::Make(0, 2)});
+  below.mutable_constraints().AddUpperBound(0, 2);
+  GeneralizedTuple above({Lrp::Make(0, 2)});
+  above.mutable_constraints().AddLowerBound(0, 6);
+  EXPECT_TRUE(TupleSubsumes(full, below).value());
+  EXPECT_TRUE(TupleSubsumes(full, above).value());
+  // But the union of the pieces does not subsume the full lrp pairwise --
+  // the test is sound, not complete: it cannot stitch pieces together.
+  EXPECT_FALSE(TupleSubsumes(below, full).value());
+  EXPECT_FALSE(TupleSubsumes(above, full).value());
+  EXPECT_FALSE(TupleSubsumes(below, above).value());
+}
+
+// ---------------------------------------------------------------------------
+// SimplifyRelation: the cheap sweep used on query intermediates.
+
+TEST(SimplifyRelationTest, DropsInfeasibleSubsumedAndDuplicateTuples) {
+  GeneralizedRelation r(Schema::Temporal(1));
+  GeneralizedTuple infeasible({Lrp::Make(0, 2)});
+  infeasible.mutable_constraints().AddUpperBound(0, 0);
+  infeasible.mutable_constraints().AddLowerBound(0, 1);
+  ASSERT_TRUE(r.AddTuple(std::move(infeasible)).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 2)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 4)})).ok());
+  ASSERT_TRUE(r.AddTuple(GeneralizedTuple({Lrp::Make(0, 2)})).ok());
+  KernelCounters counters;
+  Result<GeneralizedRelation> s = SimplifyRelation(r, &counters);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().size(), 1);
+  EXPECT_EQ(s.value().tuples()[0].lrp(0), Lrp::Make(0, 2));
+  EXPECT_EQ(counters.tuples_subsumed.load(), 3);
+}
+
+TEST(SimplifyRelationTest, KeepsLatticeEmptyTuplesFullSimplifyDrops) {
+  // 0+8n with T1 - T2 = 3 has an empty lattice extension (8 | difference
+  // of equal-period columns) but a feasible real relaxation: the cheap
+  // sweep must keep it, the exact Simplify must drop it.
+  GeneralizedRelation r(Schema::Temporal(2));
+  GeneralizedTuple dead({Lrp::Make(0, 8), Lrp::Make(1, 8)});
+  dead.mutable_constraints().AddDifferenceEquality(0, 1, 3);
+  ASSERT_TRUE(r.AddTuple(std::move(dead)).ok());
+  Result<GeneralizedRelation> cheap = SimplifyRelation(r);
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_EQ(cheap.value().size(), 1);  // Sound, not complete.
+  Result<GeneralizedRelation> exact = Simplify(r);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value().size(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON reports against checked-in floors.
+
+Usage:
+    check_bench_floor.py --floors bench/bench_floors.json REPORT.json...
+
+Each floor entry names a benchmark (exactly as it appears in the report's
+"name" field) and its reference wall time in nanoseconds.  The check fails
+when a measured real_time exceeds factor * floor -- a wide margin, so only
+genuine regressions (an accidentally quadratic fast path, a lost prefilter)
+trip it, not machine noise.  A floor entry missing from every report also
+fails: silently dropping a benchmark must not silently drop its guard.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report_times(paths):
+    """name -> real_time in ns, across all reports (later files win)."""
+    times = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        for b in report.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+            if scale is None:
+                sys.exit(f"{path}: unknown time_unit {unit!r}")
+            name = b["name"]
+            # BigO/RMS rows repeat the name with a suffix and carry no
+            # real_time comparable to a floor.
+            if name.endswith("_BigO") or name.endswith("_RMS"):
+                continue
+            times[name] = float(b["real_time"]) * scale
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--floors", required=True)
+    parser.add_argument("reports", nargs="+")
+    args = parser.parse_args()
+
+    with open(args.floors) as f:
+        config = json.load(f)
+    factor = float(config["factor"])
+    floors = config["floors_ns"]
+
+    times = load_report_times(args.reports)
+    failures = []
+    for name, floor in sorted(floors.items()):
+        measured = times.get(name)
+        if measured is None:
+            failures.append(f"{name}: not found in any report")
+            continue
+        limit = factor * floor
+        verdict = "FAIL" if measured > limit else "ok"
+        print(f"{verdict:>4}  {name}: {measured / 1e6:.3f} ms "
+              f"(floor {floor / 1e6:.3f} ms, limit {limit / 1e6:.3f} ms)")
+        if measured > limit:
+            failures.append(
+                f"{name}: {measured / 1e6:.3f} ms exceeds "
+                f"{factor}x floor {floor / 1e6:.3f} ms")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"regression: {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(floors)} floors hold (factor {factor}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
