@@ -13,6 +13,8 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <random>
 #include <string>
 #include <vector>
@@ -20,17 +22,23 @@
 #include "core/algebra.h"
 #include "core/index.h"
 #include "core/relation.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace itdb {
 namespace bench {
 
-/// Shared benchmark main with one convenience on top of the stock
+/// Shared benchmark main with two conveniences on top of the stock
 /// google-benchmark flags: `--json <path>` (or `--json=<path>`) is rewritten
 /// into `--benchmark_out=<path> --benchmark_out_format=json`, so CI can ask
-/// every harness for a machine-readable report with a uniform flag.
+/// every harness for a machine-readable report with a uniform flag; and
+/// `--trace-json <path>` (or `=`) installs a process-global span tracer for
+/// the run and writes a chrome://tracing-compatible JSON trace on exit.
+/// Tracing records the algebra-kernel spans (obs/trace.h); results and
+/// timings below the tracer's per-span overhead are unaffected.
 inline int BenchMain(int argc, char** argv) {
   std::vector<std::string> args;
+  std::string trace_path;
   args.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
@@ -40,10 +48,16 @@ inline int BenchMain(int argc, char** argv) {
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       args.push_back(std::string("--benchmark_out=") + (arg + 7));
       args.push_back("--benchmark_out_format=json");
+    } else if (std::strcmp(arg, "--trace-json") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace-json=", 13) == 0) {
+      trace_path = arg + 13;
     } else {
       args.push_back(arg);
     }
   }
+  obs::Tracer tracer;
+  if (!trace_path.empty()) obs::InstallGlobalTracer(&tracer);
   std::vector<char*> argv2;
   argv2.reserve(args.size());
   for (std::string& a : args) argv2.push_back(a.data());
@@ -52,6 +66,15 @@ inline int BenchMain(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    obs::InstallGlobalTracer(nullptr);
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    trace_file << tracer.ToChromeTraceJson();
+  }
   return 0;
 }
 

@@ -8,12 +8,31 @@
 #include "core/coalesce.h"
 #include "core/index.h"
 #include "core/simplify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/numeric.h"
 #include "util/thread_pool.h"
 
 namespace itdb {
 
 namespace {
+
+/// Per-operation observability: bumps the central "algebra.<op>" invocation
+/// counter and, when a tracer is attached (options.tracer or the installed
+/// global one), opens a span in category "algebra" tagged with the input
+/// sizes.  The returned span closes (and records wall/CPU time) when it
+/// leaves scope.  Pure observer: never touches results.
+obs::Span OpSpan(const AlgebraOptions& options, const char* name,
+                 const GeneralizedRelation* a,
+                 const GeneralizedRelation* b = nullptr) {
+  obs::AddGlobalCounter(std::string("algebra.") + name, 1);
+  obs::Tracer* tracer = obs::ResolveTracer(options.tracer);
+  if (tracer == nullptr) return obs::Span();
+  obs::Span span = obs::Span::Begin(tracer, name, "algebra");
+  if (a != nullptr) span.AddArg("tuples_in_a", a->size());
+  if (b != nullptr) span.AddArg("tuples_in_b", b->size());
+  return span;
+}
 
 /// Relaxed add on an optional KernelCounters field; safe from any worker
 /// thread (the fields are atomic).
@@ -148,6 +167,7 @@ Result<std::vector<GeneralizedTuple>> SubtractTuples(
 Result<GeneralizedRelation> Union(const GeneralizedRelation& a,
                                   const GeneralizedRelation& b,
                                   const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "Union", &a, &b);
   ITDB_RETURN_IF_ERROR(CheckSameSchema(a, b, "Union"));
   ITDB_RETURN_IF_ERROR(
       CheckBudget(static_cast<std::int64_t>(a.size()) + b.size(), options,
@@ -316,6 +336,7 @@ Result<GeneralizedRelation> IntersectIndexed(const GeneralizedRelation& a,
 Result<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
                                       const GeneralizedRelation& b,
                                       const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "Intersect", &a, &b);
   ITDB_RETURN_IF_ERROR(CheckSameSchema(a, b, "Intersect"));
   if (options.use_intersection_index && a.schema().temporal_arity() > 0) {
     std::int64_t ka = UniformPeriod(a);
@@ -355,6 +376,7 @@ Result<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
 Result<GeneralizedRelation> Subtract(const GeneralizedRelation& a,
                                      const GeneralizedRelation& b,
                                      const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "Subtract", &a, &b);
   ITDB_RETURN_IF_ERROR(CheckSameSchema(a, b, "Subtract"));
   std::vector<GeneralizedTuple> current = a.tuples();
   const int m = a.schema().temporal_arity();
@@ -512,6 +534,7 @@ Result<std::vector<Dbm>> ComplementConstraintSets(
 
 Result<GeneralizedRelation> Complement(const GeneralizedRelation& r,
                                        const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "Complement", &r);
   if (r.schema().data_arity() != 0) {
     return Status::InvalidArgument(
         "Complement requires a purely temporal relation; use "
@@ -609,6 +632,7 @@ Result<GeneralizedRelation> ComplementWithDataDomains(
     const GeneralizedRelation& r,
     const std::vector<std::vector<Value>>& domains,
     const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "ComplementWithDataDomains", &r);
   const int l = r.schema().data_arity();
   if (static_cast<int>(domains.size()) != l) {
     return Status::InvalidArgument(
@@ -820,6 +844,7 @@ Result<std::vector<GeneralizedTuple>> ProjectTuplePartial(
 Result<GeneralizedRelation> Project(const GeneralizedRelation& r,
                                     const std::vector<std::string>& attrs,
                                     const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "Project", &r);
   // Split the request into kept temporal and kept data attributes,
   // preserving the requested relative order within each kind.
   std::vector<int> keep_temporal;
@@ -867,6 +892,7 @@ Result<GeneralizedRelation> Project(const GeneralizedRelation& r,
 Result<GeneralizedRelation> SelectTemporal(const GeneralizedRelation& r,
                                            const TemporalCondition& cond,
                                            const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "SelectTemporal", &r);
   const int m = r.schema().temporal_arity();
   auto check_col = [m](int c) {
     return c == kZeroVar || (c >= 0 && c < m);
@@ -1049,6 +1075,7 @@ Status CheckDisjointNames(const Schema& a, const Schema& b) {
 Result<GeneralizedRelation> CrossProduct(const GeneralizedRelation& a,
                                          const GeneralizedRelation& b,
                                          const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "CrossProduct", &a, &b);
   ITDB_RETURN_IF_ERROR(CheckDisjointNames(a.schema(), b.schema()));
   ITDB_RETURN_IF_ERROR(
       CheckBudget(static_cast<std::int64_t>(a.size()) * b.size(), options,
@@ -1089,6 +1116,7 @@ Result<GeneralizedRelation> CrossProduct(const GeneralizedRelation& a,
 Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
                                  const GeneralizedRelation& b,
                                  const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "Join", &a, &b);
   // Identify shared attributes by name.
   const Schema& sa = a.schema();
   const Schema& sb = b.schema();
@@ -1418,6 +1446,7 @@ Result<bool> TupleIsEmpty(const GeneralizedTuple& t,
 
 Result<bool> IsEmpty(const GeneralizedRelation& r,
                      const AlgebraOptions& options) {
+  obs::Span span = OpSpan(options, "IsEmpty", &r);
   for (const GeneralizedTuple& t : r.tuples()) {
     ITDB_ASSIGN_OR_RETURN(bool empty, TupleIsEmpty(t, options));
     if (!empty) return false;

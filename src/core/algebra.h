@@ -29,6 +29,10 @@ namespace itdb {
 
 struct KernelCounters;  // core/index.h
 
+namespace obs {
+class Tracer;  // obs/trace.h
+}  // namespace obs
+
 /// Comparison operators for selection conditions.
 enum class CmpOp {
   kEq,
@@ -100,6 +104,13 @@ struct AlgebraOptions {
   /// prefilter, incremental vs full closures, tuples subsumed).  Not owned;
   /// null disables counting.
   KernelCounters* counters = nullptr;
+  /// Optional span tracer (obs/trace.h): every algebra operation opens one
+  /// span recording wall/CPU time and input sizes.  Not owned; null falls
+  /// back to the process-global tracer (obs::InstallGlobalTracer), and when
+  /// that is also unset tracing is disabled at the cost of one null check.
+  /// Tracing is an observer only: results are bit-identical with it on or
+  /// off (pinned by the query-layer determinism test).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// r1 U r2.  Schemas must match.

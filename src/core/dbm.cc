@@ -4,9 +4,32 @@
 #include <cassert>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace itdb {
 
 namespace {
+
+// Closure-cost counters in the central registry (see DESIGN.md §5).  The
+// handles are registry-owned and stable, so each site pays one relaxed
+// atomic add after the one-time lookup.
+obs::Counter& CloseFullCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("dbm.close_full");
+  return *counter;
+}
+
+obs::Counter& TightenCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("dbm.tighten_and_close");
+  return *counter;
+}
+
+obs::Counter& TightenFallbackCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("dbm.tighten_fallback");
+  return *counter;
+}
 
 // Bounds beyond this magnitude trigger kOverflow from Close(); the margin
 // below INT64_MAX keeps saturating additions representable in __int128 and
@@ -108,6 +131,7 @@ void Dbm::AddAtomic(const AtomicConstraint& c) {
 
 Status Dbm::Close() {
   if (closed_) return Status::Ok();
+  CloseFullCounter().Increment();
   int n = num_vars_ + 1;
   for (int r = 0; r < n; ++r) {
     // Pivot skip: a path p -> r -> q needs a finite (p, r) and a finite
@@ -155,13 +179,18 @@ Status Dbm::Close() {
 
 Dbm::TightenResult Dbm::TightenAndClose(const AtomicConstraint& c) {
   assert(closed_ && feasible_);
+  TightenCounter().Increment();
   int p = c.lhs + 1;
   int q = c.rhs + 1;
   std::int64_t w = c.bound;
   if (p == q) {
     // Degenerate self-edge: a non-negative bound is vacuous; a negative one
     // is a contradiction AddAtomic encodes specially -- punt to the caller.
-    return w >= 0 ? TightenResult::kClosed : TightenResult::kFallbackNeeded;
+    if (w < 0) {
+      TightenFallbackCounter().Increment();
+      return TightenResult::kFallbackNeeded;
+    }
+    return TightenResult::kClosed;
   }
   if (w >= bound_node(p, q)) return TightenResult::kClosed;  // Not tighter.
   // A negative cycle in the new system must use the new edge (the base was
@@ -196,6 +225,7 @@ Dbm::TightenResult Dbm::TightenAndClose(const AtomicConstraint& c) {
       __int128 via = static_cast<__int128>(ip) + w + qj;
       if (via < bound_node(i, j) &&
           (via > kBoundLimit || via < -kBoundLimit)) {
+        TightenFallbackCounter().Increment();
         return TightenResult::kFallbackNeeded;
       }
     }

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/numeric.h"
 #include "util/thread_pool.h"
 
@@ -83,6 +84,14 @@ Result<std::vector<GeneralizedTuple>> NormalizeTupleToPeriod(
   // independent per combination, so the sweep fans out over the thread pool
   // with index-ordered merging (byte-identical to the sequential loop).
   const std::int64_t total = static_cast<std::int64_t>(product);
+  {
+    static obs::Counter* calls =
+        obs::MetricsRegistry::Global().GetCounter("normalize.calls");
+    static obs::Histogram* split =
+        obs::MetricsRegistry::Global().GetHistogram("normalize.split_product");
+    calls->Increment();
+    split->Record(total);
+  }
   ParallelOptions parallel{options.threads, /*grain=*/64};
   return ParallelAppend<GeneralizedTuple>(
       total, parallel,

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace itdb {
 
 namespace {
@@ -87,10 +89,12 @@ Result<std::vector<GeneralizedTuple>> NormalizeCache::NormalizeToPeriod(
     auto it = entries_.find(*key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      obs::AddGlobalCounter("normalize_cache.hits", 1);
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       return Materialize(it->second.survivors, t);
     }
     ++stats_.misses;
+    obs::AddGlobalCounter("normalize_cache.misses", 1);
   }
   ITDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> result,
                         NormalizeTupleToPeriod(t, period, options));
@@ -108,6 +112,7 @@ Result<std::vector<GeneralizedTuple>> NormalizeCache::NormalizeToPeriod(
         entries_.erase(lru_.back());
         lru_.pop_back();
         ++stats_.evictions;
+        obs::AddGlobalCounter("normalize_cache.evictions", 1);
       }
     }
   }

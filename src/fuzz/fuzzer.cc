@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace itdb {
 namespace fuzz {
 
@@ -48,8 +50,14 @@ FuzzReport RunFuzz(const FuzzConfig& config) {
     Database db = MakeRandomDatabase(db_seed, config.database);
     ExprPtr expr = MakeRandomExpr(expr_seed, db, config.expr);
 
+    // One span per case so --trace-json output groups the kernel spans a
+    // case triggers under its sub-seed.
+    obs::Span case_span = obs::Span::Begin(
+        obs::ResolveTracer(config.tracer),
+        "case " + std::to_string(case_seed), "fuzz");
     CaseOutcome outcome =
         CheckCase(db, expr, config.oracle, db_seed ^ expr_seed);
+    case_span.End();
     ++report.cases;
     if (outcome.skipped) ++report.skipped;
     if (outcome.diff_skipped) ++report.diff_skipped;

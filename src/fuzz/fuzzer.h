@@ -32,6 +32,7 @@
 #include "fuzz/generator.h"
 #include "fuzz/oracle.h"
 #include "fuzz/shrink.h"
+#include "obs/trace.h"
 
 namespace itdb {
 namespace fuzz {
@@ -46,6 +47,11 @@ struct FuzzConfig {
   ExprConfig expr;
   OracleOptions oracle;
   ShrinkOptions shrink_options;
+  /// Optional span tracer (obs/trace.h): one "fuzz"-category span per case,
+  /// named by its sub-seed, over whatever the algebra kernels record via the
+  /// global tracer.  Not owned; null falls back to the global tracer, and
+  /// when that is also unset the per-case spans are skipped.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct FuzzFailure {

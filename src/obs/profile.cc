@@ -1,0 +1,130 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace itdb {
+namespace obs {
+
+namespace {
+
+std::string MillisString(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void AppendNode(const ProfileNode& node, int depth, std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += node.label;
+  out += "  [wall=" + MillisString(node.wall_ns) +
+         " cpu=" + MillisString(node.cpu_ns);
+  for (const auto& [name, value] : node.metrics) {
+    out += " " + name + "=" + std::to_string(value);
+  }
+  out += "]\n";
+  for (const ProfileNode& child : node.children) {
+    AppendNode(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::int64_t ProfileNode::Metric(std::string_view name,
+                                 std::int64_t fallback) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string Profile::ToText() const {
+  if (empty()) return "(no profile)\n";
+  std::string out;
+  AppendNode(root, 0, out);
+  return out;
+}
+
+Profile BuildProfile(const std::vector<SpanRecord>& spans,
+                     std::string_view category) {
+  Profile profile;
+  // Parent chains may pass through spans of other categories; index every
+  // span, then resolve each category span's nearest category ancestor.
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) by_id.emplace(s.id, &s);
+
+  struct Item {
+    const SpanRecord* span;
+    std::uint64_t profile_parent;  // 0 = root of the profile.
+  };
+  std::vector<Item> items;
+  for (const SpanRecord& s : spans) {
+    if (s.category != category) continue;
+    std::uint64_t parent = s.parent;
+    while (parent != 0) {
+      auto it = by_id.find(parent);
+      if (it == by_id.end()) break;
+      if (it->second->category == category) break;
+      parent = it->second->parent;
+    }
+    if (parent != 0 && by_id.find(parent) == by_id.end()) parent = 0;
+    items.push_back({&s, parent});
+  }
+  if (items.empty()) return profile;
+
+  // Children in start order, so the printed tree follows evaluation order.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.span->start_ns < b.span->start_ns;
+                   });
+
+  std::map<std::uint64_t, ProfileNode> nodes;
+  for (const Item& item : items) {
+    ProfileNode node;
+    node.label = item.span->name;
+    node.wall_ns = item.span->wall_ns;
+    node.cpu_ns = item.span->cpu_ns;
+    node.metrics = item.span->args;
+    nodes.emplace(item.span->id, std::move(node));
+  }
+  // Attach children to parents, deepest spans last in `items` is not
+  // guaranteed, so attach bottom-up: process in reverse start order, moving
+  // each node into its parent.  Reverse start order puts every child after
+  // its parent (a child starts no earlier than its parent), so moving from
+  // the back never moves a node that still expects children.
+  std::vector<ProfileNode> roots;
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    auto node_it = nodes.find(it->span->id);
+    if (it->profile_parent == 0) continue;
+    auto parent_it = nodes.find(it->profile_parent);
+    if (parent_it == nodes.end()) continue;
+    // Children were appended in reverse; fix order below.
+    parent_it->second.children.insert(parent_it->second.children.begin(),
+                                      std::move(node_it->second));
+    nodes.erase(node_it);
+  }
+  for (const Item& item : items) {
+    auto node_it = nodes.find(item.span->id);
+    if (node_it == nodes.end()) continue;  // Moved into its parent.
+    roots.push_back(std::move(node_it->second));
+    nodes.erase(node_it);
+  }
+  if (roots.empty()) return profile;
+  if (roots.size() == 1) {
+    profile.root = std::move(roots.front());
+  } else {
+    profile.root.label = "(multiple roots)";
+    for (ProfileNode& r : roots) {
+      profile.root.wall_ns += r.wall_ns;
+      profile.root.cpu_ns += r.cpu_ns;
+    }
+    profile.root.children = std::move(roots);
+  }
+  profile.total_wall_ns = profile.root.wall_ns;
+  profile.has_root = true;
+  return profile;
+}
+
+}  // namespace obs
+}  // namespace itdb

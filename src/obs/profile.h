@@ -1,0 +1,61 @@
+// Structured evaluation profiles: the span tree of one traced run folded
+// into a printable tree of labeled nodes with wall/CPU time and integer
+// metrics.
+//
+// The query evaluator opens one span per query-plan node (category "plan");
+// BuildProfile reconstructs the plan tree from those spans -- a plan span's
+// profile parent is its nearest *plan* ancestor, so the algebra-operation
+// spans nested between plan levels do not distort the tree.  Times are
+// inclusive (a node covers its whole subtree), which is what "where does
+// evaluation time go" asks for; subtracting children gives self time.
+
+#ifndef ITDB_OBS_PROFILE_H_
+#define ITDB_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace itdb {
+namespace obs {
+
+/// One plan node of a profile.
+struct ProfileNode {
+  std::string label;
+  std::int64_t wall_ns = 0;  // Inclusive.
+  std::int64_t cpu_ns = 0;   // Inclusive, opening thread only.
+  /// Span args in insertion order: tuples_out, pairs_candidate, ...
+  std::vector<std::pair<std::string, std::int64_t>> metrics;
+  std::vector<ProfileNode> children;
+
+  /// The named metric, or `fallback` when absent.
+  std::int64_t Metric(std::string_view name, std::int64_t fallback = 0) const;
+};
+
+/// A profile tree.  `root` is meaningful only when !empty().
+struct Profile {
+  ProfileNode root;
+  std::int64_t total_wall_ns = 0;  // The root span's wall time.
+  bool has_root = false;
+
+  bool empty() const { return !has_root; }
+
+  /// Indented tree, one node per line:
+  ///   <label>  [wall=1.234ms cpu=1.001ms tuples_out=42 ...]
+  std::string ToText() const;
+};
+
+/// Folds `spans` (any order) into a Profile over the spans of `category`.
+/// With several category roots, a synthetic "(multiple roots)" node adopts
+/// them.  Returns an empty profile when no span matches.
+Profile BuildProfile(const std::vector<SpanRecord>& spans,
+                     std::string_view category);
+
+}  // namespace obs
+}  // namespace itdb
+
+#endif  // ITDB_OBS_PROFILE_H_

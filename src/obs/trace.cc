@@ -1,0 +1,532 @@
+#include "obs/trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace itdb {
+namespace obs {
+
+namespace {
+
+/// Thread CPU clock; 0 where unavailable.
+std::int64_t ThreadCpuNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+#else
+  return 0;
+#endif
+}
+
+/// The stack of active spans of the current thread, one entry per open
+/// span: which tracer it belongs to and its id.  Pushed by Span::Begin,
+/// popped by Span::End; parents are resolved against the nearest enclosing
+/// entry of the same tracer, so independent tracers nest independently.
+thread_local std::vector<std::pair<const Tracer*, std::uint64_t>>
+    t_active_spans;
+
+std::atomic<Tracer*> g_global_tracer{nullptr};
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// ns -> microseconds with 3 decimal places (chrome://tracing's unit).
+std::string MicrosString(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_spans)
+    : max_spans_(max_spans), epoch_(std::chrono::steady_clock::now()) {}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::size_t Tracer::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::Commit(SpanRecord&& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+int Tracer::ThreadNumber(std::thread::id id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      thread_numbers_.emplace(id, static_cast<int>(thread_numbers_.size()));
+  return it->second;
+}
+
+std::int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<SpanRecord> spans = records();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, s.name);
+    out += ",\"cat\":";
+    AppendJsonString(out, s.category);
+    out += ",\"ph\":\"X\",\"ts\":" + MicrosString(s.start_ns);
+    out += ",\"dur\":" + MicrosString(s.wall_ns);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(s.thread_id);
+    out += ",\"args\":{\"cpu_us\":" + MicrosString(s.cpu_ns);
+    for (const auto& [name, value] : s.args) {
+      out += ',';
+      AppendJsonString(out, name);
+      out += ':';
+      out += std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Span Span::Begin(Tracer* tracer, std::string name, std::string category) {
+  Span span;
+  if (tracer == nullptr) return span;
+  span.tracer_ = tracer;
+  span.record_.id = tracer->NextId();
+  span.record_.name = std::move(name);
+  span.record_.category = std::move(category);
+  for (auto it = t_active_spans.rbegin(); it != t_active_spans.rend(); ++it) {
+    if (it->first == tracer) {
+      span.record_.parent = it->second;
+      break;
+    }
+  }
+  t_active_spans.emplace_back(tracer, span.record_.id);
+  span.record_.thread_id =
+      tracer->ThreadNumber(std::this_thread::get_id());
+  span.record_.start_ns = tracer->NowNs();
+  span.wall_start_ = std::chrono::steady_clock::now();
+  span.cpu_start_ns_ = ThreadCpuNs();
+  return span;
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      record_(std::move(other.record_)),
+      wall_start_(other.wall_start_),
+      cpu_start_ns_(other.cpu_start_ns_) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    wall_start_ = other.wall_start_;
+    cpu_start_ns_ = other.cpu_start_ns_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::AddArg(std::string name, std::int64_t value) {
+  if (tracer_ == nullptr) return;
+  record_.args.emplace_back(std::move(name), value);
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  record_.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wall_start_)
+                        .count();
+  record_.cpu_ns = ThreadCpuNs() - cpu_start_ns_;
+  // Pop this span from the thread's active stack.  Spans are scoped, so it
+  // is the top entry for this tracer; scan from the back to stay correct
+  // even under unusual destruction orders.
+  for (auto it = t_active_spans.rbegin(); it != t_active_spans.rend(); ++it) {
+    if (it->first == tracer_ && it->second == record_.id) {
+      t_active_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  tracer_->Commit(std::move(record_));
+  tracer_ = nullptr;
+}
+
+void InstallGlobalTracer(Tracer* tracer) {
+  g_global_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer* GlobalTracer() {
+  return g_global_tracer.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace schema validation.
+//
+// A minimal JSON reader (objects, arrays, strings, numbers, true/false/
+// null; no \u surrogate handling beyond skipping) feeding structural
+// checks.  Deliberately dependency-free: the repo has no JSON library and
+// the schema is small.
+
+namespace {
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Peek(char* c) {
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    *c = text[pos];
+    return true;
+  }
+
+  bool Consume(char expected) {
+    char c = 0;
+    if (!Peek(&c)) return false;
+    if (c != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    std::string value;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') {
+        if (out != nullptr) *out = std::move(value);
+        return true;
+      }
+      if (c == '\\') {
+        if (pos >= text.size()) return Fail("unterminated escape");
+        char esc = text[pos++];
+        switch (esc) {
+          case '"':
+            value += '"';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          case '/':
+            value += '/';
+            break;
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case 'b':
+          case 'f':
+          case 'r':
+            value += ' ';
+            break;
+          case 'u':
+            if (pos + 4 > text.size()) return Fail("short \\u escape");
+            pos += 4;
+            value += '?';
+            break;
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      value += c;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text[pos]))) digits = true;
+      ++pos;
+    }
+    if (!digits) return Fail("expected number");
+    if (out != nullptr) {
+      *out = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                         nullptr);
+    }
+    return true;
+  }
+
+  bool SkipLiteral(std::string_view literal) {
+    if (text.substr(pos, literal.size()) != literal) {
+      return Fail("bad literal");
+    }
+    pos += literal.size();
+    return true;
+  }
+
+  /// Skips any JSON value.
+  bool SkipValue() {
+    char c = 0;
+    if (!Peek(&c)) return false;
+    switch (c) {
+      case '{': {
+        ++pos;
+        char n = 0;
+        if (!Peek(&n)) return false;
+        if (n == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          if (!ParseString(nullptr)) return false;
+          if (!Consume(':')) return false;
+          if (!SkipValue()) return false;
+          char sep = 0;
+          if (!Peek(&sep)) return false;
+          ++pos;
+          if (sep == '}') return true;
+          if (sep != ',') return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        char n = 0;
+        if (!Peek(&n)) return false;
+        if (n == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          if (!SkipValue()) return false;
+          char sep = 0;
+          if (!Peek(&sep)) return false;
+          ++pos;
+          if (sep == ']') return true;
+          if (sep != ',') return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        return ParseString(nullptr);
+      case 't':
+        return SkipLiteral("true");
+      case 'f':
+        return SkipLiteral("false");
+      case 'n':
+        return SkipLiteral("null");
+      default:
+        return ParseNumber(nullptr);
+    }
+  }
+};
+
+/// Validates one event object; the parser is positioned at its '{'.
+bool ValidateEvent(JsonParser& p, std::size_t index) {
+  auto fail = [&](const std::string& message) {
+    return p.Fail("traceEvents[" + std::to_string(index) + "]: " + message);
+  };
+  if (!p.Consume('{')) return false;
+  bool have_name = false;
+  bool have_cat = false;
+  bool have_ph = false;
+  bool have_ts = false;
+  bool have_dur = false;
+  bool have_pid = false;
+  bool have_tid = false;
+  char c = 0;
+  if (!p.Peek(&c)) return false;
+  if (c == '}') return fail("empty event");
+  while (true) {
+    std::string key;
+    if (!p.ParseString(&key)) return false;
+    if (!p.Consume(':')) return false;
+    if (key == "name" || key == "cat") {
+      std::string value;
+      if (!p.ParseString(&value)) return fail("\"" + key + "\" not a string");
+      (key == "name" ? have_name : have_cat) = true;
+    } else if (key == "ph") {
+      std::string value;
+      if (!p.ParseString(&value)) return fail("\"ph\" not a string");
+      if (value != "X") return fail("\"ph\" is not \"X\"");
+      have_ph = true;
+    } else if (key == "ts" || key == "dur") {
+      double value = 0;
+      if (!p.ParseNumber(&value)) return fail("\"" + key + "\" not a number");
+      if (value < 0) return fail("\"" + key + "\" is negative");
+      (key == "ts" ? have_ts : have_dur) = true;
+    } else if (key == "pid" || key == "tid") {
+      double value = 0;
+      if (!p.ParseNumber(&value)) return fail("\"" + key + "\" not a number");
+      if (value != static_cast<double>(static_cast<std::int64_t>(value))) {
+        return fail("\"" + key + "\" is not an integer");
+      }
+      (key == "pid" ? have_pid : have_tid) = true;
+    } else if (key == "args") {
+      // An object mapping strings to numbers.
+      if (!p.Consume('{')) return fail("\"args\" not an object");
+      char n = 0;
+      if (!p.Peek(&n)) return false;
+      if (n == '}') {
+        ++p.pos;
+      } else {
+        while (true) {
+          if (!p.ParseString(nullptr)) return fail("bad args key");
+          if (!p.Consume(':')) return false;
+          if (!p.ParseNumber(nullptr)) return fail("args value not a number");
+          char sep = 0;
+          if (!p.Peek(&sep)) return false;
+          ++p.pos;
+          if (sep == '}') break;
+          if (sep != ',') return fail("bad args separator");
+        }
+      }
+    } else {
+      if (!p.SkipValue()) return false;
+    }
+    char sep = 0;
+    if (!p.Peek(&sep)) return false;
+    ++p.pos;
+    if (sep == '}') break;
+    if (sep != ',') return fail("expected ',' or '}'");
+  }
+  if (!have_name) return fail("missing \"name\"");
+  if (!have_cat) return fail("missing \"cat\"");
+  if (!have_ph) return fail("missing \"ph\"");
+  if (!have_ts) return fail("missing \"ts\"");
+  if (!have_dur) return fail("missing \"dur\"");
+  if (!have_pid) return fail("missing \"pid\"");
+  if (!have_tid) return fail("missing \"tid\"");
+  return true;
+}
+
+}  // namespace
+
+Status ValidateChromeTrace(std::string_view json) {
+  JsonParser p;
+  p.text = json;
+  bool ok = [&]() {
+    if (!p.Consume('{')) return false;
+    bool saw_events = false;
+    char c = 0;
+    if (!p.Peek(&c)) return false;
+    if (c == '}') return p.Fail("missing \"traceEvents\"");
+    while (true) {
+      std::string key;
+      if (!p.ParseString(&key)) return false;
+      if (!p.Consume(':')) return false;
+      if (key == "traceEvents") {
+        saw_events = true;
+        if (!p.Consume('[')) return p.Fail("\"traceEvents\" not an array");
+        char n = 0;
+        if (!p.Peek(&n)) return false;
+        if (n == ']') {
+          ++p.pos;
+        } else {
+          std::size_t index = 0;
+          while (true) {
+            if (!ValidateEvent(p, index++)) return false;
+            char sep = 0;
+            if (!p.Peek(&sep)) return false;
+            ++p.pos;
+            if (sep == ']') break;
+            if (sep != ',') return p.Fail("bad traceEvents separator");
+          }
+        }
+      } else {
+        if (!p.SkipValue()) return false;
+      }
+      char sep = 0;
+      if (!p.Peek(&sep)) return false;
+      ++p.pos;
+      if (sep == '}') break;
+      if (sep != ',') return p.Fail("expected ',' or '}'");
+    }
+    if (!saw_events) return p.Fail("missing \"traceEvents\"");
+    p.SkipWs();
+    if (p.pos != json.size()) return p.Fail("trailing content");
+    return true;
+  }();
+  if (ok) return Status::Ok();
+  return Status::InvalidArgument("chrome trace: " + p.error);
+}
+
+}  // namespace obs
+}  // namespace itdb

@@ -1,0 +1,154 @@
+// Span-based tracing for query evaluation.
+//
+// A Span is a scoped (RAII) measurement: wall time from a steady clock,
+// per-thread CPU time, the opening thread, and a small bag of integer
+// arguments (tuple counts, pairs pruned, cache hits).  Spans nest: each
+// thread keeps a stack of its active spans per tracer, so a span opened
+// while another is active records it as its parent, giving a tree per
+// query / per fuzz case with zero coordination between threads.
+//
+// The Tracer collects finished spans under a mutex (one short append per
+// span -- spans are opened at operation granularity, never per tuple).  A
+// disabled tracer costs one null check: Span::Begin(nullptr, ...) returns
+// an inactive span and every member is a no-op.
+//
+// Exports:
+//   * ToChromeTraceJson() emits the Chrome trace-event format (a JSON
+//     object whose "traceEvents" array holds one complete "X" event per
+//     span, timestamps/durations in fractional microseconds), loadable in
+//     chrome://tracing or https://ui.perfetto.dev.
+//   * ValidateChromeTrace() checks a JSON document against exactly that
+//     schema; the unit tests and the --trace-json consumers share it.
+//
+// Tracers cap their span count (default 2^20).  Spans beyond the cap are
+// counted in dropped() but not stored, so runaway benchmark loops degrade
+// to a truncated trace instead of unbounded memory.
+
+#ifndef ITDB_OBS_TRACE_H_
+#define ITDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace itdb {
+namespace obs {
+
+/// One finished span.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = no enclosing span on this thread.
+  std::string name;
+  std::string category;
+  std::int64_t start_ns = 0;  // Relative to the tracer's epoch.
+  std::int64_t wall_ns = 0;
+  std::int64_t cpu_ns = 0;  // Thread CPU time consumed while open.
+  int thread_id = 0;        // Dense per-tracer thread number, 0-based.
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+class Span;
+
+/// Collects spans.  Thread-safe; create one per query / run, or install a
+/// process-global one (see InstallGlobalTracer) for tools.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_spans = std::size_t{1} << 20);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Finished spans, in completion order.  Copies under the lock.
+  std::vector<SpanRecord> records() const;
+
+  std::size_t size() const;
+  /// Spans discarded because max_spans was reached.
+  std::size_t dropped() const;
+  void Clear();
+
+  /// Chrome trace-event JSON (see file comment).
+  std::string ToChromeTraceJson() const;
+
+ private:
+  friend class Span;
+
+  std::uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Commit(SpanRecord&& record);
+  int ThreadNumber(std::thread::id id);
+  std::int64_t NowNs() const;
+
+  const std::size_t max_spans_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::map<std::thread::id, int> thread_numbers_;
+};
+
+/// A scoped measurement; see the file comment.  Move-only.  Ends (and
+/// commits to its tracer) on destruction or an explicit End().
+class Span {
+ public:
+  /// Opens a span on `tracer`; a null tracer yields an inactive span whose
+  /// operations all no-op.
+  static Span Begin(Tracer* tracer, std::string name, std::string category);
+
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches an integer argument, exported under "args" in the trace.
+  void AddArg(std::string name, std::int64_t value);
+
+  /// Closes the span and commits it.  Idempotent.
+  void End();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point wall_start_{};
+  std::int64_t cpu_start_ns_ = 0;
+};
+
+/// Installs (or clears, with nullptr) the process-global tracer that
+/// ResolveTracer falls back to.  Not owned.  Intended for tools (itdb_fuzz
+/// --trace-json, bench harnesses); the tracer must outlive every traced
+/// operation.
+void InstallGlobalTracer(Tracer* tracer);
+Tracer* GlobalTracer();
+
+/// `explicit_tracer` when non-null, else the installed global tracer (which
+/// may itself be null: tracing disabled).
+inline Tracer* ResolveTracer(Tracer* explicit_tracer) {
+  return explicit_tracer != nullptr ? explicit_tracer : GlobalTracer();
+}
+
+/// Validates a Chrome trace-event JSON document against the schema
+/// ToChromeTraceJson emits: a top-level object with a "traceEvents" array;
+/// every event an object with string "name" and "cat", "ph" == "X",
+/// non-negative numbers "ts" and "dur", integer "pid" and "tid", and an
+/// optional "args" object mapping strings to numbers.  Returns
+/// kInvalidArgument naming the first violation.
+Status ValidateChromeTrace(std::string_view json);
+
+}  // namespace obs
+}  // namespace itdb
+
+#endif  // ITDB_OBS_TRACE_H_

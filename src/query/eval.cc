@@ -11,7 +11,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/index.h"
 #include "core/simplify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/numeric.h"
 
 namespace itdb {
@@ -84,16 +87,81 @@ ActiveDomain ComputeActiveDomain(const Database& db, const Query& q) {
   return out;
 }
 
+/// The label of a query-plan node: what EXPLAIN prints and what the node's
+/// trace span is named.  Leaves carry their full text; inner nodes just the
+/// operator, their structure being the tree itself.
+std::string PlanNodeLabel(const Query& q) {
+  switch (q.kind()) {
+    case Query::Kind::kAtom:
+      return "ATOM " + q.ToString();
+    case Query::Kind::kCmp:
+      return "CMP " + q.ToString();
+    case Query::Kind::kAnd:
+      return "AND";
+    case Query::Kind::kOr:
+      return "OR";
+    case Query::Kind::kNot:
+      return "NOT";
+    case Query::Kind::kExists:
+      return "EXISTS " + q.quantified_var();
+    case Query::Kind::kForall:
+      return "FORALL " + q.quantified_var();
+  }
+  return "?";
+}
+
+/// Point-in-time reading of the work counters a plan span reports as
+/// deltas.  Relaxed loads: the evaluator recursion is single-threaded (the
+/// parallelism lives inside the algebra kernels, which have joined by the
+/// time a node's span closes), so before/after differences are exact.
+struct CounterSnapshot {
+  std::int64_t pairs_candidate = 0;
+  std::int64_t pairs_pruned_residue = 0;
+  std::int64_t pairs_pruned_hull = 0;
+  std::int64_t closures_incremental = 0;
+  std::int64_t closures_full = 0;
+  std::int64_t tuples_subsumed = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+};
+
+CounterSnapshot SnapshotCounters(const KernelCounters* counters,
+                                 const NormalizeCache* cache) {
+  CounterSnapshot s;
+  if (counters != nullptr) {
+    s.pairs_candidate =
+        counters->pairs_candidate.load(std::memory_order_relaxed);
+    s.pairs_pruned_residue =
+        counters->pairs_pruned_residue.load(std::memory_order_relaxed);
+    s.pairs_pruned_hull =
+        counters->pairs_pruned_hull.load(std::memory_order_relaxed);
+    s.closures_incremental =
+        counters->closures_incremental.load(std::memory_order_relaxed);
+    s.closures_full = counters->closures_full.load(std::memory_order_relaxed);
+    s.tuples_subsumed =
+        counters->tuples_subsumed.load(std::memory_order_relaxed);
+  }
+  if (cache != nullptr) {
+    NormalizeCache::Stats stats = cache->stats();
+    s.cache_hits = stats.hits;
+    s.cache_misses = stats.misses;
+  }
+  return s;
+}
+
 struct Evaluator {
   const Database& db;
   const SortMap& sorts;
   const ActiveDomain& adom;
   const AlgebraOptions& algebra;
   bool prune_intermediates = false;
+  /// Plan-span destination; null disables per-node tracing.
+  obs::Tracer* tracer = nullptr;
 
   Result<GeneralizedRelation> Eval(const Query& q) const;
 
  private:
+  Result<GeneralizedRelation> EvalNode(const Query& q) const;
   Result<GeneralizedRelation> EvalAtom(const Query& q) const;
   Result<GeneralizedRelation> EvalCmp(const Query& q) const;
   Result<GeneralizedRelation> EvalNot(const GeneralizedRelation& rel) const;
@@ -491,6 +559,36 @@ Result<GeneralizedRelation> Evaluator::ExistsVar(GeneralizedRelation rel,
 }
 
 Result<GeneralizedRelation> Evaluator::Eval(const Query& q) const {
+  if (tracer == nullptr) return EvalNode(q);
+  // One span per plan node, reporting the subtree's output size and the
+  // work-counter deltas accrued while it was open.  Pure observation: the
+  // evaluation path is identical with tracer == nullptr.
+  obs::Span span = obs::Span::Begin(tracer, PlanNodeLabel(q), "plan");
+  CounterSnapshot before =
+      SnapshotCounters(algebra.counters, algebra.normalize_cache);
+  Result<GeneralizedRelation> result = EvalNode(q);
+  CounterSnapshot after =
+      SnapshotCounters(algebra.counters, algebra.normalize_cache);
+  if (result.ok()) {
+    span.AddArg("tuples_out",
+                static_cast<std::int64_t>(result.value().size()));
+  }
+  span.AddArg("pairs_candidate", after.pairs_candidate - before.pairs_candidate);
+  span.AddArg("pairs_pruned_residue",
+              after.pairs_pruned_residue - before.pairs_pruned_residue);
+  span.AddArg("pairs_pruned_hull",
+              after.pairs_pruned_hull - before.pairs_pruned_hull);
+  span.AddArg("closures_incremental",
+              after.closures_incremental - before.closures_incremental);
+  span.AddArg("closures_full", after.closures_full - before.closures_full);
+  span.AddArg("tuples_subsumed",
+              after.tuples_subsumed - before.tuples_subsumed);
+  span.AddArg("cache_hits", after.cache_hits - before.cache_hits);
+  span.AddArg("cache_misses", after.cache_misses - before.cache_misses);
+  return result;
+}
+
+Result<GeneralizedRelation> Evaluator::EvalNode(const Query& q) const {
   switch (q.kind()) {
     case Query::Kind::kAtom:
       return EvalAtom(q);
@@ -528,10 +626,36 @@ Result<GeneralizedRelation> Evaluator::Eval(const Query& q) const {
   return Status::InvalidArgument("unreachable query kind");
 }
 
-}  // namespace
+/// Publishes the totals of a per-query KernelCounters instance into the
+/// global metrics registry, so runs that never wire counters explicitly
+/// still show up under `metrics` / --trace-json consumers.
+void FlushKernelCounters(const KernelCounters& counters) {
+  obs::AddGlobalCounter(
+      "kernel.pairs_total",
+      counters.pairs_total.load(std::memory_order_relaxed));
+  obs::AddGlobalCounter(
+      "kernel.pairs_candidate",
+      counters.pairs_candidate.load(std::memory_order_relaxed));
+  obs::AddGlobalCounter(
+      "kernel.pairs_pruned_residue",
+      counters.pairs_pruned_residue.load(std::memory_order_relaxed));
+  obs::AddGlobalCounter(
+      "kernel.pairs_pruned_hull",
+      counters.pairs_pruned_hull.load(std::memory_order_relaxed));
+  obs::AddGlobalCounter(
+      "kernel.closures_incremental",
+      counters.closures_incremental.load(std::memory_order_relaxed));
+  obs::AddGlobalCounter(
+      "kernel.closures_full",
+      counters.closures_full.load(std::memory_order_relaxed));
+  obs::AddGlobalCounter(
+      "kernel.tuples_subsumed",
+      counters.tuples_subsumed.load(std::memory_order_relaxed));
+}
 
-Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
-                                      const QueryOptions& options) {
+Result<GeneralizedRelation> EvalQueryImpl(const Database& db, const QueryPtr& q,
+                                          const QueryOptions& options,
+                                          obs::Profile* profile) {
   QueryPtr target = options.optimize ? Optimize(q) : q;
   ITDB_ASSIGN_OR_RETURN(SortMap sorts, InferSorts(db, target));
   ActiveDomain adom = ComputeActiveDomain(db, *target);
@@ -544,8 +668,63 @@ Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
   if (algebra.normalize_cache == nullptr) {
     algebra.normalize_cache = &query_cache;
   }
-  Evaluator evaluator{db, sorts, adom, algebra, options.prune_intermediates};
-  return evaluator.Eval(*target);
+  // Per-query kernel counters when the caller wired none, so plan spans and
+  // the global registry get the pairs_* / closures_* breakdown either way.
+  KernelCounters own_counters;
+  if (algebra.counters == nullptr) algebra.counters = &own_counters;
+  // Tracer resolution (see QueryOptions::trace).  Profiled runs without an
+  // explicit tracer use a private one so foreign spans in the global tracer
+  // cannot leak into the profile.
+  obs::Tracer local_tracer;
+  obs::Tracer* tracer = nullptr;
+  if (options.trace || profile != nullptr) {
+    tracer = options.tracer != nullptr ? options.tracer : algebra.tracer;
+    if (tracer == nullptr) {
+      tracer = profile != nullptr ? &local_tracer : obs::GlobalTracer();
+    }
+  }
+  if (tracer != nullptr) algebra.tracer = tracer;
+  Evaluator evaluator{db,      sorts, adom, algebra, options.prune_intermediates,
+                      tracer};
+  Result<GeneralizedRelation> result = [&]() {
+    // Root span over the whole evaluation; scoped so it is committed (and
+    // visible to BuildProfile) before the profile is folded.
+    obs::Span root =
+        obs::Span::Begin(tracer, "query " + target->ToString(), "plan");
+    Result<GeneralizedRelation> r = evaluator.Eval(*target);
+    if (r.ok()) {
+      root.AddArg("tuples_out", static_cast<std::int64_t>(r.value().size()));
+    }
+    return r;
+  }();
+  obs::AddGlobalCounter("query.evaluations", 1);
+  if (algebra.counters == &own_counters) FlushKernelCounters(own_counters);
+  if (profile != nullptr && tracer != nullptr) {
+    *profile = obs::BuildProfile(tracer->records(), "plan");
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
+                                      const QueryOptions& options) {
+  return EvalQueryImpl(db, q, options, /*profile=*/nullptr);
+}
+
+Result<ProfiledResult> EvalQueryProfiled(const Database& db, const QueryPtr& q,
+                                         const QueryOptions& options) {
+  obs::Profile profile;
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation relation,
+                        EvalQueryImpl(db, q, options, &profile));
+  return ProfiledResult{std::move(relation), std::move(profile)};
+}
+
+Result<ProfiledResult> EvalQueryStringProfiled(const Database& db,
+                                               std::string_view text,
+                                               const QueryOptions& options) {
+  ITDB_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(text));
+  return EvalQueryProfiled(db, q, options);
 }
 
 Result<bool> EvalBooleanQuery(const Database& db, const QueryPtr& q,
@@ -572,6 +751,33 @@ Result<bool> EvalBooleanQueryString(const Database& db, std::string_view text,
                                     const QueryOptions& options) {
   ITDB_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(text));
   return EvalBooleanQuery(db, q, options);
+}
+
+std::string FormatQueryPlan(const QueryPtr& q) {
+  std::string out;
+  // Preorder walk; two-space indent per level, matching Profile::ToText.
+  auto walk = [&out](auto&& self, const Query& node, int depth) -> void {
+    out.append(static_cast<std::size_t>(2 * depth), ' ');
+    out += PlanNodeLabel(node);
+    out += '\n';
+    switch (node.kind()) {
+      case Query::Kind::kAnd:
+      case Query::Kind::kOr:
+        self(self, *node.left(), depth + 1);
+        self(self, *node.right(), depth + 1);
+        break;
+      case Query::Kind::kNot:
+      case Query::Kind::kExists:
+      case Query::Kind::kForall:
+        self(self, *node.left(), depth + 1);
+        break;
+      case Query::Kind::kAtom:
+      case Query::Kind::kCmp:
+        break;
+    }
+  };
+  walk(walk, *q, 0);
+  return out;
 }
 
 }  // namespace query

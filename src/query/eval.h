@@ -21,9 +21,11 @@
 #ifndef ITDB_QUERY_EVAL_H_
 #define ITDB_QUERY_EVAL_H_
 
+#include <string>
 #include <string_view>
 
 #include "core/algebra.h"
+#include "obs/profile.h"
 #include "query/ast.h"
 #include "query/sorts.h"
 #include "storage/database.h"
@@ -44,6 +46,25 @@ struct QueryOptions {
   /// counts.  Semantics-preserving (the represented set is unchanged) but
   /// NOT representation-preserving, hence opt-in.
   bool prune_intermediates = false;
+  /// Open one span per query-plan node (category "plan", labeled AND / OR /
+  /// ATOM ... / EXISTS v) in the resolved tracer, recording wall/CPU time,
+  /// tuples_out, and the deltas of the kernel counters and normalize-cache
+  /// stats attributable to the node's subtree.  The resolved tracer is
+  /// `tracer` below, else algebra.tracer, else the process-global tracer
+  /// (obs::InstallGlobalTracer); when none is set, tracing is off.  Tracing
+  /// is an observer only: results are bit-identical with it on or off, at
+  /// every thread count.  EvalQueryProfiled implies trace.
+  bool trace = false;
+  /// Destination for the plan spans.  Not owned; null falls back as
+  /// described at `trace`.
+  obs::Tracer* tracer = nullptr;
+};
+
+/// A query result together with its evaluation profile (the plan-span tree
+/// folded per node; see obs/profile.h).
+struct ProfiledResult {
+  GeneralizedRelation relation;
+  obs::Profile profile;
 };
 
 /// Evaluates an open query; see the semantics above.
@@ -61,6 +82,24 @@ Result<GeneralizedRelation> EvalQueryString(const Database& db,
                                             const QueryOptions& options = {});
 Result<bool> EvalBooleanQueryString(const Database& db, std::string_view text,
                                     const QueryOptions& options = {});
+
+/// Evaluates `q` with per-plan-node tracing and returns the result together
+/// with its profile (the backing store of the shell's PROFILE command).
+/// With no explicit tracer in `options`, spans go to a private tracer local
+/// to this call -- the process-global tracer is deliberately NOT used, so
+/// the profile never folds in spans of unrelated work.  With an explicit
+/// options.tracer (or algebra.tracer), spans are recorded there and the
+/// profile is built from ALL of that tracer's "plan" spans.
+Result<ProfiledResult> EvalQueryProfiled(const Database& db, const QueryPtr& q,
+                                         const QueryOptions& options = {});
+Result<ProfiledResult> EvalQueryStringProfiled(
+    const Database& db, std::string_view text, const QueryOptions& options = {});
+
+/// The indented plan tree EXPLAIN prints: one line per plan node, labeled
+/// exactly like the spans EvalQueryProfiled opens (AND / OR / NOT /
+/// EXISTS v / FORALL v / ATOM P(x, y) / CMP x < y).  Apply
+/// query::Optimize first to see the plan evaluation actually runs.
+std::string FormatQueryPlan(const QueryPtr& q);
 
 }  // namespace query
 }  // namespace itdb

@@ -8,7 +8,10 @@
 #include "core/algebra.h"
 #include "core/coalesce.h"
 #include "core/simplify.h"
+#include "obs/metrics.h"
 #include "query/eval.h"
+#include "query/optimize.h"
+#include "query/parser.h"
 #include "storage/text_format.h"
 #include "tl/ltl.h"
 #include "tl/parser.h"
@@ -26,6 +29,10 @@ constexpr const char* kHelp = R"(commands:
   enumerate <name> <lo> <hi>    concrete rows with coordinates in [lo, hi]
   ask <query>                   yes/no first-order query
   query <query>                 open query; prints the result relation
+  explain <query>               print the (optimized) query-plan tree
+  profile <query>               evaluate with tracing; prints per-plan-node
+                                wall/CPU time, tuple counts, and kernel stats
+  metrics                       dump the process-global metrics registry
   check <tl-formula>            does the temporal-logic formula hold at
                                 every instant?  (e.g. G(req -> F[0,5](ack)))
   sat <tl-formula>              instants satisfying the formula
@@ -170,6 +177,32 @@ Status CmdWitness(std::ostream& out, const Database& db,
   return Status::Ok();
 }
 
+Status CmdExplain(std::ostream& out, const Database& db,
+                  const std::string& text) {
+  (void)db;
+  ITDB_ASSIGN_OR_RETURN(query::QueryPtr q, query::ParseQuery(text));
+  out << "query:     " << q->ToString() << "\n";
+  query::QueryPtr optimized = query::Optimize(q);
+  out << "optimized: " << optimized->ToString() << "\n";
+  out << "plan:\n" << query::FormatQueryPlan(optimized);
+  return Status::Ok();
+}
+
+Status CmdProfile(std::ostream& out, const Database& db,
+                  const std::string& text) {
+  ITDB_ASSIGN_OR_RETURN(query::ProfiledResult profiled,
+                        query::EvalQueryStringProfiled(db, text));
+  out << profiled.profile.ToText();
+  out << profiled.relation.size() << " generalized tuple(s)\n";
+  return Status::Ok();
+}
+
+void CmdMetrics(std::ostream& out) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::PublishThreadPoolMetrics(registry);
+  out << registry.snapshot().ToText();
+}
+
 // Reads additional lines until braces balance (for multi-line `define`).
 Status CompleteBlock(std::istream& in, std::string& text) {
   auto balance = [](const std::string& s) {
@@ -230,6 +263,12 @@ Status RunShell(std::istream& in, std::ostream& out, Database& db,
       status = CmdAsk(out, db, rest);
     } else if (cmd == "query") {
       status = CmdQuery(out, db, rest);
+    } else if (cmd == "explain" || cmd == "EXPLAIN") {
+      status = CmdExplain(out, db, rest);
+    } else if (cmd == "profile" || cmd == "PROFILE") {
+      status = CmdProfile(out, db, rest);
+    } else if (cmd == "metrics") {
+      CmdMetrics(out);
     } else if (cmd == "check") {
       status = CmdCheck(out, db, rest);
     } else if (cmd == "sat") {

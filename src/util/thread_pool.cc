@@ -72,8 +72,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    ++tasks_submitted_;
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    if (depth > queue_depth_max_) queue_depth_max_ = depth;
   }
   cv_.notify_one();
+}
+
+ThreadPool::PoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStats out;
+  out.tasks_submitted = tasks_submitted_;
+  out.queue_depth_max = queue_depth_max_;
+  out.workers = static_cast<int>(workers_.size());
+  return out;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -57,6 +57,16 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Lifetime instrumentation, readable from any thread.  The obs layer
+  /// publishes these into the central metrics registry; the pool itself
+  /// stays free of higher-layer dependencies.
+  struct PoolStats {
+    std::int64_t tasks_submitted = 0;
+    std::int64_t queue_depth_max = 0;  // High-water mark of pending tasks.
+    int workers = 0;
+  };
+  PoolStats stats() const;
+
   /// The shared pool.  Created empty; ParallelFor grows it on demand.
   static ThreadPool& Global();
 
@@ -72,6 +82,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
+  std::int64_t tasks_submitted_ = 0;   // Guarded by mu_.
+  std::int64_t queue_depth_max_ = 0;   // Guarded by mu_.
 };
 
 /// Per-call parallelism knobs.

@@ -1,0 +1,261 @@
+#include "obs/trace.h"
+
+#include <thread>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "obs/profile.h"
+
+namespace itdb {
+namespace obs {
+namespace {
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const SpanRecord& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(SpanTest, NullTracerYieldsInactiveNoOpSpan) {
+  Span span = Span::Begin(nullptr, "noop", "test");
+  EXPECT_FALSE(span.active());
+  span.AddArg("x", 1);
+  span.End();  // Must not crash.
+}
+
+TEST(SpanTest, RecordsNameCategoryArgsAndTimes) {
+  Tracer tracer;
+  {
+    Span span = Span::Begin(&tracer, "op", "test");
+    EXPECT_TRUE(span.active());
+    span.AddArg("tuples", 7);
+  }
+  std::vector<SpanRecord> spans = tracer.records();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "op");
+  EXPECT_EQ(spans[0].category, "test");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_GE(spans[0].wall_ns, 0);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "tuples");
+  EXPECT_EQ(spans[0].args[0].second, 7);
+}
+
+TEST(SpanTest, NestingRecordsParents) {
+  Tracer tracer;
+  {
+    Span outer = Span::Begin(&tracer, "outer", "test");
+    {
+      Span inner = Span::Begin(&tracer, "inner", "test");
+      Span innermost = Span::Begin(&tracer, "innermost", "test");
+    }
+  }
+  std::vector<SpanRecord> spans = tracer.records();
+  ASSERT_EQ(spans.size(), 3u);
+  const SpanRecord* outer = FindSpan(spans, "outer");
+  const SpanRecord* inner = FindSpan(spans, "inner");
+  const SpanRecord* innermost = FindSpan(spans, "innermost");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(innermost, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(innermost->parent, inner->id);
+}
+
+TEST(SpanTest, IndependentTracersNestIndependently) {
+  Tracer a;
+  Tracer b;
+  {
+    Span sa = Span::Begin(&a, "a_root", "test");
+    Span sb = Span::Begin(&b, "b_root", "test");
+    Span sa2 = Span::Begin(&a, "a_child", "test");
+  }
+  std::vector<SpanRecord> a_spans = a.records();
+  std::vector<SpanRecord> b_spans = b.records();
+  const SpanRecord* a_child = FindSpan(a_spans, "a_child");
+  const SpanRecord* a_root = FindSpan(a_spans, "a_root");
+  const SpanRecord* b_root = FindSpan(b_spans, "b_root");
+  ASSERT_NE(a_child, nullptr);
+  ASSERT_NE(a_root, nullptr);
+  ASSERT_NE(b_root, nullptr);
+  // a_child's parent is a's root, not b's (which was opened in between).
+  EXPECT_EQ(a_child->parent, a_root->id);
+  EXPECT_EQ(b_root->parent, 0u);
+}
+
+TEST(SpanTest, SpansOnDifferentThreadsGetDistinctThreadIds) {
+  Tracer tracer;
+  { Span main_span = Span::Begin(&tracer, "main", "test"); }
+  std::thread worker(
+      [&tracer] { Span s = Span::Begin(&tracer, "worker", "test"); });
+  worker.join();
+  std::vector<SpanRecord> spans = tracer.records();
+  const SpanRecord* main_span = FindSpan(spans, "main");
+  const SpanRecord* worker_span = FindSpan(spans, "worker");
+  ASSERT_NE(main_span, nullptr);
+  ASSERT_NE(worker_span, nullptr);
+  EXPECT_NE(main_span->thread_id, worker_span->thread_id);
+}
+
+TEST(SpanTest, MoveTransfersOwnership) {
+  Tracer tracer;
+  {
+    Span span = Span::Begin(&tracer, "moved", "test");
+    Span other = std::move(span);
+    EXPECT_FALSE(span.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(other.active());
+  }
+  EXPECT_EQ(tracer.size(), 1u);  // Committed exactly once.
+}
+
+TEST(TracerTest, CapsSpansAndCountsDropped) {
+  Tracer tracer(/*max_spans=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Span s = Span::Begin(&tracer, "s" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, GlobalTracerInstallAndResolve) {
+  EXPECT_EQ(GlobalTracer(), nullptr);
+  Tracer tracer;
+  InstallGlobalTracer(&tracer);
+  EXPECT_EQ(GlobalTracer(), &tracer);
+  EXPECT_EQ(ResolveTracer(nullptr), &tracer);
+  Tracer other;
+  EXPECT_EQ(ResolveTracer(&other), &other);  // Explicit wins.
+  InstallGlobalTracer(nullptr);
+  EXPECT_EQ(GlobalTracer(), nullptr);
+  EXPECT_EQ(ResolveTracer(nullptr), nullptr);
+}
+
+TEST(ChromeTraceTest, EmittedJsonValidates) {
+  Tracer tracer;
+  {
+    Span outer = Span::Begin(&tracer, "outer \"quoted\"\n", "plan");
+    Span inner = Span::Begin(&tracer, "inner", "algebra");
+    inner.AddArg("tuples_out", 42);
+    inner.AddArg("pairs_candidate", -1);
+  }
+  std::string json = tracer.ToChromeTraceJson();
+  Status s = ValidateChromeTrace(json);
+  EXPECT_TRUE(s.ok()) << s << "\n" << json;
+}
+
+TEST(ChromeTraceTest, EmptyTracerStillValidates) {
+  Tracer tracer;
+  EXPECT_TRUE(ValidateChromeTrace(tracer.ToChromeTraceJson()).ok());
+}
+
+TEST(ChromeTraceTest, RejectsMalformedDocuments) {
+  // Not an object.
+  EXPECT_FALSE(ValidateChromeTrace("[]").ok());
+  // Missing traceEvents.
+  EXPECT_FALSE(ValidateChromeTrace("{}").ok());
+  EXPECT_FALSE(ValidateChromeTrace(R"({"other":[]})").ok());
+  // traceEvents not an array.
+  EXPECT_FALSE(ValidateChromeTrace(R"({"traceEvents":{}})").ok());
+  // Event missing required fields.
+  EXPECT_FALSE(ValidateChromeTrace(R"({"traceEvents":[{}]})").ok());
+  EXPECT_FALSE(ValidateChromeTrace(
+                   R"({"traceEvents":[{"name":"x","cat":"c","ph":"X",)"
+                   R"("ts":0,"dur":1,"pid":1}]})")
+                   .ok());
+  // Wrong phase marker.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   R"({"traceEvents":[{"name":"x","cat":"c","ph":"B",)"
+                   R"("ts":0,"dur":1,"pid":1,"tid":0}]})")
+                   .ok());
+  // Non-numeric timestamp.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   R"({"traceEvents":[{"name":"x","cat":"c","ph":"X",)"
+                   R"("ts":"0","dur":1,"pid":1,"tid":0}]})")
+                   .ok());
+  // Trailing garbage.
+  EXPECT_FALSE(ValidateChromeTrace(R"({"traceEvents":[]} extra)").ok());
+  // Truncated document.
+  EXPECT_FALSE(ValidateChromeTrace(R"({"traceEvents":[)").ok());
+}
+
+TEST(ChromeTraceTest, AcceptsForeignButSchemaConformingEvents) {
+  // Extra keys and an args object are fine; order does not matter.
+  EXPECT_TRUE(ValidateChromeTrace(
+                  R"({"displayTimeUnit":"ms","traceEvents":[)"
+                  R"({"tid":3,"pid":1,"dur":2.5,"ts":0.001,"ph":"X",)"
+                  R"("cat":"c","name":"x","args":{"k":1,"neg":-2}}]})")
+                  .ok());
+}
+
+TEST(BuildProfileTest, FoldsSpansIntoATree) {
+  Tracer tracer;
+  {
+    Span root = Span::Begin(&tracer, "query", "plan");
+    root.AddArg("tuples_out", 3);
+    {
+      Span op = Span::Begin(&tracer, "Join", "algebra");  // Not a plan span.
+      Span child = Span::Begin(&tracer, "AND", "plan");
+      Span leaf = Span::Begin(&tracer, "ATOM P(t)", "plan");
+    }
+  }
+  Profile profile = BuildProfile(tracer.records(), "plan");
+  ASSERT_FALSE(profile.empty());
+  EXPECT_EQ(profile.root.label, "query");
+  EXPECT_EQ(profile.root.Metric("tuples_out"), 3);
+  EXPECT_EQ(profile.root.Metric("missing", -1), -1);
+  // The algebra span between "query" and "AND" is skipped, not a tree level.
+  ASSERT_EQ(profile.root.children.size(), 1u);
+  EXPECT_EQ(profile.root.children[0].label, "AND");
+  ASSERT_EQ(profile.root.children[0].children.size(), 1u);
+  EXPECT_EQ(profile.root.children[0].children[0].label, "ATOM P(t)");
+  EXPECT_EQ(profile.total_wall_ns, profile.root.wall_ns);
+  std::string text = profile.ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("ATOM P(t)"), std::string::npos);
+  EXPECT_NE(text.find("tuples_out=3"), std::string::npos);
+}
+
+TEST(BuildProfileTest, SiblingsKeepStartOrder) {
+  Tracer tracer;
+  {
+    Span root = Span::Begin(&tracer, "query", "plan");
+    { Span first = Span::Begin(&tracer, "first", "plan"); }
+    { Span second = Span::Begin(&tracer, "second", "plan"); }
+    { Span third = Span::Begin(&tracer, "third", "plan"); }
+  }
+  Profile profile = BuildProfile(tracer.records(), "plan");
+  ASSERT_EQ(profile.root.children.size(), 3u);
+  EXPECT_EQ(profile.root.children[0].label, "first");
+  EXPECT_EQ(profile.root.children[1].label, "second");
+  EXPECT_EQ(profile.root.children[2].label, "third");
+}
+
+TEST(BuildProfileTest, NoMatchingSpansGivesEmptyProfile) {
+  Tracer tracer;
+  { Span s = Span::Begin(&tracer, "op", "algebra"); }
+  Profile profile = BuildProfile(tracer.records(), "plan");
+  EXPECT_TRUE(profile.empty());
+}
+
+TEST(BuildProfileTest, MultipleRootsAdoptedBySyntheticNode) {
+  Tracer tracer;
+  { Span a = Span::Begin(&tracer, "a", "plan"); }
+  { Span b = Span::Begin(&tracer, "b", "plan"); }
+  Profile profile = BuildProfile(tracer.records(), "plan");
+  ASSERT_FALSE(profile.empty());
+  EXPECT_EQ(profile.root.label, "(multiple roots)");
+  ASSERT_EQ(profile.root.children.size(), 2u);
+  EXPECT_EQ(profile.root.children[0].label, "a");
+  EXPECT_EQ(profile.root.children[1].label, "b");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace itdb

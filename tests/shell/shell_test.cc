@@ -61,6 +61,87 @@ TEST(ShellTest, DropRemovesRelation) {
   EXPECT_NE(out.find("error:"), std::string::npos);
 }
 
+constexpr const char* kDefineQ = R"(
+define relation Q(T: time) {
+  [4n];
+}
+)";
+
+TEST(ShellTest, ExplainPrintsGoldenPlanTree) {
+  std::string out = RunScript(std::string(kDefineP) + kDefineQ +
+                              "explain EXISTS u . P(t) AND Q(u)\n");
+  // Golden: the miniscoped optimizer pushes EXISTS u onto the Q conjunct.
+  EXPECT_NE(out.find("query:     EXISTS u . ((P(t) AND Q(u)))"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("optimized: (P(t) AND EXISTS u . (Q(u)))"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("plan:\n"
+                     "AND\n"
+                     "  ATOM P(t)\n"
+                     "  EXISTS u\n"
+                     "    ATOM Q(u)\n"),
+            std::string::npos)
+      << out;
+}
+
+TEST(ShellTest, ExplainAcceptsUppercaseAndRejectsParseErrors) {
+  std::string out =
+      RunScript(std::string(kDefineP) + "EXPLAIN P(t)\nexplain P(\n");
+  EXPECT_NE(out.find("ATOM P(t)"), std::string::npos) << out;
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, ProfileReportsPerNodeTimings) {
+  std::string out = RunScript(std::string(kDefineP) + kDefineQ +
+                              "profile P(t) AND Q(t)\n"
+                              "PROFILE P(t) AND Q(t)\n");
+  // The root spans the whole query; plan nodes carry times and counters.
+  EXPECT_NE(out.find("query (P(t) AND Q(t))"), std::string::npos) << out;
+  EXPECT_NE(out.find("ATOM P(t)"), std::string::npos) << out;
+  EXPECT_NE(out.find("ATOM Q(t)"), std::string::npos) << out;
+  EXPECT_NE(out.find("wall="), std::string::npos) << out;
+  EXPECT_NE(out.find("cpu="), std::string::npos) << out;
+  EXPECT_NE(out.find("tuples_out="), std::string::npos) << out;
+  EXPECT_NE(out.find("pairs_candidate="), std::string::npos) << out;
+  EXPECT_NE(out.find("cache_hits="), std::string::npos) << out;
+  EXPECT_NE(out.find("generalized tuple(s)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, ProfileMatchesQueryResult) {
+  // PROFILE evaluates the same query `query` does -- same tuple count line.
+  std::string script = std::string(kDefineP) +
+                       "query P(t) AND t <= 23\n"
+                       "profile P(t) AND t <= 23\n";
+  std::string out = RunScript(script);
+  // Both commands report the same "N generalized tuple(s)" footer.
+  std::size_t first = out.find("generalized tuple(s)");
+  ASSERT_NE(first, std::string::npos) << out;
+  std::size_t second = out.find("generalized tuple(s)", first + 1);
+  ASSERT_NE(second, std::string::npos) << out;
+  auto count_before = [&out](std::size_t pos) {
+    std::size_t line = out.rfind('\n', pos);
+    return out.substr(line + 1, pos - line - 1);
+  };
+  EXPECT_EQ(count_before(first), count_before(second)) << out;
+}
+
+TEST(ShellTest, MetricsDumpsRegistry) {
+  std::string out =
+      RunScript(std::string(kDefineP) + "query P(t)\nmetrics\n");
+  EXPECT_NE(out.find("query.evaluations"), std::string::npos) << out;
+  EXPECT_NE(out.find("thread_pool.workers"), std::string::npos) << out;
+}
+
+TEST(ShellTest, HelpListsObservabilityCommands) {
+  std::string out = RunScript("help\n");
+  EXPECT_NE(out.find("explain"), std::string::npos);
+  EXPECT_NE(out.find("profile"), std::string::npos);
+  EXPECT_NE(out.find("metrics"), std::string::npos);
+}
+
 TEST(ShellTest, UnknownCommandReportsError) {
   std::string out = RunScript("frobnicate\n");
   EXPECT_NE(out.find("unknown command"), std::string::npos);

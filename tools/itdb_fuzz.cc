@@ -15,6 +15,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -32,6 +33,8 @@ constexpr const char* kUsage = R"(usage: itdb_fuzz [options]
                       shift-off-by-one)
   --replay FILE      re-run the oracles on a saved repro dump, then exit
   --out DIR          directory for repro dumps (default ".")
+  --trace-json FILE  record spans (one per case + algebra kernels) and write
+                     a chrome://tracing-compatible JSON trace to FILE
   --verbose          per-failure detail on stderr
 )";
 
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
   itdb::fuzz::FuzzConfig config;
   std::string replay_path;
   std::string out_dir = ".";
+  std::string trace_path;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -132,6 +136,10 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (!v) return Usage();
         out_dir = v;
+      } else if (arg == "--trace-json") {
+        const char* v = next();
+        if (!v) return Usage();
+        trace_path = v;
       } else if (arg == "--verbose") {
         verbose = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -147,10 +155,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Installed globally (not just wired into config.tracer) so the algebra
+  // kernels a case exercises record spans too, nested under the case span.
+  itdb::obs::Tracer tracer;
+  if (!trace_path.empty()) {
+    itdb::obs::InstallGlobalTracer(&tracer);
+    config.tracer = &tracer;
+  }
+
   if (!replay_path.empty()) return Replay(replay_path, config.oracle);
 
   itdb::fuzz::FuzzReport report = itdb::fuzz::RunFuzz(config);
   std::cout << "seed " << config.seed << ": " << report.Summary() << "\n";
+
+  if (!trace_path.empty()) {
+    itdb::obs::InstallGlobalTracer(nullptr);
+    std::ofstream trace_file(trace_path);
+    if (trace_file) {
+      trace_file << tracer.ToChromeTraceJson();
+      std::cout << "trace: " << tracer.size() << " span(s) -> " << trace_path
+                << (tracer.dropped() > 0
+                        ? " (" + std::to_string(tracer.dropped()) +
+                              " dropped at the span cap)"
+                        : "")
+                << "\n";
+    } else {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+    }
+  }
 
   for (const itdb::fuzz::FuzzFailure& fail : report.failures) {
     std::string dump = itdb::fuzz::FormatRepro(fail.repro, fail.failure,
