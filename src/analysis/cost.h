@@ -1,0 +1,45 @@
+// Complexity and cost warnings (analysis pass 4).
+//
+//   A010  complement (NOT / FORALL) whose operand has >= N free temporal
+//         variables: complement of a multi-column generalized relation is
+//         the NP-complete regime of Theorem 3.5 (nonemptiness of
+//         complements), and its normal form can be exponentially larger;
+//   A011  conjunction whose operands share no attributes at all: the join
+//         degenerates to a cross product (|L| * |R| tuples);
+//   A012  the periods of the relations reachable from the root compose, in
+//         the worst case, to their lcm (Lemma 3.1 splits tuples to the
+//         common period), so a large lcm predicts normalization blowup.
+//
+// All findings are warnings: they never block evaluation, only explain
+// where time will go (the evaluator's budget checks still backstop
+// runaway cases at run time).
+
+#ifndef ITDB_ANALYSIS_COST_H_
+#define ITDB_ANALYSIS_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/ast.h"
+#include "query/sorts.h"
+#include "storage/database.h"
+#include "util/diagnostic.h"
+
+namespace itdb {
+namespace analysis {
+
+struct CostOptions {
+  std::int64_t period_blowup_threshold = 720;
+  int complement_width_threshold = 2;
+};
+
+/// Appends A010/A011/A012 warnings for `q` to `out`.  `sorts` must be the
+/// error-free result of sort inference for `q`.
+void CostDiagnostics(const Database& db, const query::Query& q,
+                     const query::SortMap& sorts, const CostOptions& options,
+                     std::vector<Diagnostic>* out);
+
+}  // namespace analysis
+}  // namespace itdb
+
+#endif  // ITDB_ANALYSIS_COST_H_

@@ -1,0 +1,65 @@
+// Static satisfiability prechecks (analysis pass 3).
+//
+// Proves subplans empty without evaluating them, from three kinds of
+// leaves -- atoms over relations with zero tuples, comparisons that are
+// ground-false over the temporal sort, and conjunctions whose constant
+// temporal constraints close to an infeasible DBM -- and propagates
+// emptiness up the tree:
+//
+//   AND:     either operand empty  -> empty
+//   OR:      both operands empty   -> empty
+//   EXISTS:  operand empty         -> empty (projection of nothing)
+//   FORALL:  operand empty AND the quantified variable is temporal or
+//            vacuous -> empty (a data-sorted FORALL over an empty active
+//            domain is vacuously true, so its emptiness cannot be decided
+//            statically)
+//   NOT:     never claimed empty (the complement of the empty relation is
+//            the universe, which itself collapses to empty only when a
+//            data domain is empty -- not a static fact)
+//
+// Everything here is conservative: a node is only included when its
+// denotation is provably the empty relation for THIS database instance.
+// The fuzz oracle (fuzz/query_oracle.h) checks exactly that.
+//
+// Two strengths of proof are kept apart.  `empty` is set-level: the
+// denotation is the empty set, but the evaluator may still represent it
+// with tuples whose constraint sets are infeasible (e.g. a DBM-refuted
+// selection chain), so it feeds diagnostics and the fuzz oracle only.
+// `bit_empty` is representation-level: evaluation provably returns ZERO
+// tuples, because the proof descends from leaves the evaluator itself
+// renders bit-empty (zero-tuple atoms, ground-false comparisons) through
+// operators that preserve that (join with a zero-tuple operand, union of
+// zero-tuple operands, projection of zero tuples).  DBM conjunction
+// proofs and FORALL proofs are deliberately excluded -- complements and
+// fallback selections can resurface tuples.  Only bit_empty proofs may
+// drive rewrites or short-circuits, or analysis would change results.
+
+#ifndef ITDB_ANALYSIS_EMPTINESS_H_
+#define ITDB_ANALYSIS_EMPTINESS_H_
+
+#include <set>
+
+#include "query/ast.h"
+#include "query/sorts.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace analysis {
+
+struct EmptinessProof {
+  /// Every node whose denotation is provably the empty set.
+  std::set<const query::Query*> empty;
+  /// The subset whose EVALUATION provably yields zero tuples
+  /// (representation-preserving to act on).  Always a subset of `empty`.
+  std::set<const query::Query*> bit_empty;
+};
+
+/// Proves subplans of `q` empty.  `sorts` must be the error-free result
+/// of sort inference for `q`.
+EmptinessProof ProveEmptySubplans(const Database& db, const query::Query& q,
+                                  const query::SortMap& sorts);
+
+}  // namespace analysis
+}  // namespace itdb
+
+#endif  // ITDB_ANALYSIS_EMPTINESS_H_

@@ -1,0 +1,208 @@
+#include "fuzz/query_oracle.h"
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/simplify.h"
+#include "fuzz/generator.h"
+#include "fuzz/query_gen.h"
+#include "query/eval.h"
+
+namespace itdb {
+namespace fuzz {
+
+namespace {
+
+using query::Query;
+using query::QueryOptions;
+using query::QueryPtr;
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Exact representation equality, the bit-identity contract (same idiom as
+/// the algebra oracle).
+bool SameRepresentation(const GeneralizedRelation& a,
+                        const GeneralizedRelation& b) {
+  return a.schema() == b.schema() && a.tuples() == b.tuples();
+}
+
+bool IsBudgetFailure(const Status& s) {
+  return s.code() == StatusCode::kOverflow ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+struct Variant {
+  const char* name;
+  bool analyze;
+  bool parallel;
+};
+
+constexpr Variant kVariants[] = {
+    {"analyze=off threads=N", false, true},
+    {"analyze=on threads=1", true, false},
+    {"analyze=on threads=N", true, true},
+};
+
+QueryOptions MakeOptions(bool analyze, bool parallel, int threads) {
+  QueryOptions options;
+  options.analyze = analyze;
+  options.algebra.threads = parallel ? threads : 1;
+  return options;
+}
+
+/// Pre-order walk collecting the subplans the analyzer proved empty, in a
+/// deterministic order (the pointer set itself iterates by address).
+void CollectProvenEmpty(const QueryPtr& q,
+                        const std::set<const Query*>& proven,
+                        std::vector<QueryPtr>* out) {
+  if (proven.count(q.get()) > 0) out->push_back(q);
+  switch (q->kind()) {
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr:
+      CollectProvenEmpty(q->left(), proven, out);
+      CollectProvenEmpty(q->right(), proven, out);
+      break;
+    case Query::Kind::kNot:
+    case Query::Kind::kExists:
+    case Query::Kind::kForall:
+      CollectProvenEmpty(q->left(), proven, out);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
+                                const QueryOracleOptions& options) {
+  QueryCaseOutcome outcome;
+
+  // --- Oracle 1: the 2x2 analyze/threads matrix against the baseline. ---
+  Result<GeneralizedRelation> baseline =
+      EvalQuery(db, q, MakeOptions(/*analyze=*/false, /*parallel=*/false,
+                                   options.threads));
+  if (!baseline.ok() && IsBudgetFailure(baseline.status())) {
+    outcome.skipped = true;
+    outcome.skip_reason = "baseline over budget: " +
+                          baseline.status().ToString();
+    return outcome;
+  }
+  for (const Variant& v : kVariants) {
+    Result<GeneralizedRelation> got =
+        EvalQuery(db, q, MakeOptions(v.analyze, v.parallel, options.threads));
+    ++outcome.variants_checked;
+    if (baseline.ok() != got.ok()) {
+      std::ostringstream os;
+      os << v.name << ": baseline "
+         << (baseline.ok() ? "succeeded" : "failed") << " but variant "
+         << (got.ok() ? "succeeded: did analysis change the result?"
+                      : "failed: " + got.status().ToString());
+      outcome.failure = os.str();
+      return outcome;
+    }
+    if (!baseline.ok()) {
+      if (baseline.status().code() != got.status().code()) {
+        std::ostringstream os;
+        os << v.name << ": status code diverged: baseline "
+           << baseline.status().ToString() << " vs "
+           << got.status().ToString();
+        outcome.failure = os.str();
+        return outcome;
+      }
+      continue;
+    }
+    if (!SameRepresentation(*baseline, *got)) {
+      std::ostringstream os;
+      os << v.name << ": representation diverged from baseline: "
+         << baseline->size() << " vs " << got->size() << " tuples";
+      outcome.failure = os.str();
+      return outcome;
+    }
+  }
+
+  // --- Oracle 2: proven-empty subplans must evaluate to empty. ---
+  analysis::AnalysisResult analyzed = analysis::Analyze(db, q);
+  if (analyzed.HasErrors() || analyzed.proven_empty.empty()) return outcome;
+  std::vector<QueryPtr> empties;
+  CollectProvenEmpty(q, analyzed.proven_empty, &empties);
+  for (const QueryPtr& node : empties) {
+    if (outcome.empties_checked + outcome.empties_skipped >=
+        options.max_empty_checks) {
+      break;
+    }
+    // Standalone evaluation: enclosing quantified variables become free.
+    // Sort inference can legitimately fail out of context; that is a skip,
+    // not a finding.
+    Result<GeneralizedRelation> sub = EvalQuery(
+        db, node,
+        MakeOptions(/*analyze=*/false, /*parallel=*/false, options.threads));
+    if (!sub.ok()) {
+      ++outcome.empties_skipped;
+      continue;
+    }
+    // Exact emptiness: normalize away tuples with empty extensions first.
+    Result<GeneralizedRelation> simplified = Simplify(*sub);
+    if (!simplified.ok()) {
+      ++outcome.empties_skipped;
+      continue;
+    }
+    ++outcome.empties_checked;
+    if (!simplified->tuples().empty()) {
+      std::ostringstream os;
+      os << "proven-empty subplan is nonempty: " << node->ToString()
+         << " has " << simplified->size() << " tuple(s)";
+      outcome.failure = os.str();
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+std::string QueryFuzzReport::Summary() const {
+  std::ostringstream os;
+  os << "query fuzz: " << cases << " case(s), " << skipped << " skipped, "
+     << variants_checked << " variant check(s), " << empties_checked
+     << " emptiness check(s) (" << empties_skipped << " skipped), "
+     << failures.size() << " failure(s)";
+  return os.str();
+}
+
+QueryFuzzReport RunQueryFuzz(const QueryFuzzConfig& config) {
+  QueryFuzzReport report;
+  const std::uint64_t stream = SplitMix64(config.seed);
+  for (int i = 0; i < config.cases; ++i) {
+    const std::uint64_t case_seed =
+        SplitMix64(stream + static_cast<std::uint64_t>(i));
+    const auto db_seed = static_cast<std::uint32_t>(case_seed);
+    const auto query_seed = static_cast<std::uint32_t>(case_seed >> 32);
+    Database db = MakeRandomDatabase(db_seed, config.database);
+    QueryPtr q = MakeRandomQuery(query_seed, db, config.query);
+    QueryCaseOutcome outcome = CheckQueryCase(db, q, config.oracle);
+    ++report.cases;
+    if (outcome.skipped) ++report.skipped;
+    report.variants_checked += outcome.variants_checked;
+    report.empties_checked += outcome.empties_checked;
+    report.empties_skipped += outcome.empties_skipped;
+    if (outcome.failure.has_value()) {
+      report.failures.push_back(
+          {case_seed, *outcome.failure, q->ToString()});
+      if (static_cast<int>(report.failures.size()) >= config.max_failures) {
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace itdb

@@ -1,0 +1,93 @@
+// Soundness oracles for the static analyzer (analysis/analyzer.h), driven
+// by random queries from query_gen.h.
+//
+// Two properties, checked per case:
+//   * Bit-identity: evaluating with analysis on must give the SAME
+//     representation (schema plus tuple sequence) as evaluating with it
+//     off, at one thread and at N threads -- a 2x2 matrix against the
+//     (analyze=off, threads=1) baseline.  When the baseline fails, every
+//     variant must fail with the same status code (the analyzer may turn
+//     an eval-time type error into an analysis error, but both surface as
+//     kInvalidArgument / kNotFound consistently).
+//   * Proven-empty => actually empty: every subplan the analyzer marks
+//     proven-empty is evaluated standalone (analysis off) and must have an
+//     empty extension.  Quantified variables of enclosing scopes become
+//     free variables of the subplan; emptiness is preserved either way.
+//
+// Cases whose baseline fails with kOverflow / kResourceExhausted are
+// budget-skips, mirroring the algebra fuzzer's convention (oracle.h).
+
+#ifndef ITDB_FUZZ_QUERY_ORACLE_H_
+#define ITDB_FUZZ_QUERY_ORACLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/query_gen.h"
+#include "query/ast.h"
+#include "query/eval.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace fuzz {
+
+struct QueryOracleOptions {
+  /// Thread count for the parallel variants (0 = hardware concurrency).
+  int threads = 0;
+  /// Cap on standalone evaluations of proven-empty subplans per case.
+  std::int64_t max_empty_checks = 8;
+};
+
+struct QueryCaseOutcome {
+  bool skipped = false;        // Baseline over budget; nothing checked.
+  std::string skip_reason;
+  int variants_checked = 0;    // Matrix variants compared to the baseline.
+  int empties_checked = 0;     // Proven-empty subplans evaluated standalone.
+  int empties_skipped = 0;     // Standalone evaluation failed (e.g. sorts).
+  /// Unset = the case passed.
+  std::optional<std::string> failure;
+};
+
+/// Runs both oracles on one (database, query) pair.
+QueryCaseOutcome CheckQueryCase(const Database& db, const query::QueryPtr& q,
+                                const QueryOracleOptions& options = {});
+
+struct QueryFuzzConfig {
+  std::uint64_t seed = 1;
+  int cases = 500;
+  int max_failures = 5;
+  DatabaseConfig database;
+  QueryGenConfig query;
+  QueryOracleOptions oracle;
+};
+
+struct QueryFuzzFailure {
+  std::uint64_t case_seed = 0;
+  std::string description;
+  std::string query;  // Query::ToString of the failing case.
+};
+
+struct QueryFuzzReport {
+  int cases = 0;
+  int skipped = 0;
+  std::int64_t variants_checked = 0;
+  std::int64_t empties_checked = 0;
+  std::int64_t empties_skipped = 0;
+  std::vector<QueryFuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// One-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// The loop: per case, derive a sub-seed (splitmix64, same idiom as
+/// fuzzer.cc), generate a database and a query, and run CheckQueryCase.
+QueryFuzzReport RunQueryFuzz(const QueryFuzzConfig& config);
+
+}  // namespace fuzz
+}  // namespace itdb
+
+#endif  // ITDB_FUZZ_QUERY_ORACLE_H_

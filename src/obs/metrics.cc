@@ -105,7 +105,9 @@ void MetricsRegistry::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry;
+  // Intentionally leaked: outlives every static destructor that might
+  // still record a counter during shutdown.
+  static MetricsRegistry* registry = new MetricsRegistry;  // lint:allow
   return *registry;
 }
 

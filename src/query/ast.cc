@@ -30,6 +30,8 @@ struct QueryBuilder : Query {
   QueryCmp& cmp() { return cmp_; }
   QueryPtr& left() { return left_; }
   QueryPtr& right() { return right_; }
+  SourceSpan& span() { return span_; }
+  std::vector<SourceSpan>& term_spans() { return term_spans_; }
 };
 
 namespace {
@@ -76,6 +78,16 @@ void CollectFree(const Query& q, std::set<std::string>& bound,
 }
 
 }  // namespace
+
+void Query::SetSpans(const QueryPtr& q, SourceSpan span,
+                     std::vector<SourceSpan> term_spans) {
+  // Safe: the parser calls this on nodes it just created and still uniquely
+  // owns; spans are pure metadata for diagnostics.
+  auto* node =
+      static_cast<QueryBuilder*>(const_cast<Query*>(q.get()));  // NOLINT
+  node->span() = span;
+  node->term_spans() = std::move(term_spans);
+}
 
 QueryPtr Query::Atom(std::string relation, std::vector<Term> args) {
   auto node = NewNode(Kind::kAtom);

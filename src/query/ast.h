@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/value.h"
+#include "util/source_span.h"
 
 namespace itdb {
 namespace query {
@@ -94,6 +95,21 @@ class Query {
   const QueryPtr& right() const { return right_; }
   const std::string& quantified_var() const { return relation_; }
 
+  /// Source span of the node (unknown for programmatically built trees).
+  const SourceSpan& span() const { return span_; }
+  /// Span of one term: for kAtom, index into args(); for kCmp, 0 = lhs and
+  /// 1 = rhs.  Falls back to the node span when the parser recorded none.
+  const SourceSpan& TermSpan(std::size_t i) const {
+    return i < term_spans_.size() && term_spans_[i].known() ? term_spans_[i]
+                                                           : span_;
+  }
+
+  /// Attaches source locations to a freshly parsed node.  Parser-only: the
+  /// tree is otherwise immutable, and spans are metadata (they never affect
+  /// evaluation or equality).
+  static void SetSpans(const QueryPtr& q, SourceSpan span,
+                       std::vector<SourceSpan> term_spans = {});
+
   /// Free variables, sorted by name.
   std::vector<std::string> FreeVariables() const;
 
@@ -113,6 +129,8 @@ class Query {
   QueryCmp cmp_ = QueryCmp::kEq;
   QueryPtr left_;
   QueryPtr right_;
+  SourceSpan span_;                     // Unknown unless parsed from text.
+  std::vector<SourceSpan> term_spans_;  // kAtom: per arg; kCmp: lhs, rhs.
 };
 
 }  // namespace query

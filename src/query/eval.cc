@@ -11,10 +11,12 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/index.h"
 #include "core/simplify.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/diagnostic.h"
 #include "util/numeric.h"
 
 namespace itdb {
@@ -653,12 +655,80 @@ void FlushKernelCounters(const KernelCounters& counters) {
       counters.tuples_subsumed.load(std::memory_order_relaxed));
 }
 
-Result<GeneralizedRelation> EvalQueryImpl(const Database& db, const QueryPtr& q,
-                                          const QueryOptions& options,
-                                          obs::Profile* profile) {
-  QueryPtr target = options.optimize ? Optimize(q) : q;
+/// The Status an error-severity analysis turns into: the legacy code for
+/// the FIRST error (NotFound for unknown relations, InvalidArgument
+/// otherwise), with the whole diagnostic list in the message.
+Status AnalysisFailure(const analysis::AnalysisResult& analysis) {
+  std::string message =
+      "static analysis failed:\n" + FormatDiagnosticList(analysis.diagnostics);
+  for (const Diagnostic& d : analysis.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    if (d.code == diag::kUnknownRelation) return Status::NotFound(message);
+    break;
+  }
+  return Status::InvalidArgument(message);
+}
+
+/// The canonical empty result for `q`: the exact schema evaluation would
+/// produce (free temporal then free data columns, each name-sorted) with
+/// zero tuples -- which is also exactly what evaluating a provably-empty
+/// query returns, keeping the short-circuit bit-identical.
+GeneralizedRelation EmptyRelationFor(const Query& q, const SortMap& sorts) {
+  std::vector<std::string> temporal;
+  std::vector<std::string> data_names;
+  std::vector<DataType> data_types;
+  for (const std::string& v : q.FreeVariables()) {  // Sorted.
+    auto it = sorts.find(v);
+    if (it == sorts.end() || it->second == Sort::kTime) {
+      temporal.push_back(v);
+    } else {
+      data_names.push_back(v);
+      data_types.push_back(it->second == Sort::kDataInt ? DataType::kInt
+                                                        : DataType::kString);
+    }
+  }
+  return GeneralizedRelation(
+      Schema(std::move(temporal), std::move(data_names), std::move(data_types)));
+}
+
+Result<GeneralizedRelation> EvalQueryImpl(
+    const Database& db, const QueryPtr& q, const QueryOptions& options,
+    obs::Profile* profile,
+    const analysis::AnalysisResult* pre_analysis = nullptr) {
+  // Static analysis front end: abort on error-severity findings, serve a
+  // proven-empty root without evaluating, drop provably dead OR branches.
+  QueryPtr base = q;
+  if (options.analyze || pre_analysis != nullptr) {
+    analysis::AnalysisResult own;
+    const analysis::AnalysisResult* ar = pre_analysis;
+    if (ar == nullptr) {
+      analysis::AnalyzeOptions aopts = options.analysis;
+      // Analysis spans follow the same opt-in as evaluation spans: only a
+      // traced run forwards the tracer (an untraced eval opens no spans).
+      if (aopts.tracer == nullptr && options.trace) {
+        aopts.tracer = options.tracer != nullptr ? options.tracer
+                                                 : options.algebra.tracer;
+      }
+      own = analysis::Analyze(db, q, aopts);
+      ar = &own;
+    }
+    if (ar->HasErrors()) {
+      obs::AddGlobalCounter("analysis.aborts", 1);
+      return AnalysisFailure(*ar);
+    }
+    // Short-circuit only on a bit-level proof: the plain evaluation of a
+    // merely set-empty root can return infeasible tuples, and analysis
+    // must be representation-invisible.
+    if (ar->root_proven_bit_empty) return EmptyRelationFor(*q, ar->sorts);
+    base = analysis::ApplySoundRewrites(q, *ar);
+  }
+  QueryPtr target = options.optimize ? Optimize(base) : base;
   ITDB_ASSIGN_OR_RETURN(SortMap sorts, InferSorts(db, target));
-  ActiveDomain adom = ComputeActiveDomain(db, *target);
+  // The active domain always comes from the ORIGINAL query: constants in an
+  // eliminated dead branch still feed it, so analysis cannot shift data
+  // quantifier ranges.  (Optimize preserves atoms and constants, so this
+  // changes nothing for the plain path.)
+  ActiveDomain adom = ComputeActiveDomain(db, *q);
   // One normalization memo-cache per query evaluation: subqueries repeatedly
   // renormalize the same base tuples (negation and quantifier elimination in
   // particular), so sharing the cache across the whole tree pays for itself.
@@ -710,6 +780,33 @@ Result<GeneralizedRelation> EvalQueryImpl(const Database& db, const QueryPtr& q,
 Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
                                       const QueryOptions& options) {
   return EvalQueryImpl(db, q, options, /*profile=*/nullptr);
+}
+
+Result<AnalyzedResult> EvalQueryAnalyzed(const Database& db, const QueryPtr& q,
+                                         const QueryOptions& options) {
+  analysis::AnalyzeOptions aopts = options.analysis;
+  if (aopts.tracer == nullptr && options.trace) {
+    aopts.tracer =
+        options.tracer != nullptr ? options.tracer : options.algebra.tracer;
+  }
+  AnalyzedResult out;
+  out.analysis = analysis::Analyze(db, q, aopts);
+  if (out.analysis.HasErrors()) {
+    obs::AddGlobalCounter("analysis.aborts", 1);
+    return out;  // The diagnostics are the result; relation stays nullopt.
+  }
+  ITDB_ASSIGN_OR_RETURN(
+      GeneralizedRelation relation,
+      EvalQueryImpl(db, q, options, /*profile=*/nullptr, &out.analysis));
+  out.relation = std::move(relation);
+  return out;
+}
+
+Result<AnalyzedResult> EvalQueryStringAnalyzed(const Database& db,
+                                               std::string_view text,
+                                               const QueryOptions& options) {
+  ITDB_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(text));
+  return EvalQueryAnalyzed(db, q, options);
 }
 
 Result<ProfiledResult> EvalQueryProfiled(const Database& db, const QueryPtr& q,

@@ -21,9 +21,11 @@
 #ifndef ITDB_QUERY_EVAL_H_
 #define ITDB_QUERY_EVAL_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "analysis/analyzer.h"
 #include "core/algebra.h"
 #include "obs/profile.h"
 #include "query/ast.h"
@@ -36,6 +38,16 @@ namespace query {
 
 struct QueryOptions {
   AlgebraOptions algebra;
+  /// Run the static analyzer (analysis/analyzer.h) before evaluation.
+  /// Error-severity diagnostics abort with a Status listing them; otherwise
+  /// the analyzer's sound rewrites (dead OR-branch elimination) are applied
+  /// and a root proven empty short-circuits evaluation.  Both are
+  /// bit-identical to evaluating without analysis -- same representation,
+  /// at every thread count (the fuzz oracle pins this).  Disable to
+  /// evaluate exactly the tree you built, diagnostics be damned.
+  bool analyze = true;
+  /// Analyzer knobs used when `analyze` is set.
+  analysis::AnalyzeOptions analysis;
   /// Run the logical optimizer (query/optimize.h) before evaluation.
   /// Semantics-preserving; dramatically cheaper complements on deeply
   /// quantified queries.  Disable to benchmark the naive pipeline.
@@ -70,6 +82,22 @@ struct ProfiledResult {
 /// Evaluates an open query; see the semantics above.
 Result<GeneralizedRelation> EvalQuery(const Database& db, const QueryPtr& q,
                                       const QueryOptions& options = {});
+
+/// An evaluation result together with everything the analyzer found.  When
+/// the analysis has error-severity diagnostics, `relation` is nullopt (and
+/// the call itself still returns ok: the diagnostics ARE the result).
+struct AnalyzedResult {
+  analysis::AnalysisResult analysis;
+  std::optional<GeneralizedRelation> relation;
+};
+
+/// Like EvalQuery with `analyze` forced on, but analysis findings are
+/// returned structurally instead of flattened into a Status message.
+/// Parse failures and evaluation failures still fail the call.
+Result<AnalyzedResult> EvalQueryAnalyzed(const Database& db, const QueryPtr& q,
+                                         const QueryOptions& options = {});
+Result<AnalyzedResult> EvalQueryStringAnalyzed(
+    const Database& db, std::string_view text, const QueryOptions& options = {});
 
 /// Evaluates a yes/no query.  Fails with kInvalidArgument when `q` has free
 /// variables.

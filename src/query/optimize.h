@@ -33,6 +33,13 @@
 // (temporal sort over Z -- nonempty -- and data sort over the active
 // domain): scope shrinking never changes which domain a quantifier ranges
 // over.
+//
+// Pipeline position: EvalQuery runs the static analyzer first
+// (analysis/analyzer.h), applies its sound rewrites (dead OR-branch
+// elimination, which IS representation-preserving), then hands the result
+// here.  The analyzer's polarity tracking mirrors the De Morgan pushes
+// above on purpose: elimination only fires where these rewrites keep the
+// branch a positive union arm.
 
 #ifndef ITDB_QUERY_OPTIMIZE_H_
 #define ITDB_QUERY_OPTIMIZE_H_

@@ -13,15 +13,22 @@
 //   * = / != propagate sorts between their operands.
 // Inference iterates to a fixpoint; inconsistent or undetermined variables
 // are errors.
+//
+// Two entry points share one implementation: InferSorts (legacy, stops at
+// the first problem and returns it as a Status) and InferSortsDiagnosed
+// (collects every problem as a coded Diagnostic with a source span -- the
+// front end of the static analyzer, src/analysis).
 
 #ifndef ITDB_QUERY_SORTS_H_
 #define ITDB_QUERY_SORTS_H_
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "query/ast.h"
 #include "storage/database.h"
+#include "util/diagnostic.h"
 #include "util/status.h"
 
 namespace itdb {
@@ -42,6 +49,26 @@ using SortMap = std::map<std::string, Sort>;
 /// `db`.  Fails on: unknown relations, arity mismatches, inconsistent sort
 /// usage, undetermined variables, and variable shadowing.
 Result<SortMap> InferSorts(const Database& db, const QueryPtr& q);
+
+struct SortDiagnostics {
+  /// Best-effort map: every variable whose sort could be determined, even
+  /// when other variables produced diagnostics.
+  SortMap sorts;
+  /// Coded findings (diag::kUnknownRelation .. diag::kMixedSortComparison),
+  /// in source order per pass.  Use HasErrors() to gate on validity.
+  std::vector<Diagnostic> diagnostics;
+  /// First source span seen for each variable (for follow-up diagnostics).
+  std::map<std::string, SourceSpan> var_spans;
+  /// Variables bound by a quantifier.
+  std::vector<std::string> quantified;
+};
+
+/// Collecting variant of InferSorts.  With `strict_unused_quantified` a
+/// quantified variable that is never used still yields A006 (exactly the
+/// legacy behavior); the analyzer passes false and reports such variables
+/// as A013 vacuous-quantifier warnings instead.
+SortDiagnostics InferSortsDiagnosed(const Database& db, const QueryPtr& q,
+                                    bool strict_unused_quantified = true);
 
 }  // namespace query
 }  // namespace itdb

@@ -5,10 +5,12 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "core/algebra.h"
 #include "core/coalesce.h"
 #include "core/simplify.h"
 #include "obs/metrics.h"
+#include "util/diagnostic.h"
 #include "query/eval.h"
 #include "query/optimize.h"
 #include "query/parser.h"
@@ -33,7 +35,10 @@ constexpr const char* kHelp = R"(commands:
   profile <query>               evaluate with tracing; prints per-plan-node
                                 wall/CPU time, tuple counts, and kernel stats
   metrics                       dump the process-global metrics registry
-  check <tl-formula>            does the temporal-logic formula hold at
+  check <query>                 static analysis only: sort errors, unsafe
+                                variables, provably empty subqueries, cost
+                                warnings -- with source-span diagnostics
+  tlcheck <tl-formula>          does the temporal-logic formula hold at
                                 every instant?  (e.g. G(req -> F[0,5](ack)))
   sat <tl-formula>              instants satisfying the formula
   coalesce <name>               merge residue families in place
@@ -121,8 +126,34 @@ Status CmdQuery(std::ostream& out, const Database& db,
   return Status::Ok();
 }
 
-Status CmdCheck(std::ostream& out, const Database& db,
-                const std::string& text) {
+// Static analysis of a first-order query: rustc-style caret diagnostics,
+// then a one-line summary.  Findings go to `out` as ordinary output; the
+// command itself only fails on I/O-level problems, so scripted `check`
+// runs (tools/check_queries.py) can assert on the printed codes.
+Status CmdCheckQuery(std::ostream& out, const Database& db,
+                     const std::string& text) {
+  Result<query::QueryPtr> q = query::ParseQuery(text);
+  if (!q.ok()) {
+    out << "error[parse]: " << q.status().message() << "\n";
+    out << "check: 1 error(s), 0 warning(s)\n";
+    return Status::Ok();
+  }
+  analysis::AnalysisResult result = analysis::Analyze(db, q.value());
+  out << FormatDiagnostics(text, result.diagnostics);
+  if (result.root_proven_empty) {
+    out << "note: the query result is statically empty\n";
+  }
+  if (result.diagnostics.empty()) {
+    out << "check: ok\n";
+  } else {
+    out << "check: " << result.errors() << " error(s), " << result.warnings()
+        << " warning(s)\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdCheckTl(std::ostream& out, const Database& db,
+                  const std::string& text) {
   ITDB_ASSIGN_OR_RETURN(tl::TlPtr formula, tl::ParseTlFormula(text));
   ITDB_ASSIGN_OR_RETURN(bool holds, tl::HoldsEverywhere(db, formula));
   if (holds) {
@@ -270,7 +301,9 @@ Status RunShell(std::istream& in, std::ostream& out, Database& db,
     } else if (cmd == "metrics") {
       CmdMetrics(out);
     } else if (cmd == "check") {
-      status = CmdCheck(out, db, rest);
+      status = CmdCheckQuery(out, db, rest);
+    } else if (cmd == "tlcheck") {
+      status = CmdCheckTl(out, db, rest);
     } else if (cmd == "sat") {
       status = CmdSat(out, db, rest);
     } else if (cmd == "coalesce") {

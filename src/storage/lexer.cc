@@ -12,6 +12,12 @@ const std::string_view kSymbols[] = {
     "]",  ",",  ":",  ";",  ".",  "&",  "|", "!", "=", "<", ">", "+", "-",
 };
 
+std::string DescribePosition(std::string_view text, std::size_t offset) {
+  LineCol lc = LineColAt(text, offset);
+  return std::to_string(lc.line) + ":" + std::to_string(lc.col) +
+         " (offset " + std::to_string(offset) + ")";
+}
+
 }  // namespace
 
 Result<std::vector<Token>> Tokenize(std::string_view text) {
@@ -36,7 +42,7 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       }
       out.push_back(Token{TokenKind::kIdent,
                           std::string(text.substr(start, i - start)), 0,
-                          start});
+                          start, i - start});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -50,12 +56,13 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
         ++i;
       }
       if (overflow) {
-        return Status::ParseError("integer literal overflows int64 at offset " +
-                                  std::to_string(start));
+        return Status::ParseError("integer literal overflows int64 at " +
+                                  DescribePosition(text, start));
       }
       // A digit run immediately followed by an identifier character is an
       // lrp like "10n": emit the int, the ident lexes next.
-      out.push_back(Token{TokenKind::kInt, std::string(), value, start});
+      out.push_back(Token{TokenKind::kInt, std::string(), value, start,
+                          i - start});
       continue;
     }
     if (c == '"') {
@@ -76,16 +83,18 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
         body += text[i++];
       }
       if (!closed) {
-        return Status::ParseError("unterminated string at offset " +
-                                  std::to_string(start));
+        return Status::ParseError("unterminated string at " +
+                                  DescribePosition(text, start));
       }
-      out.push_back(Token{TokenKind::kString, std::move(body), 0, start});
+      out.push_back(Token{TokenKind::kString, std::move(body), 0, start,
+                          i - start});
       continue;
     }
     bool matched = false;
     for (std::string_view symbol : kSymbols) {
       if (text.substr(i, symbol.size()) == symbol) {
-        out.push_back(Token{TokenKind::kSymbol, std::string(symbol), 0, i});
+        out.push_back(Token{TokenKind::kSymbol, std::string(symbol), 0, i,
+                            symbol.size()});
         i += symbol.size();
         matched = true;
         break;
@@ -93,10 +102,29 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
     }
     if (!matched) {
       return Status::ParseError(std::string("unexpected character '") + c +
-                                "' at offset " + std::to_string(i));
+                                "' at " + DescribePosition(text, i));
     }
   }
-  out.push_back(Token{TokenKind::kEnd, "", 0, n});
+  out.push_back(Token{TokenKind::kEnd, "", 0, n, 0});
+  // Fill in line:col in one pass: tokens are in increasing offset order.
+  {
+    int line = 1;
+    int col = 1;
+    std::size_t pos = 0;
+    for (Token& t : out) {
+      while (pos < t.offset && pos < n) {
+        if (text[pos] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+        ++pos;
+      }
+      t.line = line;
+      t.col = col;
+    }
+  }
   return out;
 }
 
@@ -110,6 +138,11 @@ Token TokenStream::Next() {
   Token t = Peek();
   if (pos_ < tokens_.size() - 1) ++pos_;
   return t;
+}
+
+const Token& TokenStream::LastConsumed() const {
+  if (pos_ == 0) return tokens_.back();  // kEnd sentinel.
+  return tokens_[pos_ - 1];
 }
 
 bool TokenStream::TrySymbol(std::string_view symbol) {
@@ -157,8 +190,10 @@ Status TokenStream::ErrorHere(const std::string& message) const {
                     : t.kind == TokenKind::kInt
                         ? std::to_string(t.int_value)
                         : "'" + t.text + "'";
-  return Status::ParseError(message + ", got " + got + " at offset " +
-                            std::to_string(t.offset));
+  return Status::ParseError(message + ", got " + got + " at " +
+                            std::to_string(t.line) + ":" +
+                            std::to_string(t.col) + " (offset " +
+                            std::to_string(t.offset) + ")");
 }
 
 }  // namespace itdb

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/source_span.h"
 #include "util/status.h"
 
 namespace itdb {
@@ -25,6 +26,12 @@ struct Token {
   std::string text;              // Ident name, symbol spelling, string body.
   std::int64_t int_value = 0;    // For kInt.
   std::size_t offset = 0;        // Byte offset in the input, for errors.
+  std::size_t length = 0;        // Raw source length (incl. string quotes).
+  int line = 1;                  // 1-based source line of `offset`.
+  int col = 1;                   // 1-based column of `offset` on `line`.
+
+  /// The source span this token covers.
+  SourceSpan span() const { return {offset, offset + length, line, col}; }
 };
 
 /// Tokenizes the whole input.  Recognized symbols:
@@ -53,7 +60,10 @@ class TokenStream {
   /// Consumes an (optionally '-'-prefixed) integer.
   Result<std::int64_t> ExpectInt();
 
-  /// A parse error pointing at the current token.
+  /// The most recently consumed token; the kEnd sentinel before any Next().
+  const Token& LastConsumed() const;
+
+  /// A parse error pointing at the current token, with its line:col.
   Status ErrorHere(const std::string& message) const;
 
  private:

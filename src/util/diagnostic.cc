@@ -1,0 +1,92 @@
+#include "util/diagnostic.h"
+
+#include <algorithm>
+
+namespace itdb {
+
+namespace {
+
+/// The full source line containing `offset` (no trailing newline).
+std::string_view LineContaining(std::string_view source, std::size_t offset) {
+  if (offset > source.size()) offset = source.size();
+  std::size_t begin = source.rfind('\n', offset == 0 ? 0 : offset - 1);
+  begin = begin == std::string_view::npos ? 0 : begin + 1;
+  if (offset < begin) begin = offset;  // offset == 0 on a later line.
+  std::size_t end = source.find('\n', offset);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kError; });
+}
+
+int CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                  Severity severity) {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::string FormatDiagnostic(std::string_view source, const Diagnostic& d) {
+  std::string out;
+  out += SeverityName(d.severity);
+  out += "[" + d.code + "]: " + d.message + "\n";
+  if (d.span.known() && !source.empty()) {
+    const std::string line_no = std::to_string(d.span.line);
+    const std::string gutter(line_no.size(), ' ');
+    std::string_view line = LineContaining(source, d.span.begin);
+    out += gutter + " --> " + d.span.ToString() + "\n";
+    out += gutter + " |\n";
+    out += line_no + " | " + std::string(line) + "\n";
+    // Caret run: the span clipped to its first line.
+    std::size_t width = d.span.end > d.span.begin ? d.span.end - d.span.begin
+                                                  : 1;
+    std::size_t col = static_cast<std::size_t>(d.span.col);
+    std::size_t room = line.size() >= col - 1 ? line.size() - (col - 1) : 1;
+    width = std::max<std::size_t>(1, std::min(width, room));
+    out += gutter + " | " + std::string(col - 1, ' ') +
+           std::string(width, '^') + "\n";
+  }
+  if (!d.fixit.empty()) {
+    out += "  = help: " + d.fixit + "\n";
+  }
+  return out;
+}
+
+std::string FormatDiagnostics(std::string_view source,
+                              const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) out += FormatDiagnostic(source, d);
+  return out;
+}
+
+std::string FormatDiagnosticList(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!out.empty()) out += "\n";
+    out += SeverityName(d.severity);
+    out += "[" + d.code + "]";
+    if (d.span.known()) out += " at " + d.span.ToString();
+    out += ": " + d.message;
+  }
+  return out;
+}
+
+}  // namespace itdb

@@ -1,0 +1,67 @@
+// Source locations for diagnostics.
+//
+// A SourceSpan is a half-open byte range [begin, end) into some source text
+// (a query string, a relation file) plus the 1-based line:column of its
+// first byte.  Spans are threaded from the lexer through the parsers into
+// AST nodes so that static analysis (src/analysis) can point diagnostics at
+// the exact token that caused them.  A default-constructed span is
+// "unknown" (line 0): programmatically built ASTs have no locations, and
+// every consumer must degrade gracefully in that case.
+
+#ifndef ITDB_UTIL_SOURCE_SPAN_H_
+#define ITDB_UTIL_SOURCE_SPAN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace itdb {
+
+struct SourceSpan {
+  std::size_t begin = 0;  // Byte offset of the first byte.
+  std::size_t end = 0;    // Byte offset one past the last byte.
+  int line = 0;           // 1-based; 0 = unknown location.
+  int col = 0;            // 1-based column of `begin` on `line`.
+
+  bool known() const { return line > 0; }
+
+  /// Smallest span covering both operands; unknown operands are ignored.
+  static SourceSpan Cover(const SourceSpan& a, const SourceSpan& b) {
+    if (!a.known()) return b;
+    if (!b.known()) return a;
+    SourceSpan out = a.begin <= b.begin ? a : b;
+    out.end = a.end > b.end ? a.end : b.end;
+    return out;
+  }
+
+  /// "line:col" (or "?" when unknown), the form error messages print.
+  std::string ToString() const {
+    if (!known()) return "?";
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+struct LineCol {
+  int line = 1;
+  int col = 1;
+};
+
+/// Line:column (1-based) of byte `offset` in `text`.  Offsets past the end
+/// report the position one past the last character.
+inline LineCol LineColAt(std::string_view text, std::size_t offset) {
+  LineCol lc;
+  if (offset > text.size()) offset = text.size();
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++lc.line;
+      lc.col = 1;
+    } else {
+      ++lc.col;
+    }
+  }
+  return lc;
+}
+
+}  // namespace itdb
+
+#endif  // ITDB_UTIL_SOURCE_SPAN_H_

@@ -1,0 +1,84 @@
+#include "fuzz/query_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "fuzz/generator.h"
+#include "fuzz/query_gen.h"
+#include "query/ast.h"
+#include "query/eval.h"
+
+namespace itdb {
+namespace fuzz {
+namespace {
+
+using query::Query;
+using query::QueryCmp;
+using query::QueryPtr;
+using query::Term;
+
+TEST(QueryGenTest, DeterministicForFixedSeed) {
+  Database db = MakeRandomDatabase(7, {});
+  QueryGenConfig cfg;
+  QueryPtr a = MakeRandomQuery(42, db, cfg);
+  QueryPtr b = MakeRandomQuery(42, db, cfg);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->ToString(), b->ToString());
+  QueryPtr c = MakeRandomQuery(43, db, cfg);
+  EXPECT_NE(a->ToString(), c->ToString());
+}
+
+TEST(QueryOracleTest, PassesOnAHandWrittenCase) {
+  Database db = MakeRandomDatabase(3, {});
+  // U0(t) AND t <= 4: well-formed, no analysis findings expected.
+  QueryPtr q = Query::And(
+      Query::Atom("U0", {Term::Variable("t")}),
+      Query::Compare(Term::Variable("t"), QueryCmp::kLe, Term::Int(4)));
+  QueryCaseOutcome outcome = CheckQueryCase(db, q);
+  EXPECT_FALSE(outcome.skipped);
+  EXPECT_FALSE(outcome.failure.has_value()) << *outcome.failure;
+  EXPECT_EQ(outcome.variants_checked, 3);
+}
+
+TEST(QueryOracleTest, ChecksAProvenEmptySubplan) {
+  Database db = MakeRandomDatabase(3, {});
+  // The right OR branch is a DBM contradiction; the analyzer proves it
+  // empty and the oracle evaluates it standalone.
+  QueryPtr contradiction = Query::And(
+      Query::Compare(Term::Variable("t"), QueryCmp::kGt, Term::Int(3)),
+      Query::Compare(Term::Variable("t"), QueryCmp::kLt, Term::Int(3)));
+  QueryPtr q = Query::Or(
+      Query::Atom("U0", {Term::Variable("t")}),
+      Query::And(Query::Atom("U0", {Term::Variable("t")}),
+                 std::move(contradiction)));
+  QueryCaseOutcome outcome = CheckQueryCase(db, q);
+  EXPECT_FALSE(outcome.skipped);
+  EXPECT_FALSE(outcome.failure.has_value()) << *outcome.failure;
+  EXPECT_GT(outcome.empties_checked, 0);
+}
+
+// The acceptance gate: 500 random queries, zero violations of either
+// oracle -- analysis never changes results (at 1 and N threads), and every
+// proven-empty subplan really is empty.
+TEST(QueryFuzzTest, FiveHundredCasesNoFindings) {
+  QueryFuzzConfig config;
+  config.seed = 20260806;
+  config.cases = 500;
+  ASSERT_GE(config.cases, 500);
+  QueryFuzzReport report = RunQueryFuzz(config);
+  EXPECT_TRUE(report.ok()) << report.Summary()
+                           << (report.failures.empty()
+                                   ? ""
+                                   : "\nfirst: " +
+                                         report.failures[0].description +
+                                         "\nquery: " +
+                                         report.failures[0].query);
+  EXPECT_EQ(report.cases, 500);
+  // The generator's contradiction/dead-branch rates make both oracles
+  // fire many times over 500 cases; a silent no-op run is itself a bug.
+  EXPECT_GT(report.variants_checked, 1000);
+  EXPECT_GT(report.empties_checked, 20) << report.Summary();
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace itdb

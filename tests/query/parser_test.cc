@@ -105,6 +105,50 @@ TEST(QueryParserTest, Errors) {
   EXPECT_FALSE(ParseQuery("AND P()").ok());
 }
 
+// Golden error messages: every parse failure names the offending token and
+// its line:col position (the lexer threads spans through the token stream).
+TEST(QueryParserTest, ErrorsCarryLineColAndOffendingToken) {
+  auto message = [](const std::string& text) {
+    Result<QueryPtr> q = ParseQuery(text);
+    EXPECT_FALSE(q.ok()) << "unexpectedly parsed: " << text;
+    return q.ok() ? std::string() : std::string(q.status().message());
+  };
+  EXPECT_EQ(message("t1 t2"),
+            "expected comparison operator, got 't2' at 1:4 (offset 3)");
+  EXPECT_EQ(message("EXISTS t P()"),
+            "expected '.', got 'P' at 1:10 (offset 9)");
+  EXPECT_EQ(message("P() Q()"),
+            "trailing input after query, got 'Q' at 1:5 (offset 4)");
+  EXPECT_EQ(message("P(,)"), "expected a term, got ',' at 1:3 (offset 2)");
+  EXPECT_EQ(message("AND P()"),
+            "expected a term, got 'AND' at 1:1 (offset 0)");
+  EXPECT_EQ(message("P("),
+            "expected a term, got end of input at 1:3 (offset 2)");
+}
+
+TEST(QueryParserTest, ErrorPositionsCountLines) {
+  Result<QueryPtr> q = ParseQuery("P(t) AND\n  AND");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("at 2:3"), std::string::npos)
+      << q.status();
+}
+
+TEST(QueryParserTest, SpansCoverTheSourceExtent) {
+  Result<QueryPtr> q = ParseQuery("EXISTS t . R(t) AND t <= 5");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // The quantifier spans the whole query.
+  EXPECT_EQ(q.value()->span().line, 1);
+  EXPECT_EQ(q.value()->span().col, 1);
+  EXPECT_EQ(q.value()->span().begin, 0u);
+  EXPECT_EQ(q.value()->span().end, 26u);
+  // The atom's span starts at its own name.
+  const Query& body = *q.value()->left();
+  ASSERT_EQ(body.kind(), Query::Kind::kAnd);
+  EXPECT_EQ(body.left()->span().col, 12);
+  ASSERT_EQ(body.left()->args().size(), 1u);
+  EXPECT_EQ(body.left()->TermSpan(0).col, 14);
+}
+
 TEST(QueryParserTest, ToStringRoundTripsThroughParser) {
   Result<QueryPtr> q =
       ParseQuery("EXISTS t . (P(t) OR t + 2 <= 7) AND NOT Q(t, \"a\")");

@@ -92,6 +92,94 @@ TEST(SortsTest, OffsetsOnlyOnTemporal) {
   EXPECT_TRUE(Infer("Perform(a + 1, b, r, k)").ok());
 }
 
+// The collecting entry point used by the analyzer: each failure mode maps
+// to a specific stable code (the A-codes are pinned; see DESIGN.md).
+SortDiagnostics Diagnose(const std::string& text) {
+  Result<QueryPtr> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return InferSortsDiagnosed(TestDb(), q.value(),
+                             /*strict_unused_quantified=*/true);
+}
+
+bool HasCode(const SortDiagnostics& d, std::string_view code) {
+  for (const Diagnostic& diagnostic : d.diagnostics) {
+    if (diagnostic.code == code) return true;
+  }
+  return false;
+}
+
+TEST(SortsDiagnosticsTest, UnknownRelationIsA001WithSpan) {
+  SortDiagnostics d = Diagnose("Nope(a)");
+  ASSERT_TRUE(HasCode(d, diag::kUnknownRelation));
+  EXPECT_EQ(d.diagnostics[0].span.line, 1);
+  EXPECT_EQ(d.diagnostics[0].span.col, 1);
+}
+
+TEST(SortsDiagnosticsTest, ArityMismatchIsA002) {
+  EXPECT_TRUE(HasCode(Diagnose("Perform(a, b)"), diag::kArityMismatch));
+}
+
+TEST(SortsDiagnosticsTest, SortConflictsAreA003) {
+  // Same variable in a temporal and a string position.
+  EXPECT_TRUE(HasCode(Diagnose("Perform(a, b, a, k)"),
+                      diag::kConflictingSorts));
+  // A string position variable that is also order-compared.
+  EXPECT_TRUE(HasCode(Diagnose("Perform(a, b, r, k) AND r <= a"),
+                      diag::kConflictingSorts));
+  // A successor offset on a data variable.
+  EXPECT_TRUE(HasCode(Diagnose("Perform(a, b, r + 1, k)"),
+                      diag::kConflictingSorts));
+}
+
+TEST(SortsDiagnosticsTest, ConstantConflictsAreA004) {
+  // Int constant in a string slot of an atom.
+  EXPECT_TRUE(HasCode(Diagnose("Perform(a, b, 3, k)"),
+                      diag::kIncompatibleConstant));
+  // String constant forcing a sort onto a temporal variable.
+  EXPECT_TRUE(HasCode(Diagnose("Perform(a, b, r, k) AND a = \"x\""),
+                      diag::kIncompatibleConstant));
+  // Order comparison between string constants.
+  EXPECT_TRUE(HasCode(Diagnose("Perform(a, b, r, k) AND \"x\" < \"y\""),
+                      diag::kIncompatibleConstant));
+}
+
+TEST(SortsDiagnosticsTest, ShadowingIsA005) {
+  SortDiagnostics d = Diagnose(
+      "EXISTS t . Perform(t, t, r, k) AND (EXISTS t . t <= 5)");
+  EXPECT_TRUE(HasCode(d, diag::kShadowedVariable));
+}
+
+TEST(SortsDiagnosticsTest, UndeterminedSortIsA006) {
+  EXPECT_TRUE(HasCode(Diagnose("x = y"), diag::kUndeterminedSort));
+}
+
+TEST(SortsDiagnosticsTest, MixedSortLinkIsA007) {
+  // r (string) equated with t (temporal): the link check fires after
+  // propagation.
+  SortDiagnostics d =
+      Diagnose("Perform(a, b, r, k) AND Count(t, n) AND r != t");
+  EXPECT_TRUE(HasCode(d, diag::kMixedSortComparison));
+}
+
+TEST(SortsDiagnosticsTest, CollectsMultipleFindingsInOnePass) {
+  SortDiagnostics d = Diagnose("Nope(a) AND Perform(a, b) AND x = y");
+  // The Result-based API stops at the first error; the collecting API
+  // reports them all (A006 stays suppressed behind the real errors).
+  EXPECT_TRUE(HasCode(d, diag::kUnknownRelation));
+  EXPECT_TRUE(HasCode(d, diag::kArityMismatch));
+  EXPECT_FALSE(HasCode(d, diag::kUndeterminedSort));
+  EXPECT_GE(d.diagnostics.size(), 2u);
+}
+
+TEST(SortsDiagnosticsTest, CleanQueryHasNoDiagnostics) {
+  SortDiagnostics d = Diagnose("Perform(a, b, r, k) AND a <= b");
+  EXPECT_TRUE(d.diagnostics.empty());
+  EXPECT_EQ(d.sorts.at("r"), Sort::kDataString);
+  // var_spans lets later passes point at the first occurrence.
+  ASSERT_TRUE(d.var_spans.contains("r"));
+  EXPECT_EQ(d.var_spans.at("r").line, 1);
+}
+
 }  // namespace
 }  // namespace query
 }  // namespace itdb

@@ -177,6 +177,32 @@ TEST(ShellTest, SaveAndLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(ShellTest, CheckReportsCaretDiagnostics) {
+  // "R" does not exist: A001 at the atom, with the caret under it.
+  std::string out = RunScript("check EXISTS t . R(t)\n");
+  EXPECT_NE(out.find("error[A001]"), std::string::npos) << out;
+  EXPECT_NE(out.find("--> 1:12"), std::string::npos) << out;
+  EXPECT_NE(out.find("^"), std::string::npos) << out;
+  EXPECT_NE(out.find("check: 1 error(s), 0 warning(s)"), std::string::npos)
+      << out;
+}
+
+TEST(ShellTest, CheckAcceptsCleanQueryAndFlagsEmptyOnes) {
+  std::string out = RunScript(std::string(kDefineP) +
+                              "check P(t) AND t <= 20\n"
+                              "check P(t) AND t > 5 AND t < 4\n");
+  EXPECT_NE(out.find("check: ok"), std::string::npos) << out;
+  EXPECT_NE(out.find("warning[A009]"), std::string::npos) << out;
+  EXPECT_NE(out.find("statically empty"), std::string::npos) << out;
+}
+
+TEST(ShellTest, CheckReportsParseErrorsWithoutFailing) {
+  std::string out = RunScript("check P(\nlist\n");
+  EXPECT_NE(out.find("error[parse]"), std::string::npos) << out;
+  // The shell keeps going: `list` still ran without an "error:" line.
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
 TEST(ShellTest, CheckAndSatCommands) {
   std::string script = R"(
 define relation req(T: time) {
@@ -185,8 +211,8 @@ define relation req(T: time) {
 define relation ack(T: time) {
   [3+10n];
 }
-check G(req -> F[0,5](ack))
-check G(req -> F[0,2](ack))
+tlcheck G(req -> F[0,5](ack))
+tlcheck G(req -> F[0,2](ack))
 sat F[0,3](req)
 )";
   std::string out = RunScript(script);

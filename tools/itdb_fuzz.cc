@@ -15,6 +15,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "fuzz/query_oracle.h"
 #include "obs/trace.h"
 
 namespace {
@@ -27,6 +28,9 @@ constexpr const char* kUsage = R"(usage: itdb_fuzz [options]
   --inner W          differential comparison window [-W, W] (default 4)
   --outer W          finite-baseline materialization window (default 28)
   --max-failures N   stop after N failures (default 5)
+  --query-cases N    additionally fuzz the query static analyzer: N random
+                     queries through the bit-identity (analyze on/off x
+                     1/N threads) and proven-empty oracles (default 0 = off)
   --no-shrink        report failures unminimized
   --inject-bug NAME  corrupt the engine on purpose; the fuzzer must catch it
                      (none, join-drop-constraint, union-drop-tuple,
@@ -81,6 +85,8 @@ int Replay(const std::string& path, const itdb::fuzz::OracleOptions& oracle) {
 
 int main(int argc, char** argv) {
   itdb::fuzz::FuzzConfig config;
+  itdb::fuzz::QueryFuzzConfig query_config;
+  query_config.cases = 0;
   std::string replay_path;
   std::string out_dir = ".";
   std::string trace_path;
@@ -116,6 +122,10 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (!v) return Usage();
         config.max_failures = std::stoi(v);
+      } else if (arg == "--query-cases") {
+        const char* v = next();
+        if (!v) return Usage();
+        query_config.cases = std::stoi(v);
       } else if (arg == "--no-shrink") {
         config.shrink = false;
       } else if (arg == "--inject-bug") {
@@ -168,6 +178,22 @@ int main(int argc, char** argv) {
   itdb::fuzz::FuzzReport report = itdb::fuzz::RunFuzz(config);
   std::cout << "seed " << config.seed << ": " << report.Summary() << "\n";
 
+  bool query_ok = true;
+  if (query_config.cases > 0) {
+    query_config.seed = config.seed;
+    query_config.max_failures = config.max_failures;
+    query_config.oracle.threads = config.oracle.threads;
+    itdb::fuzz::QueryFuzzReport query_report =
+        itdb::fuzz::RunQueryFuzz(query_config);
+    std::cout << "seed " << config.seed << ": " << query_report.Summary()
+              << "\n";
+    for (const itdb::fuzz::QueryFuzzFailure& fail : query_report.failures) {
+      std::cerr << "FAIL [query] seed " << fail.case_seed << ": "
+                << fail.description << "\n  query: " << fail.query << "\n";
+    }
+    query_ok = query_report.ok();
+  }
+
   if (!trace_path.empty()) {
     itdb::obs::InstallGlobalTracer(nullptr);
     std::ofstream trace_file(trace_path);
@@ -206,5 +232,5 @@ int main(int argc, char** argv) {
                 << dump;
     }
   }
-  return report.ok() ? 0 : 1;
+  return report.ok() && query_ok ? 0 : 1;
 }

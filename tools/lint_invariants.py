@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Repository invariant linter, wired into ctest and CI.
+
+Checks, over src/ (and where noted, tests/):
+
+  1. own-header-first: a src/**/foo.cc with a sibling foo.h must include
+     "its/dir/foo.h" as its FIRST #include (keeps headers self-contained).
+  2. no naked new/delete outside src/util/: ownership lives behind
+     standard containers and smart pointers.  `= delete` (deleted
+     functions) is fine; a deliberate exception carries `lint:allow` on
+     the same line.
+  3. every src/**/*.cc appears in its directory's CMakeLists.txt: a file
+     that builds in no target is dead code that still rots.
+  4. no std::cout/std::cerr in library code: src/ outside src/shell/ must
+     report through Status/diagnostics, not the process streams (the
+     shell, tools/, bench/ and tests are exempt).
+
+Exit status 0 = clean, 1 = findings (printed one per line), 2 = misuse.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ALLOW = "lint:allow"
+
+NEW_RE = re.compile(r"\bnew\b\s*(\(|[A-Za-z_<:])")
+DELETE_RE = re.compile(r"\bdelete\b(\[\])?\s*[A-Za-z_(*]")
+COUT_RE = re.compile(r"std::c(out|err)\b")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Good enough for linting: drops // comments and "..." contents."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def first_include(path: Path) -> str | None:
+    for raw in path.read_text().splitlines():
+        m = re.match(r'\s*#include\s+([<"][^">]+[">])', raw)
+        if m:
+            return m.group(1)
+    return None
+
+
+def check_own_header_first(src: Path, findings: list[str]) -> None:
+    for cc in sorted(src.rglob("*.cc")):
+        header = cc.with_suffix(".h")
+        if not header.exists():
+            continue
+        want = f'"{header.relative_to(src).as_posix()}"'
+        got = first_include(cc)
+        if got != want:
+            findings.append(
+                f"{cc}: first #include is {got or 'missing'}, "
+                f"expected its own header {want}"
+            )
+
+
+def check_no_naked_new_delete(src: Path, findings: list[str]) -> None:
+    for cc in sorted(list(src.rglob("*.cc")) + list(src.rglob("*.h"))):
+        if src / "util" in cc.parents:
+            continue
+        for lineno, raw in enumerate(cc.read_text().splitlines(), 1):
+            if ALLOW in raw:
+                continue
+            line = strip_comments_and_strings(raw)
+            if "= delete" in line:
+                line = line.replace("= delete", "")
+            if NEW_RE.search(line) or DELETE_RE.search(line):
+                findings.append(
+                    f"{cc}:{lineno}: naked new/delete outside src/util/ "
+                    f"(use containers or smart pointers): {raw.strip()}"
+                )
+
+
+def check_cmake_lists_complete(src: Path, findings: list[str]) -> None:
+    for cc in sorted(src.rglob("*.cc")):
+        cmake = cc.parent / "CMakeLists.txt"
+        if not cmake.exists():
+            findings.append(f"{cc}: no CMakeLists.txt in {cc.parent}")
+            continue
+        if cc.name not in cmake.read_text():
+            findings.append(f"{cc}: not listed in {cmake}")
+
+
+def check_no_cout(src: Path, findings: list[str]) -> None:
+    for cc in sorted(list(src.rglob("*.cc")) + list(src.rglob("*.h"))):
+        if src / "shell" in cc.parents:
+            continue
+        for lineno, raw in enumerate(cc.read_text().splitlines(), 1):
+            if ALLOW in raw:
+                continue
+            if COUT_RE.search(strip_comments_and_strings(raw)):
+                findings.append(
+                    f"{cc}:{lineno}: std::cout/std::cerr in library code "
+                    f"(report via Status or diagnostics): {raw.strip()}"
+                )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    args = parser.parse_args()
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"error: {src} is not a directory", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    check_own_header_first(src, findings)
+    check_no_naked_new_delete(src, findings)
+    check_cmake_lists_complete(src, findings)
+    check_no_cout(src, findings)
+
+    for finding in findings:
+        print(finding)
+    print(f"lint_invariants: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
