@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 
 #include "core/coalesce.h"
+#include "core/columnar.h"
 #include "core/index.h"
 #include "core/simplify.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/numeric.h"
 #include "util/thread_pool.h"
 
@@ -249,15 +252,44 @@ Result<GeneralizedRelation> IntersectIndexed(const GeneralizedRelation& a,
     key_cols[i] = static_cast<int>(i);
   }
   DataKeyIndex index(b, key_cols);
-  std::int64_t candidates = index.CountCandidatePairs(a, key_cols);
+  // One probe pass (see JoinIndexed): the candidate spans feed the budget
+  // count, the touched-row discovery, and the pair scan.
+  std::vector<std::span<const std::size_t>> a_buckets(a.tuples().size());
+  std::int64_t candidates = 0;
+  for (std::size_t i = 0; i < a.tuples().size(); ++i) {
+    a_buckets[i] = index.Candidates(a.tuples()[i], key_cols);
+    candidates += static_cast<std::int64_t>(a_buckets[i].size());
+  }
   BumpCounter(&KernelCounters::pairs_total, options,
               static_cast<std::int64_t>(a.size()) * b.size());
   BumpCounter(&KernelCounters::pairs_candidate, options, candidates);
   ITDB_RETURN_IF_ERROR(CheckBudget(candidates, options, "Intersect"));
+  std::vector<std::int64_t> slot(b.tuples().size(), -1);
   std::vector<TemporalHull> hull_b;
-  hull_b.reserve(b.tuples().size());
-  for (const GeneralizedTuple& tb : b.tuples()) {
-    hull_b.push_back(TemporalHull::Of(tb));
+  if (options.use_columnar) {
+    // Hoist hulls only for the b rows some bucket reaches, closing their
+    // constraint systems on one batched slab (core/columnar.h).
+    std::vector<std::size_t> touched;
+    for (std::span<const std::size_t> bucket : a_buckets) {
+      for (std::size_t j : bucket) {
+        if (slot[j] < 0) {
+          slot[j] = static_cast<std::int64_t>(touched.size());
+          touched.push_back(j);
+        }
+      }
+    }
+    Arena arena;
+    ColumnarRelation cb_cols(b, touched, &arena);
+    hull_b.reserve(touched.size());
+    for (std::size_t s = 0; s < touched.size(); ++s) {
+      hull_b.push_back(cb_cols.Hull(static_cast<std::int64_t>(s)));
+    }
+  } else {
+    hull_b.reserve(b.tuples().size());
+    for (std::size_t j = 0; j < b.tuples().size(); ++j) {
+      slot[j] = static_cast<std::int64_t>(j);
+      hull_b.push_back(TemporalHull::Of(b.tuples()[j]));
+    }
   }
   std::vector<std::pair<int, int>> hull_cols;
   hull_cols.reserve(static_cast<std::size_t>(m));
@@ -266,15 +298,15 @@ Result<GeneralizedRelation> IntersectIndexed(const GeneralizedRelation& a,
       std::vector<GeneralizedTuple> tuples,
       ParallelAppend<GeneralizedTuple>(
           static_cast<std::int64_t>(a.size()),
-          ParallelOptions{options.threads, /*grain=*/1},
+          ParallelOptions{options.threads, /*grain=*/16},
           [&](std::int64_t i, std::vector<GeneralizedTuple>& row) -> Status {
             const GeneralizedTuple& ta =
                 a.tuples()[static_cast<std::size_t>(i)];
-            const std::vector<std::size_t>* bucket =
-                index.Candidates(ta, key_cols);
-            if (bucket == nullptr) return Status::Ok();
+            const std::span<const std::size_t> bucket =
+                a_buckets[static_cast<std::size_t>(i)];
+            if (bucket.empty()) return Status::Ok();
             TemporalHull ha = TemporalHull::Of(ta);
-            for (std::size_t j : *bucket) {
+            for (std::size_t j : bucket) {
               const GeneralizedTuple& tb = b.tuples()[j];
               bool residue_empty = false;
               for (int col = 0; col < m; ++col) {
@@ -287,7 +319,8 @@ Result<GeneralizedRelation> IntersectIndexed(const GeneralizedRelation& a,
                 BumpCounter(&KernelCounters::pairs_pruned_residue, options, 1);
                 continue;
               }
-              const TemporalHull& hb = hull_b[j];
+              const TemporalHull& hb =
+                  hull_b[static_cast<std::size_t>(slot[j])];
               if (ha.infeasible || hb.infeasible ||
                   HullsDisjoint(ha, hb, hull_cols)) {
                 BumpCounter(&KernelCounters::pairs_pruned_hull, options, 1);
@@ -355,7 +388,7 @@ Result<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
       std::vector<GeneralizedTuple> tuples,
       ParallelAppend<GeneralizedTuple>(
           static_cast<std::int64_t>(a.size()),
-          ParallelOptions{options.threads, /*grain=*/1},
+          ParallelOptions{options.threads, /*grain=*/16},
           [&](std::int64_t i, std::vector<GeneralizedTuple>& row) -> Status {
             const GeneralizedTuple& ta =
                 a.tuples()[static_cast<std::size_t>(i)];
@@ -401,7 +434,7 @@ Result<GeneralizedRelation> Subtract(const GeneralizedRelation& a,
     // this mirrors SubtractTuples' data-mismatch early exit, which also
     // never looks at t2's constraints.
     bool any_match = true;
-    if (skip_rounds && index->Candidates(t2, key_cols) == nullptr) {
+    if (skip_rounds && index->Candidates(t2, key_cols).empty()) {
       // The partition covers the original `a`, a superset of the surviving
       // residues: an empty bucket proves no survivor matches either.
       any_match = false;
@@ -430,7 +463,7 @@ Result<GeneralizedRelation> Subtract(const GeneralizedRelation& a,
         std::vector<std::vector<GeneralizedTuple>> rounds,
         ParallelAppend<std::vector<GeneralizedTuple>>(
             static_cast<std::int64_t>(current.size()),
-            ParallelOptions{options.threads, /*grain=*/1},
+            ParallelOptions{options.threads, /*grain=*/16},
             [&](std::int64_t i, std::vector<std::vector<GeneralizedTuple>>&
                                     out_parts) -> Status {
               const GeneralizedTuple& t1 =
@@ -1216,40 +1249,75 @@ Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
   std::vector<GeneralizedTuple> tuples;
   if (options.use_index) {
     DataKeyIndex index(b, b_key_cols);
-    std::int64_t candidates = index.CountCandidatePairs(a, a_key_cols);
+    // Probe every outer row once: the stored candidate spans drive the
+    // budget count, the touched-row discovery, AND the pair scan, instead
+    // of re-probing the index in each of those passes.
+    std::vector<std::span<const std::size_t>> a_buckets(a.tuples().size());
+    std::int64_t candidates = 0;
+    for (std::size_t i = 0; i < a.tuples().size(); ++i) {
+      a_buckets[i] = index.Candidates(a.tuples()[i], a_key_cols);
+      candidates += static_cast<std::int64_t>(a_buckets[i].size());
+    }
     BumpCounter(&KernelCounters::pairs_total, options,
                 static_cast<std::int64_t>(a.size()) * b.size());
     BumpCounter(&KernelCounters::pairs_candidate, options, candidates);
     ITDB_RETURN_IF_ERROR(CheckBudget(candidates, options, "Join"));
     // Per-b-tuple hulls and output-space constraint matrices, hoisted out
-    // of the pair loop (both depend only on tb).
+    // of the pair loop (both depend only on tb).  Columnar path: hoist only
+    // the rows some bucket can actually reach, closing their constraints in
+    // one batched slab; legacy path: every row, one scalar closure each.
+    // slot[j] maps a b row to its entry in hull_b / cb_mapped.
+    std::vector<std::int64_t> slot(b.tuples().size(), -1);
     std::vector<TemporalHull> hull_b;
     std::vector<Dbm> cb_mapped;
-    hull_b.reserve(b.tuples().size());
-    cb_mapped.reserve(b.tuples().size());
-    for (const GeneralizedTuple& tb : b.tuples()) {
-      hull_b.push_back(TemporalHull::Of(tb));
-      cb_mapped.push_back(
-          tb.constraints().MapVariables(b_temporal_target, m_out));
+    if (options.use_columnar) {
+      std::vector<std::size_t> touched;
+      for (std::span<const std::size_t> bucket : a_buckets) {
+        for (std::size_t j : bucket) {
+          if (slot[j] < 0) {
+            slot[j] = static_cast<std::int64_t>(touched.size());
+            touched.push_back(j);
+          }
+        }
+      }
+      Arena arena;
+      ColumnarRelation cb_cols(b, touched, &arena);
+      hull_b.reserve(touched.size());
+      cb_mapped.reserve(touched.size());
+      for (std::size_t s = 0; s < touched.size(); ++s) {
+        hull_b.push_back(cb_cols.Hull(static_cast<std::int64_t>(s)));
+        cb_mapped.push_back(b.tuples()[touched[s]].constraints().MapVariables(
+            b_temporal_target, m_out));
+      }
+    } else {
+      hull_b.reserve(b.tuples().size());
+      cb_mapped.reserve(b.tuples().size());
+      for (std::size_t j = 0; j < b.tuples().size(); ++j) {
+        const GeneralizedTuple& tb = b.tuples()[j];
+        slot[j] = static_cast<std::int64_t>(j);
+        hull_b.push_back(TemporalHull::Of(tb));
+        cb_mapped.push_back(
+            tb.constraints().MapVariables(b_temporal_target, m_out));
+      }
     }
     ITDB_ASSIGN_OR_RETURN(
         tuples,
         ParallelAppend<GeneralizedTuple>(
             static_cast<std::int64_t>(a.size()),
-            ParallelOptions{options.threads, /*grain=*/1},
+            ParallelOptions{options.threads, /*grain=*/16},
             [&](std::int64_t row, std::vector<GeneralizedTuple>& part)
                 -> Status {
               const GeneralizedTuple& ta =
                   a.tuples()[static_cast<std::size_t>(row)];
-              const std::vector<std::size_t>* bucket =
-                  index.Candidates(ta, a_key_cols);
-              if (bucket == nullptr) return Status::Ok();
+              const std::span<const std::size_t> bucket =
+                  a_buckets[static_cast<std::size_t>(row)];
+              if (bucket.empty()) return Status::Ok();
               TemporalHull ha = TemporalHull::Of(ta);
               std::optional<Dbm> ca_ext;
               if (ha.usable()) {
                 ca_ext = ha.closed->AppendVariablesClosed(m_out - ma);
               }
-              for (std::size_t j : *bucket) {
+              for (std::size_t j : bucket) {
                 const GeneralizedTuple& tb = b.tuples()[j];
                 bool residue_empty = false;
                 for (const auto& [ca_col, cb_col] : shared_temporal) {
@@ -1263,7 +1331,8 @@ Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
                               1);
                   continue;
                 }
-                const TemporalHull& hb = hull_b[j];
+                const TemporalHull& hb =
+                    hull_b[static_cast<std::size_t>(slot[j])];
                 if (ha.infeasible || hb.infeasible ||
                     HullsDisjoint(ha, hb, shared_temporal)) {
                   BumpCounter(&KernelCounters::pairs_pruned_hull, options, 1);
@@ -1279,15 +1348,16 @@ Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
                 for (int j2 : b_new_data) data.push_back(tb.value(j2));
                 GeneralizedTuple t(std::move(lrps), std::move(data));
                 Dbm merged(m_out);
+                const Dbm& cb = cb_mapped[static_cast<std::size_t>(slot[j])];
                 if (ca_ext.has_value()) {
                   ITDB_ASSIGN_OR_RETURN(
-                      merged, ConjoinOntoClosed(*ca_ext, cb_mapped[j],
-                                                options.counters));
+                      merged,
+                      ConjoinOntoClosed(*ca_ext, cb, options.counters));
                 } else {
                   // ta's own closure overflowed: replay the naive kernel so
                   // its status is reproduced exactly.
                   Dbm ca = ta.constraints().AppendVariables(m_out - ma);
-                  merged = Dbm::Conjoin(ca, cb_mapped[j]);
+                  merged = Dbm::Conjoin(ca, cb);
                   ITDB_RETURN_IF_ERROR(merged.Close());
                 }
                 if (!merged.feasible()) continue;
@@ -1307,7 +1377,7 @@ Result<GeneralizedRelation> Join(const GeneralizedRelation& a,
         tuples,
         ParallelAppend<GeneralizedTuple>(
             static_cast<std::int64_t>(a.size()),
-            ParallelOptions{options.threads, /*grain=*/1},
+            ParallelOptions{options.threads, /*grain=*/16},
             [&](std::int64_t row, std::vector<GeneralizedTuple>& part)
                 -> Status {
               const GeneralizedTuple& ta =

@@ -1,0 +1,69 @@
+#include "core/columnar.h"
+
+#include <cassert>
+
+namespace itdb {
+
+ColumnarRelation::ColumnarRelation(const GeneralizedRelation& r,
+                                   const std::vector<std::size_t>& rows,
+                                   Arena* arena)
+    : count_(static_cast<std::int64_t>(rows.size())),
+      arity_(r.schema().temporal_arity()),
+      rows_(rows),
+      slab_(arena, arity_, count_) {
+  const std::size_t cnt = rows.size();
+  const std::size_t cols = static_cast<std::size_t>(arity_);
+  offsets_ = arena->AllocateArray<std::int64_t>(cols * cnt);
+  periods_ = arena->AllocateArray<std::int64_t>(cols * cnt);
+  hull_lo_ = arena->AllocateArray<std::int64_t>(cols * cnt);
+  hull_hi_ = arena->AllocateArray<std::int64_t>(cols * cnt);
+  feasible_ = arena->AllocateArray<bool>(cnt);
+  overflow_ = arena->AllocateArray<bool>(cnt);
+  for (std::size_t i = 0; i < cnt; ++i) {
+    const GeneralizedTuple& t = r.tuples()[rows[i]];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Lrp& l = t.lrp(static_cast<int>(c));
+      offsets_[c * cnt + i] = l.offset();
+      periods_[c * cnt + i] = l.period();
+    }
+    slab_.Load(static_cast<std::int64_t>(i), t.constraints());
+  }
+  slab_.CloseAll(feasible_, overflow_);
+  // Read the per-column bounding intervals off the zero node's row and
+  // column, exactly as TemporalHull::Of does on the scalar closure.
+  for (std::size_t i = 0; i < cnt; ++i) {
+    if (!usable(static_cast<std::int64_t>(i))) continue;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::int64_t upper =
+          slab_.at(static_cast<int>(c) + 1, 0, static_cast<std::int64_t>(i));
+      const std::int64_t lower =
+          slab_.at(0, static_cast<int>(c) + 1, static_cast<std::int64_t>(i));
+      hull_hi_[c * cnt + i] = upper;
+      hull_lo_[c * cnt + i] = lower == Dbm::kInf ? -Dbm::kInf : -lower;
+    }
+  }
+}
+
+TemporalHull ColumnarRelation::Hull(std::int64_t i) const {
+  TemporalHull out;
+  if (close_failed(i)) {
+    out.close_failed = true;
+    return out;
+  }
+  if (infeasible(i)) {
+    out.infeasible = true;
+    return out;
+  }
+  const std::size_t cnt = static_cast<std::size_t>(count_);
+  const std::size_t cols = static_cast<std::size_t>(arity_);
+  out.lo.resize(cols);
+  out.hi.resize(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    out.lo[c] = hull_lo_[c * cnt + static_cast<std::size_t>(i)];
+    out.hi[c] = hull_hi_[c * cnt + static_cast<std::size_t>(i)];
+  }
+  out.closed = slab_.Extract(i);
+  return out;
+}
+
+}  // namespace itdb

@@ -31,10 +31,8 @@ obs::Counter& TightenFallbackCounter() {
   return *counter;
 }
 
-// Bounds beyond this magnitude trigger kOverflow from Close(); the margin
-// below INT64_MAX keeps saturating additions representable in __int128 and
-// far from the kInf sentinel.
-constexpr std::int64_t kBoundLimit = std::int64_t{1} << 61;
+// Shorthand for the class constant (see dbm.h).
+constexpr std::int64_t kBoundLimit = Dbm::kBoundLimit;
 
 // a + b where either may be kInf; exact otherwise (fits: |a|,|b| <= 2^61).
 std::int64_t SatAdd(std::int64_t a, std::int64_t b) {
@@ -326,6 +324,15 @@ Dbm Dbm::MapVariables(const std::vector<int>& new_from_old,
       out.Tighten(node_of(p), node_of(q), b);
     }
   }
+  return out;
+}
+
+Dbm Dbm::FromClosedEntries(int num_vars, const std::int64_t* entries) {
+  Dbm out(num_vars);
+  std::size_t n = static_cast<std::size_t>(num_vars) + 1;
+  for (std::size_t idx = 0; idx < n * n; ++idx) out.matrix_[idx] = entries[idx];
+  out.closed_ = true;
+  out.feasible_ = true;
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "util/small_vec.h"
 #include "util/status.h"
 
 namespace itdb {
@@ -59,6 +60,18 @@ class Dbm {
  public:
   /// Sentinel for "no constraint".
   static constexpr std::int64_t kInf = INT64_MAX;
+
+  /// Magnitude limit for finite bounds: Close() reports kOverflow when a
+  /// derived bound leaves [-kBoundLimit, kBoundLimit].  The margin below
+  /// INT64_MAX keeps saturating additions representable in __int128 and far
+  /// from the kInf sentinel.  Shared with the batched kernels (dbm_batch),
+  /// which must reproduce the same overflow decisions.
+  static constexpr std::int64_t kBoundLimit = std::int64_t{1} << 61;
+
+  /// Matrices of up to this many nodes (num_vars + 1) are stored inline in
+  /// the Dbm object; larger ones take a single heap block.  Public so the
+  /// batched kernels can size their stack scratch to the common case.
+  static constexpr std::size_t kMaxInlineNodes = 5;
 
   /// An unconstrained system over `num_vars` variables.
   explicit Dbm(int num_vars);
@@ -135,6 +148,11 @@ class Dbm {
   /// The result is not closed.
   static Dbm Conjoin(const Dbm& a, const Dbm& b);
 
+  /// Builds a Dbm directly from `(num_vars + 1)^2` node-major entries that
+  /// are already a feasible shortest-path closure (as produced by the
+  /// batched closure kernels).  The result has closed() && feasible().
+  static Dbm FromClosedEntries(int num_vars, const std::int64_t* entries);
+
   /// Raw entry access in node space (0 = zero node, i+1 = variable i):
   /// the upper bound on node_p - node_q, or kInf.
   std::int64_t bound_node(int p, int q) const {
@@ -176,8 +194,13 @@ class Dbm {
   /// min-assign, invalidates closure.
   void Tighten(int p, int q, std::int64_t v);
 
+  /// Bound matrix in node-major order.  Matrices up to kMaxInlineNodes^2
+  /// entries (temporal arity <= 4, the overwhelmingly common case) live
+  /// inline in the Dbm object itself, so constructing or copying a small
+  /// system never touches the heap; larger systems fall back to one heap
+  /// block.
   int num_vars_;
-  std::vector<std::int64_t> matrix_;
+  SmallVec<std::int64_t, kMaxInlineNodes * kMaxInlineNodes> matrix_;
   bool closed_ = false;
   bool feasible_ = true;
 };

@@ -1,0 +1,228 @@
+#include "core/dbm_batch.h"
+
+#include <cassert>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace itdb {
+
+namespace {
+
+constexpr std::int64_t kInf = Dbm::kInf;
+constexpr std::int64_t kBoundLimit = Dbm::kBoundLimit;
+
+obs::Counter& CloseBatchCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("dbm.close_batch");
+  return *counter;
+}
+
+obs::Counter& CloseBatchSystemsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("dbm.close_batch_systems");
+  return *counter;
+}
+
+}  // namespace
+
+DbmSlab::DbmSlab(Arena* arena, int num_vars, std::int64_t count)
+    : num_vars_(num_vars), count_(count), arena_(arena) {
+  assert(num_vars >= 0 && count >= 0);
+  std::size_t n = static_cast<std::size_t>(num_vars) + 1;
+  slab_ = arena->AllocateArray<std::int64_t>(
+      n * n * static_cast<std::size_t>(count));
+}
+
+void DbmSlab::InitUnconstrained() {
+  const int n = nodes();
+  const std::size_t cnt = static_cast<std::size_t>(count_);
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      std::int64_t* row =
+          slab_ + (static_cast<std::size_t>(p) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(q)) *
+                      cnt;
+      const std::int64_t fill = p == q ? 0 : kInf;
+      for (std::size_t t = 0; t < cnt; ++t) row[t] = fill;
+    }
+  }
+}
+
+void DbmSlab::Load(std::int64_t t, const Dbm& d) {
+  assert(d.num_vars() == num_vars_);
+  const int n = nodes();
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      at(p, q, t) = d.bound_node(p, q);
+    }
+  }
+}
+
+void DbmSlab::CloseAll(bool* feasible, bool* overflow) {
+  CloseBatchCounter().Increment();
+  CloseBatchSystemsCounter().Add(count_);
+  const int n = nodes();
+  const std::size_t cnt = static_cast<std::size_t>(count_);
+  std::int64_t* pr_snap = arena_->AllocateArray<std::int64_t>(cnt);
+  // Floyd-Warshall in lockstep over all systems.  Per system this performs
+  // the scalar Dbm::Close() relaxations in the scalar order: the (p, r)
+  // operand is snapshotted before each q sweep exactly as the scalar loop
+  // hoists it, so even pathological (negative-cycle) systems produce the
+  // same matrices entry for entry.
+  for (int r = 0; r < n; ++r) {
+    for (int p = 0; p < n; ++p) {
+      const std::int64_t* pr_row =
+          slab_ + (static_cast<std::size_t>(p) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(r)) *
+                      cnt;
+      for (std::size_t t = 0; t < cnt; ++t) pr_snap[t] = pr_row[t];
+      for (int q = 0; q < n; ++q) {
+        const std::int64_t* rq_row =
+            slab_ + (static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(q)) *
+                        cnt;
+        std::int64_t* pq_row =
+            slab_ + (static_cast<std::size_t>(p) * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(q)) *
+                        cnt;
+        // The stride-1 min-plus update: this is the loop the vectorizer
+        // turns into SIMD compares/adds/blends.
+        for (std::size_t t = 0; t < cnt; ++t) {
+          const std::int64_t a = pr_snap[t];
+          const std::int64_t b = rq_row[t];
+          const std::int64_t via = (a == kInf || b == kInf) ? kInf : a + b;
+          if (via < pq_row[t]) pq_row[t] = via;
+        }
+      }
+    }
+  }
+  for (std::size_t t = 0; t < cnt; ++t) {
+    feasible[t] = true;
+    overflow[t] = false;
+  }
+  for (int p = 0; p < n; ++p) {
+    const std::int64_t* diag =
+        slab_ + (static_cast<std::size_t>(p) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(p)) *
+                    cnt;
+    for (std::size_t t = 0; t < cnt; ++t) {
+      if (diag[t] < 0) feasible[t] = false;
+    }
+  }
+  // The scalar kernel only polices the bound range on feasible systems.
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      const std::int64_t* row =
+          slab_ + (static_cast<std::size_t>(p) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(q)) *
+                      cnt;
+      for (std::size_t t = 0; t < cnt; ++t) {
+        if (feasible[t] && row[t] != kInf &&
+            (row[t] > kBoundLimit || row[t] < -kBoundLimit)) {
+          overflow[t] = true;
+        }
+      }
+    }
+  }
+}
+
+Dbm DbmSlab::Extract(std::int64_t t) const {
+  const int n = nodes();
+  std::int64_t local[Dbm::kMaxInlineNodes * Dbm::kMaxInlineNodes];
+  std::vector<std::int64_t> heap;
+  std::int64_t* entries = local;
+  if (n > static_cast<int>(Dbm::kMaxInlineNodes)) {
+    heap.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    entries = heap.data();
+  }
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      entries[p * n + q] = at(p, q, t);
+    }
+  }
+  return Dbm::FromClosedEntries(num_vars_, entries);
+}
+
+void TightenAndCloseBatch(DbmSlab& slab, const AtomicConstraint& c,
+                          Dbm::TightenResult* results) {
+  const int p = c.lhs + 1;
+  const int q = c.rhs + 1;
+  const std::int64_t w = c.bound;
+  const std::int64_t cnt = slab.count();
+  if (p == q) {
+    const Dbm::TightenResult r = w < 0 ? Dbm::TightenResult::kFallbackNeeded
+                                       : Dbm::TightenResult::kClosed;
+    for (std::int64_t t = 0; t < cnt; ++t) results[t] = r;
+    return;
+  }
+  const int n = slab.nodes();
+  for (std::int64_t t = 0; t < cnt; ++t) {
+    if (w >= slab.at(p, q, t)) {  // Not tighter: already closed.
+      results[t] = Dbm::TightenResult::kClosed;
+      continue;
+    }
+    const std::int64_t qp = slab.at(q, p, t);
+    if (qp != kInf && static_cast<__int128>(qp) + w < 0) {
+      slab.Tighten(p, q, t, w);
+      results[t] = Dbm::TightenResult::kInfeasible;
+      continue;
+    }
+    // Detect-before-mutate, exactly like Dbm::TightenAndClose: any improving
+    // value outside the safe range leaves the system untouched for the
+    // caller's full-closure replay.
+    bool fallback = false;
+    for (int i = 0; i < n && !fallback; ++i) {
+      const std::int64_t ip = slab.at(i, p, t);
+      if (ip == kInf) continue;
+      for (int j = 0; j < n; ++j) {
+        const std::int64_t qj = slab.at(q, j, t);
+        if (qj == kInf) continue;
+        const __int128 via = static_cast<__int128>(ip) + w + qj;
+        if (via < slab.at(i, j, t) &&
+            (via > kBoundLimit || via < -kBoundLimit)) {
+          fallback = true;
+          break;
+        }
+      }
+    }
+    if (fallback) {
+      results[t] = Dbm::TightenResult::kFallbackNeeded;
+      continue;
+    }
+    // Mutate pass.  The scalar kernel snapshots column p and row q before
+    // writing; entry (p, q) itself is both an input (i == p, j == q) and an
+    // output, so snapshot here too.
+    std::int64_t to_p[Dbm::kMaxInlineNodes];
+    std::int64_t from_q[Dbm::kMaxInlineNodes];
+    std::vector<std::int64_t> to_p_heap;
+    std::vector<std::int64_t> from_q_heap;
+    std::int64_t* tp = to_p;
+    std::int64_t* fq = from_q;
+    if (n > static_cast<int>(Dbm::kMaxInlineNodes)) {
+      to_p_heap.resize(static_cast<std::size_t>(n));
+      from_q_heap.resize(static_cast<std::size_t>(n));
+      tp = to_p_heap.data();
+      fq = from_q_heap.data();
+    }
+    for (int i = 0; i < n; ++i) {
+      tp[i] = slab.at(i, p, t);
+      fq[i] = slab.at(q, i, t);
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t ip = tp[i];
+      if (ip == kInf) continue;
+      for (int j = 0; j < n; ++j) {
+        const std::int64_t qj = fq[j];
+        if (qj == kInf) continue;
+        const __int128 via = static_cast<__int128>(ip) + w + qj;
+        if (via < slab.at(i, j, t)) {
+          slab.at(i, j, t) = static_cast<std::int64_t>(via);
+        }
+      }
+    }
+    results[t] = Dbm::TightenResult::kClosed;
+  }
+}
+
+}  // namespace itdb

@@ -1,7 +1,10 @@
 #include "core/index.h"
 
 #include <cassert>
+#include <functional>
+#include <string>
 #include <utility>
+#include <variant>
 
 #include "util/numeric.h"
 
@@ -29,35 +32,138 @@ bool LrpIntersectionEmpty(const Lrp& a, const Lrp& b) {
   return FloorMod(diff, g) != 0;
 }
 
+namespace internal {
+
+namespace {
+
+// Finalizer of splitmix64: a fast, well-mixing permutation of 64-bit ints.
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t HashOne(const Value& v) {
+  if (v.IsInt()) return Mix64(static_cast<std::uint64_t>(v.AsInt()));
+  return std::hash<std::string>{}(v.AsString());
+}
+
+// Order-dependent combine (boost-style), shared by both key forms so a
+// stored vector key and an in-place probe of equal values hash alike.
+std::uint64_t Combine(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+std::size_t ValueKeyHash::operator()(const ProbeKey& key) const {
+  std::uint64_t h = key.cols->size();
+  for (int c : *key.cols) h = Combine(h, HashOne(key.tuple->value(c)));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace internal
+
+bool DataKeyIndex::KeysEqual(const GeneralizedTuple& probe,
+                             const std::vector<int>& probe_cols,
+                             std::size_t row) const {
+  const GeneralizedTuple& stored = rel_->tuples()[row];
+  for (std::size_t c = 0; c < key_cols_.size(); ++c) {
+    if (probe.value(probe_cols[c]) != stored.value(key_cols_[c])) return false;
+  }
+  return true;
+}
+
 DataKeyIndex::DataKeyIndex(const GeneralizedRelation& r,
                            std::vector<int> key_cols)
-    : keyed_(!key_cols.empty()), key_cols_(std::move(key_cols)) {
+    : keyed_(!key_cols.empty()), key_cols_(std::move(key_cols)), rel_(&r) {
+  const std::size_t n = r.tuples().size();
+  rows_.resize(n);
   if (!keyed_) {
-    all_.resize(static_cast<std::size_t>(r.size()));
-    for (std::size_t i = 0; i < all_.size(); ++i) all_[i] = i;
+    for (std::size_t i = 0; i < n; ++i) rows_[i] = i;
+    group_offsets_ = {0, n};
     return;
   }
-  std::vector<Value> key(key_cols_.size());
-  for (std::size_t i = 0; i < r.tuples().size(); ++i) {
+  if (n == 0) {
+    group_offsets_ = {0};
+    return;
+  }
+  // Power-of-two table at most half full keeps linear-probe chains short.
+  std::size_t table_size = 8;
+  while (table_size < 2 * n) table_size *= 2;
+  table_mask_ = table_size - 1;
+  table_hash_.resize(table_size);
+  table_group_.assign(table_size, -1);
+
+  // Pass 1: assign each row a group id (first row with an equal key wins),
+  // counting group sizes.  group_offsets_ doubles as the counts buffer.
+  const internal::ValueKeyHash hasher;
+  std::vector<std::uint64_t> row_hash(n);
+  std::vector<std::int64_t> group_of(n);
+  std::vector<std::size_t> group_first;
+  group_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
     const GeneralizedTuple& t = r.tuples()[i];
-    for (std::size_t c = 0; c < key_cols_.size(); ++c) {
-      key[c] = t.value(key_cols_[c]);
+    const std::uint64_t h =
+        hasher(internal::ProbeKey{&t, &key_cols_});
+    row_hash[i] = h;
+    std::size_t slot = h & table_mask_;
+    std::int64_t g = -1;
+    while (table_group_[slot] >= 0) {
+      if (table_hash_[slot] == h &&
+          KeysEqual(t, key_cols_,
+                    group_first[static_cast<std::size_t>(
+                        table_group_[slot])])) {
+        g = table_group_[slot];
+        break;
+      }
+      slot = (slot + 1) & table_mask_;
     }
-    buckets_[key].push_back(i);
+    if (g < 0) {
+      g = static_cast<std::int64_t>(group_first.size());
+      group_first.push_back(i);
+      table_group_[slot] = g;
+      table_hash_[slot] = h;
+    }
+    group_of[i] = g;
+    ++group_offsets_[static_cast<std::size_t>(g) + 1];
+  }
+  const std::size_t num_groups = group_first.size();
+  group_offsets_.resize(num_groups + 1);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    group_offsets_[g + 1] += group_offsets_[g];
+  }
+  // Pass 2: scatter rows into their group's CSR range.  Visiting rows in
+  // ascending order keeps each group's indices ascending -- the naive inner
+  // loop's order, which the bit-identity contract requires.
+  std::vector<std::size_t> cursor(group_offsets_.begin(),
+                                  group_offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows_[cursor[static_cast<std::size_t>(group_of[i])]++] = i;
   }
 }
 
-const std::vector<std::size_t>* DataKeyIndex::Candidates(
+std::span<const std::size_t> DataKeyIndex::Candidates(
     const GeneralizedTuple& probe, const std::vector<int>& probe_cols) const {
-  if (!keyed_) return &all_;
+  if (!keyed_) return {rows_.data(), rows_.size()};
   assert(probe_cols.size() == key_cols_.size());
-  std::vector<Value> key(probe_cols.size());
-  for (std::size_t c = 0; c < probe_cols.size(); ++c) {
-    key[c] = probe.value(probe_cols[c]);
+  if (rows_.empty()) return {};
+  const std::uint64_t h =
+      internal::ValueKeyHash{}(internal::ProbeKey{&probe, &probe_cols});
+  std::size_t slot = h & table_mask_;
+  while (table_group_[slot] >= 0) {
+    const std::size_t g = static_cast<std::size_t>(table_group_[slot]);
+    if (table_hash_[slot] == h &&
+        KeysEqual(probe, probe_cols, rows_[group_offsets_[g]])) {
+      return {rows_.data() + group_offsets_[g],
+              group_offsets_[g + 1] - group_offsets_[g]};
+    }
+    slot = (slot + 1) & table_mask_;
   }
-  auto it = buckets_.find(key);
-  if (it == buckets_.end()) return nullptr;
-  return &it->second;
+  return {};
 }
 
 std::int64_t DataKeyIndex::CountCandidatePairs(
@@ -65,8 +171,7 @@ std::int64_t DataKeyIndex::CountCandidatePairs(
     const std::vector<int>& probe_cols) const {
   std::int64_t total = 0;
   for (const GeneralizedTuple& t : probe_rel.tuples()) {
-    const std::vector<std::size_t>* bucket = Candidates(t, probe_cols);
-    if (bucket != nullptr) total += static_cast<std::int64_t>(bucket->size());
+    total += static_cast<std::int64_t>(Candidates(t, probe_cols).size());
   }
   return total;
 }

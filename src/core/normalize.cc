@@ -3,11 +3,21 @@
 #include <string>
 #include <utility>
 
+#include "core/dbm_batch.h"
 #include "obs/metrics.h"
+#include "util/arena.h"
 #include "util/numeric.h"
 #include "util/thread_pool.h"
 
 namespace itdb {
+
+namespace {
+
+/// Candidates per batched-sweep morsel: enough for full SIMD lanes in the
+/// slab closure, small enough that a chunk's scratch stays in L1.
+constexpr std::int64_t kNormalizeChunk = 64;
+
+}  // namespace
 
 bool IsNormalForm(const GeneralizedTuple& t, std::int64_t* period) {
   std::int64_t k = 0;
@@ -92,24 +102,180 @@ Result<std::vector<GeneralizedTuple>> NormalizeTupleToPeriod(
     calls->Increment();
     split->Record(total);
   }
-  ParallelOptions parallel{options.threads, /*grain=*/64};
+  if (!options.batch) {
+    ParallelOptions parallel{options.threads, /*grain=*/64};
+    return ParallelAppend<GeneralizedTuple>(
+        total, parallel,
+        [&](std::int64_t index, std::vector<GeneralizedTuple>& out) -> Status {
+          std::vector<Lrp> lrps(static_cast<std::size_t>(m));
+          std::int64_t rest = index;
+          for (int i = m - 1; i >= 0; --i) {
+            const std::vector<Lrp>& column =
+                choices[static_cast<std::size_t>(i)];
+            const std::int64_t size = static_cast<std::int64_t>(column.size());
+            lrps[static_cast<std::size_t>(i)] =
+                column[static_cast<std::size_t>(rest % size)];
+            rest /= size;
+          }
+          GeneralizedTuple candidate(std::move(lrps), t.data());
+          candidate.set_constraints(t.constraints());
+          ITDB_ASSIGN_OR_RETURN(NSpaceTuple ns, NSpaceTuple::Build(candidate));
+          if (ns.feasible()) out.push_back(std::move(candidate));
+          return Status::Ok();
+        });
+  }
+  // Batched sweep.  Per candidate, NSpaceTuple::Build (the legacy path)
+  // closes a fresh copy of the SAME X-space system, derives the same
+  // variable layout, and only then does candidate-specific work (bound
+  // translation against the chosen offsets plus one small closure).  Hoist
+  // everything candidate-independent out of the loop and run the remaining
+  // per-candidate closures on an entry-major slab, one morsel-sized chunk
+  // of the cross product at a time.  Decisions, statuses, order, and the
+  // surviving tuples are bit-identical to the legacy sweep.
+  Dbm x_closed = t.constraints();
+  ITDB_RETURN_IF_ERROR(x_closed.Close());
+  if (!x_closed.feasible()) return std::vector<GeneralizedTuple>{};
+  std::vector<int> var_of_column(static_cast<std::size_t>(m), -1);
+  int num_vars = 0;
+  for (int i = 0; i < m; ++i) {
+    if (t.lrp(i).period() != 0) {
+      var_of_column[static_cast<std::size_t>(i)] = num_vars++;
+    }
+  }
+  const std::int64_t k = num_vars > 0 ? period : 1;
+  const std::vector<AtomicConstraint> atomics = x_closed.ToAtomics();
+  const std::int64_t chunks =
+      (total + kNormalizeChunk - 1) / kNormalizeChunk;
+  ParallelOptions parallel{options.threads, /*grain=*/1};
   return ParallelAppend<GeneralizedTuple>(
-      total, parallel,
-      [&](std::int64_t index, std::vector<GeneralizedTuple>& out) -> Status {
-        std::vector<Lrp> lrps(static_cast<std::size_t>(m));
-        std::int64_t rest = index;
-        for (int i = m - 1; i >= 0; --i) {
-          const std::vector<Lrp>& column =
-              choices[static_cast<std::size_t>(i)];
-          const std::int64_t size = static_cast<std::int64_t>(column.size());
-          lrps[static_cast<std::size_t>(i)] =
-              column[static_cast<std::size_t>(rest % size)];
-          rest /= size;
+      chunks, parallel,
+      [&](std::int64_t chunk, std::vector<GeneralizedTuple>& out) -> Status {
+        const std::int64_t lo = chunk * kNormalizeChunk;
+        const std::int64_t hi = std::min(total, lo + kNormalizeChunk);
+        const std::int64_t cnt = hi - lo;
+        Arena& arena = Arena::ThreadLocalScratch();
+        ArenaScope scope(arena);
+        // Chunk-local candidate state: the chosen split index per column
+        // (the odometer digits, column-major) and derived offsets.
+        int* digits = arena.AllocateArray<int>(
+            static_cast<std::size_t>(m) * static_cast<std::size_t>(cnt));
+        std::int64_t* offsets = arena.AllocateArray<std::int64_t>(
+            static_cast<std::size_t>(m) * static_cast<std::size_t>(cnt));
+        for (std::int64_t c = 0; c < cnt; ++c) {
+          std::int64_t rest = lo + c;
+          for (int i = m - 1; i >= 0; --i) {
+            const std::vector<Lrp>& column =
+                choices[static_cast<std::size_t>(i)];
+            const std::int64_t size = static_cast<std::int64_t>(column.size());
+            const int digit = static_cast<int>(rest % size);
+            rest /= size;
+            digits[static_cast<std::size_t>(i) * static_cast<std::size_t>(cnt) +
+                   static_cast<std::size_t>(c)] = digit;
+            offsets[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(cnt) +
+                    static_cast<std::size_t>(c)] =
+                column[static_cast<std::size_t>(digit)].offset();
+          }
         }
-        GeneralizedTuple candidate(std::move(lrps), t.data());
-        candidate.set_constraints(t.constraints());
-        ITDB_ASSIGN_OR_RETURN(NSpaceTuple ns, NSpaceTuple::Build(candidate));
-        if (ns.feasible()) out.push_back(std::move(candidate));
+        // Translate the hoisted X-space atomics per candidate into the
+        // n-space slab, mirroring NSpaceTuple::Build's arithmetic (and its
+        // overflow statuses) exactly.  flag_infeasible mirrors the ground /
+        // same-variable contradiction flags; translation continues past
+        // them, as Build does.
+        DbmSlab slab(&arena, num_vars, cnt);
+        slab.InitUnconstrained();
+        bool* flag_infeasible = arena.AllocateArray<bool>(
+            static_cast<std::size_t>(cnt));
+        for (std::int64_t c = 0; c < cnt; ++c) {
+          flag_infeasible[static_cast<std::size_t>(c)] = false;
+        }
+        Status deferred = Status::Ok();
+        std::int64_t translated = cnt;
+        for (std::int64_t c = 0; c < cnt && deferred.ok(); ++c) {
+          for (const AtomicConstraint& a : atomics) {
+            std::int64_t rhs = a.bound;
+            int vp = -1;
+            int vq = -1;
+            if (a.lhs != kZeroVar) {
+              Result<std::int64_t> sub = CheckedSub(
+                  rhs, offsets[static_cast<std::size_t>(a.lhs) *
+                                   static_cast<std::size_t>(cnt) +
+                               static_cast<std::size_t>(c)]);
+              if (!sub.ok()) {
+                deferred = sub.status();
+                translated = c;
+                break;
+              }
+              rhs = *sub;
+              vp = var_of_column[static_cast<std::size_t>(a.lhs)];
+            }
+            if (a.rhs != kZeroVar) {
+              Result<std::int64_t> add = CheckedAdd(
+                  rhs, offsets[static_cast<std::size_t>(a.rhs) *
+                                   static_cast<std::size_t>(cnt) +
+                               static_cast<std::size_t>(c)]);
+              if (!add.ok()) {
+                deferred = add.status();
+                translated = c;
+                break;
+              }
+              rhs = *add;
+              vq = var_of_column[static_cast<std::size_t>(a.rhs)];
+            }
+            if (vp >= 0 && vq >= 0) {
+              if (vp == vq) {
+                if (rhs < 0) flag_infeasible[static_cast<std::size_t>(c)] = true;
+                continue;
+              }
+              slab.AddAtomic(c, vp, vq, FloorDiv(rhs, k));
+            } else if (vp >= 0) {
+              slab.AddAtomic(c, vp, kZeroVar, FloorDiv(rhs, k));
+            } else if (vq >= 0) {
+              slab.AddAtomic(c, kZeroVar, vq, FloorDiv(rhs, k));
+            } else if (rhs < 0) {
+              flag_infeasible[static_cast<std::size_t>(c)] = true;
+            }
+          }
+        }
+        bool* feasible = arena.AllocateArray<bool>(
+            static_cast<std::size_t>(cnt));
+        bool* overflow = arena.AllocateArray<bool>(
+            static_cast<std::size_t>(cnt));
+        slab.CloseAll(feasible, overflow);
+        // The legacy sweep surfaces a candidate's closure overflow before a
+        // LATER candidate's translation overflow; replicate that ordering.
+        for (std::int64_t c = 0; c < translated; ++c) {
+          if (overflow[static_cast<std::size_t>(c)]) {
+            return Status::Overflow(
+                "DBM bound exceeds safe range during closure");
+          }
+        }
+        if (!deferred.ok()) return deferred;
+        std::size_t survivors = 0;
+        for (std::int64_t c = 0; c < cnt; ++c) {
+          if (feasible[static_cast<std::size_t>(c)] &&
+              !flag_infeasible[static_cast<std::size_t>(c)]) {
+            ++survivors;
+          }
+        }
+        out.reserve(out.size() + survivors);
+        for (std::int64_t c = 0; c < cnt; ++c) {
+          if (!feasible[static_cast<std::size_t>(c)] ||
+              flag_infeasible[static_cast<std::size_t>(c)]) {
+            continue;
+          }
+          std::vector<Lrp> lrps(static_cast<std::size_t>(m));
+          for (int i = 0; i < m; ++i) {
+            lrps[static_cast<std::size_t>(i)] =
+                choices[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+                    digits[static_cast<std::size_t>(i) *
+                               static_cast<std::size_t>(cnt) +
+                           static_cast<std::size_t>(c)])];
+          }
+          GeneralizedTuple candidate(std::move(lrps), t.data());
+          candidate.set_constraints(t.constraints());
+          out.push_back(std::move(candidate));
+        }
         return Status::Ok();
       });
 }

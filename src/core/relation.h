@@ -38,7 +38,12 @@ class GeneralizedRelation {
 
   const Schema& schema() const { return schema_; }
   const std::vector<GeneralizedTuple>& tuples() const { return tuples_; }
-  int size() const { return static_cast<int>(tuples_.size()); }
+  /// Tuple count as a signed 64-bit value: relation sizes feed pair-product
+  /// budgets (size_a * size_b), which an `int` return would silently
+  /// truncate / overflow at workload scale.
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(tuples_.size());
+  }
 
   /// Appends a tuple; fails when its arities do not match the schema.
   Status AddTuple(GeneralizedTuple t);

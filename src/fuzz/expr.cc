@@ -210,7 +210,7 @@ Result<GeneralizedRelation> EvalExpr(const ExprPtr& e, const Database& db,
                             EvalExpr(e->right, db, options));
       if (options.bug == InjectedBug::kUnionDropTuple && b.size() > 0) {
         GeneralizedRelation dropped(b.schema());
-        for (int i = 0; i + 1 < b.size(); ++i) {
+        for (std::int64_t i = 0; i + 1 < b.size(); ++i) {
           ITDB_RETURN_IF_ERROR(
               dropped.AddTuple(b.tuples()[static_cast<std::size_t>(i)]));
         }

@@ -170,14 +170,14 @@ ShrinkCase Shrink(ShrinkCase start, const FailPredicate& fails,
     for (const std::string& name : start.db.Names()) {
       const GeneralizedRelation rel = *start.db.Get(name);
       bool accepted = false;
-      for (int i = 0; i < rel.size() && !accepted; ++i) {
+      for (std::int64_t i = 0; i < rel.size() && !accepted; ++i) {
         std::vector<GeneralizedTuple> fewer = rel.tuples();
         fewer.erase(fewer.begin() + i);
         Database smaller = start.db;
         smaller.Put(name, WithTuples(rel.schema(), std::move(fewer)));
         accepted = try_accept({std::move(smaller), start.expr});
       }
-      for (int i = 0; i < rel.size() && !accepted; ++i) {
+      for (std::int64_t i = 0; i < rel.size() && !accepted; ++i) {
         std::vector<GeneralizedTuple> variants;
         TupleReductions(rel.tuples()[static_cast<std::size_t>(i)], &variants);
         for (GeneralizedTuple& v : variants) {

@@ -180,7 +180,7 @@ Status CmdSat(std::ostream& out, const Database& db, const std::string& text) {
 
 Status CmdCoalesce(std::ostream& out, Database& db, const std::string& name) {
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
-  int before = rel.size();
+  std::int64_t before = rel.size();
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(rel));
   out << before << " -> " << packed.size() << " tuple(s)\n";
   db.Put(name, std::move(packed));
@@ -189,7 +189,7 @@ Status CmdCoalesce(std::ostream& out, Database& db, const std::string& name) {
 
 Status CmdSimplify(std::ostream& out, Database& db, const std::string& name) {
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
-  int before = rel.size();
+  std::int64_t before = rel.size();
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation simplified, Simplify(rel));
   out << before << " -> " << simplified.size() << " tuple(s)\n";
   db.Put(name, std::move(simplified));
@@ -231,6 +231,7 @@ Status CmdProfile(std::ostream& out, const Database& db,
 void CmdMetrics(std::ostream& out) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::PublishThreadPoolMetrics(registry);
+  obs::PublishArenaMetrics(registry);
   out << registry.snapshot().ToText();
 }
 

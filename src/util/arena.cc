@@ -1,0 +1,122 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace itdb {
+
+namespace {
+
+// Process-wide accounting (relaxed: metrics never guard data).
+std::atomic<std::int64_t> g_bytes_allocated{0};
+std::atomic<std::int64_t> g_allocations{0};
+std::atomic<std::int64_t> g_bytes_reserved{0};
+std::atomic<std::int64_t> g_resets{0};
+
+std::size_t AlignUp(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+void* Arena::Allocate(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;  // Keep returned pointers valid and distinct.
+  stats_.bytes_allocated += static_cast<std::int64_t>(size);
+  ++stats_.allocations;
+  g_bytes_allocated.fetch_add(static_cast<std::int64_t>(size),
+                              std::memory_order_relaxed);
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (ptr_ != nullptr) {
+    std::byte* aligned = reinterpret_cast<std::byte*>(
+        AlignUp(reinterpret_cast<std::uintptr_t>(ptr_), align));
+    if (aligned + size <= end_) {
+      ptr_ = aligned + size;
+      return aligned;
+    }
+  }
+  return AllocateSlow(size, align);
+}
+
+void* Arena::AllocateSlow(std::size_t size, std::size_t align) {
+  // Oversized or over-aligned requests get a dedicated block so they cannot
+  // blow up the chunk ladder; freed (not reused) on Reset.
+  std::size_t next_capacity =
+      chunks_.empty() ? kMinChunkBytes
+                      : std::min(kMaxChunkBytes,
+                                 chunks_.back().capacity * 2);
+  if (size + align > next_capacity / 2 ||
+      align > alignof(std::max_align_t)) {
+    std::size_t block_size = size + align;
+    large_blocks_.push_back(std::make_unique<std::byte[]>(block_size));
+    ++stats_.large_blocks;
+    stats_.bytes_reserved += static_cast<std::int64_t>(block_size);
+    g_bytes_reserved.fetch_add(static_cast<std::int64_t>(block_size),
+                               std::memory_order_relaxed);
+    return reinterpret_cast<std::byte*>(
+        AlignUp(reinterpret_cast<std::uintptr_t>(large_blocks_.back().get()),
+                align));
+  }
+  // Advance through chunks kept by Reset() before growing a new one.
+  while (current_ + 1 < chunks_.size()) {
+    ++current_;
+    Chunk& c = chunks_[current_];
+    ptr_ = c.data.get();
+    end_ = ptr_ + c.capacity;
+    std::byte* aligned = reinterpret_cast<std::byte*>(
+        AlignUp(reinterpret_cast<std::uintptr_t>(ptr_), align));
+    if (aligned + size <= end_) {
+      ptr_ = aligned + size;
+      return aligned;
+    }
+  }
+  Chunk chunk;
+  chunk.capacity = next_capacity;
+  chunk.data = std::make_unique<std::byte[]>(chunk.capacity);
+  chunks_.push_back(std::move(chunk));
+  ++stats_.chunks;
+  stats_.bytes_reserved += static_cast<std::int64_t>(next_capacity);
+  g_bytes_reserved.fetch_add(static_cast<std::int64_t>(next_capacity),
+                             std::memory_order_relaxed);
+  current_ = chunks_.size() - 1;
+  ptr_ = chunks_.back().data.get();
+  end_ = ptr_ + chunks_.back().capacity;
+  std::byte* aligned = reinterpret_cast<std::byte*>(
+      AlignUp(reinterpret_cast<std::uintptr_t>(ptr_), align));
+  ptr_ = aligned + size;
+  return aligned;
+}
+
+void Arena::Reset() {
+  large_blocks_.clear();
+  stats_.large_blocks = 0;
+  stats_.bytes_allocated = 0;
+  stats_.allocations = 0;
+  std::int64_t kept = 0;
+  for (const Chunk& c : chunks_) kept += static_cast<std::int64_t>(c.capacity);
+  stats_.bytes_reserved = kept;
+  current_ = 0;
+  if (!chunks_.empty()) {
+    ptr_ = chunks_[0].data.get();
+    end_ = ptr_ + chunks_[0].capacity;
+  } else {
+    ptr_ = nullptr;
+    end_ = nullptr;
+  }
+  g_resets.fetch_add(1, std::memory_order_relaxed);
+}
+
+Arena::GlobalStats Arena::TotalStats() {
+  GlobalStats out;
+  out.bytes_allocated = g_bytes_allocated.load(std::memory_order_relaxed);
+  out.allocations = g_allocations.load(std::memory_order_relaxed);
+  out.bytes_reserved = g_bytes_reserved.load(std::memory_order_relaxed);
+  out.resets = g_resets.load(std::memory_order_relaxed);
+  return out;
+}
+
+Arena& Arena::ThreadLocalScratch() {
+  thread_local Arena scratch;
+  return scratch;
+}
+
+}  // namespace itdb

@@ -1,0 +1,127 @@
+// Bump-pointer arena allocation for kernel scratch memory.
+//
+// The batched algebra kernels (dbm_batch, columnar relations, the normalize
+// feasibility sweep) work on short-lived slabs -- thousands of small
+// matrices allocated together, used for one chunk of work, and discarded
+// together.  malloc/free per slab is both slow and fragmenting; an arena
+// turns the whole lifetime into two pointer bumps: Allocate is a pointer
+// add, Reset rewinds to the start while KEEPING the chunks, so steady-state
+// kernels allocate and free in O(1) with zero syscalls.
+//
+// Layering: util sits below obs, so the arena cannot push metrics.  It
+// maintains process-wide relaxed atomics (Arena::GlobalStats) that the obs
+// layer bridges into the MetricsRegistry, the same pull pattern as the
+// thread pool's gauges.
+//
+// Arenas are NOT thread-safe.  Parallel kernels use one scratch arena per
+// worker thread (Arena::ThreadLocalScratch) and reset it between morsels;
+// scratch memory never escapes the chunk that allocated it, so determinism
+// is untouched.
+
+#ifndef ITDB_UTIL_ARENA_H_
+#define ITDB_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace itdb {
+
+/// A chunked bump allocator.  Memory is carved from geometrically growing
+/// chunks; requests larger than half a chunk get their own dedicated block
+/// (the "large allocation fallback") so one oversized slab cannot poison
+/// the chunk size.  Reset() rewinds every chunk for reuse and frees the
+/// dedicated blocks.
+class Arena {
+ public:
+  /// Size of the first chunk; subsequent chunks double up to kMaxChunkBytes.
+  static constexpr std::size_t kMinChunkBytes = std::size_t{16} << 10;
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{4} << 20;
+
+  Arena() = default;
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `size` bytes aligned to `align` (a power of two <= alignof(max_align_t)
+  /// for chunk allocations; larger alignments take the dedicated-block
+  /// path).  size == 0 returns a valid unique pointer.  Never null.
+  void* Allocate(std::size_t size,
+                 std::size_t align = alignof(std::max_align_t));
+
+  /// An uninitialized array of `count` Ts.  T must be trivially destructible
+  /// (the arena never runs destructors).
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every chunk (kept for reuse) and releases dedicated blocks.
+  /// All previously returned pointers become invalid.
+  void Reset();
+
+  /// Per-arena accounting since construction / the last Reset().
+  struct Stats {
+    std::int64_t bytes_allocated = 0;  // Sum of Allocate() request sizes.
+    std::int64_t allocations = 0;      // Number of Allocate() calls.
+    std::int64_t bytes_reserved = 0;   // Chunk + dedicated block capacity.
+    std::int64_t chunks = 0;           // Live chunks (kept across Reset).
+    std::int64_t large_blocks = 0;     // Dedicated blocks (freed on Reset).
+  };
+  Stats stats() const { return stats_; }
+
+  /// Process-wide totals across every arena, updated with relaxed atomics:
+  /// cumulative allocated bytes / allocation count / chunk-reserve bytes and
+  /// resets.  The obs layer publishes these into the metrics registry.
+  struct GlobalStats {
+    std::int64_t bytes_allocated = 0;
+    std::int64_t allocations = 0;
+    std::int64_t bytes_reserved = 0;
+    std::int64_t resets = 0;
+  };
+  static GlobalStats TotalStats();
+
+  /// A per-thread scratch arena for morsel-local slabs.  Callers must reset
+  /// (via ArenaScope) around each use; memory must not escape the chunk of
+  /// work that allocated it.
+  static Arena& ThreadLocalScratch();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+  };
+
+  void* AllocateSlow(std::size_t size, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::vector<std::unique_ptr<std::byte[]>> large_blocks_;
+  std::size_t current_ = 0;  // Chunk being bumped (chunks_ index).
+  std::byte* ptr_ = nullptr;
+  std::byte* end_ = nullptr;
+  Stats stats_;
+};
+
+/// RAII reset-to-empty for a scratch arena: resets on construction so the
+/// protected region starts from a clean slab, and again on destruction so
+/// peak reserved memory is bounded by one region's worth.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena) { arena_.Reset(); }
+  ~ArenaScope() { arena_.Reset(); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+};
+
+}  // namespace itdb
+
+#endif  // ITDB_UTIL_ARENA_H_

@@ -1,0 +1,111 @@
+// A fixed-capacity-inline vector for trivially copyable elements.
+//
+// The DBM of a typical generalized tuple is tiny -- temporal arity 2 or 3
+// means a 3x3 or 4x4 bound matrix -- yet std::vector puts every one of them
+// on the heap, so copying a tuple (the single most common operation in the
+// algebra kernels) pays a malloc/free pair per matrix.  SmallVec keeps up
+// to N elements inline and only falls back to the heap beyond that,
+// turning small-matrix copies into plain memcpys.
+//
+// Deliberately minimal: exactly the operations Dbm's storage needs (sized
+// assign, indexing, equality, copy/move).  Moving an inline SmallVec copies
+// the elements and leaves the source intact; moving a heap-backed one
+// steals the buffer and leaves the source empty.  Both end states are
+// valid, which is strictly tamer than std::vector's moved-from contract.
+
+#ifndef ITDB_UTIL_SMALL_VEC_H_
+#define ITDB_UTIL_SMALL_VEC_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace itdb {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec supports trivially copyable elements only");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { CopyFrom(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
+
+  /// Discards the contents and refills with `count` copies of `value`.
+  void assign(std::size_t count, const T& value) {
+    Reserve(count);
+    size_ = count;
+    T* d = data();
+    for (std::size_t i = 0; i < count; ++i) d[i] = value;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T* data() { return heap_ ? heap_.get() : inline_; }
+  const T* data() const { return heap_ ? heap_.get() : inline_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    const T* pa = a.data();
+    const T* pb = b.data();
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(pa[i] == pb[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void Reserve(std::size_t count) {
+    if (count <= N) {
+      heap_.reset();
+    } else if (!heap_ || capacity_ < count) {
+      heap_ = std::make_unique<T[]>(count);
+      capacity_ = count;
+    }
+  }
+
+  void CopyFrom(const SmallVec& other) {
+    Reserve(other.size_);
+    size_ = other.size_;
+    std::memcpy(data(), other.data(), size_ * sizeof(T));
+  }
+
+  void MoveFrom(SmallVec& other) {
+    if (other.heap_) {
+      heap_ = std::move(other.heap_);
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    } else {
+      heap_.reset();
+      size_ = other.size_;
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;  // Heap capacity; inline storage is fixed at N.
+  T inline_[N];
+  std::unique_ptr<T[]> heap_;
+};
+
+}  // namespace itdb
+
+#endif  // ITDB_UTIL_SMALL_VEC_H_

@@ -115,8 +115,14 @@ int ThreadPool::DefaultThreads() {
       return parsed > kMaxWorkers ? kMaxWorkers : static_cast<int>(parsed);
     }
   }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  // hardware_concurrency() re-reads /sys on every call (~2us); the machine's
+  // core count cannot change mid-process, so resolve it once.  ITDB_THREADS
+  // above stays dynamic (tests set it mid-process).
+  static const int hw = [] {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }();
+  return hw;
 }
 
 int ResolveThreads(int threads) {

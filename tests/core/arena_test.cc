@@ -1,0 +1,128 @@
+#include "util/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace {
+
+bool IsAligned(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena;
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                            std::size_t{8}, alignof(std::max_align_t)}) {
+    for (int i = 0; i < 16; ++i) {
+      // Odd sizes force the bump pointer off alignment between requests.
+      void* p = arena.Allocate(3, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_TRUE(IsAligned(p, align)) << "align " << align;
+    }
+  }
+  std::int64_t* a = arena.AllocateArray<std::int64_t>(7);
+  EXPECT_TRUE(IsAligned(a, alignof(std::int64_t)));
+  // Over-aligned requests take the dedicated-block path and still satisfy
+  // the alignment.
+  void* wide = arena.Allocate(64, 64);
+  EXPECT_TRUE(IsAligned(wide, 64));
+}
+
+TEST(ArenaTest, ZeroSizeIsValidAndDistinctCallsAreUsable) {
+  Arena arena;
+  EXPECT_NE(arena.Allocate(0), nullptr);
+  std::int64_t* a = arena.AllocateArray<std::int64_t>(4);
+  std::int64_t* b = arena.AllocateArray<std::int64_t>(4);
+  for (int i = 0; i < 4; ++i) {
+    a[i] = i;
+    b[i] = 100 + i;
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 100 + i);
+  }
+}
+
+TEST(ArenaTest, ResetRewindsAndReusesChunks) {
+  Arena arena;
+  (void)arena.AllocateArray<std::byte>(1000);
+  void* first = arena.Allocate(8);
+  Arena::Stats before = arena.stats();
+  EXPECT_GT(before.bytes_allocated, 0);
+  EXPECT_GT(before.chunks, 0);
+
+  arena.Reset();
+  Arena::Stats cleared = arena.stats();
+  EXPECT_EQ(cleared.bytes_allocated, 0);
+  EXPECT_EQ(cleared.allocations, 0);
+  // Chunks survive the reset so steady-state reuse does not re-reserve.
+  EXPECT_EQ(cleared.chunks, before.chunks);
+  EXPECT_EQ(cleared.bytes_reserved, before.bytes_reserved);
+
+  (void)arena.AllocateArray<std::byte>(1000);
+  void* again = arena.Allocate(8);
+  EXPECT_EQ(again, first);  // Same bump position: the chunk was rewound.
+  EXPECT_EQ(arena.stats().bytes_reserved, before.bytes_reserved);
+}
+
+TEST(ArenaTest, LargeAllocationFallback) {
+  Arena arena;
+  // Far beyond the chunk cap: must come from a dedicated block, leaving the
+  // bump chunks (and their reuse) untouched.
+  std::size_t big = Arena::kMaxChunkBytes + 1024;
+  std::byte* p = static_cast<std::byte*>(arena.Allocate(big));
+  ASSERT_NE(p, nullptr);
+  p[0] = std::byte{1};
+  p[big - 1] = std::byte{2};  // The whole range is addressable.
+  EXPECT_EQ(arena.stats().large_blocks, 1);
+
+  void* small = arena.Allocate(16);
+  EXPECT_NE(small, nullptr);
+  EXPECT_EQ(arena.stats().large_blocks, 1);
+
+  // Reset releases dedicated blocks (they would otherwise pin peak memory).
+  arena.Reset();
+  EXPECT_EQ(arena.stats().large_blocks, 0);
+}
+
+TEST(ArenaTest, GlobalStatsAccumulate) {
+  Arena::GlobalStats before = Arena::TotalStats();
+  {
+    Arena arena;
+    (void)arena.Allocate(512);
+    arena.Reset();
+  }
+  Arena::GlobalStats after = Arena::TotalStats();
+  EXPECT_GE(after.bytes_allocated, before.bytes_allocated + 512);
+  EXPECT_GE(after.allocations, before.allocations + 1);
+  EXPECT_GE(after.resets, before.resets + 1);
+}
+
+TEST(ArenaTest, ThreadLocalScratchIsPerThread) {
+  Arena* main_arena = &Arena::ThreadLocalScratch();
+  EXPECT_EQ(main_arena, &Arena::ThreadLocalScratch());
+  Arena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &Arena::ThreadLocalScratch(); });
+  t.join();
+  EXPECT_NE(other_arena, nullptr);
+  EXPECT_NE(other_arena, main_arena);
+}
+
+TEST(ArenaScopeTest, ScopeResetsOnEntryAndExit) {
+  Arena arena;
+  (void)arena.Allocate(64);
+  {
+    ArenaScope scope(arena);
+    EXPECT_EQ(arena.stats().bytes_allocated, 0);  // Entry reset.
+    (void)arena.Allocate(32);
+    EXPECT_EQ(arena.stats().bytes_allocated, 32);
+  }
+  EXPECT_EQ(arena.stats().bytes_allocated, 0);  // Exit reset.
+}
+
+}  // namespace
+}  // namespace itdb

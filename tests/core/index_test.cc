@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -91,25 +92,35 @@ GeneralizedTuple Probe(std::int64_t key) {
   return GeneralizedTuple({Lrp::Singleton(0)}, {Value(key)});
 }
 
-TEST(DataKeyIndexTest, BucketsListIndicesAscending) {
+std::vector<std::size_t> ToVec(std::span<const std::size_t> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(DataKeyIndexTest, GroupsListIndicesAscending) {
   GeneralizedRelation r = KeyedRelation({1, 2, 1, 3, 1});
   DataKeyIndex index(r, {0});
-  const std::vector<std::size_t>* ones = index.Candidates(Probe(1), {0});
-  ASSERT_NE(ones, nullptr);
-  EXPECT_EQ(*ones, (std::vector<std::size_t>{0, 2, 4}));
-  const std::vector<std::size_t>* threes = index.Candidates(Probe(3), {0});
-  ASSERT_NE(threes, nullptr);
-  EXPECT_EQ(*threes, (std::vector<std::size_t>{3}));
-  EXPECT_EQ(index.Candidates(Probe(9), {0}), nullptr);
+  EXPECT_EQ(ToVec(index.Candidates(Probe(1), {0})),
+            (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(ToVec(index.Candidates(Probe(3), {0})),
+            (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(index.Candidates(Probe(9), {0}).empty());
 }
 
 TEST(DataKeyIndexTest, EmptyKeyDegeneratesToRawProduct) {
   GeneralizedRelation r = KeyedRelation({1, 2, 3});
   DataKeyIndex index(r, {});
-  const std::vector<std::size_t>* all = index.Candidates(Probe(99), {});
-  ASSERT_NE(all, nullptr);
-  EXPECT_EQ(*all, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(ToVec(index.Candidates(Probe(99), {})),
+            (std::vector<std::size_t>{0, 1, 2}));
   EXPECT_EQ(index.CountCandidatePairs(r, {}), 9);
+}
+
+TEST(DataKeyIndexTest, EmptyRelationHasNoCandidates) {
+  GeneralizedRelation r = KeyedRelation({});
+  DataKeyIndex index(r, {0});
+  EXPECT_TRUE(index.Candidates(Probe(1), {0}).empty());
+  GeneralizedRelation unkeyed = KeyedRelation({});
+  DataKeyIndex index2(unkeyed, {});
+  EXPECT_TRUE(index2.Candidates(Probe(1), {}).empty());
 }
 
 TEST(DataKeyIndexTest, CountCandidatePairsMatchesBucketSizes) {

@@ -59,8 +59,13 @@ def main():
             continue
         limit = factor * floor
         verdict = "FAIL" if measured > limit else "ok"
+        # measured/floor: <1.0 means faster than the reference baseline,
+        # >factor trips the gate.  Printed for every benchmark so perf
+        # drift is visible long before it becomes a failure.
+        ratio = measured / floor if floor > 0 else float("inf")
         print(f"{verdict:>4}  {name}: {measured / 1e6:.3f} ms "
-              f"(floor {floor / 1e6:.3f} ms, limit {limit / 1e6:.3f} ms)")
+              f"(floor {floor / 1e6:.3f} ms, limit {limit / 1e6:.3f} ms, "
+              f"ratio {ratio:.2f}x)")
         if measured > limit:
             failures.append(
                 f"{name}: {measured / 1e6:.3f} ms exceeds "
