@@ -19,6 +19,7 @@
 #include "obs/trace.h"
 #include "util/diagnostic.h"
 #include "util/numeric.h"
+#include "util/thread_pool.h"
 
 namespace itdb {
 namespace query {
@@ -569,6 +570,10 @@ Result<GeneralizedRelation> Evaluator::ExistsVar(GeneralizedRelation rel,
 }
 
 Result<GeneralizedRelation> Evaluator::Eval(const Query& q) const {
+  // Per-plan-node deadline check: a query cancelled by the server's
+  // per-request budget (util/thread_pool.h) unwinds here between nodes even
+  // when no kernel below happens to hit its own stride check.
+  ITDB_RETURN_IF_ERROR(CheckCancellation());
   if (tracer == nullptr) return EvalNode(q);
   // One span per plan node, reporting the subtree's output size and the
   // work-counter deltas accrued while it was open.  Pure observation: the

@@ -1,0 +1,45 @@
+#include "server/admission.h"
+
+#include "analysis/analyzer.h"
+#include "obs/metrics.h"
+#include "util/diagnostic.h"
+
+namespace itdb {
+namespace server {
+
+bool AdmissionQueue::TryAdmit() {
+  std::int64_t now = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (now > options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::AddGlobalCounter("server.shed", 1);
+    return false;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Global()
+      .GetCounter("server.queue_depth_max")
+      ->RecordMax(now);
+  return true;
+}
+
+void AdmissionQueue::Release() {
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+CostClass ClassifyQueryCost(const Database& db, const query::QueryPtr& q) {
+  analysis::AnalyzeOptions options;
+  // Only the cost pass matters here; emptiness proofs (DBM closures over
+  // every conjunction) are the expensive part of analysis and evaluation
+  // re-runs them anyway.
+  options.check_emptiness = false;
+  analysis::AnalysisResult result = analysis::Analyze(db, q, options);
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == diag::kExpensiveComplement || d.code == diag::kPeriodBlowup) {
+      return CostClass::kHeavy;
+    }
+  }
+  return CostClass::kNormal;
+}
+
+}  // namespace server
+}  // namespace itdb

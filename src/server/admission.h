@@ -1,0 +1,87 @@
+// Admission control for the query service.
+//
+// The server bounds the number of requests it will hold at once (queued on
+// the thread pool or executing).  A request arriving past the bound is shed
+// immediately with the protocol's retriable "retry" status instead of
+// growing an unbounded backlog -- under overload, fast rejection preserves
+// the latency of the work already admitted, and clients own the retry
+// policy (tools/itdb_client.py backs off and resends).
+//
+// Admission also grades queries by the static cost analysis (analysis pass
+// 4): a query carrying an A010 (NP-complete-regime complement) or A012
+// (period-blowup) warning gets the "heavy" class, which the session maps to
+// divided tuple/split budgets and a shorter deadline.  Heavy queries are
+// exactly the ones whose worst case is exponential, so they must not be
+// allowed to hold a worker for the default budget while the admission queue
+// sheds cheap queries behind them.
+
+#ifndef ITDB_SERVER_ADMISSION_H_
+#define ITDB_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "query/ast.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace server {
+
+struct AdmissionOptions {
+  /// Maximum requests admitted at once (queued + executing).  0 sheds
+  /// everything -- useful for drain mode and for deterministic shedding
+  /// tests.
+  std::int64_t max_pending = 64;
+};
+
+/// A bounded admission gate.  Lock-free; safe from any thread.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const AdmissionOptions& options)
+      : options_(options) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Tries to admit one request.  On success the caller owes one Release()
+  /// when the request finishes; on failure the request was shed (the shed
+  /// counter and the server.shed metric advance).
+  bool TryAdmit();
+  void Release();
+
+  /// Requests currently admitted (queued + executing).
+  std::int64_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+  std::int64_t shed_total() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  std::int64_t admitted_total() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> admitted_{0};
+};
+
+/// The admission-relevant grade of a query.
+enum class CostClass {
+  kNormal,
+  /// The static analyzer flagged an NP-complete-regime complement (A010)
+  /// or a period-blowup risk (A012): worst-case exponential work.
+  kHeavy,
+};
+
+/// Grades `q` against `db` by running the analyzer's cost pass.  Queries
+/// that fail analysis grade kNormal -- evaluation will report the real
+/// error with its own diagnostics.
+CostClass ClassifyQueryCost(const Database& db, const query::QueryPtr& q);
+
+}  // namespace server
+}  // namespace itdb
+
+#endif  // ITDB_SERVER_ADMISSION_H_

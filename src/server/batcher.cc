@@ -1,0 +1,57 @@
+#include "server/batcher.h"
+
+#include "obs/metrics.h"
+
+namespace itdb {
+namespace server {
+
+QueryBatcher::Outcome QueryBatcher::Run(
+    const std::string& key, std::uint64_t version,
+    const std::function<Outcome()>& compute, bool* shared) {
+  if (shared != nullptr) *shared = false;
+  const std::pair<std::string, std::uint64_t> full_key(key, version);
+  std::shared_ptr<InFlight> entry;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(full_key);
+    if (it == inflight_.end()) {
+      entry = std::make_shared<InFlight>();
+      inflight_.emplace(full_key, entry);
+      leader = true;
+      ++stats_.leads;
+    } else {
+      entry = it->second;
+      ++stats_.coalesced;
+    }
+  }
+  if (leader) {
+    Outcome outcome = compute();
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      entry->outcome = outcome;
+      entry->done = true;
+    }
+    entry->cv.notify_all();
+    {
+      // Retire the entry: later arrivals must re-evaluate (no caching).
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(full_key);
+      if (it != inflight_.end() && it->second == entry) inflight_.erase(it);
+    }
+    return outcome;
+  }
+  obs::AddGlobalCounter("server.batched", 1);
+  if (shared != nullptr) *shared = true;
+  std::unique_lock<std::mutex> lock(entry->mu);
+  entry->cv.wait(lock, [&entry] { return entry->done; });
+  return entry->outcome;
+}
+
+QueryBatcher::Stats QueryBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace server
+}  // namespace itdb

@@ -1,0 +1,89 @@
+// Plan-batching: coalescing concurrently submitted identical queries.
+//
+// Interactive fleets are bursty and repetitive -- dashboards and retry
+// storms submit the same query from many clients at once.  Two requests
+// whose statements normalize to the same optimized plan (and evaluate under
+// the same options against the same database version) are, by the engine's
+// bit-identity guarantees, going to produce byte-identical output; their
+// normalizations would even hit the same NormalizeCache entries.  The
+// batcher lets the first such request (the "leader") evaluate once while
+// concurrent duplicates ("followers") block and share its rendered result.
+//
+// Only *concurrent* requests coalesce: the in-flight entry is removed the
+// moment the leader publishes, so the batcher never serves a cached result
+// (staleness is impossible by construction; the database version in the key
+// is belt-and-braces against writers that slip between parse and publish).
+//
+// Deadlock-safety on the shared thread pool: a follower only ever blocks on
+// a leader that is ALREADY RUNNING (the entry is created by the leader's
+// own Run call, on the leader's thread, immediately before it computes), and
+// leaders never block on other requests.  Progress therefore never depends
+// on a free worker.
+
+#ifndef ITDB_SERVER_BATCHER_H_
+#define ITDB_SERVER_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace server {
+
+/// Coalesces concurrent evaluations keyed on (plan fingerprint, database
+/// version).  Thread-safe.
+class QueryBatcher {
+ public:
+  QueryBatcher() = default;
+  QueryBatcher(const QueryBatcher&) = delete;
+  QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+  /// A finished request: the command Status plus everything it printed.
+  /// For `query` evaluations the result relation rides along (immutable,
+  /// shared by every coalesced caller) so a follower session can still
+  /// seat its fetch cursor.
+  struct Outcome {
+    Status status;
+    std::string text;
+    std::shared_ptr<const GeneralizedRelation> relation;
+  };
+
+  /// Runs `compute` once per concurrent (key, version) group and hands every
+  /// caller the same Outcome.  The leader (first caller in) computes on its
+  /// own thread; followers block until it publishes.  `shared`, if non-null,
+  /// receives true on followers (their outcome is a shared copy).
+  Outcome Run(const std::string& key, std::uint64_t version,
+              const std::function<Outcome()>& compute, bool* shared = nullptr);
+
+  struct Stats {
+    std::int64_t leads = 0;    // Evaluations actually run.
+    std::int64_t coalesced = 0;  // Requests served from a leader's result.
+  };
+  Stats stats() const;
+
+ private:
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Outcome outcome;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::uint64_t>, std::shared_ptr<InFlight>>
+      inflight_;
+  Stats stats_;
+};
+
+}  // namespace server
+}  // namespace itdb
+
+#endif  // ITDB_SERVER_BATCHER_H_

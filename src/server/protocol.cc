@@ -1,0 +1,109 @@
+#include "server/protocol.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace itdb {
+namespace server {
+
+std::string_view ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kError:
+      return "error";
+    case ResponseStatus::kRetry:
+      return "retry";
+    case ResponseStatus::kBye:
+      return "bye";
+  }
+  return "error";
+}
+
+Result<ResponseStatus> ParseResponseStatus(std::string_view name) {
+  if (name == "ok") return ResponseStatus::kOk;
+  if (name == "error") return ResponseStatus::kError;
+  if (name == "retry") return ResponseStatus::kRetry;
+  if (name == "bye") return ResponseStatus::kBye;
+  return Status::ParseError("unknown response status \"" + std::string(name) +
+                            "\"");
+}
+
+std::string EncodeResponse(ResponseStatus status, std::string_view payload) {
+  std::string out = "itdb ";
+  out += ResponseStatusName(status);
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+Result<std::optional<ResponseFrame>> ResponseDecoder::Next() {
+  if (!error_.ok()) return error_;
+  const std::size_t eol = buffer_.find('\n');
+  if (eol == std::string::npos) {
+    return std::optional<ResponseFrame>(std::nullopt);
+  }
+  std::string_view header(buffer_.data(), eol);
+  auto fail = [this](std::string message) -> Result<std::optional<ResponseFrame>> {
+    error_ = Status::ParseError(std::move(message));
+    return error_;
+  };
+  if (header.substr(0, 5) != "itdb ") {
+    return fail("response header missing \"itdb \" magic: \"" +
+                std::string(header) + "\"");
+  }
+  header.remove_prefix(5);
+  const std::size_t space = header.find(' ');
+  if (space == std::string_view::npos) {
+    return fail("response header missing byte count");
+  }
+  Result<ResponseStatus> status = ParseResponseStatus(header.substr(0, space));
+  if (!status.ok()) {
+    error_ = status.status();
+    return error_;
+  }
+  std::string_view count = header.substr(space + 1);
+  std::size_t nbytes = 0;
+  if (count.empty()) return fail("empty response byte count");
+  for (char c : count) {
+    if (c < '0' || c > '9') {
+      return fail("malformed response byte count \"" + std::string(count) +
+                  "\"");
+    }
+    nbytes = nbytes * 10 + static_cast<std::size_t>(c - '0');
+    if (nbytes > (std::size_t{1} << 32)) {
+      return fail("response byte count out of range");
+    }
+  }
+  if (buffer_.size() - eol - 1 < nbytes) {
+    return std::optional<ResponseFrame>(std::nullopt);  // Payload incomplete.
+  }
+  ResponseFrame frame;
+  frame.status = status.value();
+  frame.payload = buffer_.substr(eol + 1, nbytes);
+  buffer_.erase(0, eol + 1 + nbytes);
+  return std::optional<ResponseFrame>(std::move(frame));
+}
+
+std::optional<std::string> LineBuffer::NextLine() {
+  const std::size_t eol = buffer_.find('\n');
+  if (eol == std::string::npos) return std::nullopt;
+  std::size_t len = eol;
+  if (len > 0 && buffer_[len - 1] == '\r') --len;
+  std::string line = buffer_.substr(0, len);
+  buffer_.erase(0, eol + 1);
+  return line;
+}
+
+std::string_view StatementVerb(std::string_view statement) {
+  std::size_t start = statement.find_first_not_of(" \t");
+  if (start == std::string_view::npos) return {};
+  std::size_t end = statement.find_first_of(" \t\n", start);
+  if (end == std::string_view::npos) return statement.substr(start);
+  return statement.substr(start, end - start);
+}
+
+}  // namespace server
+}  // namespace itdb

@@ -1,0 +1,101 @@
+// The itdb wire protocol: newline-delimited requests, length-prefixed
+// responses.
+//
+// A client sends statements in the shell's command grammar, one line at a
+// time ('\r' before '\n' is tolerated and stripped).  Most statements are a
+// single line; a multi-line `define relation ... { ... }` block simply
+// spans several lines and is complete when its braces balance -- the same
+// assembly rule the interactive shell uses (server::Session::AppendLine).
+// The server replies with exactly ONE frame per complete statement:
+//
+//   response = "itdb " status " " nbytes "\n" payload
+//   status   = "ok"      command succeeded; payload is its output
+//            | "error"   command failed; payload is the error report
+//            | "retry"   shed by admission control; retriable verbatim
+//            | "bye"     quit acknowledged; the server closes after this
+//   nbytes   = decimal byte length of payload (which follows verbatim,
+//              with no trailing newline of its own)
+//
+// The length prefix makes payloads self-delimiting (relation dumps contain
+// newlines), so clients never sniff payload contents for framing.  Both
+// directions are plain bytes -- no escaping anywhere.
+
+#ifndef ITDB_SERVER_PROTOCOL_H_
+#define ITDB_SERVER_PROTOCOL_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace itdb {
+namespace server {
+
+enum class ResponseStatus {
+  kOk,
+  kError,
+  kRetry,
+  kBye,
+};
+
+/// Stable wire name ("ok", "error", "retry", "bye").
+std::string_view ResponseStatusName(ResponseStatus status);
+
+/// Inverse of ResponseStatusName; kParseError for unknown names.
+Result<ResponseStatus> ParseResponseStatus(std::string_view name);
+
+/// Serializes one response frame (see the grammar above).
+std::string EncodeResponse(ResponseStatus status, std::string_view payload);
+
+/// One decoded response frame.
+struct ResponseFrame {
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string payload;
+
+  friend bool operator==(const ResponseFrame&, const ResponseFrame&) = default;
+};
+
+/// Incremental decoder for a stream of response frames.  Feed raw bytes in
+/// any chunking; Next() yields complete frames in order.  Used by the C++
+/// test client; tools/itdb_client.py implements the same state machine.
+class ResponseDecoder {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// The next complete frame, nullopt when more bytes are needed, or
+  /// kParseError when the stream violates the grammar (the decoder is then
+  /// poisoned: every later call reports the same error).
+  Result<std::optional<ResponseFrame>> Next();
+
+ private:
+  std::string buffer_;
+  Status error_ = Status::Ok();
+};
+
+/// Splits a raw byte stream into lines for the request direction: feed
+/// arbitrary chunks, pop complete lines ('\n'-terminated, '\r\n' tolerated,
+/// terminator stripped).  Bytes after the last terminator stay buffered.
+class LineBuffer {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// The next complete line, or nullopt when none is buffered.
+  std::optional<std::string> NextLine();
+
+  /// Unterminated trailing bytes (what a dropped client left behind).
+  const std::string& pending() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// The first whitespace-delimited word of `statement` -- its verb.  Empty
+/// for blank statements.
+std::string_view StatementVerb(std::string_view statement);
+
+}  // namespace server
+}  // namespace itdb
+
+#endif  // ITDB_SERVER_PROTOCOL_H_

@@ -1,0 +1,633 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/coalesce.h"
+#include "core/simplify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/optimize.h"
+#include "query/parser.h"
+#include "server/admission.h"
+#include "storage/text_format.h"
+#include "tl/ltl.h"
+#include "tl/parser.h"
+#include "util/diagnostic.h"
+#include "util/thread_pool.h"
+
+namespace itdb {
+namespace server {
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  help                          this text
+  load <path>                   parse relation blocks from a file
+  define relation N(...) {...}  inline definition (may span lines)
+  list                          relation names
+  show <name>                   print a relation
+  enumerate <name> <lo> <hi>    concrete rows with coordinates in [lo, hi]
+  ask <query>                   yes/no first-order query
+  query <query>                 open query; prints the result relation
+  fetch [n]                     next n tuples of the last `query` result
+  set [<name> <value>]          per-session options; bare `set` lists them
+  explain <query>               print the (optimized) query-plan tree
+  profile <query>               evaluate with tracing; prints per-plan-node
+                                wall/CPU time, tuple counts, and kernel stats
+  metrics                       dump the process-global metrics registry
+  check <query>                 static analysis only: sort errors, unsafe
+                                variables, provably empty subqueries, cost
+                                warnings -- with source-span diagnostics
+  tlcheck <tl-formula>          does the temporal-logic formula hold at
+                                every instant?  (e.g. G(req -> F[0,5](ack)))
+  sat <tl-formula>              instants satisfying the formula
+  coalesce <name>               merge residue families in place
+  simplify <name>               drop empty and subsumed tuples in place
+  witness <name>                print one concrete row, if any
+  save <path>                   write the catalog to a file
+  drop <name>                   remove a relation
+  quit | exit                   leave
+)";
+
+// First whitespace-delimited word; `rest` receives the remainder trimmed.
+// Splits on spaces and tabs only, so a multi-line define statement keeps its
+// continuation lines intact in `rest`.
+std::string SplitCommand(const std::string& line, std::string* rest) {
+  std::size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    rest->clear();
+    return "";
+  }
+  std::size_t end = line.find_first_of(" \t", start);
+  std::string head = line.substr(start, end - start);
+  if (end == std::string::npos) {
+    rest->clear();
+  } else {
+    std::size_t rstart = line.find_first_not_of(" \t", end);
+    *rest = rstart == std::string::npos ? "" : line.substr(rstart);
+  }
+  return head;
+}
+
+int BraceBalance(const std::string& s) {
+  int open = 0;
+  for (char c : s) {
+    if (c == '{') ++open;
+    if (c == '}') --open;
+  }
+  return open;
+}
+
+// Installs a cancellation deadline for the enclosed evaluation when
+// `deadline_ms` is positive; otherwise a no-op.
+class DeadlineGuard {
+ public:
+  explicit DeadlineGuard(std::int64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      token_.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+      scope_.emplace(&token_);
+    }
+  }
+
+ private:
+  CancellationToken token_;
+  std::optional<CancellationScope> scope_;
+};
+
+Status CmdSave(const Database& db, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::InvalidArgument("cannot write \"" + path + "\"");
+  file << db.ToText();
+  return Status::Ok();
+}
+
+Status CmdShow(std::ostream& out, const Database& db,
+               const std::string& name) {
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
+  out << PrintRelation(name, rel);
+  return Status::Ok();
+}
+
+Status CmdEnumerate(std::ostream& out, const Database& db,
+                    const std::string& args) {
+  std::istringstream in(args);
+  std::string name;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  if (!(in >> name >> lo >> hi)) {
+    return Status::InvalidArgument("usage: enumerate <name> <lo> <hi>");
+  }
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
+  std::vector<ConcreteRow> rows = rel.Enumerate(lo, hi);
+  for (const ConcreteRow& row : rows) {
+    out << "  " << row.ToString() << "\n";
+  }
+  out << rows.size() << " row(s)\n";
+  return Status::Ok();
+}
+
+// Static analysis of a first-order query: rustc-style caret diagnostics,
+// then a one-line summary.  Findings go to `out` as ordinary output; the
+// command itself only fails on I/O-level problems, so scripted `check`
+// runs (tools/check_queries.py) can assert on the printed codes.
+Status CmdCheckQuery(std::ostream& out, const Database& db,
+                     const std::string& text) {
+  Result<query::QueryPtr> q = query::ParseQuery(text);
+  if (!q.ok()) {
+    out << "error[parse]: " << q.status().message() << "\n";
+    out << "check: 1 error(s), 0 warning(s)\n";
+    return Status::Ok();
+  }
+  analysis::AnalysisResult result = analysis::Analyze(db, q.value());
+  out << FormatDiagnostics(text, result.diagnostics);
+  if (result.root_proven_empty) {
+    out << "note: the query result is statically empty\n";
+  }
+  if (result.diagnostics.empty()) {
+    out << "check: ok\n";
+  } else {
+    out << "check: " << result.errors() << " error(s), " << result.warnings()
+        << " warning(s)\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdCheckTl(std::ostream& out, const Database& db,
+                  const std::string& text) {
+  ITDB_ASSIGN_OR_RETURN(tl::TlPtr formula, tl::ParseTlFormula(text));
+  ITDB_ASSIGN_OR_RETURN(bool holds, tl::HoldsEverywhere(db, formula));
+  if (holds) {
+    out << "PASS: holds at every instant\n";
+    return Status::Ok();
+  }
+  ITDB_ASSIGN_OR_RETURN(
+      GeneralizedRelation sat,
+      tl::SatisfactionSet(db, tl::TlFormula::Not(formula)));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(sat));
+  out << "FAIL: violated on\n" << PrintRelation("violations", packed);
+  return Status::Ok();
+}
+
+Status CmdSat(std::ostream& out, const Database& db, const std::string& text) {
+  ITDB_ASSIGN_OR_RETURN(tl::TlPtr formula, tl::ParseTlFormula(text));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation sat,
+                        tl::SatisfactionSet(db, formula));
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(sat));
+  out << PrintRelation("sat", packed);
+  out << packed.size() << " generalized tuple(s)\n";
+  return Status::Ok();
+}
+
+Status CmdCoalesce(std::ostream& out, Database& db, const std::string& name) {
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
+  std::int64_t before = rel.size();
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(rel));
+  out << before << " -> " << packed.size() << " tuple(s)\n";
+  db.Put(name, std::move(packed));
+  return Status::Ok();
+}
+
+Status CmdSimplify(std::ostream& out, Database& db, const std::string& name) {
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
+  std::int64_t before = rel.size();
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation simplified, Simplify(rel));
+  out << before << " -> " << simplified.size() << " tuple(s)\n";
+  db.Put(name, std::move(simplified));
+  return Status::Ok();
+}
+
+Status CmdWitness(std::ostream& out, const Database& db,
+                  const std::string& name) {
+  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
+  ITDB_ASSIGN_OR_RETURN(std::optional<ConcreteRow> row, FindWitness(rel));
+  if (row.has_value()) {
+    out << row->ToString() << "\n";
+  } else {
+    out << "empty relation\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdExplain(std::ostream& out, const std::string& text) {
+  ITDB_ASSIGN_OR_RETURN(query::QueryPtr q, query::ParseQuery(text));
+  out << "query:     " << q->ToString() << "\n";
+  query::QueryPtr optimized = query::Optimize(q);
+  out << "optimized: " << optimized->ToString() << "\n";
+  out << "plan:\n" << query::FormatQueryPlan(optimized);
+  return Status::Ok();
+}
+
+void CmdMetrics(std::ostream& out) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::PublishThreadPoolMetrics(registry);
+  obs::PublishArenaMetrics(registry);
+  out << registry.snapshot().ToText();
+}
+
+bool ParseOnOff(const std::string& value, bool* flag) {
+  if (value == "on" || value == "true" || value == "1") {
+    *flag = true;
+    return true;
+  }
+  if (value == "off" || value == "false" || value == "0") {
+    *flag = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Session::Session(SharedDatabase* db, SessionOptions options)
+    : db_(db), options_(std::move(options)) {
+  obs::AddGlobalCounter("server.sessions_opened", 1);
+  obs::AddGlobalCounter("server.sessions_active", 1);
+}
+
+Session::~Session() {
+  obs::AddGlobalCounter("server.sessions_active", -1);
+}
+
+bool Session::IsQuitStatement(std::string_view statement) {
+  std::string rest;
+  std::string verb = SplitCommand(std::string(statement), &rest);
+  return verb == "quit" || verb == "exit";
+}
+
+std::optional<std::string> Session::AppendLine(std::string_view line) {
+  if (pending_.empty()) {
+    std::string text(line);
+    std::size_t hash = text.find('#');
+    if (hash != std::string::npos) text.erase(hash);
+    std::string rest;
+    std::string verb = SplitCommand(text, &rest);
+    // Only `define` statements continue across lines; for everything else a
+    // stray brace is the statement's own problem.
+    if (verb == "define" && BraceBalance(text) > 0) {
+      pending_ = text;
+      return std::nullopt;
+    }
+    return text;
+  }
+  // Continuation lines feed the relation parser verbatim -- no comment
+  // stripping, matching the classic shell's CompleteBlock behavior.
+  pending_ += "\n";
+  pending_ += std::string(line);
+  if (BraceBalance(pending_) > 0) return std::nullopt;
+  std::string statement = std::move(pending_);
+  pending_.clear();
+  return statement;
+}
+
+bool Session::AbortPending() {
+  if (pending_.empty()) return false;
+  pending_.clear();
+  return true;
+}
+
+Session::FeedResult Session::Feed(std::string_view line, std::ostream& out) {
+  FeedResult result;
+  std::optional<std::string> statement = AppendLine(line);
+  if (!statement.has_value()) {
+    result.disposition = FeedResult::Disposition::kNeedMore;
+    return result;
+  }
+  if (IsQuitStatement(*statement)) {
+    result.disposition = FeedResult::Disposition::kQuit;
+    return result;
+  }
+  result.status = Execute(*statement, out);
+  return result;
+}
+
+Status Session::Execute(std::string_view statement, std::ostream& out) {
+  std::string line(statement);
+  std::string rest;
+  std::string verb = SplitCommand(line, &rest);
+  if (verb.empty() || verb == "quit" || verb == "exit") return Status::Ok();
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  ++stats_.commands;
+  obs::AddGlobalCounter("server.commands", 1);
+  obs::Span span =
+      obs::Span::Begin(obs::ResolveTracer(options_.query.tracer), verb,
+                       "server");
+  Status status = Dispatch(verb, rest, out);
+  span.AddArg("ok", status.ok() ? 1 : 0);
+  span.End();
+  obs::MetricsRegistry::Global()
+      .GetHistogram("server.command_ns")
+      ->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  if (!status.ok()) {
+    ++stats_.errors;
+    obs::AddGlobalCounter("server.errors", 1);
+    out << "error: " << status << "\n";
+  }
+  return status;
+}
+
+Status Session::Dispatch(const std::string& verb, const std::string& rest,
+                         std::ostream& out) {
+  if (options_.read_only &&
+      (verb == "define" || verb == "load" || verb == "save" ||
+       verb == "drop" || verb == "coalesce" || verb == "simplify")) {
+    return Status::InvalidArgument("read-only session: \"" + verb +
+                                   "\" is disabled");
+  }
+  if (verb == "help") {
+    out << kHelp;
+    return Status::Ok();
+  }
+  if (verb == "load") return CmdLoad(rest);
+  if (verb == "save") {
+    return db_->WithRead(
+        [&](const Database& db) { return CmdSave(db, rest); });
+  }
+  if (verb == "list") {
+    db_->WithRead([&](const Database& db) {
+      for (const std::string& name : db.Names()) out << name << "\n";
+      return 0;
+    });
+    return Status::Ok();
+  }
+  if (verb == "show") {
+    return db_->WithRead(
+        [&](const Database& db) { return CmdShow(out, db, rest); });
+  }
+  if (verb == "enumerate") {
+    return db_->WithRead(
+        [&](const Database& db) { return CmdEnumerate(out, db, rest); });
+  }
+  if (verb == "ask") return CmdAsk(out, rest);
+  if (verb == "query") return CmdQuery(out, rest);
+  if (verb == "fetch") return CmdFetch(out, rest);
+  if (verb == "set") return CmdSet(out, rest);
+  if (verb == "explain" || verb == "EXPLAIN") return CmdExplain(out, rest);
+  if (verb == "profile" || verb == "PROFILE") {
+    ++stats_.queries;
+    obs::AddGlobalCounter("server.queries", 1);
+    ITDB_ASSIGN_OR_RETURN(query::QueryPtr q, query::ParseQuery(rest));
+    return db_->WithRead([&](const Database& db) -> Status {
+      std::int64_t deadline_ms = options_.deadline_ms;
+      query::QueryOptions opts = EffectiveOptions(db, q, &deadline_ms);
+      DeadlineGuard deadline(deadline_ms);
+      ITDB_ASSIGN_OR_RETURN(query::ProfiledResult profiled,
+                            query::EvalQueryProfiled(db, q, opts));
+      out << profiled.profile.ToText();
+      out << profiled.relation.size() << " generalized tuple(s)\n";
+      return Status::Ok();
+    });
+  }
+  if (verb == "metrics") {
+    CmdMetrics(out);
+    return Status::Ok();
+  }
+  if (verb == "check") {
+    return db_->WithRead(
+        [&](const Database& db) { return CmdCheckQuery(out, db, rest); });
+  }
+  if (verb == "tlcheck") {
+    return db_->WithRead([&](const Database& db) {
+      DeadlineGuard deadline(options_.deadline_ms);
+      return CmdCheckTl(out, db, rest);
+    });
+  }
+  if (verb == "sat") {
+    return db_->WithRead([&](const Database& db) {
+      DeadlineGuard deadline(options_.deadline_ms);
+      return CmdSat(out, db, rest);
+    });
+  }
+  if (verb == "coalesce") {
+    return db_->WithWrite(
+        [&](Database& db) { return CmdCoalesce(out, db, rest); });
+  }
+  if (verb == "simplify") {
+    return db_->WithWrite(
+        [&](Database& db) { return CmdSimplify(out, db, rest); });
+  }
+  if (verb == "witness") {
+    return db_->WithRead(
+        [&](const Database& db) { return CmdWitness(out, db, rest); });
+  }
+  if (verb == "drop") {
+    return db_->WithWrite([&](Database& db) { return db.Remove(rest); });
+  }
+  if (verb == "define") return CmdDefine(rest);
+  return Status::InvalidArgument("unknown command \"" + verb +
+                                 "\" (try: help)");
+}
+
+Status Session::CmdLoad(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open \"" + path + "\"");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  ITDB_ASSIGN_OR_RETURN(Database loaded, Database::FromText(buffer.str()));
+  return db_->WithWrite([&](Database& db) -> Status {
+    // Validate before committing so a name clash leaves the catalog exactly
+    // as it was (the classic shell stopped mid-file, keeping a prefix).
+    for (const std::string& name : loaded.Names()) {
+      if (db.Has(name)) {
+        return Status::InvalidArgument("relation \"" + name +
+                                       "\" already exists");
+      }
+    }
+    for (const std::string& name : loaded.Names()) {
+      ITDB_RETURN_IF_ERROR(db.Add(name, loaded.Get(name).value()));
+    }
+    return Status::Ok();
+  });
+}
+
+Status Session::CmdDefine(const std::string& text) {
+  if (BraceBalance(text) != 0) {
+    return Status::ParseError("unbalanced braces in definition");
+  }
+  ITDB_ASSIGN_OR_RETURN(NamedRelation named, ParseRelation(text));
+  return db_->WithWrite([&](Database& db) {
+    return db.Add(named.name, std::move(named.relation));
+  });
+}
+
+Status Session::CmdAsk(std::ostream& out, const std::string& text) {
+  return EvalThroughBatcher("ask", text, out);
+}
+
+Status Session::CmdQuery(std::ostream& out, const std::string& text) {
+  return EvalThroughBatcher("query", text, out);
+}
+
+Status Session::CmdFetch(std::ostream& out, const std::string& args) {
+  if (!cursor_.has_value()) {
+    return Status::InvalidArgument(
+        "no query result to fetch from (run `query` first)");
+  }
+  std::int64_t n = options_.fetch_batch;
+  if (!args.empty()) {
+    std::istringstream in(args);
+    if (!(in >> n) || n <= 0) {
+      return Status::InvalidArgument("usage: fetch [n]");
+    }
+  }
+  GeneralizedRelation page(cursor_->schema());
+  const std::vector<GeneralizedTuple>& tuples = cursor_->tuples();
+  const std::int64_t end = std::min<std::int64_t>(cursor_pos_ + n,
+                                                  cursor_->size());
+  for (std::int64_t i = cursor_pos_; i < end; ++i) {
+    ITDB_RETURN_IF_ERROR(page.AddTuple(tuples[static_cast<std::size_t>(i)]));
+  }
+  cursor_pos_ = end;
+  out << PrintRelation("fetch", page);
+  out << page.size() << " tuple(s), " << (cursor_->size() - cursor_pos_)
+      << " remaining\n";
+  return Status::Ok();
+}
+
+Status Session::CmdSet(std::ostream& out, const std::string& args) {
+  if (args.empty()) {
+    out << "analyze      " << (options_.query.analyze ? "on" : "off") << "\n";
+    out << "optimize     " << (options_.query.optimize ? "on" : "off")
+        << "\n";
+    out << "prune        "
+        << (options_.query.prune_intermediates ? "on" : "off") << "\n";
+    out << "threads      " << options_.query.algebra.threads << "\n";
+    out << "deadline_ms  " << options_.deadline_ms << "\n";
+    return Status::Ok();
+  }
+  std::istringstream in(args);
+  std::string name;
+  std::string value;
+  if (!(in >> name >> value)) {
+    return Status::InvalidArgument("usage: set <name> <value>");
+  }
+  if (name == "analyze") {
+    if (ParseOnOff(value, &options_.query.analyze)) return Status::Ok();
+  } else if (name == "optimize") {
+    if (ParseOnOff(value, &options_.query.optimize)) return Status::Ok();
+  } else if (name == "prune") {
+    if (ParseOnOff(value, &options_.query.prune_intermediates)) {
+      return Status::Ok();
+    }
+  } else if (name == "threads") {
+    std::istringstream vin(value);
+    int threads = 0;
+    if (vin >> threads && threads >= 0) {
+      options_.query.algebra.threads = threads;
+      return Status::Ok();
+    }
+  } else if (name == "deadline_ms") {
+    std::istringstream vin(value);
+    std::int64_t ms = 0;
+    if (vin >> ms && ms >= 0) {
+      options_.deadline_ms = ms;
+      return Status::Ok();
+    }
+  } else {
+    return Status::InvalidArgument("unknown option \"" + name +
+                                   "\" (set alone lists them)");
+  }
+  return Status::InvalidArgument("bad value \"" + value + "\" for " + name);
+}
+
+query::QueryOptions Session::EffectiveOptions(const Database& db,
+                                              const query::QueryPtr& q,
+                                              std::int64_t* deadline_ms) const {
+  query::QueryOptions opts = options_.query;
+  if (opts.algebra.normalize_cache == nullptr) {
+    opts.algebra.normalize_cache = options_.normalize_cache;
+  }
+  if (options_.cost_aware_budgets &&
+      ClassifyQueryCost(db, q) == CostClass::kHeavy) {
+    const std::int64_t d =
+        std::max<std::int64_t>(1, options_.heavy_budget_divisor);
+    opts.algebra.max_tuples =
+        std::max<std::int64_t>(1, opts.algebra.max_tuples / d);
+    opts.algebra.max_complement_universe =
+        std::max<std::int64_t>(1, opts.algebra.max_complement_universe / d);
+    opts.algebra.normalize.max_split_product = std::max<std::int64_t>(
+        1, opts.algebra.normalize.max_split_product / d);
+    if (*deadline_ms > 0) {
+      *deadline_ms = std::max<std::int64_t>(1, *deadline_ms / d);
+    }
+  }
+  return opts;
+}
+
+Status Session::EvalThroughBatcher(std::string_view verb,
+                                   const std::string& text,
+                                   std::ostream& out) {
+  ++stats_.queries;
+  obs::AddGlobalCounter("server.queries", 1);
+  ITDB_ASSIGN_OR_RETURN(query::QueryPtr q, query::ParseQuery(text));
+  return db_->WithRead([&](const Database& db) -> Status {
+    std::int64_t deadline_ms = options_.deadline_ms;
+    query::QueryOptions opts = EffectiveOptions(db, q, &deadline_ms);
+    auto compute = [&]() -> QueryBatcher::Outcome {
+      QueryBatcher::Outcome o;
+      std::ostringstream rendered;
+      DeadlineGuard deadline(deadline_ms);
+      if (verb == "ask") {
+        Result<bool> truth = query::EvalBooleanQuery(db, q, opts);
+        if (!truth.ok()) {
+          o.status = truth.status();
+          return o;
+        }
+        rendered << (truth.value() ? "true" : "false") << "\n";
+      } else {
+        Result<GeneralizedRelation> rel = query::EvalQuery(db, q, opts);
+        if (!rel.ok()) {
+          o.status = rel.status();
+          return o;
+        }
+        o.relation = std::make_shared<const GeneralizedRelation>(
+            std::move(rel).value());
+        rendered << PrintRelation("result", *o.relation);
+        rendered << o.relation->size() << " generalized tuple(s)\n";
+      }
+      o.text = rendered.str();
+      return o;
+    };
+    QueryBatcher::Outcome outcome;
+    bool shared = false;
+    if (options_.batcher != nullptr) {
+      // The fingerprint is the normalized plan shape plus every option that
+      // can change the rendered outcome.  Thread count is deliberately
+      // absent: results are bit-identical at every thread count.  The
+      // database version is read under the same reader lock the evaluation
+      // holds, so it is exactly the version the evaluation observes.
+      std::ostringstream key;
+      key << verb << '\x1f'
+          << (opts.optimize ? query::Optimize(q)->ToString() : q->ToString())
+          << '\x1f' << opts.analyze << opts.optimize
+          << opts.prune_intermediates << '\x1f' << opts.algebra.max_tuples
+          << '/' << opts.algebra.max_complement_universe << '/'
+          << opts.algebra.normalize.max_split_product << '/' << deadline_ms;
+      outcome = options_.batcher->Run(key.str(), db_->version(), compute,
+                                      &shared);
+      if (shared) ++stats_.batched;
+    } else {
+      outcome = compute();
+    }
+    ITDB_RETURN_IF_ERROR(outcome.status);
+    out << outcome.text;
+    if (verb == "query" && outcome.relation != nullptr) {
+      cursor_ = *outcome.relation;
+      cursor_pos_ = 0;
+    }
+    return Status::Ok();
+  });
+}
+
+}  // namespace server
+}  // namespace itdb

@@ -1,0 +1,156 @@
+// One client's conversation with the engine: the parse -> analyze ->
+// optimize -> evaluate pipeline behind both the interactive shell and the
+// socket server.
+//
+// Before this layer existed the pipeline lived inline in the REPL loop
+// (src/shell/shell.cc), so nothing else could drive it.  A Session owns
+// everything per-client -- QueryOptions, the multi-line statement buffer, a
+// result cursor, error/command counters -- while the Database is shared through
+// SharedDatabase's reader-writer lock: read-only verbs (ask / query /
+// explain / profile / check / ...) evaluate under the shared lock, mutating
+// verbs (define / load / drop / coalesce / simplify) under the exclusive
+// one.  The shell is now a thin client of Feed(); the server drives
+// AppendLine()/Execute() directly so statement assembly stays on its event
+// loop while execution runs on pool workers.
+//
+// Statement grammar: exactly the shell's command set (help prints it), plus
+//   fetch [n]          next n tuples of the last `query` result (cursor)
+//   set [name value]   per-session options; bare `set` lists them
+// `quit` / `exit` are session-terminating and surface as Disposition::kQuit
+// from Feed (Execute never sees them; use IsQuitStatement for routing).
+//
+// Budgets: with deadline_ms set, query-evaluating verbs run under a
+// CancellationToken (util/thread_pool.h) and fail with kResourceExhausted
+// when the budget elapses.  With cost_aware_budgets set, queries the static
+// cost analysis flags (A010 NP-regime complement / A012 period blowup) get
+// tuple/split budgets and deadline divided by heavy_budget_divisor -- the
+// admission layer's defense against one pathological query starving the
+// fleet.
+
+#ifndef ITDB_SERVER_SESSION_H_
+#define ITDB_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/normalize_cache.h"
+#include "core/relation.h"
+#include "query/eval.h"
+#include "server/batcher.h"
+#include "server/shared_database.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace server {
+
+struct SessionOptions {
+  /// Per-session evaluation options (threads, budgets, analyze, ...).
+  /// Mutable at runtime through the `set` verb.
+  query::QueryOptions query;
+  /// Wall-clock budget per query-evaluating command, in milliseconds.
+  /// 0 = unlimited.
+  std::int64_t deadline_ms = 0;
+  /// Apply stricter budgets to queries the cost analysis grades heavy.
+  bool cost_aware_budgets = false;
+  /// Divisor for the heavy class's tuple/split budgets and deadline.
+  std::int64_t heavy_budget_divisor = 8;
+  /// Default row count for a bare `fetch`.
+  std::int64_t fetch_batch = 16;
+  /// Reject verbs that mutate the shared catalog or touch server-side
+  /// files (define / load / save / drop / coalesce / simplify).
+  bool read_only = false;
+  /// Normalization memo-cache shared across sessions (not owned; null =
+  /// one private cache per query evaluation).
+  NormalizeCache* normalize_cache = nullptr;
+  /// Coalesces identical concurrent plans (not owned; null = off).
+  QueryBatcher* batcher = nullptr;
+};
+
+class Session {
+ public:
+  explicit Session(SharedDatabase* db, SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  struct FeedResult {
+    enum class Disposition {
+      kDone,      // A statement executed (status holds its outcome).
+      kNeedMore,  // Line buffered; the statement wants more lines.
+      kQuit,      // quit / exit: the caller should end the session.
+    };
+    Disposition disposition = Disposition::kDone;
+    Status status;
+  };
+
+  /// Feeds one input line: assembles multi-line statements, executes
+  /// complete ones (output to `out`), recognizes quit/exit.
+  FeedResult Feed(std::string_view line, std::ostream& out);
+
+  /// Statement assembly only: buffers `line` and returns the completed
+  /// statement once braces balance (single-line statements complete
+  /// immediately).  Comment stripping applies to statement-initial lines
+  /// only -- continuation lines pass through to the relation parser intact.
+  std::optional<std::string> AppendLine(std::string_view line);
+
+  /// Executes one complete statement.  Output and error reports go to
+  /// `out`; the returned Status is the command's outcome.  Never executes
+  /// quit/exit (route those via Feed or IsQuitStatement).
+  Status Execute(std::string_view statement, std::ostream& out);
+
+  /// True for quit / exit statements.
+  static bool IsQuitStatement(std::string_view statement);
+
+  /// A partially assembled statement is buffered (EOF or disconnect now
+  /// would abandon it).
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Discards the partial statement, if any; returns whether there was one.
+  /// The shared database is untouched -- assembly never executes anything.
+  bool AbortPending();
+
+  struct Stats {
+    std::int64_t commands = 0;
+    std::int64_t queries = 0;  // ask / query / profile evaluations.
+    std::int64_t errors = 0;
+    std::int64_t batched = 0;  // Served from a concurrent leader's result.
+  };
+  const Stats& stats() const { return stats_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  Status Dispatch(const std::string& verb, const std::string& rest,
+                  std::ostream& out);
+  Status CmdQuery(std::ostream& out, const std::string& text);
+  Status CmdAsk(std::ostream& out, const std::string& text);
+  Status CmdFetch(std::ostream& out, const std::string& args);
+  Status CmdSet(std::ostream& out, const std::string& args);
+  Status CmdLoad(const std::string& path);
+  Status CmdDefine(const std::string& text);
+
+  /// Evaluation options for `q`, with heavy-class budget division applied.
+  query::QueryOptions EffectiveOptions(const Database& db,
+                                       const query::QueryPtr& q,
+                                       std::int64_t* deadline_ms) const;
+
+  /// Runs a read-only, deterministic evaluation -- through the batcher when
+  /// configured -- rendering output into `out`.
+  Status EvalThroughBatcher(std::string_view verb, const std::string& text,
+                            std::ostream& out);
+
+  SharedDatabase* db_;
+  SessionOptions options_;
+  std::string pending_;  // Partial multi-line statement.
+  std::optional<GeneralizedRelation> cursor_;
+  std::int64_t cursor_pos_ = 0;
+  Stats stats_;
+};
+
+}  // namespace server
+}  // namespace itdb
+
+#endif  // ITDB_SERVER_SESSION_H_

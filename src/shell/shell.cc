@@ -1,330 +1,41 @@
 #include "shell/shell.h"
 
-#include <fstream>
-#include <iostream>
-#include <sstream>
+#include <istream>
+#include <ostream>
 #include <string>
 
-#include "analysis/analyzer.h"
-#include "core/algebra.h"
-#include "core/coalesce.h"
-#include "core/simplify.h"
-#include "obs/metrics.h"
-#include "util/diagnostic.h"
-#include "query/eval.h"
-#include "query/optimize.h"
-#include "query/parser.h"
-#include "storage/text_format.h"
-#include "tl/ltl.h"
-#include "tl/parser.h"
+#include "server/session.h"
+#include "server/shared_database.h"
 
 namespace itdb {
 
-namespace {
-
-constexpr const char* kHelp = R"(commands:
-  help                          this text
-  load <path>                   parse relation blocks from a file
-  define relation N(...) {...}  inline definition (may span lines)
-  list                          relation names
-  show <name>                   print a relation
-  enumerate <name> <lo> <hi>    concrete rows with coordinates in [lo, hi]
-  ask <query>                   yes/no first-order query
-  query <query>                 open query; prints the result relation
-  explain <query>               print the (optimized) query-plan tree
-  profile <query>               evaluate with tracing; prints per-plan-node
-                                wall/CPU time, tuple counts, and kernel stats
-  metrics                       dump the process-global metrics registry
-  check <query>                 static analysis only: sort errors, unsafe
-                                variables, provably empty subqueries, cost
-                                warnings -- with source-span diagnostics
-  tlcheck <tl-formula>          does the temporal-logic formula hold at
-                                every instant?  (e.g. G(req -> F[0,5](ack)))
-  sat <tl-formula>              instants satisfying the formula
-  coalesce <name>               merge residue families in place
-  simplify <name>               drop empty and subsumed tuples in place
-  witness <name>                print one concrete row, if any
-  save <path>                   write the catalog to a file
-  drop <name>                   remove a relation
-  quit | exit                   leave
-)";
-
-// First whitespace-delimited word; `rest` receives the remainder trimmed.
-std::string SplitCommand(const std::string& line, std::string* rest) {
-  std::size_t start = line.find_first_not_of(" \t");
-  if (start == std::string::npos) {
-    rest->clear();
-    return "";
-  }
-  std::size_t end = line.find_first_of(" \t", start);
-  std::string head = line.substr(start, end - start);
-  if (end == std::string::npos) {
-    rest->clear();
-  } else {
-    std::size_t rstart = line.find_first_not_of(" \t", end);
-    *rest = rstart == std::string::npos ? "" : line.substr(rstart);
-  }
-  return head;
-}
-
-Status CmdLoad(Database& db, const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::NotFound("cannot open \"" + path + "\"");
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  ITDB_ASSIGN_OR_RETURN(Database loaded, Database::FromText(buffer.str()));
-  for (const std::string& name : loaded.Names()) {
-    ITDB_RETURN_IF_ERROR(db.Add(name, loaded.Get(name).value()));
-  }
-  return Status::Ok();
-}
-
-Status CmdSave(const Database& db, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) return Status::InvalidArgument("cannot write \"" + path + "\"");
-  file << db.ToText();
-  return Status::Ok();
-}
-
-Status CmdShow(std::ostream& out, const Database& db,
-               const std::string& name) {
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
-  out << PrintRelation(name, rel);
-  return Status::Ok();
-}
-
-Status CmdEnumerate(std::ostream& out, const Database& db,
-                    const std::string& args) {
-  std::istringstream in(args);
-  std::string name;
-  std::int64_t lo = 0;
-  std::int64_t hi = 0;
-  if (!(in >> name >> lo >> hi)) {
-    return Status::InvalidArgument("usage: enumerate <name> <lo> <hi>");
-  }
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
-  std::vector<ConcreteRow> rows = rel.Enumerate(lo, hi);
-  for (const ConcreteRow& row : rows) {
-    out << "  " << row.ToString() << "\n";
-  }
-  out << rows.size() << " row(s)\n";
-  return Status::Ok();
-}
-
-Status CmdAsk(std::ostream& out, const Database& db, const std::string& text) {
-  ITDB_ASSIGN_OR_RETURN(bool truth, query::EvalBooleanQueryString(db, text));
-  out << (truth ? "true" : "false") << "\n";
-  return Status::Ok();
-}
-
-Status CmdQuery(std::ostream& out, const Database& db,
-                const std::string& text) {
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel,
-                        query::EvalQueryString(db, text));
-  out << PrintRelation("result", rel);
-  out << rel.size() << " generalized tuple(s)\n";
-  return Status::Ok();
-}
-
-// Static analysis of a first-order query: rustc-style caret diagnostics,
-// then a one-line summary.  Findings go to `out` as ordinary output; the
-// command itself only fails on I/O-level problems, so scripted `check`
-// runs (tools/check_queries.py) can assert on the printed codes.
-Status CmdCheckQuery(std::ostream& out, const Database& db,
-                     const std::string& text) {
-  Result<query::QueryPtr> q = query::ParseQuery(text);
-  if (!q.ok()) {
-    out << "error[parse]: " << q.status().message() << "\n";
-    out << "check: 1 error(s), 0 warning(s)\n";
-    return Status::Ok();
-  }
-  analysis::AnalysisResult result = analysis::Analyze(db, q.value());
-  out << FormatDiagnostics(text, result.diagnostics);
-  if (result.root_proven_empty) {
-    out << "note: the query result is statically empty\n";
-  }
-  if (result.diagnostics.empty()) {
-    out << "check: ok\n";
-  } else {
-    out << "check: " << result.errors() << " error(s), " << result.warnings()
-        << " warning(s)\n";
-  }
-  return Status::Ok();
-}
-
-Status CmdCheckTl(std::ostream& out, const Database& db,
-                  const std::string& text) {
-  ITDB_ASSIGN_OR_RETURN(tl::TlPtr formula, tl::ParseTlFormula(text));
-  ITDB_ASSIGN_OR_RETURN(bool holds, tl::HoldsEverywhere(db, formula));
-  if (holds) {
-    out << "PASS: holds at every instant\n";
-    return Status::Ok();
-  }
-  ITDB_ASSIGN_OR_RETURN(
-      GeneralizedRelation sat,
-      tl::SatisfactionSet(db, tl::TlFormula::Not(formula)));
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(sat));
-  out << "FAIL: violated on\n" << PrintRelation("violations", packed);
-  return Status::Ok();
-}
-
-Status CmdSat(std::ostream& out, const Database& db, const std::string& text) {
-  ITDB_ASSIGN_OR_RETURN(tl::TlPtr formula, tl::ParseTlFormula(text));
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation sat,
-                        tl::SatisfactionSet(db, formula));
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(sat));
-  out << PrintRelation("sat", packed);
-  out << packed.size() << " generalized tuple(s)\n";
-  return Status::Ok();
-}
-
-Status CmdCoalesce(std::ostream& out, Database& db, const std::string& name) {
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
-  std::int64_t before = rel.size();
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(rel));
-  out << before << " -> " << packed.size() << " tuple(s)\n";
-  db.Put(name, std::move(packed));
-  return Status::Ok();
-}
-
-Status CmdSimplify(std::ostream& out, Database& db, const std::string& name) {
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
-  std::int64_t before = rel.size();
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation simplified, Simplify(rel));
-  out << before << " -> " << simplified.size() << " tuple(s)\n";
-  db.Put(name, std::move(simplified));
-  return Status::Ok();
-}
-
-Status CmdWitness(std::ostream& out, const Database& db,
-                  const std::string& name) {
-  ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
-  ITDB_ASSIGN_OR_RETURN(std::optional<ConcreteRow> row, FindWitness(rel));
-  if (row.has_value()) {
-    out << row->ToString() << "\n";
-  } else {
-    out << "empty relation\n";
-  }
-  return Status::Ok();
-}
-
-Status CmdExplain(std::ostream& out, const Database& db,
-                  const std::string& text) {
-  (void)db;
-  ITDB_ASSIGN_OR_RETURN(query::QueryPtr q, query::ParseQuery(text));
-  out << "query:     " << q->ToString() << "\n";
-  query::QueryPtr optimized = query::Optimize(q);
-  out << "optimized: " << optimized->ToString() << "\n";
-  out << "plan:\n" << query::FormatQueryPlan(optimized);
-  return Status::Ok();
-}
-
-Status CmdProfile(std::ostream& out, const Database& db,
-                  const std::string& text) {
-  ITDB_ASSIGN_OR_RETURN(query::ProfiledResult profiled,
-                        query::EvalQueryStringProfiled(db, text));
-  out << profiled.profile.ToText();
-  out << profiled.relation.size() << " generalized tuple(s)\n";
-  return Status::Ok();
-}
-
-void CmdMetrics(std::ostream& out) {
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  obs::PublishThreadPoolMetrics(registry);
-  obs::PublishArenaMetrics(registry);
-  out << registry.snapshot().ToText();
-}
-
-// Reads additional lines until braces balance (for multi-line `define`).
-Status CompleteBlock(std::istream& in, std::string& text) {
-  auto balance = [](const std::string& s) {
-    int open = 0;
-    for (char c : s) {
-      if (c == '{') ++open;
-      if (c == '}') --open;
-    }
-    return open;
-  };
-  int open = balance(text);
-  std::string line;
-  while (open > 0 && std::getline(in, line)) {
-    text += "\n" + line;
-    open = balance(text);
-  }
-  if (open != 0) {
-    return Status::ParseError("unbalanced braces in definition");
-  }
-  return Status::Ok();
-}
-
-Status CmdDefine(std::istream& in, Database& db, std::string text) {
-  ITDB_RETURN_IF_ERROR(CompleteBlock(in, text));
-  ITDB_ASSIGN_OR_RETURN(NamedRelation named, ParseRelation(text));
-  return db.Add(named.name, std::move(named.relation));
-}
-
-}  // namespace
-
 Status RunShell(std::istream& in, std::ostream& out, Database& db,
                 const ShellOptions& options) {
+  server::SharedDatabase shared(&db);
+  server::Session session(&shared, options.session);
+  using Disposition = server::Session::FeedResult::Disposition;
   std::string line;
   while (true) {
-    if (options.prompt) out << "itdb> " << std::flush;
+    // No prompt on continuation lines: the statement is still being typed.
+    if (options.prompt && !session.has_pending()) {
+      out << "itdb> " << std::flush;
+    }
     if (!std::getline(in, line)) break;
-    std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::string rest;
-    std::string cmd = SplitCommand(line, &rest);
-    if (cmd.empty()) continue;
-    Status status;
-    if (cmd == "help") {
-      out << kHelp;
-    } else if (cmd == "quit" || cmd == "exit") {
-      break;
-    } else if (cmd == "load") {
-      status = CmdLoad(db, rest);
-    } else if (cmd == "save") {
-      status = CmdSave(db, rest);
-    } else if (cmd == "list") {
-      for (const std::string& name : db.Names()) out << name << "\n";
-    } else if (cmd == "show") {
-      status = CmdShow(out, db, rest);
-    } else if (cmd == "enumerate") {
-      status = CmdEnumerate(out, db, rest);
-    } else if (cmd == "ask") {
-      status = CmdAsk(out, db, rest);
-    } else if (cmd == "query") {
-      status = CmdQuery(out, db, rest);
-    } else if (cmd == "explain" || cmd == "EXPLAIN") {
-      status = CmdExplain(out, db, rest);
-    } else if (cmd == "profile" || cmd == "PROFILE") {
-      status = CmdProfile(out, db, rest);
-    } else if (cmd == "metrics") {
-      CmdMetrics(out);
-    } else if (cmd == "check") {
-      status = CmdCheckQuery(out, db, rest);
-    } else if (cmd == "tlcheck") {
-      status = CmdCheckTl(out, db, rest);
-    } else if (cmd == "sat") {
-      status = CmdSat(out, db, rest);
-    } else if (cmd == "coalesce") {
-      status = CmdCoalesce(out, db, rest);
-    } else if (cmd == "simplify") {
-      status = CmdSimplify(out, db, rest);
-    } else if (cmd == "witness") {
-      status = CmdWitness(out, db, rest);
-    } else if (cmd == "drop") {
-      status = db.Remove(rest);
-    } else if (cmd == "define") {
-      status = CmdDefine(in, db, rest);
-    } else {
-      status = Status::InvalidArgument("unknown command \"" + cmd +
-                                       "\" (try: help)");
+    server::Session::FeedResult fed = session.Feed(line, out);
+    if (fed.disposition == Disposition::kQuit) return Status::Ok();
+    if (fed.disposition == Disposition::kDone && !fed.status.ok() &&
+        options.stop_on_error) {
+      return fed.status;
     }
-    if (!status.ok()) {
-      out << "error: " << status << "\n";
-      if (options.stop_on_error) return status;
-    }
+  }
+  // EOF (Ctrl-D, dropped pipe) mid-statement: abandon the half-assembled
+  // define without touching the catalog, reporting it exactly as the old
+  // inline CompleteBlock loop did.
+  if (session.has_pending()) {
+    session.AbortPending();
+    Status status = Status::ParseError("unbalanced braces in definition");
+    out << "error: " << status << "\n";
+    if (options.stop_on_error) return status;
   }
   return Status::Ok();
 }

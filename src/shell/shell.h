@@ -1,17 +1,11 @@
 // The itdb shell: a small line-oriented interface over a Database.
 //
-// Commands (one per line; '#' starts a comment):
-//   help                         list commands
-//   load <path>                  parse relation blocks from a file
-//   define relation N(...) {...} inline definition (may span lines)
-//   list                         relation names
-//   show <name>                  print a relation in the text format
-//   enumerate <name> <lo> <hi>   concrete rows in a window
-//   ask <query>                  yes/no first-order query
-//   query <query>                open query; prints the result relation
-//   save <path>                  write the whole catalog to a file
-//   drop <name>                  remove a relation
-//   quit / exit                  leave
+// The shell is a thin client of server::Session -- the same object the
+// socket server (src/server/server.h) creates per connection -- so the
+// interactive grammar and the wire grammar are one code path: commands
+// (help lists them), multi-line `define` assembly, '#' comments, and error
+// reporting behave identically whether typed at the prompt or sent by
+// tools/itdb_client.py.
 //
 // The command loop lives in a library (RunShell) so it can be unit tested;
 // tools/itdb_shell.cc wraps it for interactive use.
@@ -21,20 +15,25 @@
 
 #include <iosfwd>
 
+#include "server/session.h"
 #include "storage/database.h"
 #include "util/status.h"
 
 namespace itdb {
 
 struct ShellOptions {
-  /// Print a prompt before each command (interactive sessions).
+  /// Print a prompt before each statement (interactive sessions).
   bool prompt = false;
   /// Stop at the first failing command instead of reporting and continuing.
   bool stop_on_error = false;
+  /// Session configuration (evaluation options, deadline, read_only, ...).
+  server::SessionOptions session;
 };
 
 /// Runs the command loop until EOF or quit.  Command output and error
-/// reports go to `out`.  Returns non-OK only for stop_on_error failures.
+/// reports go to `out`.  Returns non-OK only for stop_on_error failures;
+/// EOF in the middle of a multi-line statement abandons it cleanly (the
+/// database is untouched) and reports a parse error.
 Status RunShell(std::istream& in, std::ostream& out, Database& db,
                 const ShellOptions& options = {});
 

@@ -12,6 +12,9 @@ namespace {
 /// parallel regions then run inline instead of re-entering the pool.
 thread_local bool t_in_parallel_region = false;
 
+/// The innermost installed cancellation token (see CancellationScope).
+thread_local const CancellationToken* t_cancellation_token = nullptr;
+
 /// Shared state of one ParallelFor invocation.  Helpers and the caller pull
 /// chunks off `next` until exhausted; the caller waits for `completed == n`,
 /// so `body` outlives every invocation.
@@ -20,6 +23,9 @@ struct ParallelForState {
   std::int64_t n = 0;
   std::int64_t chunk = 1;
   const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  /// The submitting thread's token, forwarded to every helper so kernel
+  /// bodies observe it through CurrentCancellationToken().
+  const CancellationToken* token = nullptr;
 
   std::mutex mu;
   std::condition_variable done_cv;
@@ -29,12 +35,18 @@ struct ParallelForState {
 void RunChunks(const std::shared_ptr<ParallelForState>& state) {
   bool saved = t_in_parallel_region;
   t_in_parallel_region = true;
+  CancellationScope cancellation(state->token);
   while (true) {
     std::int64_t begin = state->next.fetch_add(state->chunk);
     if (begin >= state->n) break;
     std::int64_t end = begin + state->chunk;
     if (end > state->n) end = state->n;
-    (*state->body)(begin, end);
+    // Cooperative deadline check: once the token expires, remaining chunks
+    // complete without running the body (the region's result is then
+    // partial; ParallelAppend and friends turn that into a Status).
+    if (state->token == nullptr || !state->token->Expired()) {
+      (*state->body)(begin, end);
+    }
     std::lock_guard<std::mutex> lock(state->mu);
     state->completed += end - begin;
     if (state->completed == state->n) state->done_cv.notify_all();
@@ -43,6 +55,24 @@ void RunChunks(const std::shared_ptr<ParallelForState>& state) {
 }
 
 }  // namespace
+
+CancellationScope::CancellationScope(const CancellationToken* token)
+    : saved_(t_cancellation_token) {
+  t_cancellation_token = token;
+}
+
+CancellationScope::~CancellationScope() { t_cancellation_token = saved_; }
+
+const CancellationToken* CurrentCancellationToken() {
+  return t_cancellation_token;
+}
+
+Status CheckCancellation() {
+  const CancellationToken* token = t_cancellation_token;
+  if (token == nullptr || !token->Expired()) return Status::Ok();
+  return Status::ResourceExhausted(token->cancelled() ? "cancelled"
+                                                      : "deadline exceeded");
+}
 
 ThreadPool::ThreadPool(int num_workers) { EnsureWorkers(num_workers); }
 
@@ -136,12 +166,16 @@ void ParallelFor(std::int64_t n, const ParallelOptions& options,
   const int threads = ResolveThreads(options.threads);
   const std::int64_t grain = options.grain < 1 ? 1 : options.grain;
   if (threads <= 1 || n <= grain || t_in_parallel_region) {
-    body(0, n);
+    // Same contract as the parallel path: an expired token skips the body.
+    if (t_cancellation_token == nullptr || !t_cancellation_token->Expired()) {
+      body(0, n);
+    }
     return;
   }
   auto state = std::make_shared<ParallelForState>();
   state->n = n;
   state->body = &body;
+  state->token = t_cancellation_token;
   // ~4 chunks per thread balances load without much contention on `next`.
   std::int64_t chunk = n / (static_cast<std::int64_t>(threads) * 4);
   state->chunk = chunk < grain ? grain : chunk;

@@ -22,6 +22,7 @@
 #define ITDB_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -34,6 +35,81 @@
 #include "util/status.h"
 
 namespace itdb {
+
+/// Cooperative cancellation and deadlines for parallel work.
+///
+/// A token is armed with a wall-clock deadline (or cancelled outright) and
+/// installed on the current thread with a CancellationScope; ParallelFor
+/// forwards the submitting thread's token to every worker that helps with
+/// the region.  Checks are cooperative: kernels call CheckCancellation() at
+/// convenient boundaries, and ParallelFor itself stops fetching chunks once
+/// the token has expired.  A region cut short this way has NOT produced its
+/// full result -- callers that install a token must treat a non-OK
+/// CheckCancellation() after the region as the region's failure.
+/// ParallelAppend does exactly that and fails with kResourceExhausted, so
+/// Status-propagating pipelines unwind cleanly.
+///
+/// All members are safe to call from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Arms the deadline: Expired() becomes true once the steady clock
+  /// reaches `deadline`.  Re-arming moves the deadline.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+  /// Arms the deadline `budget` from now.  A non-positive budget expires
+  /// immediately.
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    SetDeadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// Expires the token immediately, regardless of any deadline.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Cancelled, or the armed deadline has passed.  The fast path (no
+  /// deadline, not cancelled) is two relaxed loads -- no clock read.
+  bool Expired() const {
+    if (cancelled()) return true;
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >=
+           deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+/// RAII: installs `token` (which may be null: no cancellation) as the
+/// current thread's token for the scope's lifetime, restoring the previous
+/// one on exit.  Scopes nest; the innermost wins.
+class CancellationScope {
+ public:
+  explicit CancellationScope(const CancellationToken* token);
+  ~CancellationScope();
+  CancellationScope(const CancellationScope&) = delete;
+  CancellationScope& operator=(const CancellationScope&) = delete;
+
+ private:
+  const CancellationToken* saved_;
+};
+
+/// The current thread's installed token, or null.
+const CancellationToken* CurrentCancellationToken();
+
+/// OK when no token is installed or the installed token has not expired;
+/// kResourceExhausted("deadline exceeded" / "cancelled") otherwise.
+Status CheckCancellation();
 
 /// A lazily grown, process-wide pool of worker threads.  Tasks must not
 /// block on other tasks; ParallelFor keeps the submitting thread working,
@@ -100,6 +176,13 @@ int ResolveThreads(int threads);
 /// Runs body(begin, end) over a partition of [0, n), in parallel when
 /// worthwhile.  Ranges are disjoint and cover [0, n); the calling thread
 /// participates.  Blocks until every invocation returned.
+///
+/// Cancellation: the submitting thread's CancellationToken (if any) is
+/// forwarded to every helping worker -- CurrentCancellationToken() resolves
+/// to it inside `body` -- and once the token expires, remaining chunks are
+/// skipped instead of run.  The call still returns normally; a caller that
+/// installed a token MUST check CheckCancellation() afterwards and treat
+/// failure as "the region did not complete".
 void ParallelFor(std::int64_t n, const ParallelOptions& options,
                  const std::function<void(std::int64_t, std::int64_t)>& body);
 
@@ -108,7 +191,12 @@ void ParallelFor(std::int64_t n, const ParallelOptions& options,
 /// results to `out`; returns all results concatenated IN INPUT-INDEX ORDER,
 /// so the output equals the sequential loop's byte for byte regardless of
 /// thread count.  On failure returns the Status of the smallest failing
-/// index.
+/// index.  When the calling thread has a CancellationToken installed and it
+/// expires mid-sweep, the call fails with kResourceExhausted instead of
+/// returning a partial result (checked every kCancellationStride indices,
+/// and once more after the sweep to cover ParallelFor's skipped chunks).
+inline constexpr std::int64_t kCancellationStride = 64;
+
 template <typename T, typename Fn>
 Result<std::vector<T>> ParallelAppend(std::int64_t n,
                                       const ParallelOptions& options,
@@ -119,6 +207,9 @@ Result<std::vector<T>> ParallelAppend(std::int64_t n,
   const std::int64_t grain = options.grain < 1 ? 1 : options.grain;
   if (threads <= 1 || n <= grain) {
     for (std::int64_t i = 0; i < n; ++i) {
+      if (i % kCancellationStride == 0) {
+        ITDB_RETURN_IF_ERROR(CheckCancellation());
+      }
       ITDB_RETURN_IF_ERROR(fn(i, out));
     }
     return out;
@@ -139,7 +230,10 @@ Result<std::vector<T>> ParallelAppend(std::int64_t n,
                   std::vector<T>& local =
                       parts[static_cast<std::size_t>(c)];
                   for (std::int64_t i = lo; i < hi; ++i) {
-                    Status s = fn(i, local);
+                    Status s = (i - lo) % kCancellationStride == 0
+                                   ? CheckCancellation()
+                                   : Status::Ok();
+                    if (s.ok()) s = fn(i, local);
                     if (!s.ok()) {
                       piece_error[static_cast<std::size_t>(c)] = std::move(s);
                       std::int64_t cur = first_bad_piece.load();
@@ -153,6 +247,9 @@ Result<std::vector<T>> ParallelAppend(std::int64_t n,
               });
   const std::int64_t bad = first_bad_piece.load();
   if (bad < pieces) return piece_error[static_cast<std::size_t>(bad)];
+  // ParallelFor may have skipped whole chunks on an expired token; this
+  // check turns that into a failure instead of a silently truncated result.
+  ITDB_RETURN_IF_ERROR(CheckCancellation());
   std::size_t total = 0;
   for (const std::vector<T>& p : parts) total += p.size();
   out.reserve(total);

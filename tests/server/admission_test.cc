@@ -1,0 +1,94 @@
+#include "server/admission.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "query/parser.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace server {
+namespace {
+
+TEST(AdmissionQueueTest, AdmitsUpToBoundThenSheds) {
+  AdmissionOptions options;
+  options.max_pending = 2;
+  AdmissionQueue queue(options);
+  EXPECT_TRUE(queue.TryAdmit());
+  EXPECT_TRUE(queue.TryAdmit());
+  EXPECT_EQ(queue.pending(), 2);
+  EXPECT_FALSE(queue.TryAdmit());
+  EXPECT_EQ(queue.shed_total(), 1);
+  EXPECT_EQ(queue.pending(), 2);  // The shed request holds no slot.
+  queue.Release();
+  EXPECT_TRUE(queue.TryAdmit());
+  EXPECT_EQ(queue.admitted_total(), 3);
+}
+
+TEST(AdmissionQueueTest, ZeroBoundShedsEverything) {
+  AdmissionOptions options;
+  options.max_pending = 0;
+  AdmissionQueue queue(options);
+  const std::int64_t shed_before =
+      obs::MetricsRegistry::Global().snapshot().counters["server.shed"];
+  EXPECT_FALSE(queue.TryAdmit());
+  EXPECT_FALSE(queue.TryAdmit());
+  EXPECT_EQ(queue.shed_total(), 2);
+  EXPECT_EQ(queue.admitted_total(), 0);
+  const std::int64_t shed_after =
+      obs::MetricsRegistry::Global().snapshot().counters["server.shed"];
+  EXPECT_EQ(shed_after - shed_before, 2);
+}
+
+class ClassifyCostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Coprime periods 97 and 101: their lcm (9797) is past the analyzer's
+    // period-blowup threshold (720), so joining P and Q draws A012.
+    Result<Database> db = Database::FromText(R"(
+relation P(T: time) {
+  [1+97n];
+}
+relation Q(T: time) {
+  [2+101n];
+}
+)");
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+  }
+
+  CostClass Classify(const std::string& text) {
+    Result<query::QueryPtr> q = query::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return ClassifyQueryCost(db_, q.value());
+  }
+
+  Database db_;
+};
+
+TEST_F(ClassifyCostTest, SimpleQueriesAreNormal) {
+  EXPECT_EQ(Classify("P(t)"), CostClass::kNormal);
+  EXPECT_EQ(Classify("EXISTS t . P(t)"), CostClass::kNormal);
+}
+
+TEST_F(ClassifyCostTest, PeriodBlowupIsHeavy) {
+  EXPECT_EQ(Classify("P(t) AND Q(t)"), CostClass::kHeavy);
+}
+
+TEST_F(ClassifyCostTest, WideComplementIsHeavy) {
+  // NOT over two free temporal columns: A010 (NP-complete regime).
+  EXPECT_EQ(Classify("NOT (P(t) AND P(u)) AND P(t) AND P(u)"),
+            CostClass::kHeavy);
+}
+
+TEST_F(ClassifyCostTest, UnanalyzableQueriesGradeNormal) {
+  // Unknown relation: analysis reports errors, not cost warnings; the
+  // session's own evaluation will surface the real failure.
+  EXPECT_EQ(Classify("Missing(t)"), CostClass::kNormal);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace itdb

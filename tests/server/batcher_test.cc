@@ -1,0 +1,124 @@
+#include "server/batcher.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace server {
+namespace {
+
+TEST(QueryBatcherTest, ConcurrentIdenticalRequestsShareOneEvaluation) {
+  QueryBatcher batcher;
+  std::atomic<int> computes{0};
+
+  // The leader's compute blocks on `release` so the followers provably
+  // arrive while it is in flight.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool leader_entered = false;
+  bool release = false;
+
+  auto compute = [&]() -> QueryBatcher::Outcome {
+    computes.fetch_add(1);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      leader_entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    return {Status::Ok(), "shared result", nullptr};
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<QueryBatcher::Outcome> outcomes(3);
+  std::vector<char> shared(3, 0);
+  threads.emplace_back([&] {
+    bool s = false;
+    outcomes[0] = batcher.Run("plan", 7, compute, &s);
+    shared[0] = s ? 1 : 0;
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return leader_entered; });
+  }
+  for (int i = 1; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      bool s = false;
+      outcomes[static_cast<std::size_t>(i)] =
+          batcher.Run("plan", 7, compute, &s);
+      shared[static_cast<std::size_t>(i)] = s ? 1 : 0;
+    });
+  }
+  // Followers register themselves (the coalesced stat) before blocking.
+  while (batcher.stats().coalesced < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  for (const QueryBatcher::Outcome& o : outcomes) {
+    EXPECT_TRUE(o.status.ok());
+    EXPECT_EQ(o.text, "shared result");
+  }
+  EXPECT_EQ(shared[0], 0);  // The leader computed for itself.
+  EXPECT_EQ(shared[1] + shared[2], 2);
+  EXPECT_EQ(batcher.stats().leads, 1);
+  EXPECT_EQ(batcher.stats().coalesced, 2);
+}
+
+TEST(QueryBatcherTest, SequentialRequestsNeverShareResults) {
+  // Only *concurrent* duplicates coalesce -- the batcher must never act as
+  // a cache, or a write between the runs would be invisible.
+  QueryBatcher batcher;
+  std::atomic<int> computes{0};
+  auto compute = [&]() -> QueryBatcher::Outcome {
+    computes.fetch_add(1);
+    return {Status::Ok(), "r" + std::to_string(computes.load()), nullptr};
+  };
+  QueryBatcher::Outcome first = batcher.Run("plan", 1, compute);
+  QueryBatcher::Outcome second = batcher.Run("plan", 1, compute);
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_EQ(first.text, "r1");
+  EXPECT_EQ(second.text, "r2");
+  EXPECT_EQ(batcher.stats().leads, 2);
+  EXPECT_EQ(batcher.stats().coalesced, 0);
+}
+
+TEST(QueryBatcherTest, DifferentKeysOrVersionsRunIndependently) {
+  QueryBatcher batcher;
+  std::atomic<int> computes{0};
+  auto compute = [&]() -> QueryBatcher::Outcome {
+    computes.fetch_add(1);
+    return {Status::Ok(), "x", nullptr};
+  };
+  batcher.Run("a", 1, compute);
+  batcher.Run("a", 2, compute);  // Same plan, later database version.
+  batcher.Run("b", 1, compute);
+  EXPECT_EQ(computes.load(), 3);
+  EXPECT_EQ(batcher.stats().leads, 3);
+}
+
+TEST(QueryBatcherTest, FailuresAreSharedVerbatim) {
+  QueryBatcher batcher;
+  auto compute = []() -> QueryBatcher::Outcome {
+    return {Status::ResourceExhausted("deadline exceeded"), "", nullptr};
+  };
+  QueryBatcher::Outcome outcome = batcher.Run("plan", 1, compute);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace itdb

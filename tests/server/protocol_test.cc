@@ -1,0 +1,99 @@
+#include "server/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace itdb {
+namespace server {
+namespace {
+
+TEST(ProtocolTest, StatusNamesRoundTrip) {
+  for (ResponseStatus status :
+       {ResponseStatus::kOk, ResponseStatus::kError, ResponseStatus::kRetry,
+        ResponseStatus::kBye}) {
+    Result<ResponseStatus> parsed =
+        ParseResponseStatus(ResponseStatusName(status));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), status);
+  }
+  EXPECT_FALSE(ParseResponseStatus("nope").ok());
+}
+
+TEST(ProtocolTest, EncodeFramesPayloadWithLength) {
+  EXPECT_EQ(EncodeResponse(ResponseStatus::kOk, "hello\n"),
+            "itdb ok 6\nhello\n");
+  EXPECT_EQ(EncodeResponse(ResponseStatus::kBye, ""), "itdb bye 0\n");
+}
+
+TEST(ProtocolTest, DecoderHandlesArbitraryChunking) {
+  const std::string stream =
+      EncodeResponse(ResponseStatus::kOk, "line one\nline two\n") +
+      EncodeResponse(ResponseStatus::kError, "boom") +
+      EncodeResponse(ResponseStatus::kBye, "");
+  ResponseDecoder decoder;
+  std::vector<ResponseFrame> frames;
+  // Worst-case chunking: one byte at a time.
+  for (char c : stream) {
+    decoder.Feed(std::string_view(&c, 1));
+    while (true) {
+      Result<std::optional<ResponseFrame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next.value().has_value()) break;
+      frames.push_back(*next.value());
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].status, ResponseStatus::kOk);
+  EXPECT_EQ(frames[0].payload, "line one\nline two\n");
+  EXPECT_EQ(frames[1].status, ResponseStatus::kError);
+  EXPECT_EQ(frames[1].payload, "boom");
+  EXPECT_EQ(frames[2].status, ResponseStatus::kBye);
+  EXPECT_EQ(frames[2].payload, "");
+}
+
+TEST(ProtocolTest, DecoderPoisonsOnMalformedHeader) {
+  ResponseDecoder decoder;
+  decoder.Feed("not a frame\n");
+  Result<std::optional<ResponseFrame>> first = decoder.Next();
+  EXPECT_FALSE(first.ok());
+  // Poisoned: even after feeding a valid frame the error persists.
+  decoder.Feed(EncodeResponse(ResponseStatus::kOk, "x"));
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(ProtocolTest, DecoderWaitsForFullPayload) {
+  ResponseDecoder decoder;
+  decoder.Feed("itdb ok 10\nhalf");
+  Result<std::optional<ResponseFrame>> partial = decoder.Next();
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial.value().has_value());
+  decoder.Feed("+other");
+  Result<std::optional<ResponseFrame>> full = decoder.Next();
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full.value().has_value());
+  EXPECT_EQ(full.value()->payload, "half+other");
+}
+
+TEST(ProtocolTest, LineBufferSplitsAndStripsTerminators) {
+  LineBuffer lines;
+  lines.Feed("one\r\ntw");
+  EXPECT_EQ(lines.NextLine(), std::optional<std::string>("one"));
+  EXPECT_EQ(lines.NextLine(), std::nullopt);
+  lines.Feed("o\nthree");
+  EXPECT_EQ(lines.NextLine(), std::optional<std::string>("two"));
+  EXPECT_EQ(lines.NextLine(), std::nullopt);
+  EXPECT_EQ(lines.pending(), "three");
+}
+
+TEST(ProtocolTest, StatementVerbTakesFirstWord) {
+  EXPECT_EQ(StatementVerb("  query P(t) AND Q(t)"), "query");
+  EXPECT_EQ(StatementVerb("define relation R(T: time) {\n  [2n];\n}"),
+            "define");
+  EXPECT_EQ(StatementVerb("   "), "");
+  EXPECT_EQ(StatementVerb(""), "");
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace itdb

@@ -251,5 +251,41 @@ TEST(ShellTest, DefineRejectsDuplicates) {
   EXPECT_NE(out.find("already exists"), std::string::npos);
 }
 
+TEST(ShellTest, EofMidDefineUnwindsWithoutPartialState) {
+  // Ctrl-D (or a dropped pipe) in the middle of a define block: the partial
+  // statement is abandoned, the catalog is untouched, and the shell reports
+  // the unbalanced braces instead of hanging or half-defining.
+  Database db;
+  std::istringstream in("define relation X(T: time) {\n  [2n];\n");
+  std::ostringstream out;
+  Status s = RunShell(in, out, db);
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_NE(out.str().find("unbalanced braces in definition"),
+            std::string::npos)
+      << out.str();
+  EXPECT_FALSE(db.Has("X"));
+}
+
+TEST(ShellTest, EofMidDefinePropagatesUnderStopOnError) {
+  Database db;
+  std::istringstream in("define relation X(T: time) {\n");
+  std::ostringstream out;
+  ShellOptions options;
+  options.stop_on_error = true;
+  Status s = RunShell(in, out, db, options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_FALSE(db.Has("X"));
+}
+
+TEST(ShellTest, InterruptedBlockThenNewStatementRecovers) {
+  // A closing-brace typo ends the block early; the statement fails at the
+  // parser but the shell keeps accepting statements afterwards.
+  std::string out = RunScript(
+      "define relation Y(T: time) {\n  [2n];\n}\nlist\n");
+  EXPECT_NE(out.find("Y"), std::string::npos);
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace itdb

@@ -132,6 +132,130 @@ TEST(ParallelAppendTest, EmptyInputYieldsEmptyOutput) {
   EXPECT_TRUE(result.value().empty());
 }
 
+TEST(CancellationTest, NoTokenInstalledIsAlwaysOk) {
+  EXPECT_EQ(CurrentCancellationToken(), nullptr);
+  EXPECT_TRUE(CheckCancellation().ok());
+}
+
+TEST(CancellationTest, ScopeInstallsAndRestoresNested) {
+  CancellationToken outer;
+  CancellationToken inner;
+  {
+    CancellationScope a(&outer);
+    EXPECT_EQ(CurrentCancellationToken(), &outer);
+    {
+      CancellationScope b(&inner);
+      EXPECT_EQ(CurrentCancellationToken(), &inner);
+    }
+    EXPECT_EQ(CurrentCancellationToken(), &outer);
+  }
+  EXPECT_EQ(CurrentCancellationToken(), nullptr);
+}
+
+TEST(CancellationTest, CancelAndDeadlineExpireTheToken) {
+  CancellationToken token;
+  EXPECT_FALSE(token.Expired());
+  token.SetDeadlineAfter(std::chrono::hours(1));
+  EXPECT_FALSE(token.Expired());
+  token.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(token.Expired());
+
+  CancellationToken cancelled;
+  cancelled.Cancel();
+  EXPECT_TRUE(cancelled.Expired());
+
+  CancellationScope scope(&cancelled);
+  Status s = CheckCancellation();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "cancelled");
+}
+
+TEST(CancellationTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  CancellationToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  CancellationScope scope(&token);
+  Status s = CheckCancellation();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "deadline exceeded");
+}
+
+TEST(CancellationTest, ParallelForSkipsChunksOnceCancelled) {
+  // Cancel from inside the first executed chunk: later chunk fetches must
+  // skip their bodies (cooperatively -- the call still returns with every
+  // chunk accounted as done).  The sequential path (threads == 1) is a
+  // single chunk, so only the parallel path can be cut short.
+  CancellationToken token;
+  CancellationScope scope(&token);
+  std::atomic<std::int64_t> executed{0};
+  ParallelFor(100000, ParallelOptions{4, 1},
+              [&](std::int64_t begin, std::int64_t end) {
+                executed.fetch_add(end - begin);
+                token.Cancel();
+              });
+  EXPECT_LT(executed.load(), 100000);
+  EXPECT_FALSE(CheckCancellation().ok());
+}
+
+TEST(CancellationTest, SequentialParallelForSkipsBodyWhenAlreadyExpired) {
+  CancellationToken token;
+  token.Cancel();
+  CancellationScope scope(&token);
+  bool ran = false;
+  ParallelFor(8, ParallelOptions{1, 1},
+              [&](std::int64_t, std::int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(CancellationTest, ParallelForForwardsTokenToWorkers) {
+  CancellationToken token;
+  CancellationScope scope(&token);
+  std::atomic<bool> seen_everywhere{true};
+  ParallelFor(1000, ParallelOptions{4, 1},
+              [&](std::int64_t, std::int64_t) {
+                if (CurrentCancellationToken() != &token) {
+                  seen_everywhere.store(false);
+                }
+              });
+  EXPECT_TRUE(seen_everywhere.load());
+}
+
+TEST(CancellationTest, ParallelAppendFailsInsteadOfTruncating) {
+  for (int threads : {1, 4}) {
+    CancellationToken token;
+    CancellationScope scope(&token);
+    std::atomic<std::int64_t> calls{0};
+    auto result = ParallelAppend<std::int64_t>(
+        100000, ParallelOptions{threads, 1},
+        [&](std::int64_t i, std::vector<std::int64_t>& out) -> Status {
+          if (calls.fetch_add(1) == 0) token.Cancel();
+          out.push_back(i);
+          return Status::Ok();
+        });
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << threads << " threads";
+  }
+}
+
+TEST(CancellationTest, UnexpiredTokenChangesNothing) {
+  CancellationToken token;
+  token.SetDeadlineAfter(std::chrono::hours(1));
+  CancellationScope scope(&token);
+  auto result = ParallelAppend<std::int64_t>(
+      1237, ParallelOptions{4, 1},
+      [](std::int64_t i, std::vector<std::int64_t>& out) -> Status {
+        out.push_back(i);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1237u);
+  for (std::int64_t i = 0; i < 1237; ++i) {
+    EXPECT_EQ(result.value()[static_cast<std::size_t>(i)], i);
+  }
+}
+
 TEST(ThreadPoolTest, EnsureWorkersGrowsMonotonically) {
   ThreadPool pool(2);
   EXPECT_EQ(pool.num_workers(), 2);

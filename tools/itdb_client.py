@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Sample client for the itdb query service (tools/itdb_serve).
+
+Speaks the wire protocol of src/server/protocol.h: statements go out as
+newline-delimited lines in the shell grammar; each complete statement is
+answered by exactly one length-prefixed frame
+
+    b"itdb " + status + b" " + nbytes + b"\n" + payload
+
+with status one of ok / error / retry / bye.  `retry` means admission
+control shed the request; it is retriable verbatim and this client backs
+off and resends (--retries bounds the attempts).
+
+Usage:
+    itdb_client.py --unix /tmp/itdb.sock 'ask EXISTS t . R(t)'
+    itdb_client.py --port 7411 --file script.itdb
+    echo 'status' | itdb_client.py --port 7411 -
+
+Exit status: 0 if every statement got `ok` (or `bye`), 1 on any error
+response, 2 on usage / connection problems.
+"""
+
+import argparse
+import socket
+import sys
+import time
+
+
+class Frame:
+    def __init__(self, status, payload):
+        self.status = status
+        self.payload = payload
+
+
+class Client:
+    """A blocking protocol client over one socket."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buffer = b""
+
+    @classmethod
+    def connect_unix(cls, path):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(path)
+        return cls(sock)
+
+    @classmethod
+    def connect_tcp(cls, port, host="127.0.0.1"):
+        return cls(socket.create_connection((host, port)))
+
+    def close(self):
+        self.sock.close()
+
+    def _read_more(self):
+        chunk = self.sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        self.buffer += chunk
+
+    def read_frame(self):
+        """Reads one response frame (the state machine of ResponseDecoder)."""
+        while b"\n" not in self.buffer:
+            self._read_more()
+        header, rest = self.buffer.split(b"\n", 1)
+        parts = header.decode("utf-8", "replace").split(" ")
+        if len(parts) != 3 or parts[0] != "itdb" or not parts[2].isdigit():
+            raise ValueError("malformed frame header: %r" % header)
+        status, nbytes = parts[1], int(parts[2])
+        while len(rest) < nbytes:
+            self._read_more()
+            header2, rest = self.buffer.split(b"\n", 1)
+            assert header2 == header
+        payload = rest[:nbytes]
+        self.buffer = rest[nbytes:]
+        return Frame(status, payload.decode("utf-8", "replace"))
+
+    def send_lines(self, statement):
+        """Sends one statement (multi-line define blocks included)."""
+        self.sock.sendall(statement.encode("utf-8") + b"\n")
+
+    def request(self, statement, retries=5, backoff_s=0.05):
+        """Sends a statement; on `retry` backs off and resends."""
+        attempt = 0
+        while True:
+            self.send_lines(statement)
+            frame = self.read_frame()
+            if frame.status != "retry" or attempt >= retries:
+                return frame
+            time.sleep(backoff_s * (2 ** attempt))
+            attempt += 1
+
+
+def iter_statements(lines):
+    """Groups raw lines into statements by the server's assembly rule:
+    `define` statements continue until braces balance."""
+    pending = []
+    balance = 0
+    for line in lines:
+        line = line.rstrip("\n")
+        if not pending:
+            stripped = line.split("#", 1)[0]
+            if not stripped.strip():
+                continue
+            balance = stripped.count("{") - stripped.count("}")
+            if stripped.split()[0] == "define" and balance > 0:
+                pending = [stripped]
+                continue
+            yield stripped
+        else:
+            pending.append(line)
+            balance += line.count("{") - line.count("}")
+            if balance <= 0:
+                yield "\n".join(pending)
+                pending = []
+    if pending:
+        yield "\n".join(pending)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--unix", metavar="PATH", help="Unix socket path")
+    target.add_argument("--port", type=int, help="TCP port on 127.0.0.1")
+    parser.add_argument("--file", help="read statements from a script file")
+    parser.add_argument("--retries", type=int, default=5,
+                        help="resend budget for shed (`retry`) responses")
+    parser.add_argument("statements", nargs="*",
+                        help="statements to run ('-' = read stdin)")
+    args = parser.parse_args()
+
+    lines = []
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            lines.extend(f.readlines())
+    for statement in args.statements:
+        if statement == "-":
+            lines.extend(sys.stdin.readlines())
+        else:
+            lines.extend(statement.splitlines())
+    if not lines:
+        print("nothing to send (pass statements, --file, or '-')",
+              file=sys.stderr)
+        return 2
+
+    try:
+        if args.unix:
+            client = Client.connect_unix(args.unix)
+        else:
+            client = Client.connect_tcp(args.port)
+    except OSError as e:
+        print("connection failed: %s" % e, file=sys.stderr)
+        return 2
+
+    failed = False
+    try:
+        for statement in iter_statements(lines):
+            frame = client.request(statement, retries=args.retries)
+            sys.stdout.write(frame.payload)
+            if frame.status == "bye":
+                break
+            if frame.status != "ok":
+                failed = True
+    finally:
+        client.close()
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

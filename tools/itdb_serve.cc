@@ -1,0 +1,120 @@
+// The itdb query service daemon.
+//
+//   ./itdb_serve --unix /tmp/itdb.sock db.itdb           # Unix socket
+//   ./itdb_serve --port 7411 db.itdb                     # loopback TCP
+//   ./itdb_serve --port 0 db.itdb                        # ephemeral port
+//
+// Preloads the given relation files, then serves the shell grammar over the
+// wire protocol (src/server/protocol.h) until SIGINT / SIGTERM.  A sample
+// client lives at tools/itdb_client.py.
+//
+// Options:
+//   --unix PATH         listen on a Unix-domain socket at PATH
+//   --port N            listen on 127.0.0.1:N (0 = ephemeral; the chosen
+//                       port is printed on startup)
+//   --max-pending N     admission bound: requests held at once (default 64)
+//   --deadline-ms N     per-query wall-clock budget (default: unlimited)
+//   --cost-aware        stricter budgets for statically heavy queries
+//                       (A010 NP-regime complement / A012 period blowup)
+//   --read-only         reject catalog mutation and server-side file writes
+//
+// Startup prints one line per bound endpoint:
+//   itdb_serve listening on unix:/tmp/itdb.sock
+//   itdb_serve listening on tcp:127.0.0.1:7411
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <semaphore.h>
+#include <sstream>
+#include <string>
+
+#include "server/server.h"
+#include "storage/database.h"
+
+namespace {
+
+// Signal flow: the handler posts a semaphore (async-signal-safe); main
+// blocks on it and runs the orderly Server::Stop.
+sem_t g_stop_sem;
+
+void HandleSignal(int) { sem_post(&g_stop_sem); }
+
+int Usage() {
+  std::cerr << "usage: itdb_serve (--unix PATH | --port N) [--max-pending N]"
+               " [--deadline-ms N] [--cost-aware] [--read-only]"
+               " [file.itdb ...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  itdb::server::ServerOptions options;
+  itdb::Database db;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--unix" && i + 1 < argc) {
+      options.unix_path = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--max-pending" && i + 1 < argc) {
+      options.admission.max_pending = std::atoll(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      options.session.deadline_ms = std::atoll(argv[++i]);
+    } else if (arg == "--cost-aware") {
+      options.session.cost_aware_budgets = true;
+    } else if (arg == "--read-only") {
+      options.session.read_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      std::ifstream file(arg);
+      if (!file) {
+        std::cerr << "error: cannot open " << arg << "\n";
+        return 1;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      itdb::Result<itdb::Database> loaded =
+          itdb::Database::FromText(buffer.str());
+      if (!loaded.ok()) {
+        std::cerr << "error: " << arg << ": " << loaded.status() << "\n";
+        return 1;
+      }
+      for (const std::string& name : loaded.value().Names()) {
+        itdb::Status s = db.Add(name, loaded.value().Get(name).value());
+        if (!s.ok()) {
+          std::cerr << "error: " << s << "\n";
+          return 1;
+        }
+      }
+    }
+  }
+  if (options.unix_path.empty() && options.port < 0) return Usage();
+
+  itdb::server::Server server(&db, options);
+  itdb::Status status = server.Start();
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::cout << "itdb_serve listening on unix:" << options.unix_path
+              << std::endl;
+  } else {
+    std::cout << "itdb_serve listening on tcp:127.0.0.1:" << server.port()
+              << std::endl;
+  }
+
+  sem_init(&g_stop_sem, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (sem_wait(&g_stop_sem) != 0 && errno == EINTR) {
+  }
+  std::cout << "itdb_serve shutting down\n";
+  server.Stop();
+  return 0;
+}
