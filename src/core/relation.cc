@@ -21,6 +21,40 @@ std::string ConcreteRow::ToString() const {
   return out;
 }
 
+bool CanonicalTupleLess(const GeneralizedTuple& a, const GeneralizedTuple& b) {
+  // Tuples of one relation share a schema, so the arity comparisons only
+  // matter for cross-relation use; they keep the order total regardless.
+  if (a.temporal_arity() != b.temporal_arity()) {
+    return a.temporal_arity() < b.temporal_arity();
+  }
+  for (int i = 0; i < a.temporal_arity(); ++i) {
+    const Lrp& la = a.lrp(i);
+    const Lrp& lb = b.lrp(i);
+    if (la.offset() != lb.offset()) return la.offset() < lb.offset();
+    if (la.period() != lb.period()) return la.period() < lb.period();
+  }
+  if (a.data_arity() != b.data_arity()) return a.data_arity() < b.data_arity();
+  for (int i = 0; i < a.data_arity(); ++i) {
+    if (a.value(i) != b.value(i)) return a.value(i) < b.value(i);
+  }
+  const Dbm& da = a.constraints();
+  const Dbm& db = b.constraints();
+  if (da.num_vars() != db.num_vars()) return da.num_vars() < db.num_vars();
+  const int nodes = da.num_vars() + 1;
+  for (int p = 0; p < nodes; ++p) {
+    for (int q = 0; q < nodes; ++q) {
+      if (da.bound_node(p, q) != db.bound_node(p, q)) {
+        return da.bound_node(p, q) < db.bound_node(p, q);
+      }
+    }
+  }
+  return false;
+}
+
+void GeneralizedRelation::SortTuplesCanonical() {
+  std::sort(tuples_.begin(), tuples_.end(), CanonicalTupleLess);
+}
+
 Status GeneralizedRelation::AddTuple(GeneralizedTuple t) {
   if (t.temporal_arity() != schema_.temporal_arity() ||
       t.data_arity() != schema_.data_arity()) {

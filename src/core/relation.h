@@ -58,10 +58,25 @@ class GeneralizedRelation {
   /// One tuple per line, in the paper's table notation.
   std::string ToString() const;
 
+  /// Sorts the tuple sequence by CanonicalTupleLess.  The represented set
+  /// is an (unordered) union over tuples, so this is semantics-preserving;
+  /// it pins a REPRESENTATION that no longer depends on the order tuples
+  /// were produced in -- the keystone of the planner's bit-identity
+  /// guarantee (query/planner.h): join results conjoin closed constraint
+  /// systems, whose closure is association-invariant, so reordered plans
+  /// yield the same tuple multiset and sorting makes the sequences equal.
+  void SortTuplesCanonical();
+
  private:
   Schema schema_;
   std::vector<GeneralizedTuple> tuples_;
 };
+
+/// A strict total order on the full representation of a generalized tuple:
+/// lrps lexicographically by (offset, period), then data values, then the
+/// constraint matrix (variable count, then entries node-major).  Equivalence
+/// under this order is exactly operator== on GeneralizedTuple.
+bool CanonicalTupleLess(const GeneralizedTuple& a, const GeneralizedTuple& b);
 
 }  // namespace itdb
 

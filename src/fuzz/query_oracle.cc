@@ -44,18 +44,23 @@ struct Variant {
   const char* name;
   bool analyze;
   bool parallel;
+  bool cost_plan;
 };
 
 constexpr Variant kVariants[] = {
-    {"analyze=off threads=N", false, true},
-    {"analyze=on threads=1", true, false},
-    {"analyze=on threads=N", true, true},
+    {"analyze=off threads=N cost_plan=off", false, true, false},
+    {"analyze=on threads=1 cost_plan=off", true, false, false},
+    {"analyze=on threads=N cost_plan=off", true, true, false},
+    {"analyze=off threads=1 cost_plan=on", false, false, true},
+    {"analyze=on threads=N cost_plan=on", true, true, true},
 };
 
-QueryOptions MakeOptions(bool analyze, bool parallel, int threads) {
+QueryOptions MakeOptions(bool analyze, bool parallel, bool cost_plan,
+                         int threads) {
   QueryOptions options;
   options.analyze = analyze;
   options.algebra.threads = parallel ? threads : 1;
+  options.cost_plan = cost_plan;
   return options;
 }
 
@@ -87,10 +92,10 @@ QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
                                 const QueryOracleOptions& options) {
   QueryCaseOutcome outcome;
 
-  // --- Oracle 1: the 2x2 analyze/threads matrix against the baseline. ---
+  // --- Oracle 1: the analyze/threads/cost_plan matrix vs the baseline. ---
   Result<GeneralizedRelation> baseline =
       EvalQuery(db, q, MakeOptions(/*analyze=*/false, /*parallel=*/false,
-                                   options.threads));
+                                   /*cost_plan=*/false, options.threads));
   if (!baseline.ok() && IsBudgetFailure(baseline.status())) {
     outcome.skipped = true;
     outcome.skip_reason = "baseline over budget: " +
@@ -98,9 +103,19 @@ QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
     return outcome;
   }
   for (const Variant& v : kVariants) {
-    Result<GeneralizedRelation> got =
-        EvalQuery(db, q, MakeOptions(v.analyze, v.parallel, options.threads));
+    Result<GeneralizedRelation> got = EvalQuery(
+        db, q,
+        MakeOptions(v.analyze, v.parallel, v.cost_plan, options.threads));
     ++outcome.variants_checked;
+    // Planned and written join orders can exhaust resource budgets
+    // differently (the documented exception in query/planner.h): a budget
+    // failure on either side of a cost_plan-differing comparison is a skip,
+    // the same convention as a baseline over budget.
+    if (v.cost_plan && baseline.ok() != got.ok() &&
+        IsBudgetFailure((baseline.ok() ? got : baseline).status())) {
+      --outcome.variants_checked;
+      continue;
+    }
     if (baseline.ok() != got.ok()) {
       std::ostringstream os;
       os << v.name << ": baseline "
@@ -111,6 +126,12 @@ QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
       return outcome;
     }
     if (!baseline.ok()) {
+      if (v.cost_plan &&
+          baseline.status().code() != got.status().code() &&
+          IsBudgetFailure(got.status())) {
+        --outcome.variants_checked;
+        continue;  // Same budget-divergence skip as above.
+      }
       if (baseline.status().code() != got.status().code()) {
         std::ostringstream os;
         os << v.name << ": status code diverged: baseline "
@@ -145,7 +166,8 @@ QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
     // not a finding.
     Result<GeneralizedRelation> sub = EvalQuery(
         db, node,
-        MakeOptions(/*analyze=*/false, /*parallel=*/false, options.threads));
+        MakeOptions(/*analyze=*/false, /*parallel=*/false,
+                    /*cost_plan=*/false, options.threads));
     if (!sub.ok()) {
       ++outcome.empties_skipped;
       continue;

@@ -2,8 +2,10 @@
 
 #include "query/optimize.h"
 #include "query/parser.h"
+#include "query/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <optional>
 #include <set>
@@ -91,9 +93,10 @@ ActiveDomain ComputeActiveDomain(const Database& db, const Query& q) {
   return out;
 }
 
-/// The label of a query-plan node: what EXPLAIN prints and what the node's
-/// trace span is named.  Leaves carry their full text; inner nodes just the
-/// operator, their structure being the tree itself.
+}  // namespace
+
+// Leaves carry their full text; inner nodes just the operator, their
+// structure being the tree itself.
 std::string PlanNodeLabel(const Query& q) {
   switch (q.kind()) {
     case Query::Kind::kAtom:
@@ -113,6 +116,8 @@ std::string PlanNodeLabel(const Query& q) {
   }
   return "?";
 }
+
+namespace {
 
 /// Point-in-time reading of the work counters a plan span reports as
 /// deltas.  Relaxed loads: the evaluator recursion is single-threaded (the
@@ -168,6 +173,9 @@ struct Evaluator {
   bool prune_intermediates = false;
   /// Plan-span destination; null disables per-node tracing.
   obs::Tracer* tracer = nullptr;
+  /// Planner estimates for the tree being evaluated (keyed by node
+  /// address); null or missing nodes simply omit the est_* span args.
+  const PlanEstimateMap* estimates = nullptr;
 
   Result<GeneralizedRelation> Eval(const Query& q) const;
 
@@ -588,6 +596,17 @@ Result<GeneralizedRelation> Evaluator::Eval(const Query& q) const {
     span.AddArg("tuples_out",
                 static_cast<std::int64_t>(result.value().size()));
   }
+  // Planner estimate next to the actual, so `profile` reads as
+  // estimate-vs-actual per node.
+  if (estimates != nullptr) {
+    auto it = estimates->find(&q);
+    if (it != estimates->end()) {
+      span.AddArg("est_rows", static_cast<std::int64_t>(std::llround(
+                                  std::min(it->second.rows, 1e18))));
+      span.AddArg("est_cost", static_cast<std::int64_t>(std::llround(
+                                  std::min(it->second.cost, 1e18))));
+    }
+  }
   span.AddArg("pairs_candidate", after.pairs_candidate - before.pairs_candidate);
   span.AddArg("pairs_pruned_residue",
               after.pairs_pruned_residue - before.pairs_pruned_residue);
@@ -616,6 +635,12 @@ Result<GeneralizedRelation> Evaluator::EvalNode(const Query& q) const {
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation r, Eval(*q.right()));
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation joined, Join(l, r, algebra));
       ITDB_ASSIGN_OR_RETURN(GeneralizedRelation canon, Canonical(joined));
+      // Canonical tuple order: join results conjoin CLOSED constraint
+      // systems, and closure is idempotent over entrywise min, so the tuple
+      // multiset of a multi-way conjunction is association-invariant; only
+      // the sequence depends on join order.  Sorting here makes planned and
+      // written-order chains bit-identical (query/planner.h).
+      canon.SortTuplesCanonical();
       return MaybePrune(std::move(canon));
     }
     case Query::Kind::kOr: {
@@ -739,6 +764,16 @@ Result<GeneralizedRelation> EvalQueryImpl(
   }
   QueryPtr target = options.optimize ? Optimize(base) : base;
   ITDB_ASSIGN_OR_RETURN(SortMap sorts, InferSorts(db, target));
+  // Cost-based physical planning: reorder AND-chains on the statistics.
+  // Planning preserves variable sets, so the sort inference above stays
+  // valid for the planned tree.
+  PlanEstimateMap estimates;
+  if (options.cost_plan) {
+    PlannedQuery planned = PlanQuery(db, target, sorts, options.stats_cache);
+    target = std::move(planned.query);
+    estimates = std::move(planned.estimates);
+    obs::AddGlobalCounter("query.cost_plans", 1);
+  }
   // The active domain always comes from the ORIGINAL query: constants in an
   // eliminated dead branch still feed it, so analysis cannot shift data
   // quantifier ranges.  (Optimize preserves atoms and constants, so this
@@ -769,8 +804,9 @@ Result<GeneralizedRelation> EvalQueryImpl(
     }
   }
   if (tracer != nullptr) algebra.tracer = tracer;
-  Evaluator evaluator{db,      sorts, adom, algebra, options.prune_intermediates,
-                      tracer};
+  Evaluator evaluator{db,     sorts,  adom,
+                      algebra, options.prune_intermediates,
+                      tracer, options.cost_plan ? &estimates : nullptr};
   Result<GeneralizedRelation> result = [&]() {
     // Root span over the whole evaluation; scoped so it is committed (and
     // visible to BuildProfile) before the profile is folded.

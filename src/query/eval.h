@@ -34,6 +34,9 @@
 #include "util/status.h"
 
 namespace itdb {
+
+class StatsCache;  // core/stats.h
+
 namespace query {
 
 struct QueryOptions {
@@ -52,6 +55,16 @@ struct QueryOptions {
   /// Semantics-preserving; dramatically cheaper complements on deeply
   /// quantified queries.  Disable to benchmark the naive pipeline.
   bool optimize = true;
+  /// Cost-based physical planning (query/planner.h): reorder AND-chains
+  /// greedy left-deep on per-relation statistics before evaluation.
+  /// Bit-identical to the written order (results of kAnd nodes are sorted
+  /// canonically either way; the fuzz matrix pins it), except that planned
+  /// and written orders can exhaust resource budgets differently.
+  bool cost_plan = true;
+  /// Memo for the per-relation statistics the planner reads, keyed on the
+  /// database's catalog version (core/stats.h).  Not owned; null recomputes
+  /// statistics on every planned query.
+  StatsCache* stats_cache = nullptr;
   /// Sweep intermediate results of kAnd / kOr / kNot nodes with the cheap
   /// subsumption pass (SimplifyRelation): drops duplicate, subsumed, and
   /// relaxation-infeasible tuples so composed plans don't snowball tuple
@@ -128,6 +141,11 @@ Result<ProfiledResult> EvalQueryStringProfiled(
 /// EXISTS v / FORALL v / ATOM P(x, y) / CMP x < y).  Apply
 /// query::Optimize first to see the plan evaluation actually runs.
 std::string FormatQueryPlan(const QueryPtr& q);
+
+/// The label of one plan node: what EXPLAIN prints, what its trace span is
+/// named, and what the planner's estimated-plan rendering prefixes (AND /
+/// OR / NOT / EXISTS v / FORALL v / ATOM P(x, y) / CMP x < y).
+std::string PlanNodeLabel(const Query& q);
 
 }  // namespace query
 }  // namespace itdb

@@ -1,0 +1,85 @@
+// Cost-based physical planning: reorder AND-chains before evaluation.
+//
+// The evaluator compiles kAnd nodes to Join and evaluates chains in written
+// order, but conjunction cost is wildly order-sensitive: joining the two
+// large relations of a three-way chain first can materialize an
+// O(|A| * |B|) intermediate that the selective third conjunct would have
+// kept tiny, and a chain whose adjacent conjuncts share no variables
+// degenerates to a cross product (the A011 analysis warning) even when a
+// different order joins on shared attributes throughout.  PlanQuery walks
+// the tree bottom-up, flattens every maximal AND-chain, estimates each
+// conjunct's cardinality from per-relation statistics (core/stats.h), and
+// rebuilds the chain greedy left-deep: cheapest connected pair first, each
+// following step the connected conjunct that minimizes the estimated
+// intermediate, selections and comparisons as soon as their variables are
+// bound, cross products and wide complements (the A010 NP-regime signal:
+// estimated rows exponential in free temporal width) last.
+//
+// Bit-identity: planning changes only the association/order of joins inside
+// AND-chains.  Join output tuples carry the CLOSED conjunction of their
+// operands' constraint systems, and min-plus closure is idempotent over
+// entrywise min, so the per-tuple representation of a multi-way conjunction
+// is join-order-invariant; only the tuple SEQUENCE differs.  The evaluator
+// therefore sorts every kAnd result canonically (SortTuplesCanonical),
+// making planned and written-order evaluation bit-identical -- pinned by
+// the cost_plan axis of the fuzz determinism matrix.  The one observable
+// divergence is resource exhaustion: a budget that the written order blows
+// and the planned order does not (or vice versa) surfaces as different
+// kOverflow / kResourceExhausted outcomes; the fuzz oracle treats that as a
+// budget-skip, the same convention as every other budget divergence.
+//
+// Estimates are heuristics feeding ORDERING ONLY; they never gate or alter
+// an operation.  Complement placement is likewise ordering-only: narrowing
+// a complement's operand would change the representation, so scope
+// minimization stays the job of query/optimize.h miniscoping.
+
+#ifndef ITDB_QUERY_PLANNER_H_
+#define ITDB_QUERY_PLANNER_H_
+
+#include <map>
+#include <string>
+
+#include "core/stats.h"
+#include "query/ast.h"
+#include "query/sorts.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace query {
+
+/// A plan node's estimate: output cardinality (generalized tuples) and
+/// cumulative subtree work, both heuristic.
+struct PlanEstimate {
+  double rows = 1.0;
+  double cost = 0.0;
+};
+
+/// Estimates keyed by node address.  Valid only for the exact tree (shared
+/// subtree pointers included) they were computed for.
+using PlanEstimateMap = std::map<const Query*, PlanEstimate>;
+
+struct PlannedQuery {
+  QueryPtr query;
+  /// Estimates for every node of `query` (the planned tree).
+  PlanEstimateMap estimates;
+};
+
+/// Plans `q` against `db`: AND-chains reordered as documented above, every
+/// other node preserved.  `sorts` must be the successful sort inference for
+/// `q` (variable sets are unchanged by planning, so it stays valid for the
+/// result).  `stats_cache`, when non-null, memoizes per-relation statistics
+/// keyed on db.version(); null recomputes them per call.  Never fails:
+/// relations that cannot be read estimate as empty.
+PlannedQuery PlanQuery(const Database& db, const QueryPtr& q,
+                       const SortMap& sorts, StatsCache* stats_cache);
+
+/// FormatQueryPlan (eval.h) with per-node estimates appended:
+///   AND  (est_rows=12, est_cost=340)
+/// Nodes absent from `estimates` print without a suffix.
+std::string FormatQueryPlanWithEstimates(const QueryPtr& q,
+                                         const PlanEstimateMap& estimates);
+
+}  // namespace query
+}  // namespace itdb
+
+#endif  // ITDB_QUERY_PLANNER_H_

@@ -1,0 +1,113 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace itdb {
+namespace server {
+
+namespace {
+
+/// Fixed per-entry overhead charged on top of the payload estimate: map
+/// node, LRU node, and two copies of the key's bookkeeping.
+constexpr std::size_t kEntryOverhead = 128;
+
+}  // namespace
+
+std::size_t EstimateRelationBytes(const GeneralizedRelation& rel) {
+  std::size_t bytes = sizeof(GeneralizedRelation);
+  for (const GeneralizedTuple& t : rel.tuples()) {
+    bytes += sizeof(GeneralizedTuple);
+    bytes += static_cast<std::size_t>(t.temporal_arity()) * sizeof(Lrp);
+    for (const Value& v : t.data()) {
+      bytes += sizeof(Value);
+      if (v.IsString()) bytes += v.AsString().size();
+    }
+    const std::size_t nodes =
+        static_cast<std::size_t>(t.constraints().num_vars()) + 1;
+    bytes += nodes * nodes * sizeof(std::int64_t);
+  }
+  return bytes;
+}
+
+ResultCache::ResultCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+void ResultCache::ClearLocked(std::uint64_t version) {
+  if (!entries_.empty()) {
+    ++invalidations_;
+    obs::AddGlobalCounter("server.cache.invalidations", 1);
+  }
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  version_ = version;
+}
+
+void ResultCache::EvictLocked() {
+  while (bytes_ > byte_budget_ && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+    obs::AddGlobalCounter("server.cache.evictions", 1);
+  }
+}
+
+std::optional<CachedResult> ResultCache::Lookup(const std::string& key,
+                                                std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version > version_) ClearLocked(version);
+  auto it = entries_.find(key);
+  if (version < version_ || it == entries_.end()) {
+    ++misses_;
+    obs::AddGlobalCounter("server.cache.misses", 1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++hits_;
+  obs::AddGlobalCounter("server.cache.hits", 1);
+  return it->second.result;
+}
+
+void ResultCache::Insert(const std::string& key, std::uint64_t version,
+                         CachedResult result) {
+  std::size_t bytes = kEntryOverhead + key.size() + result.text.size();
+  if (result.relation != nullptr) {
+    bytes += EstimateRelationBytes(*result.relation);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version > version_) ClearLocked(version);
+  if (version < version_ || bytes > byte_budget_) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(result), bytes, lru_.begin()});
+  bytes_ += bytes;
+  EvictLocked();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked(version_);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace server
+}  // namespace itdb

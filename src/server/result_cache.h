@@ -1,0 +1,110 @@
+// Versioned cross-query result cache: the batcher's key, extended across
+// time.
+//
+// QueryBatcher (batcher.h) coalesces identical plans only while they are
+// CONCURRENT -- the leader's outcome is dropped the moment it is published.
+// Dashboards and monitoring fleets re-issue the same queries against a
+// database that mutates rarely, recomputing identical results between
+// writes.  ResultCache keeps those outcomes: entries are keyed by the same
+// fingerprint the batcher uses (canonical plan text plus every
+// outcome-changing option) paired with the SharedDatabase version the
+// evaluation observed, so a catalog write -- which bumps the version --
+// invalidates the whole cache wholesale on the next access.  Within one
+// version, a hit returns the rendered text and the shared result relation
+// (re-seating the session's fetch cursor) byte-identically.
+//
+// Bounded by a byte budget, evicted LRU; only successful outcomes are
+// cached (failures are often budget- or deadline-shaped and must re-run).
+// Thread-safe; all operations take one mutex, and the relation payload is
+// shared immutably via shared_ptr, so hits copy nothing.
+
+#ifndef ITDB_SERVER_RESULT_CACHE_H_
+#define ITDB_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/relation.h"
+
+namespace itdb {
+namespace server {
+
+/// A cached successful outcome: the rendered response and, for open
+/// queries, the result relation backing `fetch` cursors (null for verbs
+/// that render text only, e.g. `ask`).
+struct CachedResult {
+  std::string text;
+  std::shared_ptr<const GeneralizedRelation> relation;
+};
+
+class ResultCache {
+ public:
+  /// `byte_budget` bounds the estimated resident size of all entries; an
+  /// entry larger than the whole budget is simply not cached.
+  explicit ResultCache(std::size_t byte_budget);
+
+  /// Returns the entry for `key` computed at exactly `version`, refreshing
+  /// its recency.  A `version` newer than the cache's clears every entry
+  /// first (catalog writes invalidate wholesale).
+  std::optional<CachedResult> Lookup(const std::string& key,
+                                     std::uint64_t version);
+
+  /// Stores `result` for `key` at `version`, evicting least-recently-used
+  /// entries past the byte budget.  A stale `version` (older than the
+  /// cache's) is dropped: the result was computed against a catalog that no
+  /// longer exists.
+  void Insert(const std::string& key, std::uint64_t version,
+              CachedResult result);
+
+  void Clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;      // LRU byte-budget evictions.
+    std::uint64_t invalidations = 0;  // Wholesale version-bump clears.
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  Stats stats() const;
+
+  std::size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    CachedResult result;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Drops every entry and advances the version clock.  Caller holds mu_.
+  void ClearLocked(std::uint64_t version);
+  /// Evicts from the LRU tail until within budget.  Caller holds mu_.
+  void EvictLocked();
+
+  const std::size_t byte_budget_;
+  mutable std::mutex mu_;
+  std::uint64_t version_ = 0;
+  std::size_t bytes_ = 0;
+  std::list<std::string> lru_;  // Front = most recent.
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+/// The resident-size estimate the cache charges for a result relation:
+/// per-tuple lrp, data value, and constraint-matrix footprint.  Exposed for
+/// the byte-budget tests.
+std::size_t EstimateRelationBytes(const GeneralizedRelation& rel);
+
+}  // namespace server
+}  // namespace itdb
+
+#endif  // ITDB_SERVER_RESULT_CACHE_H_

@@ -59,11 +59,16 @@ Server::Server(Database* db, ServerOptions options)
       normalize_cache_(options_.normalize_cache_capacity
                            ? options_.normalize_cache_capacity
                            : 1),
+      result_cache_(options_.result_cache_bytes),
       admission_(options_.admission) {
   if (options_.normalize_cache_capacity > 0) {
     options_.session.normalize_cache = &normalize_cache_;
   }
   options_.session.batcher = &batcher_;
+  if (options_.result_cache_bytes > 0) {
+    options_.session.result_cache = &result_cache_;
+  }
+  options_.session.stats_cache = &stats_cache_;
 }
 
 Server::~Server() { Stop(); }
@@ -350,6 +355,17 @@ std::string Server::StatusReport() {
   QueryBatcher::Stats batch = batcher_.stats();
   out << "batch_leads " << batch.leads << "\n";
   out << "batch_coalesced " << batch.coalesced << "\n";
+  ResultCache::Stats cache = result_cache_.stats();
+  out << "cache_hits " << cache.hits << "\n";
+  out << "cache_misses " << cache.misses << "\n";
+  out << "cache_evictions " << cache.evictions << "\n";
+  out << "cache_invalidations " << cache.invalidations << "\n";
+  out << "cache_entries " << cache.entries << "\n";
+  out << "cache_bytes " << cache.bytes << "\n";
+  out << "cache_budget " << result_cache_.byte_budget() << "\n";
+  StatsCache::Stats rstats = stats_cache_.stats();
+  out << "stats_cache_hits " << rstats.hits << "\n";
+  out << "stats_cache_misses " << rstats.misses << "\n";
   out << "db_version " << shared_db_.version() << "\n";
   return out.str();
 }

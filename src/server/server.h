@@ -41,9 +41,11 @@
 #include <thread>
 
 #include "core/normalize_cache.h"
+#include "core/stats.h"
 #include "server/admission.h"
 #include "server/batcher.h"
 #include "server/protocol.h"
+#include "server/result_cache.h"
 #include "server/session.h"
 #include "server/shared_database.h"
 #include "storage/database.h"
@@ -68,6 +70,9 @@ struct ServerOptions {
   /// Capacity of the server-wide normalization memo-cache shared by every
   /// session (0 disables sharing).
   std::size_t normalize_cache_capacity = std::size_t{1} << 12;
+  /// Byte budget of the versioned cross-query result cache shared by every
+  /// session (result_cache.h); 0 disables caching.
+  std::size_t result_cache_bytes = std::size_t{1} << 24;
 };
 
 class Server {
@@ -99,6 +104,8 @@ class Server {
   }
   const AdmissionQueue& admission() const { return admission_; }
   const QueryBatcher& batcher() const { return batcher_; }
+  const ResultCache& result_cache() const { return result_cache_; }
+  const StatsCache& stats_cache() const { return stats_cache_; }
   SharedDatabase& shared_database() { return shared_db_; }
 
  private:
@@ -120,6 +127,8 @@ class Server {
   SharedDatabase shared_db_;
   NormalizeCache normalize_cache_;
   QueryBatcher batcher_;
+  ResultCache result_cache_;
+  StatsCache stats_cache_;
   AdmissionQueue admission_;
 
   int listen_fd_ = -1;

@@ -12,10 +12,13 @@
 #include "analysis/analyzer.h"
 #include "core/coalesce.h"
 #include "core/simplify.h"
+#include "core/stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/optimize.h"
 #include "query/parser.h"
+#include "query/planner.h"
+#include "query/sorts.h"
 #include "server/admission.h"
 #include "storage/text_format.h"
 #include "tl/ltl.h"
@@ -43,6 +46,8 @@ constexpr const char* kHelp = R"(commands:
   profile <query>               evaluate with tracing; prints per-plan-node
                                 wall/CPU time, tuple counts, and kernel stats
   metrics                       dump the process-global metrics registry
+  stats [name]                  per-relation statistics (tuple counts,
+                                distinct keys, period lcm, interval hull)
   check <query>                 static analysis only: sort errors, unsafe
                                 variables, provably empty subqueries, cost
                                 warnings -- with source-span diagnostics
@@ -216,12 +221,47 @@ Status CmdWitness(std::ostream& out, const Database& db,
   return Status::Ok();
 }
 
-Status CmdExplain(std::ostream& out, const std::string& text) {
+Status CmdExplain(std::ostream& out, const Database& db,
+                  const query::QueryOptions& opts, const std::string& text) {
   ITDB_ASSIGN_OR_RETURN(query::QueryPtr q, query::ParseQuery(text));
   out << "query:     " << q->ToString() << "\n";
   query::QueryPtr optimized = query::Optimize(q);
   out << "optimized: " << optimized->ToString() << "\n";
+  if (opts.cost_plan) {
+    // Show the PLANNED tree with the estimates that ordered it.  Sort
+    // inference can fail (unknown relations, sort conflicts); the
+    // unestimated tree is still worth printing then.
+    Result<query::SortMap> sorts = query::InferSorts(db, optimized);
+    if (sorts.ok()) {
+      query::PlannedQuery planned =
+          query::PlanQuery(db, optimized, sorts.value(), opts.stats_cache);
+      out << "plan:\n"
+          << query::FormatQueryPlanWithEstimates(planned.query,
+                                                 planned.estimates);
+      return Status::Ok();
+    }
+  }
   out << "plan:\n" << query::FormatQueryPlan(optimized);
+  return Status::Ok();
+}
+
+Status CmdStats(std::ostream& out, const Database& db, const std::string& args,
+                StatsCache* cache) {
+  std::vector<std::string> names;
+  if (!args.empty()) {
+    std::istringstream in(args);
+    std::string name;
+    while (in >> name) names.push_back(name);
+  } else {
+    names = db.Names();
+  }
+  for (const std::string& name : names) {
+    ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
+    RelationStats stats = cache != nullptr
+                              ? cache->Get(name, db.version(), rel)
+                              : ComputeRelationStats(rel);
+    out << FormatRelationStats(name, stats);
+  }
   return Status::Ok();
 }
 
@@ -372,7 +412,18 @@ Status Session::Dispatch(const std::string& verb, const std::string& rest,
   if (verb == "query") return CmdQuery(out, rest);
   if (verb == "fetch") return CmdFetch(out, rest);
   if (verb == "set") return CmdSet(out, rest);
-  if (verb == "explain" || verb == "EXPLAIN") return CmdExplain(out, rest);
+  if (verb == "explain" || verb == "EXPLAIN") {
+    return db_->WithRead([&](const Database& db) {
+      query::QueryOptions opts = options_.query;
+      if (opts.stats_cache == nullptr) opts.stats_cache = options_.stats_cache;
+      return CmdExplain(out, db, opts, rest);
+    });
+  }
+  if (verb == "stats") {
+    return db_->WithRead([&](const Database& db) {
+      return CmdStats(out, db, rest, options_.stats_cache);
+    });
+  }
   if (verb == "profile" || verb == "PROFILE") {
     ++stats_.queries;
     obs::AddGlobalCounter("server.queries", 1);
@@ -501,6 +552,8 @@ Status Session::CmdSet(std::ostream& out, const std::string& args) {
         << "\n";
     out << "prune        "
         << (options_.query.prune_intermediates ? "on" : "off") << "\n";
+    out << "cost_plan    " << (options_.query.cost_plan ? "on" : "off")
+        << "\n";
     out << "threads      " << options_.query.algebra.threads << "\n";
     out << "deadline_ms  " << options_.deadline_ms << "\n";
     return Status::Ok();
@@ -519,6 +572,8 @@ Status Session::CmdSet(std::ostream& out, const std::string& args) {
     if (ParseOnOff(value, &options_.query.prune_intermediates)) {
       return Status::Ok();
     }
+  } else if (name == "cost_plan") {
+    if (ParseOnOff(value, &options_.query.cost_plan)) return Status::Ok();
   } else if (name == "threads") {
     std::istringstream vin(value);
     int threads = 0;
@@ -547,6 +602,7 @@ query::QueryOptions Session::EffectiveOptions(const Database& db,
   if (opts.algebra.normalize_cache == nullptr) {
     opts.algebra.normalize_cache = options_.normalize_cache;
   }
+  if (opts.stats_cache == nullptr) opts.stats_cache = options_.stats_cache;
   if (options_.cost_aware_budgets &&
       ClassifyQueryCost(db, q) == CostClass::kHeavy) {
     const std::int64_t d =
@@ -598,26 +654,52 @@ Status Session::EvalThroughBatcher(std::string_view verb,
       o.text = rendered.str();
       return o;
     };
+    // The fingerprint is the normalized plan shape plus every option that
+    // can change the rendered outcome.  Thread count is deliberately
+    // absent: results are bit-identical at every thread count (and, by the
+    // planner's guarantee, across cost_plan too -- it is keyed anyway so a
+    // budget-shaped divergence can never alias).  The database version is
+    // read under the same reader lock the evaluation holds, so it is
+    // exactly the version the evaluation observes.
+    std::string key;
+    std::uint64_t version = 0;
+    if (options_.batcher != nullptr || options_.result_cache != nullptr) {
+      std::ostringstream fp;
+      fp << verb << '\x1f'
+         << (opts.optimize ? query::Optimize(q)->ToString() : q->ToString())
+         << '\x1f' << opts.analyze << opts.optimize
+         << opts.prune_intermediates << opts.cost_plan << '\x1f'
+         << opts.algebra.max_tuples << '/'
+         << opts.algebra.max_complement_universe << '/'
+         << opts.algebra.normalize.max_split_product << '/' << deadline_ms;
+      key = fp.str();
+      version = db_->version();
+    }
+    if (options_.result_cache != nullptr) {
+      std::optional<CachedResult> hit =
+          options_.result_cache->Lookup(key, version);
+      if (hit.has_value()) {
+        ++stats_.cache_hits;
+        out << hit->text;
+        if (verb == "query" && hit->relation != nullptr) {
+          cursor_ = *hit->relation;
+          cursor_pos_ = 0;
+        }
+        return Status::Ok();
+      }
+    }
     QueryBatcher::Outcome outcome;
     bool shared = false;
     if (options_.batcher != nullptr) {
-      // The fingerprint is the normalized plan shape plus every option that
-      // can change the rendered outcome.  Thread count is deliberately
-      // absent: results are bit-identical at every thread count.  The
-      // database version is read under the same reader lock the evaluation
-      // holds, so it is exactly the version the evaluation observes.
-      std::ostringstream key;
-      key << verb << '\x1f'
-          << (opts.optimize ? query::Optimize(q)->ToString() : q->ToString())
-          << '\x1f' << opts.analyze << opts.optimize
-          << opts.prune_intermediates << '\x1f' << opts.algebra.max_tuples
-          << '/' << opts.algebra.max_complement_universe << '/'
-          << opts.algebra.normalize.max_split_product << '/' << deadline_ms;
-      outcome = options_.batcher->Run(key.str(), db_->version(), compute,
-                                      &shared);
+      outcome = options_.batcher->Run(key, version, compute, &shared);
       if (shared) ++stats_.batched;
     } else {
       outcome = compute();
+    }
+    if (outcome.status.ok() && options_.result_cache != nullptr) {
+      options_.result_cache->Insert(key, version,
+                                    CachedResult{outcome.text,
+                                                 outcome.relation});
     }
     ITDB_RETURN_IF_ERROR(outcome.status);
     out << outcome.text;

@@ -40,6 +40,7 @@
 #include "core/relation.h"
 #include "query/eval.h"
 #include "server/batcher.h"
+#include "server/result_cache.h"
 #include "server/shared_database.h"
 #include "util/status.h"
 
@@ -67,6 +68,13 @@ struct SessionOptions {
   NormalizeCache* normalize_cache = nullptr;
   /// Coalesces identical concurrent plans (not owned; null = off).
   QueryBatcher* batcher = nullptr;
+  /// Versioned cross-query result cache shared across sessions (not owned;
+  /// null = off).  Keyed by the batcher fingerprint + database version, so
+  /// hits are byte-identical and any catalog write invalidates wholesale.
+  ResultCache* result_cache = nullptr;
+  /// Per-relation statistics memo for the cost-based planner and the
+  /// `stats` verb, shared across sessions (not owned; null recomputes).
+  StatsCache* stats_cache = nullptr;
 };
 
 class Session {
@@ -118,6 +126,7 @@ class Session {
     std::int64_t queries = 0;  // ask / query / profile evaluations.
     std::int64_t errors = 0;
     std::int64_t batched = 0;  // Served from a concurrent leader's result.
+    std::int64_t cache_hits = 0;  // Served from the versioned result cache.
   };
   const Stats& stats() const { return stats_; }
   const SessionOptions& options() const { return options_; }

@@ -12,17 +12,20 @@ Status Database::Add(const std::string& name, GeneralizedRelation relation) {
     return Status::InvalidArgument("relation \"" + name + "\" already exists");
   }
   relations_.emplace(name, std::move(relation));
+  ++version_;
   return Status::Ok();
 }
 
 void Database::Put(const std::string& name, GeneralizedRelation relation) {
   relations_.insert_or_assign(name, std::move(relation));
+  ++version_;
 }
 
 Status Database::Remove(const std::string& name) {
   if (relations_.erase(name) == 0) {
     return Status::NotFound("relation \"" + name + "\" does not exist");
   }
+  ++version_;
   return Status::Ok();
 }
 

@@ -5,6 +5,7 @@
 #ifndef ITDB_STORAGE_DATABASE_H_
 #define ITDB_STORAGE_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -26,6 +27,14 @@ class Database {
   void Put(const std::string& name, GeneralizedRelation relation);
   Status Remove(const std::string& name);
 
+  /// Catalog version: bumped by every successful Add / Put / Remove.
+  /// Consumers (the per-relation statistics cache, core/stats.h) key lazily
+  /// computed state on (name, version) so a mutation invalidates it without
+  /// any registration machinery.  Monotone within one Database instance;
+  /// copies carry the version along, so one cache must not be shared across
+  /// distinct Database objects.
+  std::uint64_t version() const { return version_; }
+
   /// Fails with kNotFound for unknown names.
   Result<GeneralizedRelation> Get(const std::string& name) const;
   bool Has(const std::string& name) const;
@@ -43,6 +52,7 @@ class Database {
 
  private:
   std::map<std::string, GeneralizedRelation> relations_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace itdb

@@ -36,7 +36,7 @@ TEST(QueryOracleTest, PassesOnAHandWrittenCase) {
   QueryCaseOutcome outcome = CheckQueryCase(db, q);
   EXPECT_FALSE(outcome.skipped);
   EXPECT_FALSE(outcome.failure.has_value()) << *outcome.failure;
-  EXPECT_EQ(outcome.variants_checked, 3);
+  EXPECT_EQ(outcome.variants_checked, 5);
 }
 
 TEST(QueryOracleTest, ChecksAProvenEmptySubplan) {

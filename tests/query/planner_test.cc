@@ -1,0 +1,188 @@
+#include "query/planner.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+#include "query/parser.h"
+#include "query/sorts.h"
+
+namespace itdb {
+namespace query {
+namespace {
+
+// Big and Wide are large and share no variable in the test queries; Link is
+// a small selective bridge between them.
+Database SkewedDb() {
+  std::ostringstream text;
+  text << "relation Big(T: time) {";
+  for (int i = 0; i < 40; ++i) text << " [" << 10 * i << "];";
+  text << " }\n";
+  text << "relation Wide(T: time) {";
+  for (int i = 0; i < 40; ++i) text << " [" << 7 * i + 3 << "];";
+  text << " }\n";
+  text << "relation Link(A: time, B: time) { [0, 3]; [10, 10]; }\n";
+  text << "relation Tiny(T: time) { [0]; }\n";
+  Result<Database> db = Database::FromText(text.str());
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+PlannedQuery Plan(const Database& db, const std::string& text) {
+  Result<QueryPtr> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  Result<SortMap> sorts = InferSorts(db, q.value());
+  EXPECT_TRUE(sorts.ok()) << sorts.status();
+  return PlanQuery(db, q.value(), sorts.value(), nullptr);
+}
+
+// The leaf reached by walking left() all the way down: the conjunct the
+// planned left-deep chain evaluates first.
+const Query& LeftmostLeaf(const Query& q) {
+  const Query* node = &q;
+  while (node->kind() != Query::Kind::kAtom &&
+         node->kind() != Query::Kind::kCmp) {
+    node = node->left().get();
+  }
+  return *node;
+}
+
+TEST(PlannerTest, SelectiveLinkSeedsTheChain) {
+  Database db = SkewedDb();
+  // Written order joins Big x Wide first: a 40 * 40 cross product.  The
+  // planner must seed with the 2-tuple Link and keep every join connected.
+  PlannedQuery planned = Plan(db, "Big(t) AND Wide(u) AND Link(t, u)");
+  EXPECT_EQ(LeftmostLeaf(*planned.query).relation(), "Link")
+      << planned.query->ToString();
+}
+
+TEST(PlannerTest, CrossProductsComeLast) {
+  Database db = SkewedDb();
+  // Tiny(u) shares nothing with the t-chain; it must not split the
+  // connected prefix.  The final (topmost) join should be the one that
+  // brings in the disconnected conjunct.
+  PlannedQuery planned = Plan(db, "Tiny(u) AND Big(t) AND Wide(t)");
+  const Query& root = *planned.query;
+  ASSERT_EQ(root.kind(), Query::Kind::kAnd);
+  // Right child of the root = last conjunct joined = the cross product.
+  EXPECT_EQ(root.right()->relation(), "Tiny") << root.ToString();
+}
+
+TEST(PlannerTest, SelectionsJoinEarly) {
+  Database db = SkewedDb();
+  // The t <= 5 restriction is the cheapest conjunct; greedy ordering pins
+  // it into the chain before the wide join materializes.
+  PlannedQuery planned = Plan(db, "Big(t) AND Wide(t) AND t <= 5");
+  const Query& first = LeftmostLeaf(*planned.query);
+  // Either the comparison itself or the relation it was folded against
+  // leads; the Big x Wide pair must not be the seed.  The seed pair is the
+  // two deepest leaves: leftmost leaf plus its sibling.
+  const Query* node = planned.query.get();
+  while (node->left()->kind() == Query::Kind::kAnd) {
+    node = node->left().get();
+  }
+  bool cmp_in_seed = node->left()->kind() == Query::Kind::kCmp ||
+                     node->right()->kind() == Query::Kind::kCmp;
+  EXPECT_TRUE(cmp_in_seed) << planned.query->ToString();
+  (void)first;
+}
+
+TEST(PlannerTest, WideComplementsComeLast) {
+  Database db = SkewedDb();
+  // The chain is connected without the width-2 complement (Link bridges t
+  // and u), so the complement -- whose estimate is exponential in its free
+  // temporal width, the A010 signal -- must join last.
+  PlannedQuery planned =
+      Plan(db, "(NOT Link(t, u)) AND Big(t) AND Wide(u) AND Link(t, u)");
+  const Query& root = *planned.query;
+  ASSERT_EQ(root.kind(), Query::Kind::kAnd);
+  EXPECT_EQ(root.right()->kind(), Query::Kind::kNot) << root.ToString();
+}
+
+TEST(PlannerTest, EveryPlannedNodeHasAnEstimate) {
+  Database db = SkewedDb();
+  PlannedQuery planned = Plan(db, "Big(t) AND Wide(u) AND Link(t, u)");
+  int nodes = 0;
+  auto walk = [&](auto&& self, const Query& q) -> void {
+    ++nodes;
+    EXPECT_TRUE(planned.estimates.contains(&q)) << q.ToString();
+    switch (q.kind()) {
+      case Query::Kind::kAnd:
+      case Query::Kind::kOr:
+        self(self, *q.left());
+        self(self, *q.right());
+        break;
+      case Query::Kind::kNot:
+      case Query::Kind::kExists:
+      case Query::Kind::kForall:
+        self(self, *q.left());
+        break;
+      default:
+        break;
+    }
+  };
+  walk(walk, *planned.query);
+  EXPECT_EQ(nodes, 5);
+  std::string rendered =
+      FormatQueryPlanWithEstimates(planned.query, planned.estimates);
+  EXPECT_NE(rendered.find("est_rows="), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("est_cost="), std::string::npos) << rendered;
+}
+
+TEST(PlannerTest, UnknownRelationsPlanWithoutFailing) {
+  Database db = SkewedDb();
+  // Sort inference rejects unknown relations before evaluation, so hand
+  // PlanQuery a sort map directly: it must estimate the unreadable atom as
+  // empty rather than fail.
+  Result<QueryPtr> q = ParseQuery("Big(t) AND Nope(t)");
+  ASSERT_TRUE(q.ok());
+  SortMap sorts{{"t", Sort::kTime}};
+  PlannedQuery planned = PlanQuery(db, q.value(), sorts, nullptr);
+  EXPECT_NE(planned.query, nullptr);
+}
+
+TEST(PlannerTest, PlannedEvaluationIsBitIdenticalToWrittenOrder) {
+  Database db = SkewedDb();
+  const std::string queries[] = {
+      "Big(t) AND Wide(u) AND Link(t, u)",
+      "Wide(t) AND Big(t) AND t <= 40",
+      "(NOT Link(t, u)) AND Big(t) AND Wide(u) AND Link(t, u)",
+      "EXISTS u . (Big(t) AND Link(t, u) AND Wide(u))",
+      "Tiny(u) AND Big(t) AND Wide(t)",
+  };
+  for (const std::string& text : queries) {
+    QueryOptions on;
+    on.cost_plan = true;
+    QueryOptions off;
+    off.cost_plan = false;
+    Result<GeneralizedRelation> with = EvalQueryString(db, text, on);
+    Result<GeneralizedRelation> without = EvalQueryString(db, text, off);
+    ASSERT_TRUE(with.ok()) << with.status() << " for " << text;
+    ASSERT_TRUE(without.ok()) << without.status() << " for " << text;
+    EXPECT_EQ(with.value().schema(), without.value().schema()) << text;
+    EXPECT_EQ(with.value().tuples(), without.value().tuples()) << text;
+  }
+}
+
+TEST(PlannerTest, StatsCacheHitsOnRepeatedPlans) {
+  Database db = SkewedDb();
+  StatsCache cache;
+  Result<QueryPtr> q = ParseQuery("Big(t) AND Wide(u) AND Link(t, u)");
+  ASSERT_TRUE(q.ok());
+  Result<SortMap> sorts = InferSorts(db, q.value());
+  ASSERT_TRUE(sorts.ok());
+  PlanQuery(db, q.value(), sorts.value(), &cache);
+  StatsCache::Stats first = cache.stats();
+  EXPECT_EQ(first.hits, 0u);
+  EXPECT_EQ(first.misses, 3u);  // Big, Wide, Link.
+  PlanQuery(db, q.value(), sorts.value(), &cache);
+  StatsCache::Stats second = cache.stats();
+  EXPECT_EQ(second.hits, 3u);
+  EXPECT_EQ(second.misses, 3u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace itdb

@@ -77,11 +77,12 @@ TEST(ShellTest, ExplainPrintsGoldenPlanTree) {
   EXPECT_NE(out.find("optimized: (P(t) AND EXISTS u . (Q(u)))"),
             std::string::npos)
       << out;
+  // The cost planner annotates every node with its estimates.
   EXPECT_NE(out.find("plan:\n"
-                     "AND\n"
-                     "  ATOM P(t)\n"
-                     "  EXISTS u\n"
-                     "    ATOM Q(u)\n"),
+                     "AND  (est_rows=1, est_cost=5)\n"
+                     "  ATOM P(t)  (est_rows=1, est_cost=1)\n"
+                     "  EXISTS u  (est_rows=1, est_cost=2)\n"
+                     "    ATOM Q(u)  (est_rows=1, est_cost=1)\n"),
             std::string::npos)
       << out;
 }

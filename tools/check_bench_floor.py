@@ -10,6 +10,19 @@ when a measured real_time exceeds factor * floor -- a wide margin, so only
 genuine regressions (an accidentally quadratic fast path, a lost prefilter)
 trip it, not machine noise.  A floor entry missing from every report also
 fails: silently dropping a benchmark must not silently drop its guard.
+
+Two further guards:
+
+  * Stale-floor WARN: a measurement beating its floor by more than 10x
+    means the floor no longer describes the code (an optimization landed
+    without re-baselining) and the 5x failure margin has quietly become a
+    50x one.  Warns rather than fails -- going faster is not a regression
+    -- but the floor should be re-baselined.
+  * Ratios: the optional "ratios" section pins *relative* gaps (e.g. the
+    cost-planned join order vs the written order, a warm cache hit vs a
+    cold evaluation).  Each entry fails when time(slower) / time(faster)
+    drops below min_ratio -- absolute floors cannot catch the two sides
+    drifting together.
 """
 
 import argparse
@@ -52,31 +65,63 @@ def main():
 
     times = load_report_times(args.reports)
     failures = []
+    warnings = []
     for name, floor in sorted(floors.items()):
         measured = times.get(name)
         if measured is None:
             failures.append(f"{name}: not found in any report")
             continue
         limit = factor * floor
-        verdict = "FAIL" if measured > limit else "ok"
         # measured/floor: <1.0 means faster than the reference baseline,
         # >factor trips the gate.  Printed for every benchmark so perf
         # drift is visible long before it becomes a failure.
         ratio = measured / floor if floor > 0 else float("inf")
+        verdict = "ok"
+        if measured > limit:
+            verdict = "FAIL"
+        elif measured * 10 < floor:
+            verdict = "WARN"
         print(f"{verdict:>4}  {name}: {measured / 1e6:.3f} ms "
               f"(floor {floor / 1e6:.3f} ms, limit {limit / 1e6:.3f} ms, "
               f"ratio {ratio:.2f}x)")
-        if measured > limit:
+        if verdict == "FAIL":
             failures.append(
                 f"{name}: {measured / 1e6:.3f} ms exceeds "
                 f"{factor}x floor {floor / 1e6:.3f} ms")
+        elif verdict == "WARN":
+            warnings.append(
+                f"{name}: {measured / 1e6:.3f} ms beats its floor "
+                f"{floor / 1e6:.3f} ms by >10x -- stale floor, "
+                f"re-baseline it")
 
+    for entry in config.get("ratios", []):
+        slower, faster = entry["slower"], entry["faster"]
+        min_ratio = float(entry["min_ratio"])
+        t_slow, t_fast = times.get(slower), times.get(faster)
+        if t_slow is None or t_fast is None:
+            missing = slower if t_slow is None else faster
+            failures.append(f"ratio {slower} / {faster}: "
+                            f"{missing} not found in any report")
+            continue
+        ratio = t_slow / t_fast if t_fast > 0 else float("inf")
+        verdict = "FAIL" if ratio < min_ratio else "ok"
+        print(f"{verdict:>4}  ratio {slower} / {faster}: {ratio:.1f}x "
+              f"(min {min_ratio}x)")
+        if ratio < min_ratio:
+            failures.append(
+                f"ratio {slower} / {faster}: {ratio:.1f}x below "
+                f"required {min_ratio}x")
+
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
     if failures:
         print()
         for f in failures:
             print(f"regression: {f}", file=sys.stderr)
         return 1
-    print(f"\nall {len(floors)} floors hold (factor {factor}x)")
+    ratios = config.get("ratios", [])
+    print(f"\nall {len(floors)} floors hold (factor {factor}x)"
+          + (f", all {len(ratios)} ratios hold" if ratios else ""))
     return 0
 
 

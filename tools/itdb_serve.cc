@@ -16,6 +16,8 @@
 //   --deadline-ms N     per-query wall-clock budget (default: unlimited)
 //   --cost-aware        stricter budgets for statically heavy queries
 //                       (A010 NP-regime complement / A012 period blowup)
+//   --cache-bytes N     byte budget of the versioned cross-query result
+//                       cache (default 16 MiB; 0 disables caching)
 //   --read-only         reject catalog mutation and server-side file writes
 //
 // Startup prints one line per bound endpoint:
@@ -44,8 +46,8 @@ void HandleSignal(int) { sem_post(&g_stop_sem); }
 
 int Usage() {
   std::cerr << "usage: itdb_serve (--unix PATH | --port N) [--max-pending N]"
-               " [--deadline-ms N] [--cost-aware] [--read-only]"
-               " [file.itdb ...]\n";
+               " [--deadline-ms N] [--cost-aware] [--cache-bytes N]"
+               " [--read-only] [file.itdb ...]\n";
   return 2;
 }
 
@@ -66,6 +68,9 @@ int main(int argc, char** argv) {
       options.session.deadline_ms = std::atoll(argv[++i]);
     } else if (arg == "--cost-aware") {
       options.session.cost_aware_budgets = true;
+    } else if (arg == "--cache-bytes" && i + 1 < argc) {
+      options.result_cache_bytes =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--read-only") {
       options.session.read_only = true;
     } else if (arg.rfind("--", 0) == 0) {
