@@ -1,0 +1,178 @@
+// The durability path: what the storage layer costs at rest and in motion.
+//
+// BM_Storage_ColdLoad_* times bringing a saved catalog back into memory --
+// the text path re-lexes and re-parses every constraint, the binary path
+// mmaps and memcpy's column arrays -- over the same 20-relation catalog.
+// The floors file pins the gap (binary must stay >= 5x faster): the whole
+// point of the mmap-able format is that restart cost stops scaling with
+// parser speed.  BM_Storage_WalAppend measures the per-mutation logging
+// tax a durable session pays over an in-memory one (bytes/sec reported),
+// and BM_Storage_Recovery measures replaying a WAL tail of `records`
+// mutations into a fresh engine -- the startup cost after a crash, which
+// checkpointing exists to bound.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "storage/binary/binary_format.h"
+#include "storage/database.h"
+#include "storage/wal/storage_engine.h"
+#include "storage/wal/wal.h"
+
+namespace {
+
+using itdb::Database;
+using itdb::GeneralizedRelation;
+using itdb::Result;
+using itdb::bench::MakeNormalizedRelation;
+using itdb::storage::LoadDatabaseFile;
+using itdb::storage::SaveDatabaseFile;
+using itdb::storage::StorageEngine;
+using itdb::storage::StorageEngineOptions;
+
+// 20 relations x 200 tuples of arity 2 with up to 4 constraints each, plus
+// an int and a low-cardinality string data attribute per tuple (the shape
+// dictionary encoding exists for): big enough that load cost is dominated
+// by tuple decoding, small enough to iterate.
+Database MakeCatalog() {
+  static const char* kTags[] = {"alpha", "beta", "gamma", "delta",
+                                "epsilon", "zeta", "eta", "theta"};
+  Database db;
+  for (int r = 0; r < 20; ++r) {
+    GeneralizedRelation temporal = MakeNormalizedRelation(
+        /*seed=*/static_cast<std::uint32_t>(1000 + r), /*num_tuples=*/200,
+        /*arity=*/2, /*period=*/60, /*max_constraints=*/4);
+    GeneralizedRelation rel(itdb::Schema(temporal.schema().temporal_names(),
+                                         {"Count", "Tag"},
+                                         {itdb::DataType::kInt,
+                                          itdb::DataType::kString}));
+    int row = 0;
+    for (const itdb::GeneralizedTuple& t : temporal.tuples()) {
+      itdb::GeneralizedTuple widened(
+          t.temporal(), {itdb::Value(static_cast<std::int64_t>(row * 7 + r)),
+                         itdb::Value(kTags[(row + r) % 8])});
+      widened.set_constraints(t.constraints());
+      if (!rel.AddTuple(std::move(widened)).ok()) std::abort();
+      ++row;
+    }
+    db.Put("R" + std::to_string(r), std::move(rel));
+  }
+  return db;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void BM_Storage_ColdLoad_Text(benchmark::State& state) {
+  Database db = MakeCatalog();
+  std::string path = TempPath("bench_storage_cold.itdb");
+  {
+    std::ofstream file(path);
+    file << db.ToText();
+  }
+  std::uint64_t bytes = std::filesystem::file_size(path);
+  for (auto _ : state) {
+    std::ifstream file(path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    Result<Database> loaded = Database::FromText(buffer.str());
+    if (!loaded.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      bytes * static_cast<std::uint64_t>(state.iterations())));
+}
+BENCHMARK(BM_Storage_ColdLoad_Text);
+
+void BM_Storage_ColdLoad_Binary(benchmark::State& state) {
+  Database db = MakeCatalog();
+  std::string path = TempPath("bench_storage_cold.itdbb");
+  if (!SaveDatabaseFile(db, path).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  std::uint64_t bytes = std::filesystem::file_size(path);
+  for (auto _ : state) {
+    Result<Database> loaded = LoadDatabaseFile(path);
+    if (!loaded.ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      bytes * static_cast<std::uint64_t>(state.iterations())));
+}
+BENCHMARK(BM_Storage_ColdLoad_Binary);
+
+void BM_Storage_WalAppend(benchmark::State& state) {
+  std::string dir = TempPath("bench_storage_wal");
+  std::filesystem::remove_all(dir);
+  Database db;
+  Result<std::unique_ptr<StorageEngine>> engine =
+      StorageEngine::Open(dir, &db);
+  if (!engine.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  GeneralizedRelation a = MakeNormalizedRelation(7, 50, 2, 60);
+  GeneralizedRelation b = MakeNormalizedRelation(8, 50, 2, 60);
+  bool flip = false;
+  for (auto _ : state) {
+    itdb::Status s = (*engine)->ApplyPut(db, "R", flip ? a : b);
+    flip = !flip;
+    if (!s.ok()) state.SkipWithError("put failed");
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>((*engine)->stats().wal_bytes));
+  state.counters["wal_records"] = benchmark::Counter(
+      static_cast<double>((*engine)->stats().wal_records));
+}
+BENCHMARK(BM_Storage_WalAppend);
+
+void BM_Storage_Recovery(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  std::string dir = TempPath("bench_storage_recovery_" +
+                             std::to_string(records));
+  std::filesystem::remove_all(dir);
+  {
+    Database db;
+    Result<std::unique_ptr<StorageEngine>> engine =
+        StorageEngine::Open(dir, &db);
+    if (!engine.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    for (int i = 0; i < records; ++i) {
+      GeneralizedRelation rel = MakeNormalizedRelation(
+          static_cast<std::uint32_t>(i), 50, 2, 60);
+      if (!(*engine)->ApplyPut(db, "R" + std::to_string(i % 8), std::move(rel))
+               .ok()) {
+        state.SkipWithError("put failed");
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    Database db;
+    Result<std::unique_ptr<StorageEngine>> engine =
+        StorageEngine::Open(dir, &db);
+    if (!engine.ok() || (*engine)->stats().replayed_records !=
+                            static_cast<std::uint64_t>(records)) {
+      state.SkipWithError("recovery failed");
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_Storage_Recovery)->Arg(16)->Arg(128);
+
+}  // namespace
+
+ITDB_BENCHMARK_MAIN();

@@ -336,6 +336,16 @@ Dbm Dbm::FromClosedEntries(int num_vars, const std::int64_t* entries) {
   return out;
 }
 
+Dbm Dbm::FromEntries(int num_vars, const std::int64_t* entries, bool closed,
+                     bool feasible) {
+  Dbm out(num_vars);
+  std::size_t n = static_cast<std::size_t>(num_vars) + 1;
+  for (std::size_t idx = 0; idx < n * n; ++idx) out.matrix_[idx] = entries[idx];
+  out.closed_ = closed;
+  out.feasible_ = feasible;
+  return out;
+}
+
 Dbm Dbm::Conjoin(const Dbm& a, const Dbm& b) {
   assert(a.num_vars_ == b.num_vars_);
   Dbm out(a.num_vars_);

@@ -153,6 +153,15 @@ class Dbm {
   /// batched closure kernels).  The result has closed() && feasible().
   static Dbm FromClosedEntries(int num_vars, const std::int64_t* entries);
 
+  /// Rebuilds a Dbm from `(num_vars + 1)^2` node-major entries captured via
+  /// bound_node(), restoring the exact closure/feasibility state.  This is
+  /// the binary storage layer's round-trip primitive: unlike
+  /// FromClosedEntries it makes no canonicality assumption, so
+  /// FromEntries(v, snapshot, closed(), feasible()) reproduces the source
+  /// matrix bit for bit whatever state it was in.
+  static Dbm FromEntries(int num_vars, const std::int64_t* entries,
+                         bool closed, bool feasible);
+
   /// Raw entry access in node space (0 = zero node, i+1 = variable i):
   /// the upper bound on node_p - node_q, or kInf.
   std::int64_t bound_node(int p, int q) const {

@@ -48,6 +48,11 @@ class GeneralizedRelation {
   /// Appends a tuple; fails when its arities do not match the schema.
   Status AddTuple(GeneralizedTuple t);
 
+  /// Pre-sizes the tuple store for `n` upcoming AddTuple calls.  Bulk
+  /// loaders (the binary snapshot decoder) know the row count up front;
+  /// growth-doubling would otherwise re-move every tuple O(log n) times.
+  void ReserveTuples(std::size_t n) { tuples_.reserve(n); }
+
   /// Concrete membership test (exact; no normalization needed).
   bool Contains(const ConcreteRow& row) const;
 

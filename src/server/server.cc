@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "storage/wal/storage_engine.h"
 #include "util/thread_pool.h"
 
 namespace itdb {
@@ -55,7 +56,11 @@ struct Server::Connection {
 
 Server::Server(Database* db, ServerOptions options)
     : options_(std::move(options)),
-      shared_db_(db),
+      // Seeding with the recovered LSN keeps post-restart versions disjoint
+      // from pre-crash ones (options_ is already move-initialized here).
+      shared_db_(db, options_.session.engine != nullptr
+                         ? options_.session.engine->version()
+                         : 0),
       normalize_cache_(options_.normalize_cache_capacity
                            ? options_.normalize_cache_capacity
                            : 1),
@@ -367,6 +372,24 @@ std::string Server::StatusReport() {
   out << "stats_cache_hits " << rstats.hits << "\n";
   out << "stats_cache_misses " << rstats.misses << "\n";
   out << "db_version " << shared_db_.version() << "\n";
+  if (const storage::StorageEngine* engine = options_.session.engine) {
+    // The engine mutates only under the writer lock; read its stats under
+    // the reader lock for a consistent line set.
+    storage::StorageStats durable = shared_db_.WithRead(
+        [&](const Database&) { return engine->stats(); });
+    out << "durable_version " << durable.version << "\n";
+    out << "snapshot_version " << durable.snapshot_version << "\n";
+    out << "wal_records " << durable.wal_records << "\n";
+    out << "wal_bytes " << durable.wal_bytes << "\n";
+    out << "wal_appended_bytes "
+        << obs::MetricsRegistry::Global()
+               .GetCounter("storage.wal_appended_bytes")
+               ->value()
+        << "\n";
+    out << "replayed_records " << durable.replayed_records << "\n";
+    out << "recovered_torn_tail " << (durable.recovered_torn_tail ? 1 : 0)
+        << "\n";
+  }
   return out.str();
 }
 

@@ -20,7 +20,9 @@
 #include "query/planner.h"
 #include "query/sorts.h"
 #include "server/admission.h"
+#include "storage/binary/binary_format.h"
 #include "storage/text_format.h"
+#include "storage/wal/storage_engine.h"
 #include "tl/ltl.h"
 #include "tl/parser.h"
 #include "util/diagnostic.h"
@@ -57,8 +59,14 @@ constexpr const char* kHelp = R"(commands:
   coalesce <name>               merge residue families in place
   simplify <name>               drop empty and subsumed tuples in place
   witness <name>                print one concrete row, if any
-  save <path>                   write the catalog to a file
+  save <path>                   write the catalog to a file (.itdbb = binary)
   drop <name>                   remove a relation
+  checkpoint                    write a snapshot and reset the WAL
+                                (needs a durable session: --data-dir)
+  as of <version> [name]        the catalog (or one relation) as it stood
+                                after LSN <version> (durable sessions)
+  history <name>                every recorded row of a relation with its
+                                [sys_from, sys_to) system period
   quit | exit                   leave
 )";
 
@@ -107,7 +115,12 @@ class DeadlineGuard {
   std::optional<CancellationScope> scope_;
 };
 
+bool IsBinaryPath(const std::string& path) {
+  return path.size() >= 6 && path.ends_with(".itdbb");
+}
+
 Status CmdSave(const Database& db, const std::string& path) {
+  if (IsBinaryPath(path)) return storage::SaveDatabaseFile(db, path);
   std::ofstream file(path);
   if (!file) return Status::InvalidArgument("cannot write \"" + path + "\"");
   file << db.ToText();
@@ -118,6 +131,41 @@ Status CmdShow(std::ostream& out, const Database& db,
                const std::string& name) {
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
   out << PrintRelation(name, rel);
+  return Status::Ok();
+}
+
+Status CmdAsOf(std::ostream& out, const storage::StorageEngine& engine,
+               const std::string& args) {
+  std::istringstream in(args);
+  std::int64_t version = 0;
+  if (!(in >> version) || version < 0) {
+    return Status::InvalidArgument("usage: as of <version> [name]");
+  }
+  std::string name;
+  in >> name;
+  ITDB_ASSIGN_OR_RETURN(Database db,
+                        engine.AsOf(static_cast<std::uint64_t>(version)));
+  if (!name.empty()) return CmdShow(out, db, name);
+  out << db.ToText();
+  out << db.size() << " relation(s) as of version " << version << "\n";
+  return Status::Ok();
+}
+
+Status CmdHistory(std::ostream& out, const storage::StorageEngine& engine,
+                  const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("usage: history <name>");
+  ITDB_ASSIGN_OR_RETURN(std::vector<storage::HistoryEntry> entries,
+                        engine.History(name));
+  for (const storage::HistoryEntry& entry : entries) {
+    out << "  [" << entry.sys_from << ", ";
+    if (entry.sys_to == storage::kOpenVersion) {
+      out << "now";
+    } else {
+      out << entry.sys_to;
+    }
+    out << ") " << entry.tuple.ToString() << "\n";
+  }
+  out << entries.size() << " row(s)\n";
   return Status::Ok();
 }
 
@@ -191,22 +239,31 @@ Status CmdSat(std::ostream& out, const Database& db, const std::string& text) {
   return Status::Ok();
 }
 
-Status CmdCoalesce(std::ostream& out, Database& db, const std::string& name) {
+// Replaces `name` with `relation`, through the durable engine when one is
+// configured so the rewrite is WAL-logged and versioned.
+Status PutRelation(Database& db, storage::StorageEngine* engine,
+                   const std::string& name, GeneralizedRelation relation) {
+  if (engine != nullptr) return engine->ApplyPut(db, name, std::move(relation));
+  db.Put(name, std::move(relation));
+  return Status::Ok();
+}
+
+Status CmdCoalesce(std::ostream& out, Database& db,
+                   storage::StorageEngine* engine, const std::string& name) {
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
   std::int64_t before = rel.size();
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation packed, CoalesceResidues(rel));
   out << before << " -> " << packed.size() << " tuple(s)\n";
-  db.Put(name, std::move(packed));
-  return Status::Ok();
+  return PutRelation(db, engine, name, std::move(packed));
 }
 
-Status CmdSimplify(std::ostream& out, Database& db, const std::string& name) {
+Status CmdSimplify(std::ostream& out, Database& db,
+                   storage::StorageEngine* engine, const std::string& name) {
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation rel, db.Get(name));
   std::int64_t before = rel.size();
   ITDB_ASSIGN_OR_RETURN(GeneralizedRelation simplified, Simplify(rel));
   out << before << " -> " << simplified.size() << " tuple(s)\n";
-  db.Put(name, std::move(simplified));
-  return Status::Ok();
+  return PutRelation(db, engine, name, std::move(simplified));
 }
 
 Status CmdWitness(std::ostream& out, const Database& db,
@@ -380,7 +437,8 @@ Status Session::Dispatch(const std::string& verb, const std::string& rest,
                          std::ostream& out) {
   if (options_.read_only &&
       (verb == "define" || verb == "load" || verb == "save" ||
-       verb == "drop" || verb == "coalesce" || verb == "simplify")) {
+       verb == "drop" || verb == "coalesce" || verb == "simplify" ||
+       verb == "checkpoint")) {
     return Status::InvalidArgument("read-only session: \"" + verb +
                                    "\" is disabled");
   }
@@ -460,31 +518,80 @@ Status Session::Dispatch(const std::string& verb, const std::string& rest,
     });
   }
   if (verb == "coalesce") {
-    return db_->WithWrite(
-        [&](Database& db) { return CmdCoalesce(out, db, rest); });
+    return db_->WithWrite([&](Database& db) {
+      return CmdCoalesce(out, db, options_.engine, rest);
+    });
   }
   if (verb == "simplify") {
-    return db_->WithWrite(
-        [&](Database& db) { return CmdSimplify(out, db, rest); });
+    return db_->WithWrite([&](Database& db) {
+      return CmdSimplify(out, db, options_.engine, rest);
+    });
   }
   if (verb == "witness") {
     return db_->WithRead(
         [&](const Database& db) { return CmdWitness(out, db, rest); });
   }
   if (verb == "drop") {
-    return db_->WithWrite([&](Database& db) { return db.Remove(rest); });
+    return db_->WithWrite([&](Database& db) {
+      if (options_.engine != nullptr) {
+        return options_.engine->ApplyRemove(db, rest);
+      }
+      return db.Remove(rest);
+    });
   }
   if (verb == "define") return CmdDefine(rest);
+  if (verb == "checkpoint") {
+    if (options_.engine == nullptr) {
+      return Status::InvalidArgument(
+          "no durable storage (start with --data-dir)");
+    }
+    // Under the writer lock: the snapshot must capture a quiescent state.
+    return db_->WithWrite(
+        [&](Database&) { return options_.engine->Checkpoint(); });
+  }
+  // `as of <version> [name]` arrives as verb "as", rest "of ..."; accept a
+  // fused "asof" spelling too.
+  if (verb == "as" || verb == "asof") {
+    std::string args = rest;
+    if (verb == "as") {
+      std::string tail;
+      if (SplitCommand(rest, &tail) != "of") {
+        return Status::InvalidArgument("usage: as of <version> [name]");
+      }
+      args = tail;
+    }
+    if (options_.engine == nullptr) {
+      return Status::InvalidArgument(
+          "no durable storage (start with --data-dir)");
+    }
+    return db_->WithRead([&](const Database&) {
+      return CmdAsOf(out, *options_.engine, args);
+    });
+  }
+  if (verb == "history") {
+    if (options_.engine == nullptr) {
+      return Status::InvalidArgument(
+          "no durable storage (start with --data-dir)");
+    }
+    return db_->WithRead([&](const Database&) {
+      return CmdHistory(out, *options_.engine, rest);
+    });
+  }
   return Status::InvalidArgument("unknown command \"" + verb +
                                  "\" (try: help)");
 }
 
 Status Session::CmdLoad(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::NotFound("cannot open \"" + path + "\"");
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  ITDB_ASSIGN_OR_RETURN(Database loaded, Database::FromText(buffer.str()));
+  Database loaded;
+  if (IsBinaryPath(path)) {
+    ITDB_ASSIGN_OR_RETURN(loaded, storage::LoadDatabaseFile(path));
+  } else {
+    std::ifstream file(path);
+    if (!file) return Status::NotFound("cannot open \"" + path + "\"");
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    ITDB_ASSIGN_OR_RETURN(loaded, Database::FromText(buffer.str()));
+  }
   return db_->WithWrite([&](Database& db) -> Status {
     // Validate before committing so a name clash leaves the catalog exactly
     // as it was (the classic shell stopped mid-file, keeping a prefix).
@@ -495,7 +602,12 @@ Status Session::CmdLoad(const std::string& path) {
       }
     }
     for (const std::string& name : loaded.Names()) {
-      ITDB_RETURN_IF_ERROR(db.Add(name, loaded.Get(name).value()));
+      if (options_.engine != nullptr) {
+        ITDB_RETURN_IF_ERROR(
+            options_.engine->ApplyAdd(db, name, loaded.Get(name).value()));
+      } else {
+        ITDB_RETURN_IF_ERROR(db.Add(name, loaded.Get(name).value()));
+      }
     }
     return Status::Ok();
   });
@@ -507,6 +619,10 @@ Status Session::CmdDefine(const std::string& text) {
   }
   ITDB_ASSIGN_OR_RETURN(NamedRelation named, ParseRelation(text));
   return db_->WithWrite([&](Database& db) {
+    if (options_.engine != nullptr) {
+      return options_.engine->ApplyAdd(db, named.name,
+                                       std::move(named.relation));
+    }
     return db.Add(named.name, std::move(named.relation));
   });
 }

@@ -45,6 +45,11 @@
 #include "util/status.h"
 
 namespace itdb {
+
+namespace storage {
+class StorageEngine;
+}  // namespace storage
+
 namespace server {
 
 struct SessionOptions {
@@ -75,6 +80,11 @@ struct SessionOptions {
   /// Per-relation statistics memo for the cost-based planner and the
   /// `stats` verb, shared across sessions (not owned; null recomputes).
   StatsCache* stats_cache = nullptr;
+  /// Durable storage engine (not owned; null = in-memory only).  When set,
+  /// every catalog mutation is WAL-logged through it -- under the same
+  /// WithWrite lock as the in-memory change -- and the `checkpoint`,
+  /// `as of`, and `history` verbs come alive.
+  storage::StorageEngine* engine = nullptr;
 };
 
 class Session {

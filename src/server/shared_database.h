@@ -31,7 +31,12 @@ namespace server {
 /// WithWrite once the wrapper exists.
 class SharedDatabase {
  public:
-  explicit SharedDatabase(Database* db) : db_(db) {}
+  /// `initial_version` seeds the write-version -- the storage engine's
+  /// recovered LSN when durability is on, so post-restart versions never
+  /// collide with pre-crash ones and version-keyed caches (result cache,
+  /// batcher) can never serve a stale pre-recovery entry.
+  explicit SharedDatabase(Database* db, std::uint64_t initial_version = 0)
+      : db_(db), version_(initial_version) {}
 
   SharedDatabase(const SharedDatabase&) = delete;
   SharedDatabase& operator=(const SharedDatabase&) = delete;

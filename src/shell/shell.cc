@@ -6,12 +6,15 @@
 
 #include "server/session.h"
 #include "server/shared_database.h"
+#include "storage/wal/storage_engine.h"
 
 namespace itdb {
 
 Status RunShell(std::istream& in, std::ostream& out, Database& db,
                 const ShellOptions& options) {
-  server::SharedDatabase shared(&db);
+  server::SharedDatabase shared(&db, options.session.engine != nullptr
+                                         ? options.session.engine->version()
+                                         : 0);
   server::Session session(&shared, options.session);
   using Disposition = server::Session::FeedResult::Disposition;
   std::string line;

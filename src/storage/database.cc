@@ -48,6 +48,45 @@ std::vector<std::string> Database::Names() const {
   return out;
 }
 
+namespace {
+
+/// The leading block of `#`-comment lines, stripped of "# " / "#" prefixes.
+/// Capture stops at the first line with non-comment content; blank lines
+/// inside the block are skipped (they separate the header from the body).
+std::vector<std::string> ParseHeaderComments(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) {
+      pos = eol + 1;  // Blank line: may still precede more header comments.
+      continue;
+    }
+    if (line[first] != '#') break;
+    std::string_view body = line.substr(first + 1);
+    if (body.starts_with(" ")) body.remove_prefix(1);
+    if (body.ends_with("\r")) body.remove_suffix(1);
+    out.emplace_back(body);
+    pos = eol + 1;
+  }
+  return out;
+}
+
+void AppendHeaderComments(const std::vector<std::string>& header_comments,
+                          std::string* out) {
+  for (const std::string& h : header_comments) {
+    *out += "# ";
+    *out += h;
+    *out += "\n";
+  }
+  if (!header_comments.empty()) *out += "\n";
+}
+
+}  // namespace
+
 Result<Database> Database::FromText(std::string_view text) {
   ITDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   TokenStream ts(std::move(tokens));
@@ -57,11 +96,13 @@ Result<Database> Database::FromText(std::string_view text) {
                           internal_text_format::ParseRelationBlock(ts));
     ITDB_RETURN_IF_ERROR(out.Add(named.name, std::move(named.relation)));
   }
+  out.header_comments_ = ParseHeaderComments(text);
   return out;
 }
 
 std::string Database::ToText() const {
   std::string out;
+  AppendHeaderComments(header_comments_, &out);
   for (const auto& [name, relation] : relations_) {
     out += PrintRelation(name, relation);
     out += "\n";
@@ -72,13 +113,11 @@ std::string Database::ToText() const {
 std::string Database::ToText(
     const std::vector<std::string>& header_comments) const {
   std::string out;
-  for (const std::string& h : header_comments) {
-    out += "# ";
-    out += h;
+  AppendHeaderComments(header_comments, &out);
+  for (const auto& [name, relation] : relations_) {
+    out += PrintRelation(name, relation);
     out += "\n";
   }
-  if (!header_comments.empty()) out += "\n";
-  out += ToText();
   return out;
 }
 

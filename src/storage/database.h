@@ -41,17 +41,31 @@ class Database {
   std::vector<std::string> Names() const;
   int size() const { return static_cast<int>(relations_.size()); }
 
-  /// Parses a sequence of `relation ... { ... }` blocks.
+  /// Parses a sequence of `relation ... { ... }` blocks.  A leading block of
+  /// `#`-comment lines (before the first relation) is captured into
+  /// header_comments(), so re-saving a loaded file keeps its header even
+  /// after mutations; interior comments are still discarded by the lexer.
   static Result<Database> FromText(std::string_view text);
-  /// Serializes every relation; FromText round-trips.
+  /// Serializes header_comments() (one `# ` line each, then a blank line)
+  /// followed by every relation; FromText round-trips.
   std::string ToText() const;
-  /// Like ToText(), prefixed with one `# `-comment line per entry (entries
-  /// must be single lines).  FromText skips comments, so the headers ride
-  /// along transparently -- used by the fuzzer's repro dumps.
+  /// Like ToText(), but with an explicit header overriding
+  /// header_comments() (entries must be single lines) -- used by the
+  /// fuzzer's repro dumps.
   std::string ToText(const std::vector<std::string>& header_comments) const;
+
+  /// File-level comment lines (without the leading "# ").  Carried across
+  /// mutations; not part of catalog equality or version().
+  const std::vector<std::string>& header_comments() const {
+    return header_comments_;
+  }
+  void set_header_comments(std::vector<std::string> comments) {
+    header_comments_ = std::move(comments);
+  }
 
  private:
   std::map<std::string, GeneralizedRelation> relations_;
+  std::vector<std::string> header_comments_;
   std::uint64_t version_ = 0;
 };
 

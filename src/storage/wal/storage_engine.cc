@@ -1,0 +1,322 @@
+#include "storage/wal/storage_engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace itdb {
+namespace storage {
+
+namespace {
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.itdbb";
+}
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+}  // namespace
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& dir, Database* db, StorageEngineOptions options) {
+  obs::Span span =
+      obs::Span::Begin(obs::ResolveTracer(nullptr), "storage.open", "storage");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create data directory \"" + dir +
+                                   "\": " + ec.message());
+  }
+  std::unique_ptr<StorageEngine> engine = std::make_unique<StorageEngine>();
+  engine->dir_ = dir;
+  engine->options_ = options;
+
+  Result<std::string> snapshot_bytes = ReadFileBytes(SnapshotPath(dir));
+  if (snapshot_bytes.ok()) {
+    ITDB_ASSIGN_OR_RETURN(SnapshotFile snapshot,
+                          DecodeSnapshot(snapshot_bytes.value()));
+    ITDB_RETURN_IF_ERROR(engine->LoadSnapshot(snapshot, db));
+  } else if (snapshot_bytes.status().code() != StatusCode::kNotFound) {
+    return snapshot_bytes.status();
+  }
+
+  ITDB_ASSIGN_OR_RETURN(WalReadResult wal, ReadWalFile(WalPath(dir)));
+  if (wal.truncated_tail) {
+    engine->recovered_torn_tail_ = true;
+    obs::AddGlobalCounter("storage.torn_tails", 1);
+  }
+  for (WalRecord& record : wal.records) {
+    // Records at or below the snapshot version are already reflected in it:
+    // a crash between snapshot rename and WAL reset replays them as no-ops.
+    if (record.lsn <= engine->version_) continue;
+    const std::uint64_t lsn = record.lsn;
+    ITDB_RETURN_IF_ERROR(engine->ApplyToState(*db, record));
+    engine->version_ = lsn;
+    ++engine->replayed_records_;
+  }
+  engine->wal_records_ = wal.records.size();
+  ITDB_ASSIGN_OR_RETURN(
+      engine->wal_,
+      WalWriter::Open(WalPath(dir), options.fsync, wal.valid_bytes));
+  obs::AddGlobalCounter("storage.recoveries", 1);
+  obs::AddGlobalCounter(
+      "storage.replayed_records",
+      static_cast<std::int64_t>(engine->replayed_records_));
+  span.AddArg("version", static_cast<std::int64_t>(engine->version_));
+  span.AddArg("replayed",
+              static_cast<std::int64_t>(engine->replayed_records_));
+  return engine;
+}
+
+Status StorageEngine::ApplyAdd(Database& db, const std::string& name,
+                               GeneralizedRelation relation) {
+  if (db.Has(name)) {
+    return Status::InvalidArgument("relation \"" + name + "\" already exists");
+  }
+  return ApplyPut(db, name, std::move(relation));
+}
+
+Status StorageEngine::ApplyPut(Database& db, const std::string& name,
+                               GeneralizedRelation relation) {
+  WalRecord record;
+  record.type = WalRecordType::kPut;
+  record.name = name;
+  record.segment.name = name;
+  record.segment.schema = relation.schema();
+  record.segment.rows.reserve(static_cast<std::size_t>(relation.size()));
+  for (const GeneralizedTuple& tuple : relation.tuples()) {
+    record.segment.rows.push_back(SegmentRow{tuple, 0, kOpenVersion});
+  }
+  return Commit(db, std::move(record));
+}
+
+Status StorageEngine::ApplyRemove(Database& db, const std::string& name) {
+  if (!db.Has(name)) {
+    return Status::NotFound("relation \"" + name + "\" does not exist");
+  }
+  WalRecord record;
+  record.type = WalRecordType::kRemove;
+  record.name = name;
+  return Commit(db, std::move(record));
+}
+
+Status StorageEngine::Commit(Database& db, WalRecord record) {
+  record.lsn = version_ + 1;
+  // WAL first: the record is durable (or torn, rolling the mutation back)
+  // before any in-memory state moves.
+  ITDB_RETURN_IF_ERROR(wal_.Append(record));
+  ++wal_records_;
+  ITDB_RETURN_IF_ERROR(ApplyToState(db, record));
+  version_ = record.lsn;
+  if (options_.auto_checkpoint_records > 0 &&
+      wal_records_ >= options_.auto_checkpoint_records) {
+    ITDB_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::ApplyToState(Database& db, const WalRecord& record) {
+  const std::uint64_t lsn = record.lsn;
+  if (record.type == WalRecordType::kRemove) {
+    std::vector<Epoch>& epochs = history_[record.name];
+    if (epochs.empty() || epochs.back().to != kOpenVersion) {
+      return Status::ParseError("WAL remove of \"" + record.name +
+                                "\" without an open epoch");
+    }
+    Epoch& epoch = epochs.back();
+    for (SegmentRow& row : epoch.open) {
+      row.sys_to = lsn;
+      epoch.closed.push_back(std::move(row));
+    }
+    epoch.open.clear();
+    epoch.to = lsn;
+    return db.Remove(record.name);
+  }
+
+  // kPut: the segment's rows are the relation's new tuples, in order.
+  GeneralizedRelation relation(record.segment.schema);
+  for (const SegmentRow& row : record.segment.rows) {
+    ITDB_RETURN_IF_ERROR(relation.AddTuple(row.tuple));
+  }
+
+  std::vector<Epoch>& epochs = history_[record.name];
+  Epoch* epoch = nullptr;
+  if (!epochs.empty() && epochs.back().to == kOpenVersion) {
+    if (epochs.back().schema == record.segment.schema) {
+      epoch = &epochs.back();
+    } else {
+      // Schema change: close the old epoch wholesale and open a fresh one.
+      Epoch& old = epochs.back();
+      for (SegmentRow& row : old.open) {
+        row.sys_to = lsn;
+        old.closed.push_back(std::move(row));
+      }
+      old.open.clear();
+      old.to = lsn;
+    }
+  }
+  if (epoch == nullptr) {
+    epochs.push_back(Epoch{record.segment.schema, lsn, kOpenVersion, {}, {}});
+    epoch = &epochs.back();
+  }
+
+  // Diff the old open rows against the new tuple sequence as multisets:
+  // a new tuple equal to an unmatched survivor keeps that row's sys_from
+  // (the row never logically left), everything else is born at this LSN,
+  // and unmatched old rows retire at this LSN.  The new open list mirrors
+  // the relation's tuple order so a recovered catalog prints identically.
+  std::vector<bool> matched(epoch->open.size(), false);
+  std::vector<SegmentRow> new_open;
+  new_open.reserve(relation.tuples().size());
+  for (const GeneralizedTuple& tuple : relation.tuples()) {
+    std::uint64_t sys_from = lsn;
+    for (std::size_t i = 0; i < epoch->open.size(); ++i) {
+      if (!matched[i] && epoch->open[i].tuple == tuple) {
+        matched[i] = true;
+        sys_from = epoch->open[i].sys_from;
+        break;
+      }
+    }
+    new_open.push_back(SegmentRow{tuple, sys_from, kOpenVersion});
+  }
+  for (std::size_t i = 0; i < epoch->open.size(); ++i) {
+    if (matched[i]) continue;
+    epoch->open[i].sys_to = lsn;
+    epoch->closed.push_back(std::move(epoch->open[i]));
+  }
+  epoch->open = std::move(new_open);
+
+  db.Put(record.name, std::move(relation));
+  return Status::Ok();
+}
+
+Result<SnapshotFile> StorageEngine::BuildSnapshot() const {
+  SnapshotFile snapshot;
+  snapshot.commit_version = version_;
+  for (const auto& [name, epochs] : history_) {
+    for (const Epoch& epoch : epochs) {
+      RelationSegment segment;
+      segment.name = name;
+      segment.schema = epoch.schema;
+      segment.epoch_from = epoch.from;
+      segment.epoch_to = epoch.to;
+      segment.rows.reserve(epoch.closed.size() + epoch.open.size());
+      segment.rows.insert(segment.rows.end(), epoch.closed.begin(),
+                          epoch.closed.end());
+      segment.rows.insert(segment.rows.end(), epoch.open.begin(),
+                          epoch.open.end());
+      snapshot.segments.push_back(std::move(segment));
+    }
+  }
+  return snapshot;
+}
+
+Status StorageEngine::LoadSnapshot(const SnapshotFile& snapshot,
+                                   Database* db) {
+  version_ = snapshot.commit_version;
+  snapshot_version_ = snapshot.commit_version;
+  for (const RelationSegment& segment : snapshot.segments) {
+    Epoch epoch;
+    epoch.schema = segment.schema;
+    epoch.from = segment.epoch_from;
+    epoch.to = segment.epoch_to;
+    for (const SegmentRow& row : segment.rows) {
+      // Closed rows precede open ones in the file (BuildSnapshot's order);
+      // the open rows' order is the live relation's tuple order.
+      (row.sys_to == kOpenVersion ? epoch.open : epoch.closed).push_back(row);
+    }
+    std::vector<Epoch>& epochs = history_[segment.name];
+    if (!epochs.empty() && epochs.back().to == kOpenVersion) {
+      return Status::ParseError("snapshot: epoch of \"" + segment.name +
+                                "\" after an open epoch");
+    }
+    if (epoch.to == kOpenVersion) {
+      GeneralizedRelation relation(epoch.schema);
+      for (const SegmentRow& row : epoch.open) {
+        ITDB_RETURN_IF_ERROR(relation.AddTuple(row.tuple));
+      }
+      ITDB_RETURN_IF_ERROR(db->Add(segment.name, std::move(relation)));
+    }
+    epochs.push_back(std::move(epoch));
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::Checkpoint() {
+  obs::Span span = obs::Span::Begin(obs::ResolveTracer(nullptr),
+                                    "storage.checkpoint", "storage");
+  ITDB_ASSIGN_OR_RETURN(SnapshotFile snapshot, BuildSnapshot());
+  ITDB_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshot(snapshot));
+  ITDB_RETURN_IF_ERROR(
+      WriteFileAtomic(SnapshotPath(dir_), bytes, options_.fsync));
+  // The snapshot covers every logged record; a crash before this Reset
+  // replays them against it as skipped no-ops (lsn <= snapshot version).
+  ITDB_RETURN_IF_ERROR(wal_.Reset());
+  snapshot_version_ = version_;
+  wal_records_ = 0;
+  obs::AddGlobalCounter("storage.checkpoints", 1);
+  span.AddArg("version", static_cast<std::int64_t>(version_));
+  span.AddArg("bytes", static_cast<std::int64_t>(bytes.size()));
+  return Status::Ok();
+}
+
+Result<Database> StorageEngine::AsOf(std::uint64_t version) const {
+  Database out;
+  for (const auto& [name, epochs] : history_) {
+    for (const Epoch& epoch : epochs) {
+      if (!(epoch.from <= version && version < epoch.to)) continue;
+      GeneralizedRelation relation(epoch.schema);
+      for (const std::vector<SegmentRow>* rows : {&epoch.closed, &epoch.open}) {
+        for (const SegmentRow& row : *rows) {
+          if (row.sys_from <= version && version < row.sys_to) {
+            ITDB_RETURN_IF_ERROR(relation.AddTuple(row.tuple));
+          }
+        }
+      }
+      relation.SortTuplesCanonical();
+      ITDB_RETURN_IF_ERROR(out.Add(name, std::move(relation)));
+      break;  // Epochs are disjoint in system time.
+    }
+  }
+  return out;
+}
+
+Result<std::vector<HistoryEntry>> StorageEngine::History(
+    const std::string& name) const {
+  auto it = history_.find(name);
+  if (it == history_.end()) {
+    return Status::NotFound("relation \"" + name + "\" has no history");
+  }
+  std::vector<HistoryEntry> out;
+  for (const Epoch& epoch : it->second) {
+    for (const std::vector<SegmentRow>* rows : {&epoch.closed, &epoch.open}) {
+      for (const SegmentRow& row : *rows) {
+        out.push_back(HistoryEntry{row.tuple, row.sys_from, row.sys_to});
+      }
+    }
+  }
+  // Lifetimes read best in birth order; ties keep the closed-before-open
+  // file order, which is itself deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HistoryEntry& a, const HistoryEntry& b) {
+                     return a.sys_from < b.sys_from;
+                   });
+  return out;
+}
+
+StorageStats StorageEngine::stats() const {
+  StorageStats stats;
+  stats.version = version_;
+  stats.snapshot_version = snapshot_version_;
+  stats.wal_records = wal_records_;
+  stats.wal_bytes = wal_.file_bytes();
+  stats.replayed_records = replayed_records_;
+  stats.recovered_torn_tail = recovered_torn_tail_;
+  return stats;
+}
+
+}  // namespace storage
+}  // namespace itdb

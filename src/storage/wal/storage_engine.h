@@ -1,0 +1,152 @@
+// Durable, bitemporal storage for a Database catalog.
+//
+// The engine pairs the paper's valid-time dimension (lrps + constraints
+// inside each generalized tuple) with a SYSTEM-TIME dimension in the style
+// of SQL:2011 transaction-time tables: every stored row carries
+// [sys_from, sys_to) in engine versions, where the engine version is the
+// LSN of the last applied mutation.  A row inserted by LSN v has
+// sys_from = v; retracting it at LSN w sets sys_to = w; current rows have
+// sys_to = kOpenVersion.  `AsOf(v)` therefore reconstructs the exact
+// catalog any reader saw at version v, and History exposes each row's
+// lifetime.
+//
+// Durability protocol (WAL-first):
+//   1. encode the mutation as a WalRecord with lsn = version + 1
+//   2. append it to the log (the crash point -- see wal.h)
+//   3. update the in-memory history and the live Database
+//   4. version = lsn
+// A crash before (2) completes leaves a torn tail that recovery truncates:
+// the catalog rolls back to the acknowledged prefix.  A crash after (2)
+// recovers the mutation by replay.  Checkpoint writes the whole history as
+// one snapshot file (atomic rename), then resets the log; replay skips
+// lsn <= snapshot version, so a crash anywhere inside Checkpoint is safe.
+//
+// Concurrency: the engine itself is NOT internally synchronized.  The
+// server calls every mutating method under SharedDatabase::WithWrite and
+// the read-only ones under WithRead, which is exactly the discipline the
+// live Database already requires.
+
+#ifndef ITDB_STORAGE_WAL_STORAGE_ENGINE_H_
+#define ITDB_STORAGE_WAL_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/binary/binary_format.h"
+#include "storage/database.h"
+#include "storage/wal/wal.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace storage {
+
+struct StorageEngineOptions {
+  /// fsync the WAL after every append (and the snapshot on checkpoint).
+  /// Off by default: process-crash durability (the threat model of the
+  /// crash harness) only needs the page cache; power-loss durability
+  /// needs fsync and costs a disk flush per mutation.
+  bool fsync = false;
+  /// Checkpoint automatically once this many WAL records accumulate
+  /// (0 = only on explicit request).
+  std::uint64_t auto_checkpoint_records = 0;
+};
+
+struct StorageStats {
+  std::uint64_t version = 0;           // Last applied LSN.
+  std::uint64_t snapshot_version = 0;  // Version the snapshot file holds.
+  std::uint64_t wal_records = 0;       // Records in the live WAL tail.
+  std::uint64_t wal_bytes = 0;         // Live WAL file size.
+  std::uint64_t replayed_records = 0;  // Records replayed by Open.
+  bool recovered_torn_tail = false;    // Open truncated a torn tail.
+};
+
+/// One row's lifetime, for History().
+struct HistoryEntry {
+  GeneralizedTuple tuple{std::vector<Lrp>{}};
+  std::uint64_t sys_from = 0;
+  std::uint64_t sys_to = kOpenVersion;
+};
+
+class StorageEngine {
+ public:
+  /// Opens (creating if needed) the data directory, loads the snapshot,
+  /// replays the WAL tail -- truncating a torn final record -- and
+  /// materializes the recovered catalog into `*db` (which must be empty).
+  /// After Open, `db` and the engine agree and stay in lockstep through
+  /// the Apply* methods.
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& dir, Database* db, StorageEngineOptions options = {});
+
+  /// Public only for std::make_unique; use Open().
+  StorageEngine() = default;
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Durable Database::Add: fails if `name` exists, else logs and applies.
+  Status ApplyAdd(Database& db, const std::string& name,
+                  GeneralizedRelation relation);
+  /// Durable Database::Put: logs the relation's new state and applies it.
+  /// Rows equal to a surviving current row keep their sys_from; vanished
+  /// rows are closed at this LSN.
+  Status ApplyPut(Database& db, const std::string& name,
+                  GeneralizedRelation relation);
+  /// Durable Database::Remove: closes the relation's open epoch.
+  Status ApplyRemove(Database& db, const std::string& name);
+
+  /// Writes the full bitemporal history as a snapshot (atomic rename),
+  /// then resets the WAL.
+  Status Checkpoint();
+
+  /// The catalog as it stood after LSN `version` was applied (0 = before
+  /// any mutation).  Relations are sorted canonically: the historical
+  /// record pins contents, not tuple order.
+  Result<Database> AsOf(std::uint64_t version) const;
+
+  /// Every recorded row of `name` across all epochs, oldest epoch first.
+  Result<std::vector<HistoryEntry>> History(const std::string& name) const;
+
+  std::uint64_t version() const { return version_; }
+  StorageStats stats() const;
+
+ private:
+  /// Applies one decoded record to the history and to `db` (no logging);
+  /// shared by live mutation and replay.
+  Status ApplyToState(Database& db, const WalRecord& record);
+
+  /// Logs and applies; the single mutation entry point.
+  Status Commit(Database& db, WalRecord record);
+
+  Result<SnapshotFile> BuildSnapshot() const;
+  Status LoadSnapshot(const SnapshotFile& snapshot, Database* db);
+
+  /// One maximal system-time interval of a relation under one schema.
+  /// `closed` rows are kept in retirement order; `open` rows mirror the
+  /// live relation's tuple order exactly, so a recovered catalog renders
+  /// byte-identically to the one that crashed.
+  struct Epoch {
+    Schema schema;
+    std::uint64_t from = 0;
+    std::uint64_t to = kOpenVersion;
+    std::vector<SegmentRow> closed;
+    std::vector<SegmentRow> open;
+  };
+
+  std::string dir_;
+  StorageEngineOptions options_;
+  std::map<std::string, std::vector<Epoch>> history_;
+  WalWriter wal_;
+  std::uint64_t version_ = 0;
+  std::uint64_t snapshot_version_ = 0;
+  std::uint64_t wal_records_ = 0;
+  std::uint64_t replayed_records_ = 0;
+  bool recovered_torn_tail_ = false;
+};
+
+}  // namespace storage
+}  // namespace itdb
+
+#endif  // ITDB_STORAGE_WAL_STORAGE_ENGINE_H_

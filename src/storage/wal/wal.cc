@@ -1,0 +1,211 @@
+#include "storage/wal/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace itdb {
+namespace storage {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x43455257;  // "WREC" little-endian.
+
+/// The ITDB_CRASH_AT byte threshold, or -1 when fault injection is off.
+/// Read once; the harness sets it per process.
+std::int64_t CrashAtThreshold() {
+  static const std::int64_t threshold = [] {
+    const char* env = std::getenv("ITDB_CRASH_AT");
+    if (env == nullptr || *env == '\0') return std::int64_t{-1};
+    return static_cast<std::int64_t>(std::strtoll(env, nullptr, 10));
+  }();
+  return threshold;
+}
+
+/// Cumulative bytes this process has appended to any WAL, across
+/// checkpoint truncations -- the coordinate system of ITDB_CRASH_AT.
+std::atomic<std::int64_t>& CumulativeAppended() {
+  static std::atomic<std::int64_t> bytes{0};
+  return bytes;
+}
+
+/// Writes `bytes` to `fd`, honoring the fault point: when the cumulative
+/// append stream would cross the ITDB_CRASH_AT threshold, only the prefix
+/// up to the threshold is written and the process exits with code 42 --
+/// a torn write followed by a crash, as seen by the next process.
+Status FaultInjectedWrite(int fd, std::string_view bytes) {
+  std::size_t limit = bytes.size();
+  bool crash = false;
+  const std::int64_t threshold = CrashAtThreshold();
+  if (threshold >= 0) {
+    const std::int64_t before = CumulativeAppended().load();
+    if (before + static_cast<std::int64_t>(bytes.size()) > threshold) {
+      limit = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, threshold - before));
+      crash = true;
+    }
+  }
+  std::size_t written = 0;
+  while (written < limit) {
+    ssize_t n = ::write(fd, bytes.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::InvalidArgument(std::string("WAL write failed: ") +
+                                     std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  CumulativeAppended().fetch_add(static_cast<std::int64_t>(written));
+  if (crash) _exit(42);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> EncodeWalRecord(const WalRecord& record) {
+  std::string body;
+  wire::PutU64(&body, record.lsn);
+  wire::PutU32(&body, static_cast<std::uint32_t>(record.type));
+  wire::PutString(&body, record.name);
+  if (record.type == WalRecordType::kPut) {
+    ITDB_RETURN_IF_ERROR(AppendSegment(record.segment, &body));
+  }
+  std::string frame;
+  frame.reserve(body.size() + 12);
+  wire::PutU32(&frame, kRecordMagic);
+  wire::PutU32(&frame, static_cast<std::uint32_t>(body.size()));
+  frame += body;
+  wire::PutU32(&frame, Crc32(body));
+  return frame;
+}
+
+Result<WalReadResult> DecodeWal(std::string_view bytes) {
+  WalReadResult out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    // A frame that does not fully parse and check out is a torn tail, not
+    // an error: stop at the last known-good boundary.
+    std::size_t cursor = pos;
+    Result<std::uint32_t> magic = wire::ReadU32(bytes, &cursor);
+    if (!magic.ok() || magic.value() != kRecordMagic) break;
+    Result<std::uint32_t> len = wire::ReadU32(bytes, &cursor);
+    if (!len.ok() || bytes.size() - cursor < len.value() + std::size_t{4}) {
+      break;
+    }
+    std::string_view body = bytes.substr(cursor, len.value());
+    cursor += len.value();
+    Result<std::uint32_t> crc = wire::ReadU32(bytes, &cursor);
+    if (!crc.ok() || crc.value() != Crc32(body)) break;
+
+    // The frame is intact; a malformed body now is real corruption.
+    WalRecord record;
+    std::size_t body_pos = 0;
+    ITDB_ASSIGN_OR_RETURN(record.lsn, wire::ReadU64(body, &body_pos));
+    ITDB_ASSIGN_OR_RETURN(std::uint32_t type, wire::ReadU32(body, &body_pos));
+    if (type != static_cast<std::uint32_t>(WalRecordType::kPut) &&
+        type != static_cast<std::uint32_t>(WalRecordType::kRemove)) {
+      return Status::ParseError("WAL record: unknown type " +
+                                std::to_string(type));
+    }
+    record.type = static_cast<WalRecordType>(type);
+    ITDB_ASSIGN_OR_RETURN(record.name, wire::ReadString(body, &body_pos));
+    if (record.type == WalRecordType::kPut) {
+      ITDB_ASSIGN_OR_RETURN(record.segment, ReadSegment(body, &body_pos));
+    }
+    if (body_pos != body.size()) {
+      return Status::ParseError("WAL record: trailing bytes in body");
+    }
+    out.records.push_back(std::move(record));
+    pos = cursor;
+  }
+  out.valid_bytes = pos;
+  out.truncated_tail = pos != bytes.size();
+  return out;
+}
+
+Result<WalReadResult> ReadWalFile(const std::string& path) {
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) return WalReadResult{};
+    return bytes.status();
+  }
+  return DecodeWal(bytes.value());
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  std::swap(fd_, other.fd_);
+  std::swap(fsync_, other.fsync_);
+  std::swap(file_bytes_, other.file_bytes_);
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path, bool fsync,
+                                  std::uint64_t truncate_to) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open WAL \"" + path + "\": " +
+                                   std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot stat WAL \"" + path + "\"");
+  }
+  std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  if (truncate_to < size) {
+    if (::ftruncate(fd, static_cast<off_t>(truncate_to)) != 0) {
+      ::close(fd);
+      return Status::InvalidArgument("cannot truncate WAL \"" + path + "\"");
+    }
+    size = truncate_to;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot seek WAL \"" + path + "\"");
+  }
+  WalWriter out;
+  out.fd_ = fd;
+  out.fsync_ = fsync;
+  out.file_bytes_ = size;
+  return out;
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  ITDB_ASSIGN_OR_RETURN(std::string frame, EncodeWalRecord(record));
+  ITDB_RETURN_IF_ERROR(FaultInjectedWrite(fd_, frame));
+  file_bytes_ += frame.size();
+  if (fsync_ && ::fsync(fd_) != 0) {
+    return Status::InvalidArgument("WAL fsync failed");
+  }
+  obs::AddGlobalCounter("storage.wal_records", 1);
+  obs::AddGlobalCounter("storage.wal_appended_bytes",
+                        static_cast<std::int64_t>(frame.size()));
+  return Status::Ok();
+}
+
+Status WalWriter::Reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::InvalidArgument("cannot reset WAL");
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::InvalidArgument("cannot rewind WAL");
+  }
+  file_bytes_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace itdb

@@ -1,0 +1,113 @@
+// Write-ahead log for incremental catalog mutations.
+//
+// The log is a flat file of CRC-framed records, one per applied mutation:
+//
+//   u32 magic "WREC"
+//   u32 body length
+//   body:  u64 lsn, u32 type (1 = put, 2 = remove), name,
+//          encoded RelationSegment (put only; binary_format.h)
+//   u32 CRC32 of the body
+//
+// A record is durable iff its frame is complete and its CRC matches.
+// DecodeWal returns the longest valid prefix: the first torn or corrupt
+// frame ends the log (everything after a torn write is unreachable anyway,
+// because records are appended strictly in LSN order).  Recovery truncates
+// the file to that prefix and replays records with lsn > the snapshot
+// version -- replaying an already-applied lsn is skipped, which is what
+// makes a crash between snapshot rename and WAL reset harmless.
+//
+// Fault injection: when the environment variable ITDB_CRASH_AT holds a
+// byte count N, the process-cumulative WAL append stream is cut at byte N --
+// the writer emits the partial frame prefix and calls _exit(42), simulating
+// a torn write followed by a crash.  The crash-recovery CI harness
+// (tools/crash_harness.py) sweeps N over the whole stream.
+
+#ifndef ITDB_STORAGE_WAL_WAL_H_
+#define ITDB_STORAGE_WAL_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/binary/binary_format.h"
+#include "util/status.h"
+
+namespace itdb {
+namespace storage {
+
+enum class WalRecordType : std::uint32_t {
+  /// Replace (or create) a relation: the payload segment's open rows are
+  /// the relation's new tuples, in order.
+  kPut = 1,
+  /// Drop a relation.
+  kRemove = 2,
+};
+
+/// One logged mutation.
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kPut;
+  std::string name;
+  /// The relation's full new state (kPut only).
+  RelationSegment segment;
+};
+
+/// Serializes one framed record.
+Result<std::string> EncodeWalRecord(const WalRecord& record);
+
+/// The longest valid prefix of a WAL image.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Byte length of the valid prefix; the file should be truncated here
+  /// when truncated_tail is set.
+  std::uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes existed but did not form a valid frame (torn
+  /// final write or corruption).
+  bool truncated_tail = false;
+};
+
+/// Decodes every valid leading frame; never fails on a torn tail (that is
+/// reported through the result), only on unreadable well-formed frames.
+Result<WalReadResult> DecodeWal(std::string_view bytes);
+
+/// ReadFileBytes + DecodeWal.  A missing file is an empty log.
+Result<WalReadResult> ReadWalFile(const std::string& path);
+
+/// Appends framed records to a log file.
+class WalWriter {
+ public:
+  /// Opens (creating if needed) `path` for appending.  `truncate_to`
+  /// trims the file first (pass a WalReadResult's valid_bytes to drop a
+  /// torn tail); pass the current size or UINT64_MAX to keep everything.
+  static Result<WalWriter> Open(const std::string& path, bool fsync,
+                                std::uint64_t truncate_to = UINT64_MAX);
+
+  WalWriter() = default;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  ~WalWriter();
+
+  /// Encodes and appends one record (fsync'ing when configured).  This is
+  /// the ITDB_CRASH_AT fault point: the injected crash tears the frame
+  /// mid-write and exits the process.
+  Status Append(const WalRecord& record);
+
+  /// Truncates the log to empty (after a checkpoint made it redundant).
+  Status Reset();
+
+  /// Current file size in bytes.
+  std::uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  int fd_ = -1;
+  bool fsync_ = false;
+  std::uint64_t file_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace itdb
+
+#endif  // ITDB_STORAGE_WAL_WAL_H_

@@ -1,0 +1,167 @@
+// WAL framing edge cases: torn final records at every byte boundary,
+// CRC-corrupted tails, longest-valid-prefix semantics, and the writer's
+// append / truncate-on-open / reset lifecycle.
+
+#include "storage/wal/wal.h"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dbm.h"
+#include "core/lrp.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "storage/binary/binary_format.h"
+
+namespace itdb {
+namespace storage {
+namespace {
+
+WalRecord MakePut(std::uint64_t lsn, const std::string& name,
+                  std::int64_t offset) {
+  WalRecord record;
+  record.lsn = lsn;
+  record.type = WalRecordType::kPut;
+  record.name = name;
+  record.segment.name = name;
+  record.segment.schema = Schema::Temporal(1);
+  SegmentRow row;
+  row.tuple = GeneralizedTuple({Lrp::Make(offset, 10)});
+  row.sys_from = lsn;
+  record.segment.rows.push_back(std::move(row));
+  return record;
+}
+
+WalRecord MakeRemove(std::uint64_t lsn, const std::string& name) {
+  WalRecord record;
+  record.lsn = lsn;
+  record.type = WalRecordType::kRemove;
+  record.name = name;
+  return record;
+}
+
+std::string EncodeAll(const std::vector<WalRecord>& records) {
+  std::string log;
+  for (const WalRecord& r : records) {
+    Result<std::string> frame = EncodeWalRecord(r);
+    EXPECT_TRUE(frame.ok()) << frame.status();
+    log += *frame;
+  }
+  return log;
+}
+
+TEST(WalTest, EncodeDecodeRoundTripsRecords) {
+  std::string log = EncodeAll(
+      {MakePut(1, "R", 3), MakeRemove(2, "R"), MakePut(3, "S", 7)});
+  Result<WalReadResult> read = DecodeWal(log);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_FALSE(read->truncated_tail);
+  EXPECT_EQ(read->valid_bytes, log.size());
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_EQ(read->records[0].type, WalRecordType::kPut);
+  EXPECT_EQ(read->records[0].name, "R");
+  ASSERT_EQ(read->records[0].segment.rows.size(), 1u);
+  EXPECT_EQ(read->records[0].segment.rows[0].tuple.lrp(0), Lrp::Make(3, 10));
+  EXPECT_EQ(read->records[1].type, WalRecordType::kRemove);
+  EXPECT_EQ(read->records[2].name, "S");
+}
+
+TEST(WalTest, TornFinalRecordAtEveryByteYieldsThePrefix) {
+  std::string first = *EncodeWalRecord(MakePut(1, "R", 3));
+  std::string second = *EncodeWalRecord(MakePut(2, "R", 5));
+  // Cut the second frame at every possible byte boundary -- mid-magic,
+  // mid-length, mid-body, mid-CRC.  Recovery must always land on exactly
+  // the first record.
+  for (std::size_t cut = 0; cut < second.size(); ++cut) {
+    std::string log = first + second.substr(0, cut);
+    Result<WalReadResult> read = DecodeWal(log);
+    ASSERT_TRUE(read.ok()) << "cut " << cut << ": " << read.status();
+    EXPECT_EQ(read->records.size(), 1u) << "cut " << cut;
+    EXPECT_EQ(read->valid_bytes, first.size()) << "cut " << cut;
+    EXPECT_EQ(read->truncated_tail, cut != 0) << "cut " << cut;
+  }
+}
+
+TEST(WalTest, CorruptCrcEndsTheLogAtThePreviousRecord) {
+  std::string first = *EncodeWalRecord(MakePut(1, "R", 3));
+  std::string second = *EncodeWalRecord(MakePut(2, "R", 5));
+  std::string log = first + second;
+  log.back() = static_cast<char>(log.back() ^ 0x01);  // Flip a CRC bit.
+  Result<WalReadResult> read = DecodeWal(log);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->valid_bytes, first.size());
+  EXPECT_TRUE(read->truncated_tail);
+}
+
+TEST(WalTest, MissingFileIsAnEmptyLog) {
+  Result<WalReadResult> read =
+      ReadWalFile(::testing::TempDir() + "/wal_test_does_not_exist.log");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->valid_bytes, 0u);
+  EXPECT_FALSE(read->truncated_tail);
+}
+
+TEST(WalTest, WriterAppendsTruncatesTornTailOnOpenAndResets) {
+  std::string path = ::testing::TempDir() + "/wal_test_writer.log";
+  {
+    Result<WalWriter> writer = WalWriter::Open(path, /*fsync=*/false,
+                                               /*truncate_to=*/0);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE(writer->Append(MakePut(1, "R", 3)).ok());
+    ASSERT_TRUE(writer->Append(MakeRemove(2, "R")).ok());
+    EXPECT_GT(writer->file_bytes(), 0u);
+  }
+  // Simulate a torn write: append garbage past the valid frames.
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::app);
+    file << "WREC torn garbage";
+  }
+  Result<WalReadResult> read = ReadWalFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_TRUE(read->truncated_tail);
+
+  // Re-opening at valid_bytes drops the tail; the next append extends the
+  // clean prefix.
+  Result<WalWriter> writer =
+      WalWriter::Open(path, /*fsync=*/false, read->valid_bytes);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EXPECT_EQ(writer->file_bytes(), read->valid_bytes);
+  ASSERT_TRUE(writer->Append(MakePut(3, "S", 7)).ok());
+  Result<WalReadResult> again = ReadWalFile(path);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->records.size(), 3u);
+  EXPECT_FALSE(again->truncated_tail);
+  EXPECT_EQ(again->records[2].lsn, 3u);
+
+  ASSERT_TRUE(writer->Reset().ok());
+  EXPECT_EQ(writer->file_bytes(), 0u);
+  Result<WalReadResult> empty = ReadWalFile(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->records.empty());
+}
+
+TEST(WalTest, DecodePreservesSegmentPayloadExactly) {
+  WalRecord record = MakePut(9, "Exact", -4);
+  Dbm dbm(1);
+  dbm.AddUpperBound(0, 100);
+  record.segment.rows[0].tuple.set_constraints(dbm);  // Unclosed on purpose.
+  std::string log = *EncodeWalRecord(record);
+  Result<WalReadResult> read = DecodeWal(log);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  const GeneralizedTuple& back = read->records[0].segment.rows[0].tuple;
+  EXPECT_EQ(back, record.segment.rows[0].tuple);
+  EXPECT_FALSE(back.constraints().closed());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace itdb

@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Crash-recovery harness for itdb_serve's durable catalog.
+
+The experiment, per iteration:
+
+1. CONTROL: run a server with --data-dir on a fresh directory, feed it a
+   fixed schedule of catalog mutations (with interleaved checkpoints), and
+   record a deterministic PROBE -- list / show / history / as-of output --
+   after every version, plus the cumulative WAL byte stream length from
+   `status` (storage.wal_appended_bytes).
+
+2. CRASH: repeat on a fresh directory with ITDB_CRASH_AT=R for a random
+   R in [0, total_wal_bytes), so the WAL write syscall tears the stream at
+   byte R and the process _exit(42)s mid-append.  The client counts how
+   many mutations were acknowledged before the connection died.
+
+3. RECOVER: restart the server on the crashed directory.  Recovery must
+   land exactly on the acknowledged prefix (durable_version == acked
+   mutations -- a torn record is never half-applied), and the recovered
+   probe must be BYTE-IDENTICAL to the control probe at that version.
+
+4. CONTINUE: apply the remaining schedule to the recovered server; after
+   every step the probe must again match the control probe byte for byte,
+   and the final states must agree.
+
+Usage:
+    crash_harness.py --serve build/tools/itdb_serve [--iterations 50]
+                     [--seed 7] [--keep-dirs DIR]
+
+Exit status: 0 when every iteration recovers consistently, 1 on any
+mismatch (the failing iteration's data dir is preserved under --keep-dirs
+when given, for post-mortem), 2 on usage problems.
+"""
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from itdb_client import Client  # noqa: E402
+
+# The mutation schedule: every entry bumps the engine version by exactly
+# one.  Relations R, S, W cycle through define / coalesce / drop /
+# redefine so the history carries closed epochs, survivor rows, and
+# re-creations -- the shapes recovery has to rebuild exactly.
+MUTATIONS = [
+    "define relation R(T: time) { [2n]; }",
+    "define relation S(T: time) { [3+10n] : T >= 3; }",
+    "drop R",
+    "define relation R(T: time) { [5+10n]; [8+10n] : T <= 60; }",
+    "define relation W(A: time, B: time) { [1+6n, 4+6n] : A <= B; }",
+    "coalesce R",
+    "drop S",
+    "define relation S(T: time) { [4n]; }",
+    "drop W",
+    "define relation W(A: time) { [9+12n]; }",
+]
+
+# Checkpoints run after these (1-based) versions: one mid-schedule on a
+# growing catalog, one after a drop so the snapshot carries closed epochs.
+CHECKPOINT_AFTER = {4, 8}
+
+PROBE = [
+    "list",
+    "show R",
+    "show S",
+    "show W",
+    "history R",
+    "history S",
+    "history W",
+    "as of 3",
+    "as of 5 R",
+]
+
+
+class Harness:
+    def __init__(self, serve, keep_dirs=None):
+        self.serve = serve
+        self.keep_dirs = keep_dirs
+        self.tmp = tempfile.mkdtemp(prefix="itdb-crash-")
+
+    def cleanup(self):
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    def start_server(self, data_dir, sock, env_extra=None):
+        # A crashed server leaves its socket file behind; remove it so the
+        # bind-wait below observes the NEW server's socket, not the corpse.
+        if os.path.exists(sock):
+            os.unlink(sock)
+        env = dict(os.environ)
+        if env_extra:
+            env.update(env_extra)
+        proc = subprocess.Popen(
+            [self.serve, "--unix", sock, "--data-dir", data_dir],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env)
+        for _ in range(200):
+            if os.path.exists(sock):
+                break
+            if proc.poll() is not None:
+                raise RuntimeError("server exited at startup: %s"
+                                   % proc.returncode)
+            time.sleep(0.02)
+        else:
+            proc.kill()
+            raise RuntimeError("server never bound %s" % sock)
+        return proc
+
+    def stop_server(self, proc):
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    @staticmethod
+    def probe(client):
+        """The deterministic catalog fingerprint: status + payload of every
+        probe statement (errors included -- `history R` before R exists
+        must fail identically in control and recovery)."""
+        parts = []
+        for statement in PROBE:
+            frame = client.request(statement)
+            parts.append("%s>> %s %s" % (statement, frame.status,
+                                         frame.payload))
+        return "\n".join(parts)
+
+    @staticmethod
+    def status_fields(client):
+        fields = {}
+        for line in client.request("status").payload.splitlines():
+            key, _, value = line.partition(" ")
+            fields[key] = value
+        return fields
+
+    def run_control(self):
+        """Returns (probes_by_version, total_wal_bytes)."""
+        data_dir = os.path.join(self.tmp, "control")
+        shutil.rmtree(data_dir, ignore_errors=True)
+        sock = os.path.join(self.tmp, "control.sock")
+        proc = self.start_server(data_dir, sock)
+        try:
+            client = Client.connect_unix(sock)
+            probes = [self.probe(client)]
+            for version, mutation in enumerate(MUTATIONS, start=1):
+                frame = client.request(mutation)
+                if frame.status != "ok":
+                    raise RuntimeError("control mutation %d failed: %s"
+                                       % (version, frame.payload))
+                if version in CHECKPOINT_AFTER:
+                    frame = client.request("checkpoint")
+                    if frame.status != "ok":
+                        raise RuntimeError("control checkpoint failed: %s"
+                                           % frame.payload)
+                probes.append(self.probe(client))
+            fields = self.status_fields(client)
+            if fields.get("durable_version") != str(len(MUTATIONS)):
+                raise RuntimeError("control ended at version %s"
+                                   % fields.get("durable_version"))
+            total = int(fields["wal_appended_bytes"])
+            client.close()
+            return probes, total
+        finally:
+            self.stop_server(proc)
+
+    def run_crash_iteration(self, iteration, crash_at, probes):
+        data_dir = os.path.join(self.tmp, "crash-%d" % iteration)
+        shutil.rmtree(data_dir, ignore_errors=True)
+        sock = os.path.join(self.tmp, "crash-%d.sock" % iteration)
+
+        # Phase 1: feed the schedule into a doomed server.
+        proc = self.start_server(data_dir, sock,
+                                 {"ITDB_CRASH_AT": str(crash_at)})
+        acked = 0
+        crashed = False
+        client = Client.connect_unix(sock)
+        try:
+            for version, mutation in enumerate(MUTATIONS, start=1):
+                frame = client.request(mutation)
+                if frame.status != "ok":
+                    raise RuntimeError("mutation %d rejected: %s"
+                                       % (version, frame.payload))
+                acked = version
+                if version in CHECKPOINT_AFTER:
+                    client.request("checkpoint")
+        except (ConnectionError, BrokenPipeError, OSError, ValueError):
+            crashed = True
+        finally:
+            client.close()
+        if not crashed:
+            raise RuntimeError("ITDB_CRASH_AT=%d never fired" % crash_at)
+        proc.wait(timeout=30)
+        if proc.returncode != 42:
+            raise RuntimeError("expected fault-injection exit 42, got %s"
+                               % proc.returncode)
+
+        # Phase 2: recover and check the prefix is exactly the acked one.
+        proc = self.start_server(data_dir, sock)
+        try:
+            client = Client.connect_unix(sock)
+            fields = self.status_fields(client)
+            recovered = int(fields["durable_version"])
+            if recovered != acked:
+                raise RuntimeError(
+                    "recovered to version %d but %d mutations were "
+                    "acknowledged" % (recovered, acked))
+            got = self.probe(client)
+            if got != probes[recovered]:
+                raise RuntimeError(
+                    "recovered probe at version %d diverges from control:\n"
+                    "--- control ---\n%s\n--- recovered ---\n%s"
+                    % (recovered, probes[recovered], got))
+
+            # Phase 3: finish the schedule; every step must re-converge.
+            for version in range(recovered + 1, len(MUTATIONS) + 1):
+                frame = client.request(MUTATIONS[version - 1])
+                if frame.status != "ok":
+                    raise RuntimeError("post-recovery mutation %d failed: %s"
+                                       % (version, frame.payload))
+                if version in CHECKPOINT_AFTER:
+                    client.request("checkpoint")
+                got = self.probe(client)
+                if got != probes[version]:
+                    raise RuntimeError(
+                        "post-recovery probe at version %d diverges:\n"
+                        "--- control ---\n%s\n--- got ---\n%s"
+                        % (version, probes[version], got))
+            client.close()
+        finally:
+            self.stop_server(proc)
+        shutil.rmtree(data_dir, ignore_errors=True)
+        return acked
+
+    def preserve(self, iteration):
+        if not self.keep_dirs:
+            return
+        os.makedirs(self.keep_dirs, exist_ok=True)
+        src = os.path.join(self.tmp, "crash-%d" % iteration)
+        if os.path.isdir(src):
+            shutil.copytree(
+                src, os.path.join(self.keep_dirs, "crash-%d" % iteration),
+                dirs_exist_ok=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--serve", required=True,
+                        help="path to the itdb_serve binary")
+    parser.add_argument("--iterations", type=int, default=50,
+                        help="number of randomized crash points")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="crash-point RNG seed (default: random)")
+    parser.add_argument("--keep-dirs", default=None,
+                        help="preserve failing data dirs under this path")
+    args = parser.parse_args()
+    if not os.path.exists(args.serve):
+        print("no such binary: %s" % args.serve, file=sys.stderr)
+        return 2
+
+    seed = args.seed if args.seed is not None else random.randrange(1 << 32)
+    rng = random.Random(seed)
+    harness = Harness(args.serve, keep_dirs=args.keep_dirs)
+    try:
+        probes, total = harness.run_control()
+        print("control: %d mutations, %d WAL bytes, seed %d"
+              % (len(MUTATIONS), total, seed))
+        for i in range(args.iterations):
+            crash_at = rng.randrange(total)
+            try:
+                acked = harness.run_crash_iteration(i, crash_at, probes)
+            except Exception as e:  # noqa: BLE001 -- report and preserve.
+                harness.preserve(i)
+                print("FAIL iteration %d (ITDB_CRASH_AT=%d, seed %d): %s"
+                      % (i, crash_at, seed, e), file=sys.stderr)
+                return 1
+            print("iteration %d: crash at byte %d -> recovered version %d, "
+                  "reconverged" % (i, crash_at, acked))
+        print("OK: %d/%d iterations recovered bit-identically"
+              % (args.iterations, args.iterations))
+        return 0
+    finally:
+        harness.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

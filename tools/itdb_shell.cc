@@ -1,23 +1,60 @@
 // Interactive shell over an itdb database.
 //
-//   ./itdb_shell [file.itdb ...]     # preload relation files, then REPL
+//   ./itdb_shell [file.itdb ...]              # preload files, then REPL
+//   ./itdb_shell --data-dir DIR [--fsync]     # durable catalog: recover,
+//                                             # WAL-log mutations, and
+//                                             # enable checkpoint / as of /
+//                                             # history
 //
 // Pipe a script to run non-interactively:
 //   echo 'ask EXISTS t . Backup(t, t + 45)' | ./itdb_shell db.itdb
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <string>
 #include <unistd.h>
+#include <vector>
 
 #include "shell/shell.h"
+#include "storage/wal/storage_engine.h"
 
 int main(int argc, char** argv) {
-  itdb::Database db;
+  std::string data_dir;
+  itdb::storage::StorageEngineOptions storage_options;
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    std::ifstream file(argv[i]);
+    std::string arg = argv[i];
+    if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (arg == "--fsync") {
+      storage_options.fsync = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "usage: itdb_shell [--data-dir DIR] [--fsync]"
+                   " [file.itdb ...]\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  itdb::Database db;
+  std::unique_ptr<itdb::storage::StorageEngine> engine;
+  if (!data_dir.empty()) {
+    itdb::Result<std::unique_ptr<itdb::storage::StorageEngine>> opened =
+        itdb::storage::StorageEngine::Open(data_dir, &db, storage_options);
+    if (!opened.ok()) {
+      std::cerr << "error: " << data_dir << ": " << opened.status() << "\n";
+      return 1;
+    }
+    engine = std::move(opened).value();
+  }
+
+  for (const std::string& path : files) {
+    std::ifstream file(path);
     if (!file) {
-      std::cerr << "error: cannot open " << argv[i] << "\n";
+      std::cerr << "error: cannot open " << path << "\n";
       return 1;
     }
     std::stringstream buffer;
@@ -25,19 +62,25 @@ int main(int argc, char** argv) {
     itdb::Result<itdb::Database> loaded =
         itdb::Database::FromText(buffer.str());
     if (!loaded.ok()) {
-      std::cerr << "error: " << argv[i] << ": " << loaded.status() << "\n";
+      std::cerr << "error: " << path << ": " << loaded.status() << "\n";
       return 1;
     }
     for (const std::string& name : loaded.value().Names()) {
-      itdb::Status s = db.Add(name, loaded.value().Get(name).value());
+      if (engine != nullptr && db.Has(name)) continue;  // Recovered state wins.
+      itdb::Status s =
+          engine != nullptr
+              ? engine->ApplyAdd(db, name, loaded.value().Get(name).value())
+              : db.Add(name, loaded.value().Get(name).value());
       if (!s.ok()) {
         std::cerr << "error: " << s << "\n";
         return 1;
       }
     }
   }
+
   itdb::ShellOptions options;
   options.prompt = isatty(STDIN_FILENO) != 0;
+  options.session.engine = engine.get();
   itdb::Status status = itdb::RunShell(std::cin, std::cout, db, options);
   return status.ok() ? 0 : 1;
 }
