@@ -1,0 +1,237 @@
+// Abstract interpretation over the query AST: certified bounds.
+//
+// The analyzer's cost pass (cost.h) guesses: A010/A012 are heuristics with
+// no soundness contract.  This module computes *certificates* -- sound
+// upper bounds, per query node, in three abstract domains:
+//
+//   * period lattice: an lcm L such that every lrp period of the node's
+//     result representation divides L.  Seeded from
+//     RelationStats::period_lcm_rep (the representation-level lcm:
+//     Complement picks its uniform period from every stored tuple,
+//     feasible or not) and composed with saturating Lcm.  This certifies
+//     the A012 blowup heuristic: normalization can never split beyond L.
+//
+//   * interval hull: per free temporal variable, an interval containing
+//     every value that variable takes in the node's denotation (the SET,
+//     not the representation).  Widening (WidenInterval) keeps iterative
+//     uses -- the future Datalog fixpoint layer -- terminating.  An empty
+//     hull interval refutes the node at the set level; like A009's
+//     set-empty grade it must never drive a rewrite, because the evaluator
+//     may still represent the empty set with infeasible tuples.
+//
+//   * cardinality: an upper bound on the number of generalized tuples in
+//     the node's result REPRESENTATION, seeded from
+//     RelationStats::tuple_count / normalized_rows and composed through
+//     the algebra (join of n x m tuples yields at most n*m; a projection
+//     that drops a temporal column splits each tuple at most L^(m-1)
+//     ways, because the normalization factor prod(L_t/k_c) = L_t^j /
+//     prod(k_c) is bounded by L_t^(j-1) when j >= 1 columns have nonzero
+//     period -- the lcm divides the product).
+//
+// Soundness contract (machine-checked by the fuzz oracle's certificate
+// axis, fuzz/query_oracle.h): for every query the evaluator completes,
+// the actual result satisfies
+//     tuples  <= Certificate::rows        (when rows is bounded)
+//     every lrp period divides ::lcm      (when lcm is bounded)
+//     feasible values of temporal var v lie in ::hull[v]
+// nullopt rows/lcm mean "unbounded": the analysis could not certify a
+// bound (complements put cardinality out of reach; lcm composition can
+// overflow).  Unbounded certificates gate result-cache admission and
+// drive the A017 diagnostic; bounded-but-huge ones drive A014/A015.
+//
+// FixpointBudget is the reusable knob set for iterative consumers: the
+// ROADMAP Datalog/transitive-closure layer runs semi-naive iteration with
+// exactly these limits (widening delay for hulls, an lcm growth budget for
+// the period lattice), and IterateToFixpoint is its contract in miniature:
+// it terminates within widening_delay + 3 joins for ANY monotone step
+// function, which the widening-convergence tests pin.
+
+#ifndef ITDB_ANALYSIS_ABSINT_H_
+#define ITDB_ANALYSIS_ABSINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/dbm.h"
+#include "core/stats.h"
+#include "query/ast.h"
+#include "query/sorts.h"
+#include "storage/database.h"
+
+namespace itdb {
+namespace analysis {
+
+/// A closed interval over the temporal sort with +-Dbm::kInf sentinels.
+/// lo > hi encodes the empty interval.
+struct Interval {
+  std::int64_t lo = -Dbm::kInf;
+  std::int64_t hi = Dbm::kInf;
+
+  static Interval Top() { return Interval{}; }
+  static Interval Empty() { return Interval{Dbm::kInf, -Dbm::kInf}; }
+  static Interval Point(std::int64_t v) { return Interval{v, v}; }
+  static Interval AtMost(std::int64_t v) { return Interval{-Dbm::kInf, v}; }
+  static Interval AtLeast(std::int64_t v) { return Interval{v, Dbm::kInf}; }
+
+  bool empty() const { return lo > hi; }
+  bool top() const { return lo <= -Dbm::kInf && hi >= Dbm::kInf; }
+
+  Interval Intersect(const Interval& o) const;
+  Interval Union(const Interval& o) const;
+  /// The interval shifted by `delta`, exact over __int128 and clamped to
+  /// the +-kInf sentinels (a bound pushed past int64 is unreachable by any
+  /// int64 time point, so clamping stays sound).
+  Interval Shift(std::int64_t delta) const;
+
+  friend bool operator==(const Interval& a, const Interval& b) = default;
+};
+
+/// Formats "[lo, hi]" with inf sentinels, "empty" for empty intervals.
+std::string FormatInterval(const Interval& i);
+
+/// Budgets for iterative abstract interpretation.  The AST interpreter
+/// below is structurally recursive and needs none of them to terminate;
+/// they exist for fixpoint consumers (the planned Datalog layer) and bound
+/// every certificate the interpreter reports.
+struct FixpointBudget {
+  /// Joins tolerated before WidenInterval snaps unstable bounds to
+  /// infinity.  IterateToFixpoint converges within widening_delay + 3
+  /// iterations for monotone steps.
+  int widening_delay = 3;
+  /// Hard iteration cap for fixpoint loops (diverging non-monotone steps).
+  int max_iterations = 64;
+  /// Period-lcm growth budget: a certified lcm above this is reported as
+  /// unbounded (nullopt) rather than propagated -- the Datalog layer stops
+  /// materializing beyond it.
+  std::int64_t max_period_lcm = 1'000'000'000;
+};
+
+/// Interval widening: bounds of `next` that moved past `prev`'s jump to
+/// infinity; stable bounds keep `next`'s value.  Standard guarantee: any
+/// ascending chain stabilizes after finitely many widenings (here: one,
+/// per side).
+Interval WidenInterval(const Interval& prev, const Interval& next);
+
+struct FixpointResult {
+  Interval value;
+  int iterations = 0;
+  bool widened = false;
+  /// step(value) <= value held when the loop stopped (always true for
+  /// monotone steps; false only when max_iterations tripped first).
+  bool converged = false;
+};
+
+/// Iterates value := value UNION step(value) with widening after
+/// budget.widening_delay rounds, until the value stabilizes or
+/// budget.max_iterations is hit.  This is the loop shape the Datalog layer
+/// will run per IDB predicate and temporal attribute.
+FixpointResult IterateToFixpoint(Interval init,
+                                 const std::function<Interval(Interval)>& step,
+                                 const FixpointBudget& budget);
+
+/// A sound bound triple for one query node.  nullopt = unbounded (top).
+struct Certificate {
+  /// Upper bound on generalized tuples in the result representation.
+  std::optional<std::int64_t> rows;
+  /// Every lrp period of the result representation divides this (>= 1).
+  std::optional<std::int64_t> lcm;
+  /// Per free temporal variable: an interval containing every value the
+  /// variable takes in the denotation.  Variables absent from the map are
+  /// unconstrained.
+  std::map<std::string, Interval> hull;
+
+  bool bounded() const { return rows.has_value() && lcm.has_value(); }
+  /// Some variable's hull is empty: the denotation is provably the empty
+  /// SET (the representation may still hold infeasible tuples).
+  bool HullRefuted() const;
+};
+
+/// Compact rendering for explain/profile annotations:
+///   "cert_rows=12, cert_lcm=6"   (with "unbounded" for nullopt).
+std::string FormatCertificate(const Certificate& c);
+
+using CertificateMap = std::map<const query::Query*, Certificate>;
+
+/// Bottom-up abstract interpreter over a query tree.  One instance is tied
+/// to one Database snapshot + SortMap; Interpret() memoizes per node, and
+/// the planner registers certificates for the nodes it rebuilds so the
+/// planned tree is fully annotated.
+class AbstractInterpreter {
+ public:
+  /// `sorts` must cover every variable of the queries interpreted (the
+  /// analyzer's pass-1 output).  `stats_cache` may be null (statistics are
+  /// then computed per relation per instance).  Active-domain sizes are
+  /// seeded lazily from the first Interpret() argument unless
+  /// SeedActiveDomain was called; seed with the ORIGINAL query when
+  /// interpreting a rewritten tree, since the evaluator's data universes
+  /// are sized from the original constants.
+  AbstractInterpreter(const Database& db, query::SortMap sorts,
+                      StatsCache* stats_cache = nullptr,
+                      FixpointBudget budget = {});
+
+  AbstractInterpreter(const AbstractInterpreter&) = delete;
+  AbstractInterpreter& operator=(const AbstractInterpreter&) = delete;
+
+  /// Counts the evaluator's active domain (all data values in `db` plus
+  /// the constants of `q`), fixing the domain sizes for this instance.
+  void SeedActiveDomain(const query::Query& q);
+
+  /// Interprets the tree rooted at `q`, memoizing a Certificate for every
+  /// node, and returns the root's.
+  const Certificate& Interpret(const query::QueryPtr& q);
+
+  /// The memoized certificate of `q`, or null if never interpreted.
+  const Certificate* Find(const query::Query* q) const;
+
+  /// Attaches a certificate to a node the planner rebuilt (same semantics
+  /// as an interpreted node, new identity).
+  void Register(const query::Query* q, Certificate cert);
+
+  /// The certificate algebra for conjunction, exposed so the planner can
+  /// certify the AND nodes it builds while reordering chains.
+  Certificate Conjoin(const Certificate& l, const Certificate& r) const;
+
+  const CertificateMap& certificates() const { return certs_; }
+  const FixpointBudget& budget() const { return budget_; }
+
+  /// Active-domain size for a data sort (0 before seeding).
+  std::int64_t domain_size(query::Sort sort) const;
+
+ private:
+  Certificate Node(const query::Query& q);
+  Certificate AtomCert(const query::Query& q);
+  Certificate CmpCert(const query::Query& q);
+  Certificate DisjoinCert(const query::Query& q, const Certificate& l,
+                          const Certificate& r) const;
+  Certificate ComplementCert(const query::Query& q,
+                             const Certificate& child) const;
+  Certificate ExistsCert(const query::Query& q,
+                         const Certificate& child) const;
+  /// nullopt when the lcm exceeds budget_.max_period_lcm (treated as top).
+  std::optional<std::int64_t> CapLcm(std::optional<std::int64_t> l) const;
+  RelationStats StatsFor(const std::string& name,
+                         const GeneralizedRelation& rel) const;
+  bool IsTemporal(const std::string& var) const;
+  /// Product of active-domain sizes of the data variables in `vars` that
+  /// are missing from `present`; nullopt on overflow or unknown sort.
+  std::optional<std::int64_t> MissingDataFactor(
+      const std::vector<std::string>& vars,
+      const std::vector<std::string>& present) const;
+
+  const Database& db_;
+  query::SortMap sorts_;
+  StatsCache* stats_cache_;
+  FixpointBudget budget_;
+  bool domain_seeded_ = false;
+  std::int64_t adom_strings_ = 0;
+  std::int64_t adom_ints_ = 0;
+  CertificateMap certs_;
+};
+
+}  // namespace analysis
+}  // namespace itdb
+
+#endif  // ITDB_ANALYSIS_ABSINT_H_

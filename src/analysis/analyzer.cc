@@ -177,6 +177,45 @@ void ReportEmpty(const Query& q, const std::set<const Query*>& empty,
   }
 }
 
+/// Emits A016 at each maximal hull-refuted node the emptiness prover did
+/// not already cover with A009.  Like A009's set-empty grade, a hull
+/// refutation proves the denotation empty but says nothing about the
+/// representation, so it never drives a rewrite.
+void ReportHullRefuted(const Query& q, const CertificateMap& certs,
+                       const std::set<const Query*>& proven_empty,
+                       std::vector<Diagnostic>* out) {
+  if (proven_empty.contains(&q)) return;  // A009 reported here already.
+  auto it = certs.find(&q);
+  if (it != certs.end() && it->second.HullRefuted()) {
+    std::string vars;
+    for (const auto& [var, interval] : it->second.hull) {
+      if (!interval.empty()) continue;
+      if (!vars.empty()) vars += ", ";
+      vars += "\"" + var + "\"";
+    }
+    Report(out, Severity::kWarning, diag::kHullRefuted, q.span(),
+           "interval analysis refutes this subquery: the certified hull of " +
+               vars + " is empty (set-level proof; the representation may "
+                      "still hold infeasible tuples)");
+    return;
+  }
+  switch (q.kind()) {
+    case Query::Kind::kAtom:
+    case Query::Kind::kCmp:
+      return;
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr:
+      ReportHullRefuted(*q.left(), certs, proven_empty, out);
+      ReportHullRefuted(*q.right(), certs, proven_empty, out);
+      return;
+    case Query::Kind::kNot:
+    case Query::Kind::kExists:
+    case Query::Kind::kForall:
+      ReportHullRefuted(*q.left(), certs, proven_empty, out);
+      return;
+  }
+}
+
 }  // namespace
 
 AnalysisResult Analyze(const Database& db, const QueryPtr& q,
@@ -217,6 +256,51 @@ AnalysisResult Analyze(const Database& db, const QueryPtr& q,
       cost.period_blowup_threshold = options.period_blowup_threshold;
       cost.complement_width_threshold = options.complement_width_threshold;
       CostDiagnostics(db, *q, result.sorts, cost, &result.diagnostics);
+    }
+    if (options.check_certificates) {
+      // Pass 5: abstract interpretation.  Certified counterparts of the
+      // cost heuristics (A014/A015), hull refutations the emptiness prover
+      // cannot see (A016), and uncertifiable queries (A017).
+      AbstractInterpreter interp(db, result.sorts, options.stats_cache,
+                                 options.budget);
+      const Certificate& root = interp.Interpret(q);
+      result.root_certificate = root;
+      ReportHullRefuted(*q, interp.certificates(), result.proven_empty,
+                        &result.diagnostics);
+      if (root.rows.has_value() &&
+          *root.rows > options.certified_rows_threshold) {
+        Report(&result.diagnostics, Severity::kWarning,
+               diag::kCertifiedHugeCardinality, q->span(),
+               "certified result size is huge: up to " +
+                   std::to_string(*root.rows) +
+                   " generalized tuples (threshold " +
+                   std::to_string(options.certified_rows_threshold) + ")");
+      }
+      if (root.lcm.has_value() &&
+          *root.lcm > options.period_blowup_threshold) {
+        Report(&result.diagnostics, Severity::kWarning,
+               diag::kCertifiedPeriodBlowup, q->span(),
+               "certified period lcm " + std::to_string(*root.lcm) +
+                   " exceeds the blowup threshold " +
+                   std::to_string(options.period_blowup_threshold),
+               "normalization may split each tuple up to the lcm; narrow "
+               "the periodic relations involved");
+      }
+      if (!root.bounded()) {
+        Report(&result.diagnostics, Severity::kNote,
+               diag::kUnboundedCertificate, q->span(),
+               "no finite certificate: the result's " +
+                   std::string(!root.rows.has_value() ? "cardinality"
+                                                      : "period structure") +
+                   " cannot be bounded statically" +
+                   std::string(!root.rows.has_value() && !root.lcm.has_value()
+                                   ? " (nor its period structure)"
+                                   : ""));
+      }
+      result.certificates = interp.certificates();
+      obs::AddGlobalCounter(
+          "analysis.certificates",
+          static_cast<std::int64_t>(result.certificates.size()));
     }
   }
 

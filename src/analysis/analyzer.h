@@ -42,6 +42,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "obs/trace.h"
 #include "query/ast.h"
 #include "query/sorts.h"
@@ -55,12 +56,23 @@ struct AnalyzeOptions {
   bool check_safety = true;
   bool check_emptiness = true;
   bool check_cost = true;
+  /// Pass 5: abstract interpretation (absint.h).  Fills
+  /// AnalysisResult::certificates and reports A014-A017.
+  bool check_certificates = true;
   /// A012 fires when the lcm of the periods reachable from the root
-  /// exceeds this.
+  /// exceeds this.  A015 is its certified counterpart: it fires when the
+  /// CERTIFIED root lcm exceeds the same threshold.
   std::int64_t period_blowup_threshold = 720;
   /// A010 fires for complements (NOT / FORALL) whose operand has at least
   /// this many free temporal variables.
   int complement_width_threshold = 2;
+  /// A014 fires when the certified root cardinality exceeds this.
+  std::int64_t certified_rows_threshold = 1'000'000;
+  /// Budgets for the certificate pass (widening + lcm growth).
+  FixpointBudget budget;
+  /// Statistics cache for the certificate pass; null computes stats per
+  /// relation on the fly.  Not owned.
+  StatsCache* stats_cache = nullptr;
   /// Span destination for the "analysis" category; null falls back to the
   /// process-global tracer.  Not owned.
   obs::Tracer* tracer = nullptr;
@@ -80,6 +92,11 @@ struct AnalysisResult {
   std::set<const query::Query*> proven_bit_empty;
   bool root_proven_empty = false;
   bool root_proven_bit_empty = false;
+  /// Pass-5 certificates for every node of `root`'s tree (empty when
+  /// check_certificates was off or pass 1 found errors).
+  CertificateMap certificates;
+  /// The root node's certificate (top when the pass did not run).
+  Certificate root_certificate;
 
   bool HasErrors() const { return itdb::HasErrors(diagnostics); }
   int errors() const { return CountSeverity(diagnostics, Severity::kError); }

@@ -25,8 +25,61 @@ RelationStats ComputeRelationStats(const GeneralizedRelation& r) {
   std::int64_t lcm = 1;
   bool lcm_overflow = false;
   bool any_feasible = false;
+  std::int64_t lcm_rep = 1;
+  bool lcm_rep_overflow = false;
+  std::int64_t normalized = 0;
+  bool normalized_overflow = false;
 
   for (const GeneralizedTuple& t : r.tuples()) {
+    // Representation-level aggregates run over every tuple, feasible or
+    // not: Complement and Project consume the representation as stored.
+    std::int64_t tuple_lcm = 1;
+    bool tuple_lcm_overflow = false;
+    for (const Lrp& lrp : t.temporal()) {
+      if (lrp.period() <= 0) continue;
+      Result<std::int64_t> next = Lcm(tuple_lcm, lrp.period());
+      if (next.ok()) {
+        tuple_lcm = next.value();
+      } else {
+        tuple_lcm_overflow = true;
+        break;
+      }
+    }
+    if (tuple_lcm_overflow) {
+      lcm_rep_overflow = true;
+      normalized_overflow = true;
+    } else {
+      if (!lcm_rep_overflow) {
+        Result<std::int64_t> next = Lcm(lcm_rep, tuple_lcm);
+        if (next.ok()) {
+          lcm_rep = next.value();
+        } else {
+          lcm_rep_overflow = true;
+        }
+      }
+      if (!normalized_overflow) {
+        std::int64_t split = 1;
+        for (const Lrp& lrp : t.temporal()) {
+          if (lrp.period() <= 0) continue;
+          Result<std::int64_t> grown =
+              CheckedMul(split, tuple_lcm / lrp.period());
+          if (grown.ok()) {
+            split = grown.value();
+          } else {
+            normalized_overflow = true;
+            break;
+          }
+        }
+        if (!normalized_overflow) {
+          Result<std::int64_t> sum = CheckedAdd(normalized, split);
+          if (sum.ok()) {
+            normalized = sum.value();
+          } else {
+            normalized_overflow = true;
+          }
+        }
+      }
+    }
     // One closure per tuple classifies feasibility and yields per-column
     // bounds; a failed closure (overflow) counts as potentially nonempty
     // and unbounded -- stats must stay conservative.
@@ -74,6 +127,8 @@ RelationStats ComputeRelationStats(const GeneralizedRelation& r) {
   } else {
     out.period_lcm = lcm;
   }
+  if (!lcm_rep_overflow) out.period_lcm_rep = lcm_rep;
+  if (!normalized_overflow) out.normalized_rows = normalized;
   out.bit_empty = !any_feasible;
   if (out.bit_empty) {
     out.hull_lo.clear();
@@ -115,6 +170,16 @@ std::string FormatRelationStats(const std::string& name,
   out << name << ".period_lcm "
       << (stats.period_lcm.has_value() ? std::to_string(*stats.period_lcm)
                                        : std::string("overflow"))
+      << "\n";
+  out << name << ".period_lcm_rep "
+      << (stats.period_lcm_rep.has_value()
+              ? std::to_string(*stats.period_lcm_rep)
+              : std::string("overflow"))
+      << "\n";
+  out << name << ".normalized_rows "
+      << (stats.normalized_rows.has_value()
+              ? std::to_string(*stats.normalized_rows)
+              : std::string("overflow"))
       << "\n";
   for (std::size_t i = 0; i < stats.hull_lo.size(); ++i) {
     out << name << ".hull[" << i << "] [" << FormatBound(stats.hull_lo[i])

@@ -44,6 +44,19 @@ struct RelationStats {
   /// singleton; nullopt when the lcm overflows int64 ("huge": any plan that
   /// normalizes this relation to a common period should be deferred).
   std::optional<std::int64_t> period_lcm;
+  /// Like period_lcm but over EVERY representation tuple, infeasible ones
+  /// included.  Complement picks its uniform period from the whole
+  /// representation (CommonPeriod ignores feasibility), so certificates
+  /// about period structure (analysis/absint.h) must start from this field,
+  /// not from the feasible-only estimate above.
+  std::optional<std::int64_t> period_lcm_rep;
+  /// Certified upper bound on the tuple count after FULL normalization to
+  /// each tuple's common period: sum over all tuples of
+  /// prod_{columns with period k>0} (L_t / k), where L_t is the lcm of the
+  /// tuple's nonzero periods.  This bounds the splitting any Project over
+  /// this relation can perform (partial normalization splits no more).
+  /// nullopt when the sum or a factor overflows int64.
+  std::optional<std::int64_t> normalized_rows;
   /// Inclusive bounding interval per temporal column, folding each tuple's
   /// DBM hull with its singleton lrps; Dbm::kInf / -Dbm::kInf = unbounded.
   /// Empty (alongside hull_hi) when the relation has no tuples.

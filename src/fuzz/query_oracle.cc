@@ -6,7 +6,10 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "analysis/analyzer.h"
+#include "core/index.h"
 #include "core/simplify.h"
 #include "fuzz/generator.h"
 #include "fuzz/query_gen.h"
@@ -45,6 +48,7 @@ struct Variant {
   bool analyze;
   bool parallel;
   bool cost_plan;
+  bool certified_bounds = true;
 };
 
 constexpr Variant kVariants[] = {
@@ -53,14 +57,19 @@ constexpr Variant kVariants[] = {
     {"analyze=on threads=N cost_plan=off", true, true, false},
     {"analyze=off threads=1 cost_plan=on", false, false, true},
     {"analyze=on threads=N cost_plan=on", true, true, true},
+    // Certificate-clamped planning off vs the default-on variants above:
+    // clamping may only change join ORDER, never the representation.
+    {"analyze=on threads=1 cost_plan=on certified_bounds=off", true, false,
+     true, false},
 };
 
 QueryOptions MakeOptions(bool analyze, bool parallel, bool cost_plan,
-                         int threads) {
+                         int threads, bool certified_bounds = true) {
   QueryOptions options;
   options.analyze = analyze;
   options.algebra.threads = parallel ? threads : 1;
   options.cost_plan = cost_plan;
+  options.certified_bounds = certified_bounds;
   return options;
 }
 
@@ -105,7 +114,8 @@ QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
   for (const Variant& v : kVariants) {
     Result<GeneralizedRelation> got = EvalQuery(
         db, q,
-        MakeOptions(v.analyze, v.parallel, v.cost_plan, options.threads));
+        MakeOptions(v.analyze, v.parallel, v.cost_plan, options.threads,
+                    v.certified_bounds));
     ++outcome.variants_checked;
     // Planned and written join orders can exhaust resource budgets
     // differently (the documented exception in query/planner.h): a budget
@@ -153,7 +163,7 @@ QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
 
   // --- Oracle 2: proven-empty subplans must evaluate to empty. ---
   analysis::AnalysisResult analyzed = analysis::Analyze(db, q);
-  if (analyzed.HasErrors() || analyzed.proven_empty.empty()) return outcome;
+  if (analyzed.HasErrors()) return outcome;
   std::vector<QueryPtr> empties;
   CollectProvenEmpty(q, analyzed.proven_empty, &empties);
   for (const QueryPtr& node : empties) {
@@ -187,7 +197,132 @@ QueryCaseOutcome CheckQueryCase(const Database& db, const QueryPtr& q,
       return outcome;
     }
   }
+
+  // --- Oracle 3: the root certificate bounds the plain evaluation. ---
+  // The certificate was computed for the analyzed tree, so the check
+  // evaluates exactly that tree: analyze / optimize / cost_plan all off.
+  const analysis::Certificate& cert = analyzed.root_certificate;
+  if (cert.rows.has_value() || cert.lcm.has_value() || !cert.hull.empty()) {
+    QueryOptions plain = MakeOptions(/*analyze=*/false, /*parallel=*/false,
+                                     /*cost_plan=*/false, options.threads);
+    plain.optimize = false;
+    Result<GeneralizedRelation> got = EvalQuery(db, q, plain);
+    if (got.ok()) {
+      ++outcome.certificates_checked;
+      if (cert.rows.has_value() &&
+          static_cast<std::int64_t>(got->size()) > *cert.rows) {
+        std::ostringstream os;
+        os << "cardinality certificate violated: result has " << got->size()
+           << " tuple(s), certified <= " << *cert.rows;
+        outcome.failure = os.str();
+        return outcome;
+      }
+      if (cert.lcm.has_value()) {
+        for (const GeneralizedTuple& t : got->tuples()) {
+          for (const Lrp& lrp : t.temporal()) {
+            if (lrp.period() > 0 && *cert.lcm % lrp.period() != 0) {
+              std::ostringstream os;
+              os << "period certificate violated: lrp period "
+                 << lrp.period() << " does not divide certified lcm "
+                 << *cert.lcm;
+              outcome.failure = os.str();
+              return outcome;
+            }
+          }
+        }
+      }
+      if (!cert.hull.empty()) {
+        // The feasible per-column hull of the result must lie inside every
+        // certified interval (an empty certified interval means the result
+        // must have no feasible tuples at all).  Aggregated per tuple:
+        // infeasible tuples denote {}, and so does any tuple whose
+        // singleton lrp falls outside its own DBM bounds on some column --
+        // neither contributes feasible values.
+        const std::vector<std::string>& names =
+            got->schema().temporal_names();
+        const std::size_t m = names.size();
+        std::vector<std::int64_t> lo(m, Dbm::kInf);
+        std::vector<std::int64_t> hi(m, -Dbm::kInf);
+        bool any_feasible = false;
+        for (const GeneralizedTuple& t : got->tuples()) {
+          TemporalHull h = TemporalHull::Of(t);
+          if (h.infeasible) continue;
+          std::vector<std::int64_t> tlo(m), thi(m);
+          bool tuple_empty = false;
+          for (std::size_t i = 0; i < m; ++i) {
+            std::int64_t l = h.usable() ? h.lo[i] : -Dbm::kInf;
+            std::int64_t r = h.usable() ? h.hi[i] : Dbm::kInf;
+            const Lrp& lrp = t.lrp(static_cast<int>(i));
+            if (lrp.period() == 0) {
+              l = std::max(l, lrp.offset());
+              r = std::min(r, lrp.offset());
+            }
+            if (l > r) {
+              tuple_empty = true;
+              break;
+            }
+            tlo[i] = l;
+            thi[i] = r;
+          }
+          if (tuple_empty) continue;
+          any_feasible = true;
+          for (std::size_t i = 0; i < m; ++i) {
+            lo[i] = std::min(lo[i], tlo[i]);
+            hi[i] = std::max(hi[i], thi[i]);
+          }
+        }
+        if (any_feasible) {
+          for (std::size_t i = 0; i < m; ++i) {
+            auto it = cert.hull.find(names[i]);
+            if (it == cert.hull.end()) continue;
+            if (lo[i] < it->second.lo || hi[i] > it->second.hi) {
+              std::ostringstream os;
+              os << "hull certificate violated: column \"" << names[i]
+                 << "\" spans [" << lo[i] << ", " << hi[i]
+                 << "], certified "
+                 << analysis::FormatInterval(it->second);
+              outcome.failure = os.str();
+              return outcome;
+            }
+          }
+        }
+      }
+    }
+  }
   return outcome;
+}
+
+QueryPtr ShrinkFailingQuery(const Database& db, QueryPtr q,
+                            const QueryOracleOptions& options) {
+  // Bounded descent: each round tries the direct subtrees in order and
+  // recurses into the first that still fails.  The bound only guards
+  // against pathological depth; real queries shrink in a handful of steps.
+  for (int round = 0; round < 64; ++round) {
+    std::vector<QueryPtr> children;
+    switch (q->kind()) {
+      case Query::Kind::kAnd:
+      case Query::Kind::kOr:
+        children = {q->left(), q->right()};
+        break;
+      case Query::Kind::kNot:
+      case Query::Kind::kExists:
+      case Query::Kind::kForall:
+        children = {q->left()};
+        break;
+      default:
+        return q;
+    }
+    QueryPtr next;
+    for (const QueryPtr& child : children) {
+      if (CheckQueryCase(db, child, options).failure.has_value()) {
+        next = child;
+        break;
+      }
+    }
+    if (next == nullptr) return q;
+    q = std::move(next);
+  }
+  return q;
 }
 
 std::string QueryFuzzReport::Summary() const {
@@ -195,7 +330,8 @@ std::string QueryFuzzReport::Summary() const {
   os << "query fuzz: " << cases << " case(s), " << skipped << " skipped, "
      << variants_checked << " variant check(s), " << empties_checked
      << " emptiness check(s) (" << empties_skipped << " skipped), "
-     << failures.size() << " failure(s)";
+     << certificates_checked << " certificate check(s), " << failures.size()
+     << " failure(s)";
   return os.str();
 }
 
@@ -215,9 +351,19 @@ QueryFuzzReport RunQueryFuzz(const QueryFuzzConfig& config) {
     report.variants_checked += outcome.variants_checked;
     report.empties_checked += outcome.empties_checked;
     report.empties_skipped += outcome.empties_skipped;
+    report.certificates_checked += outcome.certificates_checked;
     if (outcome.failure.has_value()) {
-      report.failures.push_back(
-          {case_seed, *outcome.failure, q->ToString()});
+      QueryFuzzFailure f;
+      f.case_seed = case_seed;
+      f.description = *outcome.failure;
+      f.query = q->ToString();
+      QueryPtr shrunk = ShrinkFailingQuery(db, q, config.oracle);
+      f.shrunk_query = shrunk->ToString();
+      QueryCaseOutcome small = CheckQueryCase(db, shrunk, config.oracle);
+      f.shrunk_description =
+          small.failure.has_value() ? *small.failure : *outcome.failure;
+      f.database = db.ToText();
+      report.failures.push_back(std::move(f));
       if (static_cast<int>(report.failures.size()) >= config.max_failures) {
         break;
       }

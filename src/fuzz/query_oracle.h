@@ -1,21 +1,32 @@
 // Soundness oracles for the static analyzer (analysis/analyzer.h), driven
 // by random queries from query_gen.h.
 //
-// Two properties, checked per case:
+// Three properties, checked per case:
 //   * Bit-identity: evaluating with analysis on must give the SAME
 //     representation (schema plus tuple sequence) as evaluating with it
-//     off, at one thread and at N threads -- a 2x2 matrix against the
-//     (analyze=off, threads=1) baseline.  When the baseline fails, every
-//     variant must fail with the same status code (the analyzer may turn
-//     an eval-time type error into an analysis error, but both surface as
+//     off, at one thread and at N threads -- a matrix against the
+//     (analyze=off, threads=1) baseline that also covers cost_plan and
+//     certified_bounds (certificate-clamped planning must not change the
+//     representation either).  When the baseline fails, every variant must
+//     fail with the same status code (the analyzer may turn an eval-time
+//     type error into an analysis error, but both surface as
 //     kInvalidArgument / kNotFound consistently).
 //   * Proven-empty => actually empty: every subplan the analyzer marks
 //     proven-empty is evaluated standalone (analysis off) and must have an
 //     empty extension.  Quantified variables of enclosing scopes become
 //     free variables of the subplan; emptiness is preserved either way.
+//   * Certificate soundness (the analysis/absint.h contract): the query is
+//     evaluated PLAIN (analyze / optimize / cost_plan all off, so the
+//     evaluated tree is exactly the analyzed one) and the result must
+//     respect the root certificate -- tuple count <= cert rows, every lrp
+//     period divides cert lcm, and the feasible hull of every temporal
+//     column lies inside the certified hull interval.
 //
 // Cases whose baseline fails with kOverflow / kResourceExhausted are
 // budget-skips, mirroring the algebra fuzzer's convention (oracle.h).
+// Failing cases are shrunk greedily to the smallest failing subtree before
+// reporting, and each failure carries the database text so the repro is
+// self-contained (tools/itdb_fuzz.cc writes it to a file).
 
 #ifndef ITDB_FUZZ_QUERY_ORACLE_H_
 #define ITDB_FUZZ_QUERY_ORACLE_H_
@@ -47,13 +58,23 @@ struct QueryCaseOutcome {
   int variants_checked = 0;    // Matrix variants compared to the baseline.
   int empties_checked = 0;     // Proven-empty subplans evaluated standalone.
   int empties_skipped = 0;     // Standalone evaluation failed (e.g. sorts).
+  int certificates_checked = 0;  // Root certificates verified against plain
+                                 // evaluation (0 when it failed or the
+                                 // certificate was fully unbounded).
   /// Unset = the case passed.
   std::optional<std::string> failure;
 };
 
-/// Runs both oracles on one (database, query) pair.
+/// Runs all three oracles on one (database, query) pair.
 QueryCaseOutcome CheckQueryCase(const Database& db, const query::QueryPtr& q,
                                 const QueryOracleOptions& options = {});
+
+/// Greedy structural shrink of a failing case: repeatedly descends into the
+/// first direct subtree that still fails CheckQueryCase, so the reported
+/// repro is the smallest failing subquery on that path.  Returns `q` itself
+/// when no subtree reproduces the failure.
+query::QueryPtr ShrinkFailingQuery(const Database& db, query::QueryPtr q,
+                                   const QueryOracleOptions& options = {});
 
 struct QueryFuzzConfig {
   std::uint64_t seed = 1;
@@ -67,7 +88,10 @@ struct QueryFuzzConfig {
 struct QueryFuzzFailure {
   std::uint64_t case_seed = 0;
   std::string description;
-  std::string query;  // Query::ToString of the failing case.
+  std::string query;         // Query::ToString of the failing case.
+  std::string shrunk_query;  // Smallest failing subtree (greedy shrink).
+  std::string shrunk_description;  // The shrunk case's failure.
+  std::string database;      // Database::ToText: the repro is standalone.
 };
 
 struct QueryFuzzReport {
@@ -76,6 +100,7 @@ struct QueryFuzzReport {
   std::int64_t variants_checked = 0;
   std::int64_t empties_checked = 0;
   std::int64_t empties_skipped = 0;
+  std::int64_t certificates_checked = 0;
   std::vector<QueryFuzzFailure> failures;
 
   bool ok() const { return failures.empty(); }

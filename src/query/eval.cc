@@ -176,6 +176,10 @@ struct Evaluator {
   /// Planner estimates for the tree being evaluated (keyed by node
   /// address); null or missing nodes simply omit the est_* span args.
   const PlanEstimateMap* estimates = nullptr;
+  /// Certified bounds for the tree being evaluated (analysis/absint.h);
+  /// null or missing nodes omit the cert_* span args, and unbounded
+  /// components omit their arg (absence = unbounded).
+  const analysis::CertificateMap* certificates = nullptr;
 
   Result<GeneralizedRelation> Eval(const Query& q) const;
 
@@ -607,6 +611,19 @@ Result<GeneralizedRelation> Evaluator::Eval(const Query& q) const {
                                   std::min(it->second.cost, 1e18))));
     }
   }
+  // Certified bounds next to the heuristics: `profile` shows the sound
+  // ceiling alongside the guess and the actual.
+  if (certificates != nullptr) {
+    auto it = certificates->find(&q);
+    if (it != certificates->end()) {
+      if (it->second.rows.has_value()) {
+        span.AddArg("cert_rows", *it->second.rows);
+      }
+      if (it->second.lcm.has_value()) {
+        span.AddArg("cert_lcm", *it->second.lcm);
+      }
+    }
+  }
   span.AddArg("pairs_candidate", after.pairs_candidate - before.pairs_candidate);
   span.AddArg("pairs_pruned_residue",
               after.pairs_pruned_residue - before.pairs_pruned_residue);
@@ -768,10 +785,27 @@ Result<GeneralizedRelation> EvalQueryImpl(
   // Planning preserves variable sets, so the sort inference above stays
   // valid for the planned tree.
   PlanEstimateMap estimates;
+  analysis::CertificateMap certificates;
   if (options.cost_plan) {
-    PlannedQuery planned = PlanQuery(db, target, sorts, options.stats_cache);
+    // Certified bounds: interpret the tree being planned so the planner can
+    // clamp its heuristics (planner.h).  The active domain is seeded from
+    // the ORIGINAL query for the same reason ComputeActiveDomain below uses
+    // it: rewrites may drop constants, but the evaluator's data universes
+    // are sized from the original.
+    std::optional<analysis::AbstractInterpreter> interp;
+    if (options.certified_bounds) {
+      interp.emplace(db, sorts, options.stats_cache, options.analysis.budget);
+      interp->SeedActiveDomain(*q);
+      interp->Interpret(target);
+    }
+    PlannedQuery planned =
+        PlanQuery(db, target, sorts, options.stats_cache,
+                  interp.has_value() ? &*interp : nullptr);
     target = std::move(planned.query);
     estimates = std::move(planned.estimates);
+    // Copy AFTER planning: the planner registers certificates for the AND
+    // nodes it rebuilds, so the planned tree is fully annotated.
+    if (interp.has_value()) certificates = interp->certificates();
     obs::AddGlobalCounter("query.cost_plans", 1);
   }
   // The active domain always comes from the ORIGINAL query: constants in an
@@ -806,7 +840,8 @@ Result<GeneralizedRelation> EvalQueryImpl(
   if (tracer != nullptr) algebra.tracer = tracer;
   Evaluator evaluator{db,     sorts,  adom,
                       algebra, options.prune_intermediates,
-                      tracer, options.cost_plan ? &estimates : nullptr};
+                      tracer, options.cost_plan ? &estimates : nullptr,
+                      certificates.empty() ? nullptr : &certificates};
   Result<GeneralizedRelation> result = [&]() {
     // Root span over the whole evaluation; scoped so it is committed (and
     // visible to BuildProfile) before the profile is folded.

@@ -65,6 +65,16 @@ struct QueryOptions {
   /// database's catalog version (core/stats.h).  Not owned; null recomputes
   /// statistics on every planned query.
   StatsCache* stats_cache = nullptr;
+  /// Feed certified bounds (analysis/absint.h) into the cost planner: the
+  /// abstract interpreter runs over the tree being planned and its
+  /// certificates CLAMP the planner's heuristic row estimates (a certified
+  /// cardinality caps the guess; a hull-refuted conjunct sorts first as
+  /// provably set-empty).  Certificates also annotate plan spans
+  /// (cert_rows / cert_lcm args next to est_rows / est_cost).  Ordering and
+  /// observability only -- results stay bit-identical with this on or off,
+  /// at every thread count (the certified_bounds axis of the fuzz
+  /// determinism matrix pins it).  No effect unless `cost_plan` is set.
+  bool certified_bounds = true;
   /// Sweep intermediate results of kAnd / kOr / kNot nodes with the cheap
   /// subsumption pass (SimplifyRelation): drops duplicate, subsumed, and
   /// relaxation-infeasible tuples so composed plans don't snowball tuple

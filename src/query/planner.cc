@@ -93,10 +93,21 @@ ConjunctInfo JoinInfo(const ConjunctInfo& a, const ConjunctInfo& b) {
   return out;
 }
 
+/// Clamps a heuristic estimate to a certified bound (planner.h): the
+/// certificate caps rows, and a set-level hull refutation zeroes them.
+/// Ordering-only -- cost is left alone so chains still price their work.
+void ClampToCert(const analysis::Certificate& cert, PlanEstimate* est) {
+  if (cert.rows.has_value()) {
+    est->rows = std::min(est->rows, static_cast<double>(*cert.rows));
+  }
+  if (cert.HullRefuted()) est->rows = 0.0;
+}
+
 class Planner {
  public:
-  Planner(const Database& db, const SortMap& sorts, StatsCache* cache)
-      : db_(db), sorts_(sorts), cache_(cache) {}
+  Planner(const Database& db, const SortMap& sorts, StatsCache* cache,
+          analysis::AbstractInterpreter* absint)
+      : db_(db), sorts_(sorts), cache_(cache), absint_(absint) {}
 
   ConjunctInfo PlanNode(const QueryPtr& q);
 
@@ -106,6 +117,35 @@ class Planner {
   ConjunctInfo PlanAtom(const QueryPtr& q);
   ConjunctInfo PlanCmp(const QueryPtr& q);
   ConjunctInfo PlanChain(const QueryPtr& q);
+
+  /// JoinInfo with the estimate clamped to the conjoined certificate of the
+  /// operands (when both are certified).  Used for every candidate pair the
+  /// greedy search prices, so certified bounds steer the ORDER, not just
+  /// the printed annotations.
+  ConjunctInfo Join(const ConjunctInfo& a, const ConjunctInfo& b) const {
+    ConjunctInfo out = JoinInfo(a, b);
+    if (absint_ != nullptr) {
+      const analysis::Certificate* ca = absint_->Find(a.q.get());
+      const analysis::Certificate* cb = absint_->Find(b.q.get());
+      if (ca != nullptr && cb != nullptr) {
+        ClampToCert(absint_->Conjoin(*ca, *cb), &out.est);
+      }
+    }
+    return out;
+  }
+
+  /// For nodes PlanNode rebuilt (replanned children give the wrapper a new
+  /// identity): carries the original node's certificate over, then clamps
+  /// the estimate.  No-op without an interpreter.
+  void Certify(const Query* original, ConjunctInfo* info) const {
+    if (absint_ == nullptr) return;
+    if (info->q.get() != original) {
+      const analysis::Certificate* c = absint_->Find(original);
+      if (c != nullptr) absint_->Register(info->q.get(), *c);
+    }
+    const analysis::Certificate* c = absint_->Find(info->q.get());
+    if (c != nullptr) ClampToCert(*c, &info->est);
+  }
 
   RelationStats StatsFor(const std::string& name,
                          const GeneralizedRelation& rel) {
@@ -120,6 +160,7 @@ class Planner {
   const Database& db_;
   const SortMap& sorts_;
   StatsCache* cache_;
+  analysis::AbstractInterpreter* absint_;
   PlanEstimateMap estimates_;
 };
 
@@ -261,7 +302,7 @@ ConjunctInfo Planner::PlanChain(const QueryPtr& q) {
       const ConjunctInfo& a = infos[i];
       const ConjunctInfo& b = infos[j];
       const bool cross = !SharesVariable(a, b);
-      ConjunctInfo joined = JoinInfo(a, b);
+      ConjunctInfo joined = Join(a, b);
       if (!have_best ||
           better(cross, joined.est, i * remaining.size() + j, best_cross,
                  best_joined.est, best_a * remaining.size() + best_b)) {
@@ -288,9 +329,19 @@ ConjunctInfo Planner::PlanChain(const QueryPtr& q) {
   }
   std::size_t next = best_b;
   while (true) {
-    ConjunctInfo joined = JoinInfo(current, infos[next]);
+    ConjunctInfo joined = Join(current, infos[next]);
+    QueryPtr prev = planned;
     planned = Query::And(planned, infos[next].q);
     joined.q = planned;
+    if (absint_ != nullptr) {
+      // Certify the freshly built AND: certificates key on node identity,
+      // and this node did not exist when the tree was interpreted.
+      const analysis::Certificate* cl = absint_->Find(prev.get());
+      const analysis::Certificate* cr = absint_->Find(infos[next].q.get());
+      if (cl != nullptr && cr != nullptr) {
+        absint_->Register(planned.get(), absint_->Conjoin(*cl, *cr));
+      }
+    }
     Record(joined);
     current = std::move(joined);
     if (pending.empty()) break;
@@ -301,7 +352,7 @@ ConjunctInfo Planner::PlanChain(const QueryPtr& q) {
     for (std::size_t k = 0; k < pending.size(); ++k) {
       const ConjunctInfo& cand = infos[pending[k]];
       const bool cross = !SharesVariable(current, cand);
-      ConjunctInfo j = JoinInfo(current, cand);
+      ConjunctInfo j = Join(current, cand);
       if (!have || better(cross, j.est, cand.index, choice_cross,
                           choice_joined.est, infos[pending[choice]].index)) {
         have = true;
@@ -320,11 +371,13 @@ ConjunctInfo Planner::PlanNode(const QueryPtr& q) {
   switch (q->kind()) {
     case Query::Kind::kAtom: {
       ConjunctInfo info = PlanAtom(q);
+      Certify(q.get(), &info);
       Record(info);
       return info;
     }
     case Query::Kind::kCmp: {
       ConjunctInfo info = PlanCmp(q);
+      Certify(q.get(), &info);
       Record(info);
       return info;
     }
@@ -345,6 +398,7 @@ ConjunctInfo Planner::PlanNode(const QueryPtr& q) {
         auto [it, inserted] = info.ndv.emplace(var, ndv);
         if (!inserted) it->second = ClampRows(it->second + ndv);
       }
+      Certify(q.get(), &info);
       Record(info);
       return info;
     }
@@ -359,6 +413,7 @@ ConjunctInfo Planner::PlanNode(const QueryPtr& q) {
       for (const std::string& v : q->FreeVariables()) {
         info.ndv[v] = std::max(info.est.rows, 1.0);
       }
+      Certify(q.get(), &info);
       Record(info);
       return info;
     }
@@ -372,6 +427,7 @@ ConjunctInfo Planner::PlanNode(const QueryPtr& q) {
       info.est.cost = child.est.cost + child.est.rows;
       info.ndv = std::move(child.ndv);
       info.ndv.erase(q->quantified_var());
+      Certify(q.get(), &info);
       Record(info);
       return info;
     }
@@ -390,6 +446,7 @@ ConjunctInfo Planner::PlanNode(const QueryPtr& q) {
       for (const std::string& v : q->FreeVariables()) {
         info.ndv[v] = std::max(info.est.rows, 1.0);
       }
+      Certify(q.get(), &info);
       Record(info);
       return info;
     }
@@ -403,8 +460,9 @@ ConjunctInfo Planner::PlanNode(const QueryPtr& q) {
 }  // namespace
 
 PlannedQuery PlanQuery(const Database& db, const QueryPtr& q,
-                       const SortMap& sorts, StatsCache* stats_cache) {
-  Planner planner(db, sorts, stats_cache);
+                       const SortMap& sorts, StatsCache* stats_cache,
+                       analysis::AbstractInterpreter* absint) {
+  Planner planner(db, sorts, stats_cache, absint);
   ConjunctInfo root = planner.PlanNode(q);
   PlannedQuery out;
   out.query = std::move(root.q);
@@ -412,21 +470,32 @@ PlannedQuery PlanQuery(const Database& db, const QueryPtr& q,
   return out;
 }
 
-std::string FormatQueryPlanWithEstimates(const QueryPtr& q,
-                                         const PlanEstimateMap& estimates) {
+std::string FormatQueryPlanWithEstimates(
+    const QueryPtr& q, const PlanEstimateMap& estimates,
+    const analysis::CertificateMap* certificates) {
   std::string out;
   auto walk = [&](auto&& self, const Query& node, int depth) -> void {
     out.append(static_cast<std::size_t>(2 * depth), ' ');
     out += PlanNodeLabel(node);
     auto it = estimates.find(&node);
-    if (it != estimates.end()) {
-      out += "  (est_rows=" +
-             std::to_string(static_cast<std::int64_t>(
-                 std::llround(std::min(it->second.rows, kMaxRows)))) +
-             ", est_cost=" +
-             std::to_string(static_cast<std::int64_t>(
-                 std::llround(std::min(it->second.cost, kMaxRows)))) +
-             ")";
+    const analysis::Certificate* cert = nullptr;
+    if (certificates != nullptr) {
+      auto cit = certificates->find(&node);
+      if (cit != certificates->end()) cert = &cit->second;
+    }
+    if (it != estimates.end() || cert != nullptr) {
+      out += "  (";
+      if (it != estimates.end()) {
+        out += "est_rows=" +
+               std::to_string(static_cast<std::int64_t>(
+                   std::llround(std::min(it->second.rows, kMaxRows)))) +
+               ", est_cost=" +
+               std::to_string(static_cast<std::int64_t>(
+                   std::llround(std::min(it->second.cost, kMaxRows))));
+        if (cert != nullptr) out += ", ";
+      }
+      if (cert != nullptr) out += analysis::FormatCertificate(*cert);
+      out += ")";
     }
     out += '\n';
     switch (node.kind()) {

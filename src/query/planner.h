@@ -39,6 +39,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/absint.h"
 #include "core/stats.h"
 #include "query/ast.h"
 #include "query/sorts.h"
@@ -70,14 +71,28 @@ struct PlannedQuery {
 /// result).  `stats_cache`, when non-null, memoizes per-relation statistics
 /// keyed on db.version(); null recomputes them per call.  Never fails:
 /// relations that cannot be read estimate as empty.
+///
+/// `absint`, when non-null, must have interpreted `q`'s tree
+/// (analysis/absint.h); the planner then CLAMPS its heuristic row
+/// estimates to the certified bounds -- a certified cardinality caps the
+/// estimate, and a hull-refuted conjunct (provably empty set) estimates as
+/// zero rows, pulling it to the front of the chain.  The planner registers
+/// certificates for every AND node it rebuilds, so the planned tree is
+/// fully annotated for explain/profile.  Clamping changes join ORDER only;
+/// bit-identity is untouched (QueryOptions::certified_bounds axis of the
+/// fuzz matrix).
 PlannedQuery PlanQuery(const Database& db, const QueryPtr& q,
-                       const SortMap& sorts, StatsCache* stats_cache);
+                       const SortMap& sorts, StatsCache* stats_cache,
+                       analysis::AbstractInterpreter* absint = nullptr);
 
 /// FormatQueryPlan (eval.h) with per-node estimates appended:
 ///   AND  (est_rows=12, est_cost=340)
-/// Nodes absent from `estimates` print without a suffix.
-std::string FormatQueryPlanWithEstimates(const QueryPtr& q,
-                                         const PlanEstimateMap& estimates);
+/// Nodes absent from `estimates` print without a suffix.  With
+/// `certificates`, certified bounds are appended to the annotation:
+///   AND  (est_rows=12, est_cost=340, cert_rows=40, cert_lcm=6)
+std::string FormatQueryPlanWithEstimates(
+    const QueryPtr& q, const PlanEstimateMap& estimates,
+    const analysis::CertificateMap* certificates = nullptr);
 
 }  // namespace query
 }  // namespace itdb

@@ -7,10 +7,31 @@
 namespace itdb {
 namespace server {
 
-bool AdmissionQueue::TryAdmit() {
+namespace {
+
+/// The pre-certificate grading: heavy iff the cost pass guessed an
+/// NP-regime complement (A010) or a period blowup (A012).  Kept as the
+/// fallback for queries whose certificate is unbounded -- exactly the
+/// queries the guesses were invented for.
+CostClass ClassifyHeuristic(const analysis::AnalysisResult& result) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == diag::kExpensiveComplement || d.code == diag::kPeriodBlowup) {
+      return CostClass::kHeavy;
+    }
+  }
+  return CostClass::kNormal;
+}
+
+}  // namespace
+
+bool AdmissionQueue::TryAdmit(CostClass cls) {
+  if (cls == CostClass::kHeavy && !PromoteToHeavy()) return false;
   std::int64_t now = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (now > options_.max_pending) {
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    if (cls == CostClass::kHeavy) {
+      pending_heavy_.fetch_sub(1, std::memory_order_relaxed);
+    }
     shed_.fetch_add(1, std::memory_order_relaxed);
     obs::AddGlobalCounter("server.shed", 1);
     return false;
@@ -22,23 +43,51 @@ bool AdmissionQueue::TryAdmit() {
   return true;
 }
 
-void AdmissionQueue::Release() {
+bool AdmissionQueue::PromoteToHeavy() {
+  std::int64_t now = pending_heavy_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (now > options_.max_pending_heavy) {
+    pending_heavy_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_heavy_.fetch_add(1, std::memory_order_relaxed);
+    obs::AddGlobalCounter("server.shed", 1);
+    obs::AddGlobalCounter("server.shed_heavy", 1);
+    return false;
+  }
+  return true;
+}
+
+void AdmissionQueue::Release(CostClass cls) {
   pending_.fetch_sub(1, std::memory_order_relaxed);
+  if (cls == CostClass::kHeavy) {
+    pending_heavy_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+CostGrade GradeQueryCost(const Database& db, const query::QueryPtr& q) {
+  analysis::AnalyzeOptions options;
+  // Only the cost and certificate passes matter here; emptiness proofs (DBM
+  // closures over every conjunction) are the expensive part of analysis and
+  // evaluation re-runs them anyway.
+  options.check_emptiness = false;
+  analysis::AnalysisResult result = analysis::Analyze(db, q, options);
+  CostGrade grade;
+  if (result.HasErrors()) return grade;
+  grade.root_certificate = result.root_certificate;
+  if (grade.root_certificate.bounded()) {
+    // Certified grading: the sound bounds replace the guesses in both
+    // directions.  The thresholds are the analyzer's own (A014 / A015).
+    const bool huge =
+        *grade.root_certificate.rows > options.certified_rows_threshold ||
+        *grade.root_certificate.lcm > options.period_blowup_threshold;
+    grade.cls = huge ? CostClass::kHeavy : CostClass::kNormal;
+    return grade;
+  }
+  grade.cls = ClassifyHeuristic(result);
+  return grade;
 }
 
 CostClass ClassifyQueryCost(const Database& db, const query::QueryPtr& q) {
-  analysis::AnalyzeOptions options;
-  // Only the cost pass matters here; emptiness proofs (DBM closures over
-  // every conjunction) are the expensive part of analysis and evaluation
-  // re-runs them anyway.
-  options.check_emptiness = false;
-  analysis::AnalysisResult result = analysis::Analyze(db, q, options);
-  for (const Diagnostic& d : result.diagnostics) {
-    if (d.code == diag::kExpensiveComplement || d.code == diag::kPeriodBlowup) {
-      return CostClass::kHeavy;
-    }
-  }
-  return CostClass::kNormal;
+  return GradeQueryCost(db, q).cls;
 }
 
 }  // namespace server

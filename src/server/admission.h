@@ -7,13 +7,19 @@
 // the latency of the work already admitted, and clients own the retry
 // policy (tools/itdb_client.py backs off and resends).
 //
-// Admission also grades queries by the static cost analysis (analysis pass
-// 4): a query carrying an A010 (NP-complete-regime complement) or A012
-// (period-blowup) warning gets the "heavy" class, which the session maps to
-// divided tuple/split budgets and a shorter deadline.  Heavy queries are
-// exactly the ones whose worst case is exponential, so they must not be
-// allowed to hold a worker for the default budget while the admission queue
-// sheds cheap queries behind them.
+// Admission also grades queries by cost.  The grade is CERTIFIED where
+// possible: the abstract interpreter (analysis/absint.h) proves an upper
+// bound on result cardinality and period lcm, and a query whose certified
+// bounds exceed the analyzer's thresholds -- or whose certificate is
+// unbounded AND the A010/A012 heuristics fire -- gets the "heavy" class.
+// Certified grading beats the old heuristic-only grading in both
+// directions: a certified-small query stays normal even when the
+// heuristics panic, and a certified-huge query grades heavy even when the
+// heuristics saw nothing.  Heavy queries occupy a separate, smaller
+// admission budget (max_pending_heavy) so a burst of worst-case-exponential
+// work cannot hold every worker while cheap queries shed behind it, and
+// the session maps the class to divided tuple/split budgets and a shorter
+// deadline.
 
 #ifndef ITDB_SERVER_ADMISSION_H_
 #define ITDB_SERVER_ADMISSION_H_
@@ -21,17 +27,33 @@
 #include <atomic>
 #include <cstdint>
 
+#include "analysis/absint.h"
 #include "query/ast.h"
 #include "storage/database.h"
 
 namespace itdb {
 namespace server {
 
+/// The admission-relevant grade of a query.
+enum class CostClass {
+  kNormal,
+  /// Worst-case exponential work: certified bounds above the analyzer's
+  /// thresholds, or an unbounded certificate with the A010
+  /// (NP-complete-regime complement) / A012 (period-blowup) heuristics
+  /// firing.
+  kHeavy,
+};
+
 struct AdmissionOptions {
   /// Maximum requests admitted at once (queued + executing).  0 sheds
   /// everything -- useful for drain mode and for deterministic shedding
   /// tests.
   std::int64_t max_pending = 64;
+  /// Maximum heavy-class requests admitted at once; heavy arrivals past
+  /// this shed even while normal capacity remains.  Defaults to the
+  /// max_pending default so an unconfigured queue behaves exactly as
+  /// before the class existed.
+  std::int64_t max_pending_heavy = 64;
 };
 
 /// A bounded admission gate.  Lock-free; safe from any thread.
@@ -43,18 +65,34 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Tries to admit one request.  On success the caller owes one Release()
-  /// when the request finishes; on failure the request was shed (the shed
-  /// counter and the server.shed metric advance).
-  bool TryAdmit();
-  void Release();
+  /// Tries to admit one request of class `cls` (heavy requests must clear
+  /// both the total and the heavy bound).  On success the caller owes one
+  /// Release(cls) with the SAME class when the request finishes; on failure
+  /// the request was shed (the shed counter and the server.shed metric
+  /// advance).
+  bool TryAdmit(CostClass cls = CostClass::kNormal);
+
+  /// Upgrades a request already admitted as kNormal to kHeavy once its
+  /// grade is known -- the server classifies AFTER total admission so that
+  /// shedding under overload never pays for analysis.  On success the
+  /// caller now owes Release(kHeavy); on failure the request was shed as
+  /// heavy and the caller still owes Release(kNormal).
+  bool PromoteToHeavy();
+
+  void Release(CostClass cls = CostClass::kNormal);
 
   /// Requests currently admitted (queued + executing).
   std::int64_t pending() const {
     return pending_.load(std::memory_order_relaxed);
   }
+  std::int64_t pending_heavy() const {
+    return pending_heavy_.load(std::memory_order_relaxed);
+  }
   std::int64_t shed_total() const {
     return shed_.load(std::memory_order_relaxed);
+  }
+  std::int64_t shed_heavy_total() const {
+    return shed_heavy_.load(std::memory_order_relaxed);
   }
   std::int64_t admitted_total() const {
     return admitted_.load(std::memory_order_relaxed);
@@ -64,21 +102,32 @@ class AdmissionQueue {
  private:
   AdmissionOptions options_;
   std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::int64_t> pending_heavy_{0};
   std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> shed_heavy_{0};
   std::atomic<std::int64_t> admitted_{0};
 };
 
-/// The admission-relevant grade of a query.
-enum class CostClass {
-  kNormal,
-  /// The static analyzer flagged an NP-complete-regime complement (A010)
-  /// or a period-blowup risk (A012): worst-case exponential work.
-  kHeavy,
+/// A query's cost grade together with the certificate that justified it.
+struct CostGrade {
+  CostClass cls = CostClass::kNormal;
+  /// The root certificate of the grading analysis (top when analysis had
+  /// errors or the certificate pass was off).  An unbounded root
+  /// certificate also makes the query ineligible for the result cache: a
+  /// result whose size the analysis cannot bound must not displace
+  /// certified-small entries.
+  analysis::Certificate root_certificate;
 };
 
-/// Grades `q` against `db` by running the analyzer's cost pass.  Queries
-/// that fail analysis grade kNormal -- evaluation will report the real
-/// error with its own diagnostics.
+/// Grades `q` against `db`: runs the analyzer (without the emptiness pass;
+/// DBM closures are the expensive part and evaluation re-runs them anyway)
+/// and grades from the root certificate when it is bounded, falling back
+/// to the A010/A012 heuristics when it is not.  Queries that fail analysis
+/// grade kNormal -- evaluation will report the real error with its own
+/// diagnostics.
+CostGrade GradeQueryCost(const Database& db, const query::QueryPtr& q);
+
+/// GradeQueryCost reduced to its class.
 CostClass ClassifyQueryCost(const Database& db, const query::QueryPtr& q);
 
 }  // namespace server

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "query/parser.h"
 #include "storage/wal/storage_engine.h"
+#include "util/errno_message.h"
 #include "util/thread_pool.h"
 
 namespace itdb {
@@ -27,7 +29,7 @@ Status SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     return Status::InvalidArgument(std::string("fcntl: ") +
-                                   std::strerror(errno));
+                                   ErrnoMessage(errno));
   }
   return Status::Ok();
 }
@@ -98,13 +100,13 @@ Status Server::Start() {
     listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
     if (listen_fd_ < 0) {
       return Status::InvalidArgument(std::string("socket: ") +
-                                     std::strerror(errno));
+                                     ErrnoMessage(errno));
     }
     unlink(options_.unix_path.c_str());
     if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) < 0) {
       Status status = Status::InvalidArgument(
-          "bind \"" + options_.unix_path + "\": " + std::strerror(errno));
+          "bind \"" + options_.unix_path + "\": " + ErrnoMessage(errno));
       close(listen_fd_);
       listen_fd_ = -1;
       return status;
@@ -117,7 +119,7 @@ Status Server::Start() {
     listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) {
       return Status::InvalidArgument(std::string("socket: ") +
-                                     std::strerror(errno));
+                                     ErrnoMessage(errno));
     }
     int one = 1;
     setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -125,7 +127,7 @@ Status Server::Start() {
              sizeof(addr)) < 0) {
       Status status = Status::InvalidArgument(
           "bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
-          std::strerror(errno));
+          ErrnoMessage(errno));
       close(listen_fd_);
       listen_fd_ = -1;
       return status;
@@ -140,11 +142,11 @@ Status Server::Start() {
   Status status = SetNonBlocking(listen_fd_);
   if (status.ok() && listen(listen_fd_, options_.backlog) < 0) {
     status = Status::InvalidArgument(std::string("listen: ") +
-                                     std::strerror(errno));
+                                     ErrnoMessage(errno));
   }
   if (status.ok() && pipe(wake_fds_) < 0) {
     status = Status::InvalidArgument(std::string("pipe: ") +
-                                     std::strerror(errno));
+                                     ErrnoMessage(errno));
   }
   if (status.ok()) status = SetNonBlocking(wake_fds_[0]);
   if (!status.ok()) {
@@ -342,11 +344,42 @@ void Server::HandleStatement(Connection& conn, const std::string& statement) {
                "overloaded: admission queue is full, retry later\n");
     return;
   }
+  // Class-aware admission: evaluating statements are graded AFTER clearing
+  // the total bound (shedding under overload must never pay for analysis)
+  // and heavy ones must also clear the smaller heavy bound, so worst-case-
+  // exponential queries cannot occupy every worker.
+  CostClass cls = CostClass::kNormal;
+  if (verb == "ask" || verb == "query" || verb == "profile" ||
+      verb == "PROFILE") {
+    cls = ClassifyStatement(verb, statement);
+    if (cls == CostClass::kHeavy && !admission_.PromoteToHeavy()) {
+      admission_.Release(CostClass::kNormal);
+      WriteFrame(conn, ResponseStatus::kRetry,
+                 "overloaded: heavy-query admission is full, retry later\n");
+      return;
+    }
+  }
   std::ostringstream out;
   Status status = conn.session.Execute(statement, out);
-  admission_.Release();
+  admission_.Release(cls);
   WriteFrame(conn, status.ok() ? ResponseStatus::kOk : ResponseStatus::kError,
              out.str());
+}
+
+CostClass Server::ClassifyStatement(std::string_view verb,
+                                    const std::string& statement) {
+  std::string_view body = statement;
+  const std::size_t verb_at = body.find(verb);
+  if (verb_at == std::string_view::npos) return CostClass::kNormal;
+  body.remove_prefix(verb_at + verb.size());
+  const std::size_t start = body.find_first_not_of(" \t\n");
+  if (start == std::string_view::npos) return CostClass::kNormal;
+  body.remove_prefix(start);
+  Result<query::QueryPtr> q = query::ParseQuery(body);
+  if (!q.ok()) return CostClass::kNormal;
+  return shared_db_.WithRead([&](const Database& db) {
+    return ClassifyQueryCost(db, q.value());
+  });
 }
 
 std::string Server::StatusReport() {
@@ -355,8 +388,12 @@ std::string Server::StatusReport() {
   out << "requests_total " << requests_total() << "\n";
   out << "queue_depth " << admission_.pending() << "\n";
   out << "queue_limit " << admission_.options().max_pending << "\n";
+  out << "queue_heavy_depth " << admission_.pending_heavy() << "\n";
+  out << "queue_heavy_limit " << admission_.options().max_pending_heavy
+      << "\n";
   out << "admitted_total " << admission_.admitted_total() << "\n";
   out << "shed_total " << admission_.shed_total() << "\n";
+  out << "shed_heavy_total " << admission_.shed_heavy_total() << "\n";
   QueryBatcher::Stats batch = batcher_.stats();
   out << "batch_leads " << batch.leads << "\n";
   out << "batch_coalesced " << batch.coalesced << "\n";

@@ -284,17 +284,39 @@ Status CmdExplain(std::ostream& out, const Database& db,
   out << "query:     " << q->ToString() << "\n";
   query::QueryPtr optimized = query::Optimize(q);
   out << "optimized: " << optimized->ToString() << "\n";
+  // Analyzer findings in a STABLE severity order -- errors, then warnings,
+  // then notes, pass order within each severity -- so scripts can pin the
+  // first analysis line regardless of which pass found what.
+  analysis::AnalysisResult analyzed = analysis::Analyze(db, q);
+  if (!analyzed.diagnostics.empty()) {
+    std::vector<Diagnostic> ordered = analyzed.diagnostics;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     });
+    out << "analysis:\n" << FormatDiagnosticList(ordered) << "\n";
+  }
   if (opts.cost_plan) {
-    // Show the PLANNED tree with the estimates that ordered it.  Sort
+    // Show the PLANNED tree with the estimates that ordered it and, when
+    // certified bounds are on, the certificates that clamped them.  Sort
     // inference can fail (unknown relations, sort conflicts); the
     // unestimated tree is still worth printing then.
     Result<query::SortMap> sorts = query::InferSorts(db, optimized);
     if (sorts.ok()) {
+      std::optional<analysis::AbstractInterpreter> interp;
+      if (opts.certified_bounds) {
+        interp.emplace(db, sorts.value(), opts.stats_cache);
+        interp->SeedActiveDomain(*q);
+        interp->Interpret(optimized);
+      }
       query::PlannedQuery planned =
-          query::PlanQuery(db, optimized, sorts.value(), opts.stats_cache);
+          query::PlanQuery(db, optimized, sorts.value(), opts.stats_cache,
+                           interp.has_value() ? &*interp : nullptr);
       out << "plan:\n"
-          << query::FormatQueryPlanWithEstimates(planned.query,
-                                                 planned.estimates);
+          << query::FormatQueryPlanWithEstimates(
+                 planned.query, planned.estimates,
+                 interp.has_value() ? &interp->certificates() : nullptr);
       return Status::Ok();
     }
   }
@@ -670,6 +692,8 @@ Status Session::CmdSet(std::ostream& out, const std::string& args) {
         << (options_.query.prune_intermediates ? "on" : "off") << "\n";
     out << "cost_plan    " << (options_.query.cost_plan ? "on" : "off")
         << "\n";
+    out << "certified_bounds "
+        << (options_.query.certified_bounds ? "on" : "off") << "\n";
     out << "threads      " << options_.query.algebra.threads << "\n";
     out << "deadline_ms  " << options_.deadline_ms << "\n";
     return Status::Ok();
@@ -690,6 +714,10 @@ Status Session::CmdSet(std::ostream& out, const std::string& args) {
     }
   } else if (name == "cost_plan") {
     if (ParseOnOff(value, &options_.query.cost_plan)) return Status::Ok();
+  } else if (name == "certified_bounds") {
+    if (ParseOnOff(value, &options_.query.certified_bounds)) {
+      return Status::Ok();
+    }
   } else if (name == "threads") {
     std::istringstream vin(value);
     int threads = 0;
@@ -713,14 +741,16 @@ Status Session::CmdSet(std::ostream& out, const std::string& args) {
 
 query::QueryOptions Session::EffectiveOptions(const Database& db,
                                               const query::QueryPtr& q,
-                                              std::int64_t* deadline_ms) const {
+                                              std::int64_t* deadline_ms,
+                                              const CostGrade* grade) const {
   query::QueryOptions opts = options_.query;
   if (opts.algebra.normalize_cache == nullptr) {
     opts.algebra.normalize_cache = options_.normalize_cache;
   }
   if (opts.stats_cache == nullptr) opts.stats_cache = options_.stats_cache;
   if (options_.cost_aware_budgets &&
-      ClassifyQueryCost(db, q) == CostClass::kHeavy) {
+      (grade != nullptr ? grade->cls : ClassifyQueryCost(db, q)) ==
+          CostClass::kHeavy) {
     const std::int64_t d =
         std::max<std::int64_t>(1, options_.heavy_budget_divisor);
     opts.algebra.max_tuples =
@@ -744,7 +774,13 @@ Status Session::EvalThroughBatcher(std::string_view verb,
   ITDB_ASSIGN_OR_RETURN(query::QueryPtr q, query::ParseQuery(text));
   return db_->WithRead([&](const Database& db) -> Status {
     std::int64_t deadline_ms = options_.deadline_ms;
-    query::QueryOptions opts = EffectiveOptions(db, q, &deadline_ms);
+    // One grading analysis serves both budget division and, later, the
+    // result cache's certified-cacheability check.  Lazy: cache hits and
+    // budget-indifferent sessions never pay for it up front.
+    std::optional<CostGrade> grade;
+    if (options_.cost_aware_budgets) grade = GradeQueryCost(db, q);
+    query::QueryOptions opts = EffectiveOptions(
+        db, q, &deadline_ms, grade.has_value() ? &*grade : nullptr);
     auto compute = [&]() -> QueryBatcher::Outcome {
       QueryBatcher::Outcome o;
       std::ostringstream rendered;
@@ -784,7 +820,8 @@ Status Session::EvalThroughBatcher(std::string_view verb,
       fp << verb << '\x1f'
          << (opts.optimize ? query::Optimize(q)->ToString() : q->ToString())
          << '\x1f' << opts.analyze << opts.optimize
-         << opts.prune_intermediates << opts.cost_plan << '\x1f'
+         << opts.prune_intermediates << opts.cost_plan
+         << opts.certified_bounds << '\x1f'
          << opts.algebra.max_tuples << '/'
          << opts.algebra.max_complement_universe << '/'
          << opts.algebra.normalize.max_split_product << '/' << deadline_ms;
@@ -813,9 +850,19 @@ Status Session::EvalThroughBatcher(std::string_view verb,
       outcome = compute();
     }
     if (outcome.status.ok() && options_.result_cache != nullptr) {
-      options_.result_cache->Insert(key, version,
-                                    CachedResult{outcome.text,
-                                                 outcome.relation});
+      // Certified cacheability: only results whose size the analysis can
+      // BOUND (bounded root certificate, analysis/absint.h) are admitted
+      // to the shared cache.  An unbounded-certificate result may be
+      // arbitrarily large relative to its query, so caching it could
+      // displace any number of certified-small entries.
+      if (!grade.has_value()) grade = GradeQueryCost(db, q);
+      if (grade->root_certificate.bounded()) {
+        options_.result_cache->Insert(key, version,
+                                      CachedResult{outcome.text,
+                                                   outcome.relation});
+      } else {
+        obs::AddGlobalCounter("server.cache_refused_unbounded", 1);
+      }
     }
     ITDB_RETURN_IF_ERROR(outcome.status);
     out << outcome.text;

@@ -21,11 +21,13 @@
 //
 // Budgets: with deadline_ms set, query-evaluating verbs run under a
 // CancellationToken (util/thread_pool.h) and fail with kResourceExhausted
-// when the budget elapses.  With cost_aware_budgets set, queries the static
-// cost analysis flags (A010 NP-regime complement / A012 period blowup) get
+// when the budget elapses.  With cost_aware_budgets set, queries graded
+// heavy (certified bounds over the analyzer's thresholds, or the A010 /
+// A012 heuristics when no bound is certified -- see admission.h) get
 // tuple/split budgets and deadline divided by heavy_budget_divisor -- the
 // admission layer's defense against one pathological query starving the
-// fleet.
+// fleet.  Results enter the shared result cache only when their root
+// certificate is bounded (certified cacheability).
 
 #ifndef ITDB_SERVER_SESSION_H_
 #define ITDB_SERVER_SESSION_H_
@@ -39,6 +41,7 @@
 #include "core/normalize_cache.h"
 #include "core/relation.h"
 #include "query/eval.h"
+#include "server/admission.h"
 #include "server/batcher.h"
 #include "server/result_cache.h"
 #include "server/shared_database.h"
@@ -152,9 +155,12 @@ class Session {
   Status CmdDefine(const std::string& text);
 
   /// Evaluation options for `q`, with heavy-class budget division applied.
+  /// `grade` is the precomputed cost grade (admission.h); null classifies
+  /// here when cost_aware_budgets is set.
   query::QueryOptions EffectiveOptions(const Database& db,
                                        const query::QueryPtr& q,
-                                       std::int64_t* deadline_ms) const;
+                                       std::int64_t* deadline_ms,
+                                       const CostGrade* grade = nullptr) const;
 
   /// Runs a read-only, deterministic evaluation -- through the batcher when
   /// configured -- rendering output into `out`.

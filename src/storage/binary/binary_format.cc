@@ -17,6 +17,7 @@
 #include "core/tuple.h"
 #include "core/value.h"
 #include "obs/metrics.h"
+#include "util/errno_message.h"
 
 namespace itdb {
 namespace storage {
@@ -215,7 +216,7 @@ class MappedFile {
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
       return Status::NotFound("cannot open \"" + path + "\": " +
-                              std::strerror(errno));
+                              ErrnoMessage(errno));
     }
     struct stat st{};
     if (::fstat(fd, &st) != 0) {
@@ -668,7 +669,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes,
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::InvalidArgument("cannot write \"" + tmp + "\": " +
-                                   std::strerror(errno));
+                                   ErrnoMessage(errno));
   }
   std::size_t written = 0;
   while (written < bytes.size()) {

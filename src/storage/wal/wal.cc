@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/errno_message.h"
 
 namespace itdb {
 namespace storage {
@@ -24,6 +25,8 @@ constexpr std::uint32_t kRecordMagic = 0x43455257;  // "WREC" little-endian.
 /// Read once; the harness sets it per process.
 std::int64_t CrashAtThreshold() {
   static const std::int64_t threshold = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once under a static
+    // initializer before any pool thread exists; nothing calls setenv.
     const char* env = std::getenv("ITDB_CRASH_AT");
     if (env == nullptr || *env == '\0') return std::int64_t{-1};
     return static_cast<std::int64_t>(std::strtoll(env, nullptr, 10));
@@ -60,7 +63,7 @@ Status FaultInjectedWrite(int fd, std::string_view bytes) {
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::InvalidArgument(std::string("WAL write failed: ") +
-                                     std::strerror(errno));
+                                     ErrnoMessage(errno));
     }
     written += static_cast<std::size_t>(n);
   }
@@ -157,7 +160,7 @@ Result<WalWriter> WalWriter::Open(const std::string& path, bool fsync,
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd < 0) {
     return Status::InvalidArgument("cannot open WAL \"" + path + "\": " +
-                                   std::strerror(errno));
+                                   ErrnoMessage(errno));
   }
   struct stat st{};
   if (::fstat(fd, &st) != 0) {

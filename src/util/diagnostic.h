@@ -56,6 +56,10 @@ inline constexpr std::string_view kExpensiveComplement = "A010";
 inline constexpr std::string_view kCrossProduct = "A011";
 inline constexpr std::string_view kPeriodBlowup = "A012";
 inline constexpr std::string_view kVacuousQuantifier = "A013";
+inline constexpr std::string_view kCertifiedHugeCardinality = "A014";
+inline constexpr std::string_view kCertifiedPeriodBlowup = "A015";
+inline constexpr std::string_view kHullRefuted = "A016";
+inline constexpr std::string_view kUnboundedCertificate = "A017";
 }  // namespace diag
 
 bool HasErrors(const std::vector<Diagnostic>& diagnostics);

@@ -1,0 +1,31 @@
+#include "util/errno_message.h"
+
+#include <cstring>
+
+namespace itdb {
+namespace {
+
+// GNU strerror_r returns char* (possibly a static immutable string, not
+// the buffer); the XSI variant returns int and always fills the buffer.
+// Overloading on the actual return type picks the right handling without
+// depending on feature-test macro state.
+[[maybe_unused]] std::string TakeMessage(const char* result,
+                                         const char* /*buffer*/, int err) {
+  if (result == nullptr) return "unknown error " + std::to_string(err);
+  return result;
+}
+
+[[maybe_unused]] std::string TakeMessage(int result, const char* buffer,
+                                         int err) {
+  if (result != 0) return "unknown error " + std::to_string(err);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ErrnoMessage(int err) {
+  char buffer[256] = {};
+  return TakeMessage(strerror_r(err, buffer, sizeof(buffer)), buffer, err);
+}
+
+}  // namespace itdb

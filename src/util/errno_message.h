@@ -1,0 +1,22 @@
+// Thread-safe errno formatting.
+//
+// std::strerror returns a pointer into a static buffer, so two threads
+// formatting I/O errors at once can interleave messages (clang-tidy's
+// concurrency-mt-unsafe).  The server formats errors from pool threads and
+// the storage layer is used under it, so both route through strerror_r
+// here instead.
+
+#ifndef ITDB_UTIL_ERRNO_MESSAGE_H_
+#define ITDB_UTIL_ERRNO_MESSAGE_H_
+
+#include <string>
+
+namespace itdb {
+
+/// The system's message for `err` (an errno value), e.g. "No such file or
+/// directory".  Safe to call from any thread.
+std::string ErrnoMessage(int err);
+
+}  // namespace itdb
+
+#endif  // ITDB_UTIL_ERRNO_MESSAGE_H_

@@ -1,11 +1,22 @@
 #include "fuzz/query_oracle.h"
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "fuzz/generator.h"
 #include "fuzz/query_gen.h"
 #include "query/ast.h"
 #include "query/eval.h"
+#include "query/parser.h"
+
+#ifndef ITDB_FUZZ_CORPUS_DIR
+#error "ITDB_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
 
 namespace itdb {
 namespace fuzz {
@@ -36,7 +47,10 @@ TEST(QueryOracleTest, PassesOnAHandWrittenCase) {
   QueryCaseOutcome outcome = CheckQueryCase(db, q);
   EXPECT_FALSE(outcome.skipped);
   EXPECT_FALSE(outcome.failure.has_value()) << *outcome.failure;
-  EXPECT_EQ(outcome.variants_checked, 5);
+  EXPECT_EQ(outcome.variants_checked, 6);
+  // A single atom with a comparison gets a fully bounded certificate, so
+  // the soundness oracle must have verified it against the plain result.
+  EXPECT_EQ(outcome.certificates_checked, 1);
 }
 
 TEST(QueryOracleTest, ChecksAProvenEmptySubplan) {
@@ -56,9 +70,10 @@ TEST(QueryOracleTest, ChecksAProvenEmptySubplan) {
   EXPECT_GT(outcome.empties_checked, 0);
 }
 
-// The acceptance gate: 500 random queries, zero violations of either
-// oracle -- analysis never changes results (at 1 and N threads), and every
-// proven-empty subplan really is empty.
+// The acceptance gate: 500 random queries, zero violations of any oracle --
+// analysis never changes results (at 1 and N threads), every proven-empty
+// subplan really is empty, and actual cardinality / periods / hulls never
+// exceed the root certificate.
 TEST(QueryFuzzTest, FiveHundredCasesNoFindings) {
   QueryFuzzConfig config;
   config.seed = 20260806;
@@ -77,6 +92,59 @@ TEST(QueryFuzzTest, FiveHundredCasesNoFindings) {
   // fire many times over 500 cases; a silent no-op run is itself a bug.
   EXPECT_GT(report.variants_checked, 1000);
   EXPECT_GT(report.empties_checked, 20) << report.Summary();
+  // Most generated queries earn at least a partial certificate, so the
+  // soundness oracle must run on a large fraction of the cases.
+  EXPECT_GT(report.certificates_checked, 100) << report.Summary();
+}
+
+// Certificate soundness as a property over the checked-in corpus: every
+// `# check:` query annotated in tests/fuzz/corpus/*.itdb (deliberately
+// delicate constructions -- NP-regime complements, statically empty
+// intersections) must pass all three oracles against its own database,
+// and the corpus as a whole must exercise the certificate check.
+TEST(QueryOracleTest, CorpusCheckQueriesRespectTheirCertificates) {
+  int certificates = 0;
+  int queries = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ITDB_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() != ".itdb") continue;
+    std::ifstream file(entry.path());
+    ASSERT_TRUE(file) << entry.path();
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    std::vector<std::string> checks;
+    std::istringstream lines(buffer.str());
+    for (std::string line; std::getline(lines, line);) {
+      const std::string marker = "# check: ";
+      if (line.rfind(marker, 0) == 0) {
+        checks.push_back(line.substr(marker.size()));
+      }
+    }
+    if (checks.empty()) continue;
+    Result<Database> db = Database::FromText(buffer.str());
+    ASSERT_TRUE(db.ok()) << entry.path() << ": " << db.status();
+    for (const std::string& text : checks) {
+      Result<QueryPtr> q = query::ParseQuery(text);
+      ASSERT_TRUE(q.ok()) << entry.path() << ": " << q.status();
+      QueryCaseOutcome outcome = CheckQueryCase(db.value(), q.value());
+      EXPECT_FALSE(outcome.failure.has_value())
+          << entry.path() << ": " << text << ": " << *outcome.failure;
+      certificates += outcome.certificates_checked;
+      ++queries;
+    }
+  }
+  EXPECT_GE(queries, 3);
+  EXPECT_GT(certificates, 0);
+}
+
+TEST(QueryOracleTest, ShrinkReturnsRootWhenNoSubtreeFails) {
+  Database db = MakeRandomDatabase(3, {});
+  QueryPtr q = Query::And(
+      Query::Atom("U0", {Term::Variable("t")}),
+      Query::Compare(Term::Variable("t"), QueryCmp::kLe, Term::Int(4)));
+  // A passing case shrinks to itself: no subtree "still fails".
+  QueryPtr shrunk = ShrinkFailingQuery(db, q);
+  EXPECT_EQ(shrunk->ToString(), q->ToString());
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "query/planner.h"
 
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -164,6 +165,71 @@ TEST(PlannerTest, PlannedEvaluationIsBitIdenticalToWrittenOrder) {
     EXPECT_EQ(with.value().schema(), without.value().schema()) << text;
     EXPECT_EQ(with.value().tuples(), without.value().tuples()) << text;
   }
+}
+
+// The improvement certified bounds buy over the heuristic: the cost model
+// prices joins from tuple counts and distinct-value estimates only, so two
+// relations whose hulls are DISJOINT still price like any other join.  The
+// certificate intersects the hulls, refutes the pair, clamps the estimate
+// to zero rows, and the planner seeds the chain with the provably empty
+// join instead of burying it.
+TEST(PlannerTest, CertifiedHullRefutationZeroesAndReordersTheChain) {
+  std::ostringstream text;
+  text << "relation Big(T: time) {";
+  for (int i = 0; i < 40; ++i) text << " [" << 10 * i << "];";
+  text << " }\n";
+  text << "relation Wide(T: time) {";
+  for (int i = 0; i < 40; ++i) text << " [" << 7 * i + 3 << "];";
+  text << " }\n";
+  // Phantom's 40 tuples live in [1000, 1039] -- disjoint from Big's
+  // certified hull [0, 390].
+  text << "relation Phantom(T: time) {";
+  for (int i = 0; i < 40; ++i) text << " [" << 1000 + i << "];";
+  text << " }\n";
+  Result<Database> db = Database::FromText(text.str());
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<QueryPtr> q = ParseQuery("Big(t) AND Wide(t) AND Phantom(t)");
+  ASSERT_TRUE(q.ok());
+  Result<SortMap> sorts = InferSorts(db.value(), q.value());
+  ASSERT_TRUE(sorts.ok());
+
+  // Heuristic-only plan: the root still expects rows.
+  PlannedQuery heuristic =
+      PlanQuery(db.value(), q.value(), sorts.value(), nullptr);
+  EXPECT_GT(heuristic.estimates.at(heuristic.query.get()).rows, 0.0)
+      << heuristic.query->ToString();
+
+  // Certified plan: zero rows at the root, and the refuted Big-Phantom
+  // pair seeds the chain (the deepest two leaves).
+  analysis::AbstractInterpreter interp(db.value(), sorts.value());
+  interp.Interpret(q.value());
+  PlannedQuery certified =
+      PlanQuery(db.value(), q.value(), sorts.value(), nullptr, &interp);
+  EXPECT_EQ(certified.estimates.at(certified.query.get()).rows, 0.0)
+      << certified.query->ToString();
+  const Query* node = certified.query.get();
+  while (node->left()->kind() == Query::Kind::kAnd) {
+    node = node->left().get();
+  }
+  std::set<std::string> seed = {node->left()->relation(),
+                                node->right()->relation()};
+  EXPECT_TRUE(seed.count("Phantom")) << certified.query->ToString();
+  EXPECT_FALSE(seed.count("Wide")) << certified.query->ToString();
+
+  // Bit-identity: both plans evaluate to the same (empty) result.
+  QueryOptions on;
+  on.cost_plan = true;
+  on.certified_bounds = true;
+  QueryOptions off = on;
+  off.certified_bounds = false;
+  Result<GeneralizedRelation> with =
+      EvalQueryString(db.value(), "Big(t) AND Wide(t) AND Phantom(t)", on);
+  Result<GeneralizedRelation> without =
+      EvalQueryString(db.value(), "Big(t) AND Wide(t) AND Phantom(t)", off);
+  ASSERT_TRUE(with.ok()) << with.status();
+  ASSERT_TRUE(without.ok()) << without.status();
+  EXPECT_EQ(with.value().tuples(), without.value().tuples());
+  EXPECT_TRUE(with.value().tuples().empty());
 }
 
 TEST(PlannerTest, StatsCacheHitsOnRepeatedPlans) {

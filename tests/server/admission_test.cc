@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
 #include "storage/database.h"
+#include "util/diagnostic.h"
 
 namespace itdb {
 namespace server {
@@ -81,6 +83,103 @@ TEST_F(ClassifyCostTest, WideComplementIsHeavy) {
   // NOT over two free temporal columns: A010 (NP-complete regime).
   EXPECT_EQ(Classify("NOT (P(t) AND P(u)) AND P(t) AND P(u)"),
             CostClass::kHeavy);
+}
+
+TEST(AdmissionQueueTest, HeavyAdmissionHasItsOwnBudget) {
+  AdmissionOptions options;
+  options.max_pending = 8;
+  options.max_pending_heavy = 1;
+  AdmissionQueue queue(options);
+  EXPECT_TRUE(queue.TryAdmit(CostClass::kHeavy));
+  EXPECT_EQ(queue.pending(), 1);
+  EXPECT_EQ(queue.pending_heavy(), 1);
+  // A second heavy query sheds on the heavy budget while light traffic
+  // still flows.
+  EXPECT_FALSE(queue.TryAdmit(CostClass::kHeavy));
+  EXPECT_EQ(queue.shed_heavy_total(), 1);
+  EXPECT_TRUE(queue.TryAdmit(CostClass::kNormal));
+  EXPECT_EQ(queue.pending(), 2);
+  // Releasing the heavy query frees both counters.
+  queue.Release(CostClass::kHeavy);
+  EXPECT_EQ(queue.pending(), 1);
+  EXPECT_EQ(queue.pending_heavy(), 0);
+  EXPECT_TRUE(queue.TryAdmit(CostClass::kHeavy));
+  queue.Release(CostClass::kHeavy);
+  queue.Release(CostClass::kNormal);
+  EXPECT_EQ(queue.pending(), 0);
+}
+
+TEST(AdmissionQueueTest, PromotionFailureReleasesTheTotalSlot) {
+  AdmissionOptions options;
+  options.max_pending = 4;
+  options.max_pending_heavy = 0;
+  AdmissionQueue queue(options);
+  EXPECT_FALSE(queue.TryAdmit(CostClass::kHeavy));
+  // The failed heavy admission must not leak a total slot.
+  EXPECT_EQ(queue.pending(), 0);
+  EXPECT_EQ(queue.pending_heavy(), 0);
+  EXPECT_EQ(queue.shed_heavy_total(), 1);
+}
+
+// The demonstrable improvement over the heuristic: a join of singleton
+// relations has no A010 complement and no A012 period blowup (every
+// period is 0), so the heuristic classifier admitted it as normal -- but
+// its certified cardinality (the product of the stored tuple counts) is
+// over the huge-query threshold, and certified grading sheds it at a
+// zero-budget heavy gate where the heuristic would have let it through.
+TEST(GradeQueryCostTest, CertifiedHugeJoinIsHeavyWhereHeuristicAdmitted) {
+  // Three relations of 101 singleton tuples: 101^3 = 1,030,301 certified
+  // join rows > the 1,000,000 threshold; lcm stays 1.
+  std::string text;
+  for (const char* name : {"P", "Q", "R"}) {
+    text += std::string("relation ") + name + "(T: time) {\n";
+    for (int i = 0; i < 101; ++i) {
+      text += "  [" + std::to_string(i) + "];\n";
+    }
+    text += "}\n";
+  }
+  Result<Database> db = Database::FromText(text);
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<query::QueryPtr> q = query::ParseQuery("P(t) AND Q(t) AND R(t)");
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  // The heuristic signals are absent: no A010, no A012.
+  analysis::AnalysisResult analyzed = analysis::Analyze(db.value(), q.value());
+  for (const Diagnostic& d : analyzed.diagnostics) {
+    EXPECT_NE(d.code, diag::kExpensiveComplement) << d.message;
+    EXPECT_NE(d.code, diag::kPeriodBlowup) << d.message;
+  }
+
+  CostGrade grade = GradeQueryCost(db.value(), q.value());
+  EXPECT_EQ(grade.cls, CostClass::kHeavy);
+  ASSERT_TRUE(grade.root_certificate.rows.has_value());
+  EXPECT_GT(*grade.root_certificate.rows, 1'000'000);
+
+  // End to end at the queue: with no heavy budget, the certified grade
+  // sheds the query where the heuristic's kNormal grade admitted it.
+  AdmissionOptions options;
+  options.max_pending = 8;
+  options.max_pending_heavy = 0;
+  AdmissionQueue queue(options);
+  EXPECT_TRUE(queue.TryAdmit(CostClass::kNormal));  // Heuristic grade.
+  queue.Release(CostClass::kNormal);
+  EXPECT_FALSE(queue.TryAdmit(grade.cls));  // Certified grade.
+  EXPECT_EQ(queue.shed_heavy_total(), 1);
+}
+
+TEST(GradeQueryCostTest, BoundedCertificateEnablesCaching) {
+  Result<Database> db = Database::FromText("relation P(T: time) { [2n]; }\n");
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<query::QueryPtr> small = query::ParseQuery("P(t) AND t <= 10");
+  ASSERT_TRUE(small.ok());
+  CostGrade grade = GradeQueryCost(db.value(), small.value());
+  EXPECT_EQ(grade.cls, CostClass::kNormal);
+  EXPECT_TRUE(grade.root_certificate.bounded());
+  // Complements are rows-unbounded: certified cacheability refuses them.
+  Result<query::QueryPtr> neg = query::ParseQuery("NOT P(t)");
+  ASSERT_TRUE(neg.ok());
+  grade = GradeQueryCost(db.value(), neg.value());
+  EXPECT_FALSE(grade.root_certificate.bounded());
 }
 
 TEST_F(ClassifyCostTest, UnanalyzableQueriesGradeNormal) {

@@ -77,14 +77,53 @@ TEST(ShellTest, ExplainPrintsGoldenPlanTree) {
   EXPECT_NE(out.find("optimized: (P(t) AND EXISTS u . (Q(u)))"),
             std::string::npos)
       << out;
-  // The cost planner annotates every node with its estimates.
-  EXPECT_NE(out.find("plan:\n"
-                     "AND  (est_rows=1, est_cost=5)\n"
-                     "  ATOM P(t)  (est_rows=1, est_cost=1)\n"
-                     "  EXISTS u  (est_rows=1, est_cost=2)\n"
-                     "    ATOM Q(u)  (est_rows=1, est_cost=1)\n"),
+  // Analyzer findings print before the plan (severity-ordered; this case
+  // has a single cross-product warning).
+  EXPECT_NE(out.find("analysis:\n"
+                     "warning[A011] at 1:12: conjunction operands share no "
+                     "attributes; the join degenerates to a cross product\n"),
             std::string::npos)
       << out;
+  // The cost planner annotates every node with its estimates and the
+  // abstract interpreter's certified bounds.
+  EXPECT_NE(out.find("plan:\n"
+                     "AND  (est_rows=1, est_cost=5, cert_rows=1, "
+                     "cert_lcm=20)\n"
+                     "  ATOM P(t)  (est_rows=1, est_cost=1, cert_rows=1, "
+                     "cert_lcm=10)\n"
+                     "  EXISTS u  (est_rows=1, est_cost=2, cert_rows=1, "
+                     "cert_lcm=4)\n"
+                     "    ATOM Q(u)  (est_rows=1, est_cost=1, cert_rows=1, "
+                     "cert_lcm=4)\n"),
+            std::string::npos)
+      << out;
+}
+
+TEST(ShellTest, ExplainPrintsAnalyzerFindingsInSeverityOrder) {
+  // R/S force one error-free query with findings at every severity:
+  // A012/A015 warnings (lcm 10403 > 720) and an A017 note under NOT.
+  std::string out = RunScript(
+      "define relation R(T: time) {\n  [3+101n];\n}\n"
+      "define relation S(T: time) {\n  [4+103n];\n}\n"
+      "explain R(t) AND S(t) AND NOT R(t)\n");
+  // Golden: warnings strictly before notes, pass order within a severity
+  // (the cost pass's A012, then the certificate pass's A015), and the
+  // block cleanly separated from "plan:".
+  EXPECT_NE(
+      out.find(
+          "analysis:\n"
+          "warning[A012] at 1:1: the periods reachable from this query "
+          "compose to lcm 10403 (threshold 720); normalization may expand "
+          "each tuple by that factor\n"
+          "warning[A015] at 1:1: certified period lcm 10403 exceeds the "
+          "blowup threshold 720\n"
+          "note[A017] at 1:1: no finite certificate: the result's "
+          "cardinality cannot be bounded statically\n"
+          "plan:\n"),
+      std::string::npos)
+      << out;
+  // The unbounded complement surfaces in the annotations too.
+  EXPECT_NE(out.find("cert_rows=unbounded"), std::string::npos) << out;
 }
 
 TEST(ShellTest, ExplainAcceptsUppercaseAndRejectsParseErrors) {

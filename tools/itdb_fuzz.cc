@@ -189,7 +189,24 @@ int main(int argc, char** argv) {
               << "\n";
     for (const itdb::fuzz::QueryFuzzFailure& fail : query_report.failures) {
       std::cerr << "FAIL [query] seed " << fail.case_seed << ": "
-                << fail.description << "\n  query: " << fail.query << "\n";
+                << fail.description << "\n  query: " << fail.query
+                << "\n  shrunk: " << fail.shrunk_query << "\n";
+      // Standalone repro: the database text plus both queries, replayable
+      // by loading the database in the shell and re-issuing the query.
+      std::string path = out_dir + "/query-repro-" +
+                         std::to_string(fail.case_seed) + ".txt";
+      std::ofstream file(path);
+      if (file) {
+        file << "# query fuzz failure, seed " << fail.case_seed << "\n"
+             << "# failure: " << fail.description << "\n"
+             << "# query: " << fail.query << "\n"
+             << "# shrunk query: " << fail.shrunk_query << "\n"
+             << "# shrunk failure: " << fail.shrunk_description << "\n"
+             << fail.database;
+        std::cerr << "  repro -> " << path << "\n";
+      } else {
+        std::cerr << "  (cannot write " << path << ")\n";
+      }
     }
     query_ok = query_report.ok();
   }

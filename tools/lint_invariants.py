@@ -14,6 +14,14 @@ Checks, over src/ (and where noted, tests/):
   4. no std::cout/std::cerr in library code: src/ outside src/shell/ must
      report through Status/diagnostics, not the process streams (the
      shell, tools/, bench/ and tests are exempt).
+  5. every A0xx diagnostic code referenced anywhere in src/ has a row in
+     DESIGN.md's diagnostic table (`| A0xx | severity | summary |`): an
+     undocumented code is invisible to users reading `check` output.
+  6. every metrics counter/histogram name is registered (written) from a
+     single src/ file: the obs registry silently merges same-named metrics,
+     so a copy-pasted name in another subsystem corrupts both counters.
+     Read-only GetCounter(...)->value() sites are exempt; a name may also
+     not be used as both a counter and a histogram.
 
 Exit status 0 = clean, 1 = findings (printed one per line), 2 = misuse.
 """
@@ -100,6 +108,73 @@ def check_no_cout(src: Path, findings: list[str]) -> None:
                 )
 
 
+DIAG_CODE_RE = re.compile(r"\bA0\d{2}\b")
+DIAG_TABLE_ROW_RE = re.compile(r"^\|\s*(A0\d{2})\s*\|")
+COUNTER_WRITE_RE = re.compile(r'AddGlobalCounter\(\s*"([^"]+)"')
+COUNTER_GET_RE = re.compile(r'GetCounter\(\s*"([^"]+)"\s*\)')
+HISTOGRAM_GET_RE = re.compile(r'GetHistogram\(\s*"([^"]+)"\s*\)')
+
+
+def check_diag_codes_documented(
+    root: Path, src: Path, findings: list[str]
+) -> None:
+    design = root / "DESIGN.md"
+    documented: set[str] = set()
+    if design.exists():
+        for line in design.read_text().splitlines():
+            m = DIAG_TABLE_ROW_RE.match(line.strip())
+            if m:
+                documented.add(m.group(1))
+    referenced: dict[str, str] = {}  # code -> first reference site
+    for cc in sorted(list(src.rglob("*.cc")) + list(src.rglob("*.h"))):
+        for lineno, raw in enumerate(cc.read_text().splitlines(), 1):
+            for code in DIAG_CODE_RE.findall(raw):
+                referenced.setdefault(code, f"{cc}:{lineno}")
+    for code in sorted(set(referenced) - documented):
+        findings.append(
+            f"{referenced[code]}: diagnostic code {code} is not in "
+            f"DESIGN.md's diagnostic table"
+        )
+
+
+def check_metric_names_unique(src: Path, findings: list[str]) -> None:
+    counter_writers: dict[str, set[Path]] = {}
+    histogram_writers: dict[str, set[Path]] = {}
+    for cc in sorted(list(src.rglob("*.cc")) + list(src.rglob("*.h"))):
+        text = cc.read_text()
+        for name in COUNTER_WRITE_RE.findall(text):
+            counter_writers.setdefault(name, set()).add(cc)
+        for m in COUNTER_GET_RE.finditer(text):
+            # GetCounter("x")->value() is a read (e.g. a status report
+            # rendering another subsystem's counter); only mutation
+            # registers ownership.  The accessor may start on the next
+            # line, so look at the text following the call.
+            if text[m.end():].lstrip().startswith("->value()"):
+                continue
+            counter_writers.setdefault(m.group(1), set()).add(cc)
+        for name in HISTOGRAM_GET_RE.findall(text):
+            histogram_writers.setdefault(name, set()).add(cc)
+    for name, files in sorted(counter_writers.items()):
+        if len(files) > 1:
+            where = ", ".join(str(f) for f in sorted(files))
+            findings.append(
+                f"metrics counter \"{name}\" is written from multiple "
+                f"files ({where}): one subsystem must own each name"
+            )
+        if name in histogram_writers:
+            findings.append(
+                f"metrics name \"{name}\" is used as both a counter and "
+                f"a histogram"
+            )
+    for name, files in sorted(histogram_writers.items()):
+        if len(files) > 1:
+            where = ", ".join(str(f) for f in sorted(files))
+            findings.append(
+                f"metrics histogram \"{name}\" is written from multiple "
+                f"files ({where}): one subsystem must own each name"
+            )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -117,6 +192,8 @@ def main() -> int:
     check_no_naked_new_delete(src, findings)
     check_cmake_lists_complete(src, findings)
     check_no_cout(src, findings)
+    check_diag_codes_documented(args.root, src, findings)
+    check_metric_names_unique(src, findings)
 
     for finding in findings:
         print(finding)
